@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Design-choice ablation (Sec. IV-B): Ceer uses the sample *median*
+ * for light GPU and CPU op estimates "to avoid the unfair impact of
+ * possible outliers". This bench swaps in the sample mean and shows
+ * the median is the more robust location estimate for these
+ * heavy-tailed distributions.
+ */
+
+#include "bench/common.h"
+
+#include <cmath>
+
+#include "core/trainer.h"
+#include "models/model_zoo.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ceer;
+
+    const bench::BenchConfig config = bench::parseBenchFlags(argc, argv);
+    util::printBanner(std::cout,
+                      "Ablation: median vs mean estimators for "
+                      "light-GPU and CPU op times");
+    const profile::ProfileDataset dataset =
+        bench::collectTrainingProfiles(config, /*multiGpu=*/false);
+    const core::CeerModel model = core::trainCeer(dataset);
+
+    // Pool the same samples the trainer pooled and compare location
+    // estimates.
+    std::vector<double> light_samples, cpu_samples;
+    for (const auto &profile : dataset.ops()) {
+        const auto &samples = profile.samples.samples();
+        if (profile.onCpu) {
+            cpu_samples.insert(cpu_samples.end(), samples.begin(),
+                               samples.end());
+        } else if (!model.heavyOps.count(profile.op)) {
+            light_samples.insert(light_samples.end(), samples.begin(),
+                                 samples.end());
+        }
+    }
+    auto mean_of = [](const std::vector<double> &values) {
+        util::RunningStats stats;
+        for (double v : values)
+            stats.add(v);
+        return stats.mean();
+    };
+    const double light_median = util::median(light_samples);
+    const double light_mean = mean_of(light_samples);
+    const double cpu_median = util::median(cpu_samples);
+    const double cpu_mean = mean_of(cpu_samples);
+
+    util::TablePrinter table({"population", "samples", "median (us)",
+                              "mean (us)", "mean/median"});
+    table.addRow({"light GPU ops", std::to_string(light_samples.size()),
+                  util::format("%.1f", light_median),
+                  util::format("%.1f", light_mean),
+                  util::format("%.2fx", light_mean / light_median)});
+    table.addRow({"CPU ops", std::to_string(cpu_samples.size()),
+                  util::format("%.1f", cpu_median),
+                  util::format("%.1f", cpu_mean),
+                  util::format("%.2fx", cpu_mean / cpu_median)});
+    table.print(std::cout);
+
+    // How much of each population is within 2x of each estimator?
+    auto coverage = [](const std::vector<double> &values,
+                       double center) {
+        std::size_t within = 0;
+        for (double v : values)
+            within += v >= center / 2.0 && v <= center * 2.0;
+        return static_cast<double>(within) /
+               static_cast<double>(values.size());
+    };
+    const double median_coverage = coverage(light_samples, light_median);
+    const double mean_coverage = coverage(light_samples, light_mean);
+    std::cout << util::format(
+        "light-op samples within 2x of the estimate: median %.0f%%, "
+        "mean %.0f%%\n",
+        100.0 * median_coverage, 100.0 * mean_coverage);
+
+    bench::CheckSummary summary;
+    summary.check("trainer's light median equals the pooled median",
+                  model.lightMedianUs / light_median, 0.99, 1.01);
+    summary.check("light-op mean inflated vs median by outliers "
+                  "(paper's rationale)",
+                  light_mean / light_median, 1.15, 1e9);
+    summary.check("CPU-op mean inflated vs median",
+                  cpu_mean / cpu_median, 1.2, 1e9);
+    summary.check("median covers at least as many samples as the mean",
+                  median_coverage - mean_coverage, -0.01, 1.0);
+    return summary.finish();
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Design-choice ablation (Sec. IV-B): Ceer fits most heavy ops with
+ * linear regression but selects a quadratic fit where it clearly wins
+ * (Conv2DBackpropFilter). This bench forces linear-only fits and
+ * measures what the selection buys.
+ */
+
+#include "bench/common.h"
+
+#include <cmath>
+
+#include "core/trainer.h"
+#include "models/model_zoo.h"
+#include "util/strings.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ceer;
+    using graph::OpType;
+    using hw::GpuModel;
+
+    const bench::BenchConfig config = bench::parseBenchFlags(argc, argv);
+    util::printBanner(std::cout,
+                      "Ablation: linear-only fits vs Ceer's "
+                      "linear/quadratic selection");
+    const profile::ProfileDataset dataset =
+        bench::collectTrainingProfiles(config, /*multiGpu=*/false);
+
+    const core::CeerModel selected = core::trainCeer(dataset);
+    core::TrainOptions linear_only;
+    linear_only.quadraticGain = 1e9; // quadratic never selected
+    const core::CeerModel linear = core::trainCeer(dataset, linear_only);
+
+    // Compare per-(GPU, op) training R^2 for the op the paper calls
+    // out, plus count how often the selection engaged at all.
+    util::TablePrinter table({"GPU", "CFG R^2 linear",
+                              "CFG R^2 selected", "selected fit"});
+    int quadratic_count = 0;
+    int total_quadratic = 0;
+    double worst_gap = 0.0;
+    for (GpuModel gpu : hw::allGpuModels()) {
+        const auto *sel =
+            selected.opModel(gpu, OpType::Conv2DBackpropFilter);
+        const auto *lin =
+            linear.opModel(gpu, OpType::Conv2DBackpropFilter);
+        if (!sel || !lin || !sel->usable)
+            continue;
+        table.addRow({hw::gpuModelName(gpu),
+                      util::format("%.4f", lin->r2),
+                      util::format("%.4f", sel->r2),
+                      sel->quadratic ? "quadratic" : "linear"});
+        quadratic_count += sel->quadratic;
+        worst_gap = std::max(worst_gap, sel->r2 - lin->r2);
+    }
+    for (const auto &[key, entry] : selected.opModels)
+        total_quadratic += entry.quadratic;
+    table.print(std::cout);
+    std::cout << "quadratic fits selected across all (GPU, op) models: "
+              << total_quadratic << "\n";
+
+    bench::CheckSummary summary;
+    summary.check("GPUs where Conv2DBackpropFilter selects the "
+                  "quadratic fit (paper: it is the quadratic example)",
+                  quadratic_count, 2, 4);
+    summary.check("R^2 gained by the selection on CFG (best GPU)",
+                  worst_gap, 0.002, 1.0);
+    // The selection must stay rare: most ops are linear (Sec. IV-B).
+    summary.check(
+        "fraction of op models using the quadratic fit (paper: 'a few "
+        "operations')",
+        static_cast<double>(total_quadratic) /
+            static_cast<double>(selected.opModels.size()),
+        0.0, 0.35);
+    return summary.finish();
+}

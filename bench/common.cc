@@ -1,0 +1,107 @@
+#include "bench/common.h"
+
+#include "core/trainer.h"
+#include "models/model_zoo.h"
+#include "sim/simulator.h"
+
+namespace ceer {
+namespace bench {
+
+using graph::OpType;
+
+BenchConfig
+parseBenchFlags(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineInt("iters", 200,
+                    "profiling iterations per (CNN, GPU) run "
+                    "(paper: 1000)");
+    flags.defineInt("eval-iters", 120,
+                    "iterations for observed measurements");
+    flags.defineInt("batch", kDefaultBatch, "per-GPU batch size");
+    flags.defineInt("seed", 42, "base RNG seed");
+    flags.parse(argc, argv);
+
+    BenchConfig config;
+    config.iterations = static_cast<int>(flags.getInt("iters"));
+    config.evalIterations = static_cast<int>(flags.getInt("eval-iters"));
+    config.batch = flags.getInt("batch");
+    config.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    return config;
+}
+
+profile::ProfileDataset
+collectTrainingProfiles(const BenchConfig &config, bool multiGpu)
+{
+    profile::CollectOptions options;
+    options.batch = config.batch;
+    options.iterations = config.iterations;
+    options.seed = config.seed;
+    options.multiGpuRuns = multiGpu;
+    return profile::collectProfiles(models::trainingSetNames(),
+                                    options);
+}
+
+TrainedCeer
+trainOnPaperTrainingSet(const BenchConfig &config)
+{
+    TrainedCeer trained;
+    trained.dataset = collectTrainingProfiles(config, true);
+    trained.model = core::trainCeer(trained.dataset);
+    return trained;
+}
+
+const std::vector<OpType> &
+paperHeavyOps()
+{
+    static const std::vector<OpType> ops = {
+        OpType::Conv2D,
+        OpType::Conv2DBackpropInput,
+        OpType::Conv2DBackpropFilter,
+        OpType::MaxPool,
+        OpType::MaxPoolGrad,
+        OpType::AvgPool,
+        OpType::AvgPoolGrad,
+        OpType::Relu,
+        OpType::ReluGrad,
+        OpType::BiasAdd,
+        OpType::BiasAddGrad,
+        OpType::AddV2,
+        OpType::AddN,
+        OpType::Mul,
+        OpType::FusedBatchNormV3,
+        OpType::FusedBatchNormGradV3,
+        OpType::MatMul,
+        OpType::ConcatV2,
+        OpType::Transpose,
+        OpType::Pad,
+    };
+    return ops;
+}
+
+double
+observedIterationUs(const graph::Graph &g, hw::GpuModel gpu, int k,
+                    const BenchConfig &config, std::uint64_t salt)
+{
+    sim::SimConfig sim_config;
+    sim_config.gpu = gpu;
+    sim_config.numGpus = k;
+    sim_config.seed = config.seed ^ (0xABCDEF1234ull + salt * 7919);
+    sim::TrainingSimulator simulator(g, sim_config);
+    return simulator.run(config.evalIterations).iterationUs.mean();
+}
+
+int
+CheckSummary::finish() const
+{
+    if (allPassed_) {
+        std::cout << "ALL " << total_ << " CHECKS IN BAND\n";
+        return 0;
+    }
+    std::cout << "NOTE: some checks outside the paper band (see "
+                 "[CHECK] lines); see EXPERIMENTS.md for discussion\n";
+    return 0;
+}
+
+} // namespace bench
+} // namespace ceer

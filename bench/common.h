@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shared infrastructure for the per-figure/table bench binaries.
+ *
+ * Every bench binary reproduces one artifact of the paper's evaluation:
+ * it re-runs the empirical study on the simulated substrate (8 training
+ * CNNs x 4 GPU models), trains Ceer where needed, prints the same
+ * rows/series the paper reports, and emits [PASS]/[CHECK] lines against
+ * the paper's stated bands.
+ */
+
+#ifndef CEER_BENCH_COMMON_H
+#define CEER_BENCH_COMMON_H
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/ceer_model.h"
+#include "core/predictor.h"
+#include "graph/graph.h"
+#include "hw/gpu_spec.h"
+#include "profile/profiler.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace ceer {
+namespace bench {
+
+/** ImageNet size used throughout the paper's evaluation (Sec. V). */
+constexpr std::int64_t kImageNetSamples = 1'200'000;
+
+/** Default per-GPU batch size (Sec. V). */
+constexpr std::int64_t kDefaultBatch = 32;
+
+/** Common bench configuration, parsed from flags. */
+struct BenchConfig
+{
+    int iterations = 200;      ///< Profiling iterations per run.
+    int evalIterations = 120;  ///< Iterations for "observed" numbers.
+    std::int64_t batch = kDefaultBatch; ///< Per-GPU batch size.
+    std::uint64_t seed = 42;   ///< Base RNG seed.
+};
+
+/**
+ * Parses the standard bench flags (--iters, --eval-iters, --batch,
+ * --seed) plus --help.
+ *
+ * The paper profiles 1,000 iterations per run; the default here is 200
+ * to keep single-core bench runs short. Pass --iters 1000 for full
+ * fidelity (conclusions are unchanged).
+ */
+BenchConfig parseBenchFlags(int argc, char **argv);
+
+/** Profiles the paper's 8 training CNNs and trains Ceer. */
+struct TrainedCeer
+{
+    profile::ProfileDataset dataset; ///< Training profiles.
+    core::CeerModel model;           ///< Trained Ceer model.
+};
+
+/** Runs the empirical study + training pipeline once. */
+TrainedCeer trainOnPaperTrainingSet(const BenchConfig &config);
+
+/**
+ * Runs only the profiling half of the study (the 8 training CNNs).
+ *
+ * @param config   Bench configuration.
+ * @param multiGpu Also collect k=2..4 run-level profiles (needed for
+ *                 the communication model; skip for op-level figures).
+ */
+profile::ProfileDataset
+collectTrainingProfiles(const BenchConfig &config, bool multiGpu);
+
+/**
+ * The 20 heavy GPU op types shown in the paper's Figs. 2-3, in a
+ * stable presentation order.
+ */
+const std::vector<graph::OpType> &paperHeavyOps();
+
+/**
+ * Observed mean per-iteration time (microseconds) from the simulated
+ * substrate.
+ *
+ * @param g    Training graph.
+ * @param gpu  GPU model.
+ * @param k    Number of GPUs.
+ * @param config Bench configuration (evalIterations, seed).
+ * @param salt Extra seed salt to decorrelate measurement runs.
+ */
+double observedIterationUs(const graph::Graph &g, hw::GpuModel gpu,
+                           int k, const BenchConfig &config,
+                           std::uint64_t salt = 0);
+
+/** Collects [PASS]/[CHECK] outcomes and prints a final verdict line. */
+class CheckSummary
+{
+  public:
+    /** Emits one check line and records the outcome. */
+    void
+    check(const std::string &what, double measured, double lo, double hi)
+    {
+        allPassed_ &= util::printCheck(std::cout, what, measured, lo, hi);
+        ++total_;
+    }
+
+    /** Prints "ALL n CHECKS IN BAND" or a warning; returns exit code. */
+    int finish() const;
+
+  private:
+    bool allPassed_ = true;
+    int total_ = 0;
+};
+
+} // namespace bench
+} // namespace ceer
+
+#endif // CEER_BENCH_COMMON_H

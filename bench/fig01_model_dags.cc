@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 1 (analog): the paper's Fig. 1 shows the Inception-v3 DAG and
+ * makes the structural point that CNNs contain *many* operations drawn
+ * from a *small* set of unique operation types — the insight Ceer's
+ * whole design rests on (Sec. III-A, insight 1).
+ *
+ * This bench prints, for every zoo CNN, the graph size, the number of
+ * distinct op types, and the dominant types, and checks the paper's
+ * structural claims. (`ceer dot --model inception_v3` renders the
+ * actual DAG.)
+ */
+
+#include "bench/common.h"
+
+#include <set>
+
+#include "models/model_zoo.h"
+#include "util/strings.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ceer;
+
+    const bench::BenchConfig config = bench::parseBenchFlags(argc, argv);
+    util::printBanner(std::cout,
+                      "Figure 1 analog: op counts vs unique op types "
+                      "per CNN");
+
+    util::TablePrinter table({"CNN", "ops", "unique op types",
+                              "top-3 types"});
+    std::size_t max_unique = 0;
+    std::size_t min_ops = SIZE_MAX;
+    std::set<graph::OpType> union_types;
+    for (const std::string &name : models::allModelNames()) {
+        const graph::Graph g = models::buildModel(name, config.batch);
+        const auto counts = g.countByOpType();
+        std::string top;
+        for (std::size_t i = 0; i < std::min<std::size_t>(3,
+                                                          counts.size());
+             ++i) {
+            if (i)
+                top += ", ";
+            top += util::format("%s x%zu",
+                                graph::opTypeName(counts[i].type)
+                                    .c_str(),
+                                counts[i].count);
+        }
+        table.addRow({name, std::to_string(g.size()),
+                      std::to_string(counts.size()), top});
+        max_unique = std::max(max_unique, counts.size());
+        min_ops = std::min(min_ops, g.size());
+        for (const auto &entry : counts)
+            union_types.insert(entry.type);
+    }
+    table.print(std::cout);
+    std::cout << "union of op types across all 12 CNNs: "
+              << union_types.size() << "\n";
+
+    bench::CheckSummary summary;
+    summary.check("every CNN has >= 100 operations", min_ops, 100,
+                  1e9);
+    summary.check("no CNN uses more than ~40 unique op types "
+                  "(paper: 'fairly small')",
+                  max_unique, 0, 40);
+    summary.check("all 12 CNNs combined draw from a small shared set",
+                  union_types.size(), 0, 45);
+    return summary.finish();
+}

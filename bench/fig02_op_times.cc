@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 2: mean compute time of the 20 heavy GPU operation types on
+ * each AWS GPU model, averaged over the profiling iterations of the 8
+ * training-set CNNs.
+ *
+ * Paper claims checked: averaged across heavy ops, P3 is ~10x faster
+ * than P2 and ~4x faster than G4; P2 is ~1.5x slower than G3; P3 has
+ * the lowest time for every op.
+ */
+
+#include "bench/common.h"
+
+#include "util/strings.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ceer;
+    using bench::BenchConfig;
+
+    const BenchConfig config = bench::parseBenchFlags(argc, argv);
+    util::printBanner(std::cout,
+                      "Figure 2: operation-level compute times (us)");
+    const profile::ProfileDataset dataset =
+        bench::collectTrainingProfiles(config, /*multiGpu=*/false);
+
+    util::TablePrinter table(
+        {"operation", "P3/V100", "P2/K80", "G4/T4", "G3/M60"});
+    double ratio_p2 = 0.0, ratio_g4 = 0.0, ratio_g3 = 0.0;
+    int counted = 0;
+    int p3_fastest = 0;
+    for (graph::OpType op : bench::paperHeavyOps()) {
+        const double p3 = dataset.meanTimeUs(hw::GpuModel::V100, op);
+        const double p2 = dataset.meanTimeUs(hw::GpuModel::K80, op);
+        const double g4 = dataset.meanTimeUs(hw::GpuModel::T4, op);
+        const double g3 = dataset.meanTimeUs(hw::GpuModel::M60, op);
+        if (p3 <= 0.0)
+            continue;
+        table.addRow({graph::opTypeName(op), util::format("%.1f", p3),
+                      util::format("%.1f", p2),
+                      util::format("%.1f", g4),
+                      util::format("%.1f", g3)});
+        ratio_p2 += p2 / p3;
+        ratio_g4 += g4 / p3;
+        ratio_g3 += p2 / g3;
+        p3_fastest += p3 <= std::min({p2, g4, g3});
+        ++counted;
+    }
+    table.print(std::cout);
+    std::cout << counted << " heavy op types (paper: 20), averaged over "
+              << config.iterations << " iterations of the 8 training "
+              << "CNNs\n\n";
+
+    bench::CheckSummary summary;
+    summary.check("mean heavy-op time ratio P2/P3 (paper ~10x)",
+                  ratio_p2 / counted, 8.0, 13.0);
+    summary.check("mean heavy-op time ratio G4/P3 (paper ~4x)",
+                  ratio_g4 / counted, 3.2, 4.8);
+    summary.check("mean heavy-op time ratio P2/G3 (paper ~1.5x)",
+                  ratio_g3 / counted, 1.3, 1.7);
+    summary.check("fraction of ops where P3 is fastest (paper: all)",
+                  static_cast<double>(p3_fastest) / counted, 0.95,
+                  1.0);
+    summary.check("heavy op types shown",
+                  static_cast<double>(counted), 18, 20);
+    return summary.finish();
+}

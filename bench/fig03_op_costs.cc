@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Figure 3: rental cost incurred while running each heavy GPU op type
+ * on the basic 1-GPU instance of each family — mean compute time times
+ * the hourly price normalized to microseconds (divided by 3.6e9).
+ *
+ * Paper claims checked: G4 is the cheapest for 16 of the 20 ops and P3
+ * for the remaining 4 (the pooling ops); for pooling ops P3 is ~20%
+ * cheaper than G4 (peak ~31%); for G4's ops the average saving over P3
+ * is ~16% (peak ~29%, FusedBatchNormGradV3); P3's 10x time advantage
+ * over P2 shrinks to ~3x in cost.
+ */
+
+#include "bench/common.h"
+
+#include <map>
+
+#include "cloud/instances.h"
+#include "util/strings.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ceer;
+    using graph::OpType;
+    using hw::GpuModel;
+
+    const bench::BenchConfig config = bench::parseBenchFlags(argc, argv);
+    util::printBanner(
+        std::cout,
+        "Figure 3: operation-level compute costs (micro-USD, 1-GPU "
+        "instance prices)");
+    const profile::ProfileDataset dataset =
+        bench::collectTrainingProfiles(config, /*multiGpu=*/false);
+    const cloud::InstanceCatalog catalog =
+        cloud::InstanceCatalog::awsOnDemand();
+
+    std::map<GpuModel, double> price_per_us;
+    for (GpuModel gpu : hw::allGpuModels())
+        price_per_us[gpu] = catalog.find(gpu, 1).hourlyUsd / 3.6e9;
+
+    const std::set<OpType> pooling = {
+        OpType::MaxPool, OpType::MaxPoolGrad, OpType::AvgPool,
+        OpType::AvgPoolGrad};
+
+    util::TablePrinter table({"operation", "P3/V100", "P2/K80",
+                              "G4/T4", "G3/M60", "cheapest"});
+    int g4_wins = 0, p3_wins = 0, counted = 0;
+    int p3_wins_pooling = 0;
+    double pooling_saving = 0.0, g4_saving = 0.0;
+    double g4_saving_peak = 0.0;
+    OpType g4_peak_op = OpType::Conv2D;
+    double cost_ratio_p2 = 0.0;
+    for (OpType op : bench::paperHeavyOps()) {
+        std::map<GpuModel, double> cost;
+        for (GpuModel gpu : hw::allGpuModels()) {
+            cost[gpu] =
+                dataset.meanTimeUs(gpu, op) * price_per_us[gpu] * 1e6;
+        }
+        if (cost[GpuModel::V100] <= 0.0)
+            continue;
+        ++counted;
+        GpuModel winner = GpuModel::V100;
+        for (GpuModel gpu : hw::allGpuModels())
+            if (cost[gpu] < cost[winner])
+                winner = gpu;
+        table.addRow({graph::opTypeName(op),
+                      util::format("%.3f", cost[GpuModel::V100]),
+                      util::format("%.3f", cost[GpuModel::K80]),
+                      util::format("%.3f", cost[GpuModel::T4]),
+                      util::format("%.3f", cost[GpuModel::M60]),
+                      hw::gpuModelName(winner)});
+        cost_ratio_p2 += cost[GpuModel::K80] / cost[GpuModel::V100];
+        if (winner == GpuModel::T4) {
+            ++g4_wins;
+            const double saving =
+                1.0 - cost[GpuModel::T4] / cost[GpuModel::V100];
+            g4_saving += saving;
+            if (saving > g4_saving_peak) {
+                g4_saving_peak = saving;
+                g4_peak_op = op;
+            }
+        } else if (winner == GpuModel::V100) {
+            ++p3_wins;
+        }
+        if (pooling.count(op)) {
+            p3_wins_pooling += winner == GpuModel::V100;
+            pooling_saving +=
+                1.0 - cost[GpuModel::V100] / cost[GpuModel::T4];
+        }
+    }
+    table.print(std::cout);
+    std::cout << "peak G4-vs-P3 saving: "
+              << util::format("%.0f%%", 100.0 * g4_saving_peak)
+              << " on " << graph::opTypeName(g4_peak_op)
+              << " (paper: ~29% on FusedBatchNormGradV3)\n\n";
+
+    bench::CheckSummary summary;
+    summary.check("ops where G4 is cheapest (paper: 16/20)",
+                  g4_wins, 13, 17);
+    summary.check("ops where P3 is cheapest (paper: 4/20)", p3_wins, 3,
+                  7);
+    summary.check("pooling ops won by P3 (paper: 4/4)",
+                  p3_wins_pooling, 3, 4);
+    summary.check("mean P3 saving on pooling ops (paper ~20%)",
+                  pooling_saving / 4.0, 0.10, 0.35);
+    summary.check("mean G4 saving on its ops (paper ~16%)",
+                  g4_wins ? g4_saving / g4_wins : 0.0, 0.08, 0.30);
+    summary.check("mean cost ratio P2/P3 (paper ~3x)",
+                  cost_ratio_p2 / counted, 2.2, 4.2);
+    return summary.finish();
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 4: ReLU compute time vs input data size, with Ceer's per-GPU
+ * regression fits (the solid lines in the paper's figure).
+ *
+ * Prints the scatter series (one point per distinct ReLU instance in
+ * the training CNNs) and the fitted line evaluated at the same sizes.
+ * Checks that the fits are strongly linear (the paper reports R^2 of
+ * 0.84-0.98 across heavy-op regressions).
+ */
+
+#include "bench/common.h"
+
+#include <algorithm>
+
+#include "core/trainer.h"
+#include "util/strings.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ceer;
+    using graph::OpType;
+    using hw::GpuModel;
+
+    const bench::BenchConfig config = bench::parseBenchFlags(argc, argv);
+    util::printBanner(std::cout,
+                      "Figure 4: ReLU compute time vs input size, with "
+                      "regression fits");
+    const profile::ProfileDataset dataset =
+        bench::collectTrainingProfiles(config, /*multiGpu=*/false);
+    const core::CeerModel model = core::trainCeer(dataset);
+
+    bench::CheckSummary summary;
+    for (GpuModel gpu : hw::allGpuModels()) {
+        const auto instances = dataset.opsFor(gpu, OpType::Relu);
+        const core::OpTimeModel *fit =
+            model.opModel(gpu, OpType::Relu);
+        if (!fit || !fit->usable) {
+            std::cout << "no usable ReLU fit for "
+                      << hw::gpuModelName(gpu) << "\n";
+            continue;
+        }
+
+        // Deduplicate by input size and sort for a clean series.
+        std::map<double, std::pair<double, double>> series;
+        for (const auto *instance : instances) {
+            series[instance->inputBytes()] = {
+                instance->timeUs.mean(),
+                fit->predictUs(instance->features)};
+        }
+        std::cout << "\n" << hw::gpuModelName(gpu) << " ("
+                  << hw::gpuFamilyName(gpu) << "), "
+                  << (fit->quadratic ? "quadratic" : "linear")
+                  << " fit, R^2 = " << util::format("%.3f", fit->r2)
+                  << ":\n";
+        util::TablePrinter table(
+            {"input size", "measured (us)", "fitted (us)"});
+        for (const auto &[bytes, pair] : series) {
+            table.addRow({util::humanBytes(bytes),
+                          util::format("%.1f", pair.first),
+                          util::format("%.1f", pair.second)});
+        }
+        table.print(std::cout);
+
+        summary.check("ReLU fit R^2 on " + hw::gpuModelName(gpu) +
+                          " (paper band 0.84-0.98+)",
+                      fit->r2, 0.84, 1.0);
+        // Monotonicity: bigger inputs take longer under the fit.
+        const double small = fit->predictUs({1e6, 1e6, 0.0, 250e3});
+        const double large = fit->predictUs({1e8, 1e8, 0.0, 25e6});
+        summary.check("fit monotone in size on " +
+                          hw::gpuModelName(gpu),
+                      large > small ? 1.0 : 0.0, 1.0, 1.0);
+    }
+    return summary.finish();
+}

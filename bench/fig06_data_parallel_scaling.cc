@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 6: training time vs number of GPUs under data parallelism for
+ * Inception-v1 over 6,400 ImageNet samples (batch 32 per GPU), for
+ * every GPU model.
+ *
+ * Paper claims checked: training time falls monotonically with more
+ * GPUs, and the reductions relative to 1 GPU average ~35.8% (2 GPUs),
+ * ~46.6% (3) and ~53.6% (4) across GPU models, with diminishing
+ * returns.
+ */
+
+#include "bench/common.h"
+
+#include "models/model_zoo.h"
+#include "sim/simulator.h"
+#include "util/strings.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ceer;
+    using hw::GpuModel;
+
+    const bench::BenchConfig config = bench::parseBenchFlags(argc, argv);
+    util::printBanner(std::cout,
+                      "Figure 6: training time vs #GPUs, Inception-v1, "
+                      "6400 samples");
+    const graph::Graph g = models::buildInceptionV1(config.batch);
+    constexpr std::int64_t kSamples = 6400;
+
+    util::TablePrinter table({"GPU", "1 GPU", "2 GPUs", "3 GPUs",
+                              "4 GPUs"});
+    double reduction[3] = {0.0, 0.0, 0.0};
+    for (GpuModel gpu : hw::allGpuModels()) {
+        std::vector<std::string> row{hw::gpuModelName(gpu) + " (" +
+                                     hw::gpuFamilyName(gpu) + ")"};
+        double t1_hours = 0.0;
+        for (int k = 1; k <= 4; ++k) {
+            sim::SimConfig sim_config;
+            sim_config.gpu = gpu;
+            sim_config.numGpus = k;
+            sim_config.seed = config.seed + static_cast<unsigned>(k);
+            const sim::TrainingRunEstimate estimate =
+                sim::simulateTraining(g, sim_config, kSamples,
+                                      config.batch,
+                                      config.evalIterations);
+            const double hours = estimate.totalHours;
+            row.push_back(util::humanMicros(hours * 3.6e9));
+            if (k == 1)
+                t1_hours = hours;
+            else
+                reduction[k - 2] += 1.0 - hours / t1_hours;
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    bench::CheckSummary summary;
+    const char *labels[3] = {"2 GPUs", "3 GPUs", "4 GPUs"};
+    const double expected[3] = {0.358, 0.466, 0.536};
+    for (int i = 0; i < 3; ++i) {
+        summary.check(
+            util::format("mean training-time reduction at %s (paper "
+                         "%.1f%%)",
+                         labels[i], 100.0 * expected[i]),
+            reduction[i] / 4.0, expected[i] - 0.06, expected[i] + 0.06);
+    }
+    // Diminishing returns: marginal gains shrink.
+    summary.check("marginal gain 1->2 exceeds 2->3 (diminishing "
+                  "returns)",
+                  (reduction[0] - 0.0) -
+                      (reduction[1] - reduction[0]),
+                  0.0, 4.0);
+    summary.check("marginal gain 2->3 exceeds 3->4",
+                  (reduction[1] - reduction[0]) -
+                      (reduction[2] - reduction[1]),
+                  0.0, 4.0);
+    return summary.finish();
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Figure 11: budget-minimization scenario — train Inception-v3 on
+ * ImageNet at the lowest total rental cost, with no performance
+ * target, under AWS On-Demand prices.
+ *
+ * Paper claims checked: the 1-GPU G4 instance has the lowest cost and
+ * Ceer picks it; cost prediction error is ~2.1%; picking the cheapest
+ * hourly instance (1-GPU G3) or the most powerful instance (4-GPU P3)
+ * costs ~1.6x and ~1.8x more than Ceer's choice.
+ */
+
+#include "bench/common.h"
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "cloud/instances.h"
+#include "core/recommender.h"
+#include "models/model_zoo.h"
+#include "util/strings.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ceer;
+    using hw::GpuModel;
+
+    const bench::BenchConfig config = bench::parseBenchFlags(argc, argv);
+    util::printBanner(std::cout,
+                      "Figure 11: Inception-v3 training cost, AWS "
+                      "prices (minimize cost)");
+    const bench::TrainedCeer trained =
+        bench::trainOnPaperTrainingSet(config);
+    const core::CeerPredictor predictor(trained.model);
+    const cloud::InstanceCatalog catalog =
+        cloud::InstanceCatalog::awsOnDemand();
+    const graph::Graph g =
+        models::buildModel("inception_v3", config.batch);
+
+    core::WorkloadSpec workload{&g, bench::kImageNetSamples,
+                                config.batch};
+    const core::Recommendation recommendation = core::recommend(
+        predictor, workload, catalog.instances(),
+        core::Objective::MinCost);
+
+    util::TablePrinter table(
+        {"instance", "obs cost", "pred cost", "error"});
+    double total_error = 0.0;
+    double observed_best_cost = 1e18;
+    std::string observed_best;
+    std::map<std::string, double> observed_costs;
+    std::uint64_t salt = 300;
+    for (const auto &evaluation : recommendation.evaluations) {
+        const auto &instance = evaluation.instance;
+        const std::int64_t iterations =
+            bench::kImageNetSamples / (instance.numGpus * config.batch);
+        const double obs_iter_us = bench::observedIterationUs(
+            g, instance.gpu, instance.numGpus, config, ++salt);
+        const double obs_cost = obs_iter_us *
+                                static_cast<double>(iterations) /
+                                3.6e9 * instance.hourlyUsd;
+        observed_costs[instance.name] = obs_cost;
+        const double error = evaluation.costUsd / obs_cost - 1.0;
+        total_error += std::abs(error);
+        table.addRow({instance.name, util::format("$%.2f", obs_cost),
+                      util::format("$%.2f", evaluation.costUsd),
+                      util::format("%+.1f%%", 100.0 * error)});
+        if (obs_cost < observed_best_cost) {
+            observed_best_cost = obs_cost;
+            observed_best = instance.name;
+        }
+    }
+    table.print(std::cout);
+
+    const auto &best = recommendation.best();
+    std::cout << "Ceer picks: " << best.instance.name
+              << ", observed best: " << observed_best << "\n";
+
+    const auto &cheapest_hourly =
+        baselines::cheapestInstance(catalog.instances());
+    const auto &most_powerful =
+        baselines::latestGenerationInstance(catalog.instances());
+    const double cheapest_penalty =
+        observed_costs.at(cheapest_hourly.name) / observed_best_cost;
+    const double powerful_penalty =
+        observed_costs.at(most_powerful.name) / observed_best_cost;
+    std::cout << "cost penalty of '" << cheapest_hourly.name
+              << "' (cheapest-hourly strategy): "
+              << util::format("%.2fx", cheapest_penalty)
+              << "; of '" << most_powerful.name
+              << "' (latest-GPU strategy): "
+              << util::format("%.2fx", powerful_penalty) << "\n";
+
+    bench::CheckSummary summary;
+    summary.check("Ceer picks the 1-GPU G4 instance (paper: yes)",
+                  best.instance.gpu == GpuModel::T4 &&
+                          best.instance.numGpus == 1
+                      ? 1.0
+                      : 0.0,
+                  1.0, 1.0);
+    summary.check("Ceer's pick matches the observed cheapest",
+                  best.instance.name == observed_best ? 1.0 : 0.0, 1.0,
+                  1.0);
+    summary.check("mean |cost prediction error| (paper: 2.1%)",
+                  total_error / recommendation.evaluations.size(), 0.0,
+                  0.08);
+    summary.check("cheapest-hourly (1-GPU G3) cost penalty "
+                  "(paper: 1.6x)",
+                  cheapest_penalty, 1.2, 2.2);
+    // Our substrate's equal-absolute sync overhead makes the 4-GPU P3
+    // configuration pricier relative to 1-GPU G4 than the paper's
+    // testbed did (see EXPERIMENTS.md), so the band is wider here.
+    summary.check("most-powerful (4-GPU P3) cost penalty "
+                  "(paper: 1.8x)",
+                  powerful_penalty, 1.3, 3.3);
+    return summary.finish();
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 12: budget minimization for Inception-v3 again, but with the
+ * commodity-market GPU price ratios (1 : 0.31 : 0.18 : 0.05 for
+ * V100 : T4 : M60 : K80 -> $3.06 / $0.95 / $0.55 / $0.15 per GPU).
+ *
+ * Paper claims checked: the winner flips to the 1-GPU P2 instance;
+ * Ceer predicts it; cost prediction error stays ~2.1%; keeping the
+ * Fig. 11 winner (1-GPU G4) would cost ~2.4x more.
+ */
+
+#include "bench/common.h"
+
+#include <cmath>
+
+#include "cloud/instances.h"
+#include "core/recommender.h"
+#include "models/model_zoo.h"
+#include "util/strings.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ceer;
+    using hw::GpuModel;
+
+    const bench::BenchConfig config = bench::parseBenchFlags(argc, argv);
+    util::printBanner(std::cout,
+                      "Figure 12: Inception-v3 training cost, market "
+                      "GPU prices (minimize cost)");
+    const bench::TrainedCeer trained =
+        bench::trainOnPaperTrainingSet(config);
+    const core::CeerPredictor predictor(trained.model);
+    const cloud::InstanceCatalog catalog =
+        cloud::InstanceCatalog::marketPriced();
+    const graph::Graph g =
+        models::buildModel("inception_v3", config.batch);
+
+    core::WorkloadSpec workload{&g, bench::kImageNetSamples,
+                                config.batch};
+    const core::Recommendation recommendation = core::recommend(
+        predictor, workload, catalog.instances(),
+        core::Objective::MinCost);
+
+    util::TablePrinter table(
+        {"instance", "$/hr", "obs cost", "pred cost", "error"});
+    double total_error = 0.0;
+    double observed_best_cost = 1e18;
+    std::string observed_best;
+    double g4_1gpu_cost = 0.0;
+    std::uint64_t salt = 400;
+    for (const auto &evaluation : recommendation.evaluations) {
+        const auto &instance = evaluation.instance;
+        const std::int64_t iterations =
+            bench::kImageNetSamples / (instance.numGpus * config.batch);
+        const double obs_iter_us = bench::observedIterationUs(
+            g, instance.gpu, instance.numGpus, config, ++salt);
+        const double obs_cost = obs_iter_us *
+                                static_cast<double>(iterations) /
+                                3.6e9 * instance.hourlyUsd;
+        const double error = evaluation.costUsd / obs_cost - 1.0;
+        total_error += std::abs(error);
+        table.addRow({instance.name,
+                      util::format("%.2f", instance.hourlyUsd),
+                      util::format("$%.2f", obs_cost),
+                      util::format("$%.2f", evaluation.costUsd),
+                      util::format("%+.1f%%", 100.0 * error)});
+        if (obs_cost < observed_best_cost) {
+            observed_best_cost = obs_cost;
+            observed_best = instance.name;
+        }
+        if (instance.gpu == GpuModel::T4 && instance.numGpus == 1)
+            g4_1gpu_cost = obs_cost;
+    }
+    table.print(std::cout);
+
+    const auto &best = recommendation.best();
+    std::cout << "Ceer picks: " << best.instance.name
+              << ", observed best: " << observed_best << "\n";
+
+    bench::CheckSummary summary;
+    summary.check("Ceer picks the 1-GPU P2 instance (paper: yes)",
+                  best.instance.gpu == GpuModel::K80 &&
+                          best.instance.numGpus == 1
+                      ? 1.0
+                      : 0.0,
+                  1.0, 1.0);
+    summary.check("Ceer's pick matches the observed cheapest",
+                  best.instance.name == observed_best ? 1.0 : 0.0, 1.0,
+                  1.0);
+    summary.check("mean |cost prediction error| (paper: 2.1%)",
+                  total_error / recommendation.evaluations.size(), 0.0,
+                  0.08);
+    summary.check("1-GPU G4 (Fig. 11 winner) cost penalty under "
+                  "market prices (paper: 2.4x)",
+                  g4_1gpu_cost / observed_best_cost, 1.5, 3.5);
+    return summary.finish();
+}

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library itself: graph
+ * construction, simulated training iterations, profiling, regression
+ * fitting, prediction latency and the end-to-end recommendation query.
+ *
+ * These quantify what a downstream user pays for each API call; they
+ * reproduce no paper figure.
+ */
+
+#include <sstream>
+
+#include <benchmark/benchmark.h>
+
+#include "cloud/instances.h"
+#include "hw/memory.h"
+#include "core/predictor.h"
+#include "core/recommender.h"
+#include "core/trainer.h"
+#include "models/model_zoo.h"
+#include "profile/profiler.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ceer;
+
+void
+BM_BuildInceptionV3(benchmark::State &state)
+{
+    for (auto _ : state) {
+        graph::Graph g = models::buildInceptionV3(32);
+        benchmark::DoNotOptimize(g.size());
+    }
+}
+BENCHMARK(BM_BuildInceptionV3)->Unit(benchmark::kMillisecond);
+
+void
+BM_BuildResNet200(benchmark::State &state)
+{
+    for (auto _ : state) {
+        graph::Graph g = models::buildResNetV2(200, 32);
+        benchmark::DoNotOptimize(g.size());
+    }
+}
+BENCHMARK(BM_BuildResNet200)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulateIteration(benchmark::State &state)
+{
+    const graph::Graph g = models::buildInceptionV3(32);
+    sim::SimConfig config;
+    config.numGpus = static_cast<int>(state.range(0));
+    sim::TrainingSimulator simulator(g, config);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulator.runIteration().totalUs());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(g.size()) *
+                            state.range(0));
+}
+BENCHMARK(BM_SimulateIteration)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_ProfileRun(benchmark::State &state)
+{
+    const graph::Graph g = models::buildInceptionV1(32);
+    for (auto _ : state) {
+        sim::SimConfig config;
+        auto result = profile::profileRun(g, "inception_v1", config,
+                                          static_cast<int>(
+                                              state.range(0)));
+        benchmark::DoNotOptimize(result.first.size());
+    }
+}
+BENCHMARK(BM_ProfileRun)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void
+BM_LinearRegressionFit(benchmark::State &state)
+{
+    util::Rng rng(7);
+    std::vector<std::vector<double>> X;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(0, 2e8);
+        const double b = rng.uniform(0, 1e8);
+        X.push_back({a + b, a, b, a / 1e3});
+        y.push_back(5.0 + a / 65e3 + rng.normal(0, 3.0));
+    }
+    for (auto _ : state) {
+        const core::LinearModel model = core::LinearModel::fit(X, y);
+        benchmark::DoNotOptimize(model.intercept());
+    }
+}
+BENCHMARK(BM_LinearRegressionFit)->Unit(benchmark::kMicrosecond);
+
+/** One trained model shared by the prediction benchmarks. */
+const core::CeerModel &
+sharedModel()
+{
+    static const core::CeerModel model = [] {
+        profile::CollectOptions options;
+        options.iterations = 30;
+        return core::trainCeer(profile::collectProfiles(
+            models::trainingSetNames(), options));
+    }();
+    return model;
+}
+
+void
+BM_PredictIteration(benchmark::State &state)
+{
+    const core::CeerPredictor predictor(sharedModel());
+    const graph::Graph g = models::buildModel("resnet_101", 32);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            predictor.predictIterationUs(g, hw::GpuModel::V100, 4));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(g.size()));
+}
+BENCHMARK(BM_PredictIteration)->Unit(benchmark::kMicrosecond);
+
+void
+BM_RecommendOver16Instances(benchmark::State &state)
+{
+    const core::CeerPredictor predictor(sharedModel());
+    const graph::Graph g = models::buildModel("inception_v3", 32);
+    const cloud::InstanceCatalog catalog =
+        cloud::InstanceCatalog::awsOnDemand();
+    core::WorkloadSpec workload{&g, 1'200'000, 32};
+    for (auto _ : state) {
+        const core::Recommendation recommendation = core::recommend(
+            predictor, workload, catalog.instances(),
+            core::Objective::MinCost);
+        benchmark::DoNotOptimize(recommendation.bestIndex);
+    }
+}
+BENCHMARK(BM_RecommendOver16Instances)->Unit(benchmark::kMillisecond);
+
+void
+BM_MemoryEstimate(benchmark::State &state)
+{
+    const graph::Graph g = models::buildResNetV2(101, 32);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hw::estimateTrainingMemory(g).totalBytes());
+    }
+}
+BENCHMARK(BM_MemoryEstimate)->Unit(benchmark::kMicrosecond);
+
+void
+BM_TraceIteration(benchmark::State &state)
+{
+    const graph::Graph g = models::buildInceptionV1(32);
+    sim::SimConfig config;
+    for (auto _ : state) {
+        const sim::IterationTrace trace = sim::traceIteration(g, config);
+        benchmark::DoNotOptimize(trace.events().size());
+    }
+}
+BENCHMARK(BM_TraceIteration)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ProfileCsvRoundTrip(benchmark::State &state)
+{
+    profile::CollectOptions options;
+    options.iterations = 10;
+    options.multiGpuRuns = false;
+    const profile::ProfileDataset dataset =
+        profile::collectProfiles({"inception_v1"}, options);
+    for (auto _ : state) {
+        std::stringstream buffer;
+        dataset.saveCsv(buffer);
+        const profile::ProfileDataset loaded =
+            profile::ProfileDataset::loadCsv(buffer);
+        benchmark::DoNotOptimize(loaded.ops().size());
+    }
+}
+BENCHMARK(BM_ProfileCsvRoundTrip)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Section II table: the four AWS GPU offerings (hardware specs and
+ * 1-GPU instance prices) plus the Sec. V multi-GPU instances — checked
+ * verbatim against the numbers printed in the paper.
+ */
+
+#include "bench/common.h"
+
+#include <map>
+
+#include "cloud/instances.h"
+#include "util/strings.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ceer;
+    using hw::GpuModel;
+
+    (void)bench::parseBenchFlags(argc, argv);
+    util::printBanner(std::cout,
+                      "Sec. II: AWS GPU models and instance prices");
+
+    const cloud::InstanceCatalog catalog =
+        cloud::InstanceCatalog::awsOnDemand();
+    util::TablePrinter table({"family", "GPU", "cores", "memory",
+                              "1-GPU instance", "$/hr",
+                              "multi-GPU instance", "$/hr "});
+    for (GpuModel gpu : hw::allGpuModels()) {
+        const hw::GpuSpec &spec = hw::gpuSpec(gpu);
+        const auto &single = catalog.find(gpu, 1);
+        // Largest catalog entry per family (AWS's real P2 multi-GPU
+        // instance has 8 GPUs; the catalog models the 4-GPU subset
+        // the paper evaluates, via its proxy rule).
+        const auto &biggest = catalog.find(gpu, 4);
+        table.addRow({spec.family, spec.name,
+                      std::to_string(spec.cudaCores),
+                      util::format("%.0fGB", spec.memoryGB),
+                      single.name,
+                      util::format("%.3f", single.hourlyUsd),
+                      biggest.name,
+                      util::format("%.3f", biggest.hourlyUsd)});
+    }
+    table.print(std::cout);
+
+    bench::CheckSummary summary;
+    summary.check("V100 CUDA cores (paper: 5,120)",
+                  hw::gpuSpec(GpuModel::V100).cudaCores, 5120, 5120);
+    summary.check("K80 cores (paper: 2,496)",
+                  hw::gpuSpec(GpuModel::K80).cudaCores, 2496, 2496);
+    summary.check("T4 cores (paper: 2,560)",
+                  hw::gpuSpec(GpuModel::T4).cudaCores, 2560, 2560);
+    summary.check("M60 cores (paper: 2,048)",
+                  hw::gpuSpec(GpuModel::M60).cudaCores, 2048, 2048);
+    summary.check("M60 memory GB (paper: 8)",
+                  hw::gpuSpec(GpuModel::M60).memoryGB, 8, 8);
+    summary.check("K80 memory GB (paper: 12)",
+                  hw::gpuSpec(GpuModel::K80).memoryGB, 12, 12);
+    summary.check("p3.2xlarge $/hr (paper: 3.06)",
+                  catalog.find("p3.2xlarge").hourlyUsd, 3.06, 3.06);
+    summary.check("g4dn.2xlarge $/hr (paper: 0.752)",
+                  catalog.find("g4dn.2xlarge").hourlyUsd, 0.752,
+                  0.752);
+    summary.check("hourly price spread of 1-GPU instances "
+                  "(paper: $0.75-$3.06)",
+                  catalog.find("g3s.xlarge").hourlyUsd, 0.75, 0.75);
+    return summary.finish();
+}

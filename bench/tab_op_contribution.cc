@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Section III-A (in-text): the 20 heavy operation types of Fig. 2
+ * contribute 47-94% of the training time across the training-set
+ * CNNs, and light operations contribute less than 7%.
+ */
+
+#include "bench/common.h"
+
+#include <map>
+
+#include "models/model_zoo.h"
+#include "util/strings.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ceer;
+    using graph::OpType;
+    using hw::GpuModel;
+
+    const bench::BenchConfig config = bench::parseBenchFlags(argc, argv);
+    util::printBanner(std::cout,
+                      "Table: contribution of the Fig. 2 heavy ops and "
+                      "of light ops to training time");
+    const profile::ProfileDataset dataset =
+        bench::collectTrainingProfiles(config, /*multiGpu=*/false);
+
+    const std::set<OpType> top20(bench::paperHeavyOps().begin(),
+                                 bench::paperHeavyOps().end());
+
+    // Heavy/light classification per op type on P2, as in the paper.
+    std::set<OpType> heavy;
+    for (OpType op : dataset.opTypes(GpuModel::K80)) {
+        if (graph::opTypeInfo(op).device == graph::Device::Gpu &&
+            dataset.meanTimeUs(GpuModel::K80, op) >= 500.0) {
+            heavy.insert(op);
+        }
+    }
+
+    util::TablePrinter table({"CNN", "GPU", "top-20 share",
+                              "light share", "CPU share"});
+    double min_top20 = 1.0, max_top20 = 0.0, max_light = 0.0;
+    for (const std::string &name : models::trainingSetNames()) {
+        for (GpuModel gpu : hw::allGpuModels()) {
+            double top20_time = 0.0, light = 0.0, cpu = 0.0,
+                   total = 0.0;
+            for (const auto *profile : dataset.opsFor(gpu)) {
+                if (profile->model != name)
+                    continue;
+                const double contribution =
+                    profile->timeUs.mean() *
+                    static_cast<double>(profile->occurrences);
+                total += contribution;
+                if (profile->onCpu)
+                    cpu += contribution;
+                else if (top20.count(profile->op))
+                    top20_time += contribution;
+                else if (!heavy.count(profile->op))
+                    light += contribution;
+            }
+            const double top20_share = top20_time / total;
+            const double light_share = light / total;
+            table.addRow({name, hw::gpuModelName(gpu),
+                          util::format("%.1f%%", 100.0 * top20_share),
+                          util::format("%.1f%%", 100.0 * light_share),
+                          util::format("%.1f%%", 100.0 * cpu / total)});
+            min_top20 = std::min(min_top20, top20_share);
+            max_top20 = std::max(max_top20, top20_share);
+            max_light = std::max(max_light, light_share);
+        }
+    }
+    table.print(std::cout);
+
+    bench::CheckSummary summary;
+    summary.check("minimum top-20 heavy-op share (paper: 47%..)",
+                  min_top20, 0.45, 1.0);
+    summary.check("maximum top-20 heavy-op share (paper: ..94%)",
+                  max_top20, 0.80, 1.0);
+    summary.check("maximum light-op share (paper: < 7%)", max_light,
+                  0.0, 0.07);
+    return summary.finish();
+}

@@ -1,0 +1,198 @@
+#include "cloud/instances.h"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace cloud {
+
+using hw::GpuModel;
+
+namespace {
+
+/** Real AWS instance names for the 1-GPU and multi-GPU offerings. */
+struct FamilyOffering
+{
+    GpuModel gpu;
+    const char *singleName;
+    double singleUsd;
+    const char *multiName;
+    int multiGpus;
+    double multiUsd;
+};
+
+constexpr FamilyOffering kAws[] = {
+    {GpuModel::V100, "p3.2xlarge", 3.06, "p3.8xlarge", 4, 12.24},
+    {GpuModel::K80, "p2.xlarge", 0.90, "p2.8xlarge", 8, 7.20},
+    {GpuModel::T4, "g4dn.2xlarge", 0.752, "g4dn.12xlarge", 4, 3.912},
+    {GpuModel::M60, "g3s.xlarge", 0.75, "g3.16xlarge", 4, 4.56},
+};
+
+} // namespace
+
+InstanceCatalog
+InstanceCatalog::awsOnDemand()
+{
+    InstanceCatalog catalog;
+    for (const auto &family : kAws) {
+        catalog.add({family.singleName, family.gpu, 1, family.singleUsd,
+                     false});
+        const double per_gpu =
+            family.multiUsd / static_cast<double>(family.multiGpus);
+        for (int k = 2; k <= 4; ++k) {
+            if (k == family.multiGpus) {
+                catalog.add({family.multiName, family.gpu, k,
+                             family.multiUsd, false});
+            } else {
+                // Paper's proxy rule: use the multi-GPU instance with
+                // only k GPUs active, at k/N of its rental cost.
+                catalog.add({util::format("%s-%dgpu-proxy",
+                                          family.multiName, k),
+                             family.gpu, k, per_gpu * k, true});
+            }
+        }
+    }
+    return catalog;
+}
+
+InstanceCatalog
+InstanceCatalog::marketPriced()
+{
+    // Per-GPU hourly prices from commodity market ratios (Sec. V).
+    const std::map<GpuModel, double> per_gpu = {
+        {GpuModel::V100, 3.06},
+        {GpuModel::T4, 0.95},
+        {GpuModel::M60, 0.55},
+        {GpuModel::K80, 0.15},
+    };
+    InstanceCatalog catalog;
+    for (const auto &family : kAws) {
+        const double unit = per_gpu.at(family.gpu);
+        for (int k = 1; k <= 4; ++k) {
+            catalog.add({util::format("%s-market-%dgpu",
+                                      hw::gpuFamilyName(family.gpu)
+                                          .c_str(),
+                                      k),
+                         family.gpu, k, unit * k, k != 1});
+        }
+    }
+    return catalog;
+}
+
+void
+InstanceCatalog::add(GpuInstance instance)
+{
+    instances_.push_back(std::move(instance));
+}
+
+InstanceCatalog
+InstanceCatalog::fromCsv(std::istream &in)
+{
+    InstanceCatalog catalog;
+    const auto rows = util::readCsv(in);
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        const auto &row = rows[i];
+        if (row.size() < 4) {
+            util::fatal(util::format(
+                "InstanceCatalog::fromCsv: row %zu has %zu fields "
+                "(need name,gpu,gpus,hourly_usd)", i, row.size()));
+        }
+        GpuInstance instance;
+        instance.name = row[0];
+        if (!hw::gpuModelFromName(row[1], instance.gpu))
+            util::fatal("InstanceCatalog::fromCsv: unknown GPU " +
+                        row[1]);
+        instance.numGpus = static_cast<int>(std::stol(row[2]));
+        instance.hourlyUsd = std::stod(row[3]);
+        if (instance.numGpus < 1 || instance.hourlyUsd <= 0.0)
+            util::fatal("InstanceCatalog::fromCsv: bad row for " +
+                        instance.name);
+        catalog.add(std::move(instance));
+    }
+    return catalog;
+}
+
+void
+InstanceCatalog::saveCsv(std::ostream &out) const
+{
+    util::CsvWriter writer(out);
+    writer.writeRow({"name", "gpu", "gpus", "hourly_usd"});
+    for (const auto &instance : instances_) {
+        writer.writeRow({instance.name, hw::gpuModelName(instance.gpu),
+                         std::to_string(instance.numGpus),
+                         util::format("%.6g", instance.hourlyUsd)});
+    }
+}
+
+const GpuInstance &
+InstanceCatalog::find(const std::string &name) const
+{
+    for (const auto &instance : instances_)
+        if (instance.name == name)
+            return instance;
+    util::fatal("InstanceCatalog: no instance named '" + name + "'");
+}
+
+const GpuInstance &
+InstanceCatalog::find(hw::GpuModel gpu, int num_gpus) const
+{
+    for (const auto &instance : instances_)
+        if (instance.gpu == gpu && instance.numGpus == num_gpus)
+            return instance;
+    util::fatal(util::format("InstanceCatalog: no %d-GPU %s instance",
+                             num_gpus, hw::gpuModelName(gpu).c_str()));
+}
+
+std::vector<GpuInstance>
+InstanceCatalog::forGpu(hw::GpuModel gpu) const
+{
+    std::vector<GpuInstance> out;
+    for (const auto &instance : instances_)
+        if (instance.gpu == gpu)
+            out.push_back(instance);
+    std::sort(out.begin(), out.end(),
+              [](const GpuInstance &a, const GpuInstance &b) {
+                  return a.numGpus < b.numGpus;
+              });
+    return out;
+}
+
+std::vector<GpuInstance>
+InstanceCatalog::withinHourlyBudget(double hourly_budget) const
+{
+    std::vector<GpuInstance> out;
+    for (const auto &instance : instances_)
+        if (instance.hourlyUsd <= hourly_budget)
+            out.push_back(instance);
+    return out;
+}
+
+std::vector<GpuInstance>
+InstanceCatalog::largestPerFamilyWithin(double hourly_budget,
+                                        double tolerance) const
+{
+    std::vector<GpuInstance> out;
+    for (GpuModel gpu : hw::allGpuModels()) {
+        const GpuInstance *best = nullptr;
+        for (const auto &instance : instances_) {
+            if (instance.gpu != gpu ||
+                instance.hourlyUsd > hourly_budget + tolerance) {
+                continue;
+            }
+            if (!best || instance.numGpus > best->numGpus)
+                best = &instance;
+        }
+        if (best)
+            out.push_back(*best);
+    }
+    return out;
+}
+
+} // namespace cloud
+} // namespace ceer

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * AWS GPU instance catalog with the paper's On-Demand prices.
+ *
+ * The paper evaluates 8 real instances (Sec. V) and, where AWS offers
+ * no k-GPU instance (e.g. a 3-GPU P2), synthesizes a proxy priced at
+ * k/N of the N-GPU instance. Sec. V's final scenario also reprices the
+ * catalog with commodity market ratios (1 : 0.31 : 0.18 : 0.05 for
+ * V100 : T4 : M60 : K80).
+ */
+
+#ifndef CEER_CLOUD_INSTANCES_H
+#define CEER_CLOUD_INSTANCES_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hw/gpu_spec.h"
+
+namespace ceer {
+namespace cloud {
+
+/** One rentable GPU instance (real or proxy). */
+struct GpuInstance
+{
+    std::string name;    ///< e.g. "p3.2xlarge" or "p2.3gpu-proxy".
+    hw::GpuModel gpu;    ///< GPU silicon on the instance.
+    int numGpus = 1;     ///< GPUs used for training.
+    double hourlyUsd = 0.0; ///< Rental price per hour.
+    bool isProxy = false;   ///< Synthesized per the paper's rule.
+
+    /** Dollars per second of use. */
+    double perSecondUsd() const { return hourlyUsd / 3600.0; }
+};
+
+/** A set of rentable instances with lookup helpers. */
+class InstanceCatalog
+{
+  public:
+    /**
+     * The paper's AWS On-Demand catalog: the four 1-GPU instances
+     * (p3.2xlarge $3.06, p2.xlarge $0.90, g4dn.2xlarge $0.752,
+     * g3s.xlarge $0.75), the four multi-GPU instances (p3.8xlarge
+     * $12.24, p2.8xlarge $7.20, g4dn.12xlarge $3.912, g3.16xlarge
+     * $4.56), and 2/3-GPU proxies priced at k/N of the multi-GPU
+     * instance.
+     */
+    static InstanceCatalog awsOnDemand();
+
+    /**
+     * Market-ratio repricing (paper Sec. V, Fig. 12): per-GPU hourly
+     * prices $3.06 (P3), $0.95 (G4), $0.55 (G3), $0.15 (P2), with
+     * multi-GPU instances linearly scaled.
+     */
+    static InstanceCatalog marketPriced();
+
+    /** All instances. */
+    const std::vector<GpuInstance> &instances() const
+    {
+        return instances_;
+    }
+
+    /** Instance by name; fatals if absent. */
+    const GpuInstance &find(const std::string &name) const;
+
+    /** The instance with @p gpu and @p num_gpus; fatals if absent. */
+    const GpuInstance &find(hw::GpuModel gpu, int num_gpus) const;
+
+    /** Instances of one GPU family. */
+    std::vector<GpuInstance> forGpu(hw::GpuModel gpu) const;
+
+    /** Instances whose hourly price is within @p hourly_budget. */
+    std::vector<GpuInstance> withinHourlyBudget(
+        double hourly_budget) const;
+
+    /**
+     * For each family, the largest (most GPUs) instance whose hourly
+     * price does not exceed @p hourly_budget + @p tolerance — the
+     * paper's hourly-budget scenario selection rule, which tolerates
+     * small violations (it admits the $3.06 P3 and $3.42 3-GPU G3
+     * under a $3 budget).
+     */
+    std::vector<GpuInstance> largestPerFamilyWithin(
+        double hourly_budget, double tolerance) const;
+
+    /** Adds an instance (used by tests and custom catalogs). */
+    void add(GpuInstance instance);
+
+    /**
+     * Loads a user-supplied catalog from CSV with the header
+     * `name,gpu,gpus,hourly_usd` — the adoption path for other
+     * regions, spot pricing, or other clouds' GPU offerings (the GPU
+     * column still names one of the four modeled silicons).
+     */
+    static InstanceCatalog fromCsv(std::istream &in);
+
+    /** Writes the catalog in the fromCsv format. */
+    void saveCsv(std::ostream &out) const;
+
+  private:
+    std::vector<GpuInstance> instances_;
+};
+
+} // namespace cloud
+} // namespace ceer
+
+#endif // CEER_CLOUD_INSTANCES_H

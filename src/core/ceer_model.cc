@@ -1,0 +1,213 @@
+#include "core/ceer_model.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "core/regression.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace core {
+
+using graph::OpType;
+using hw::GpuModel;
+
+double
+OpTimeModel::predictUs(const std::vector<double> &features) const
+{
+    double predicted;
+    if (usable) {
+        predicted = quadratic ? model.predict(quadraticExpand(features))
+                              : model.predict(features);
+    } else {
+        predicted = medianUs;
+    }
+    // Regressions can dip below zero for tiny inputs outside the
+    // training range; kernels cannot beat launch overhead.
+    return std::max(predicted, 1.0);
+}
+
+double
+CommModel::overheadUs(GpuModel gpu, int num_gpus,
+                      double param_count) const
+{
+    if (num_gpus < 1)
+        util::panic("CommModel::overheadUs: num_gpus must be >= 1");
+    const auto it = fits.find(gpu);
+    if (it == fits.end() || it->second.empty() || !it->second[0].valid)
+        util::panic("CommModel::overheadUs: no fit for GPU " +
+                    hw::gpuModelName(gpu));
+    const auto &per_k = it->second;
+    const std::vector<double> x{param_count};
+
+    double total = per_k[0].model.predict(x);
+    if (num_gpus == 1)
+        return std::max(total, 0.0);
+
+    const std::size_t idx = static_cast<std::size_t>(num_gpus) - 1;
+    if (idx < per_k.size() && per_k[idx].valid)
+        return std::max(total + per_k[idx].model.predict(x), 0.0);
+
+    // Extrapolate D_k linearly in k from the last two trained widths.
+    std::size_t last = per_k.size();
+    while (last > 1 && !per_k[last - 1].valid)
+        --last;
+    if (last < 2)
+        util::panic("CommModel::overheadUs: no multi-GPU fits for " +
+                    hw::gpuModelName(gpu));
+    const double d_last = per_k[last - 1].model.predict(x);
+    const double d_prev =
+        last >= 3 && per_k[last - 2].valid
+            ? per_k[last - 2].model.predict(x)
+            : 0.0;
+    const double slope = d_last - d_prev;
+    const double extra = static_cast<double>(num_gpus) -
+                         static_cast<double>(last);
+    return std::max(total + d_last + slope * extra, 0.0);
+}
+
+OpClass
+CeerModel::classify(OpType op) const
+{
+    if (graph::opTypeInfo(op).device == graph::Device::Cpu)
+        return OpClass::Cpu;
+    return heavyOps.count(op) ? OpClass::Heavy : OpClass::Light;
+}
+
+const OpTimeModel *
+CeerModel::opModel(GpuModel gpu, OpType op) const
+{
+    const auto it = opModels.find({gpu, op});
+    return it == opModels.end() ? nullptr : &it->second;
+}
+
+std::pair<double, double>
+CeerModel::opModelR2Range() const
+{
+    double lo = 1.0, hi = 0.0;
+    bool any = false;
+    for (const auto &[key, model] : opModels) {
+        if (!model.usable)
+            continue;
+        lo = std::min(lo, model.r2);
+        hi = std::max(hi, model.r2);
+        any = true;
+    }
+    if (!any)
+        return {0.0, 0.0};
+    return {lo, hi};
+}
+
+void
+CeerModel::save(std::ostream &out) const
+{
+    out << "ceer_model v1\n";
+    out << "heavy_threshold_us " << util::format("%.17g", heavyThresholdUs)
+        << "\n";
+    out << "light_median_us " << util::format("%.17g", lightMedianUs)
+        << "\n";
+    out << "cpu_median_us " << util::format("%.17g", cpuMedianUs) << "\n";
+    out << "heavy_ops";
+    for (OpType op : heavyOps)
+        out << " " << graph::opTypeName(op);
+    out << "\n";
+    for (const auto &[key, model] : opModels) {
+        out << "op_model " << hw::gpuModelName(key.first) << " "
+            << graph::opTypeName(key.second) << " "
+            << (model.quadratic ? 1 : 0) << " " << (model.usable ? 1 : 0)
+            << " " << util::format("%.9g", model.r2) << " "
+            << util::format("%.9g", model.medianUs) << " "
+            << model.points << " " << model.model.serialize() << "\n";
+    }
+    for (const auto &[gpu, per_k] : comm.fits) {
+        for (std::size_t i = 0; i < per_k.size(); ++i) {
+            if (!per_k[i].valid)
+                continue;
+            out << "comm_fit " << hw::gpuModelName(gpu) << " " << (i + 1)
+                << " " << util::format("%.9g", per_k[i].r2) << " "
+                << per_k[i].model.serialize() << "\n";
+        }
+    }
+}
+
+CeerModel
+CeerModel::load(std::istream &in)
+{
+    CeerModel model;
+    std::string line;
+    if (!std::getline(in, line) ||
+        !util::startsWith(line, "ceer_model"))
+        util::fatal("CeerModel::load: missing header");
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const auto fields = util::split(line, ' ');
+        const std::string &tag = fields[0];
+        const auto require = [&](std::size_t count) {
+            if (fields.size() < count) {
+                util::fatal(util::format(
+                    "CeerModel::load: truncated '%s' line (%zu of %zu "
+                    "fields)", tag.c_str(), fields.size(), count));
+            }
+        };
+        if (tag == "heavy_threshold_us") {
+            require(2);
+            model.heavyThresholdUs = std::stod(fields[1]);
+        } else if (tag == "light_median_us") {
+            require(2);
+            model.lightMedianUs = std::stod(fields[1]);
+        } else if (tag == "cpu_median_us") {
+            require(2);
+            model.cpuMedianUs = std::stod(fields[1]);
+        } else if (tag == "heavy_ops") {
+            for (std::size_t i = 1; i < fields.size(); ++i) {
+                OpType op;
+                if (!graph::opTypeFromName(fields[i], op))
+                    util::fatal("CeerModel::load: bad op " + fields[i]);
+                model.heavyOps.insert(op);
+            }
+        } else if (tag == "op_model") {
+            require(9);
+            GpuModel gpu;
+            OpType op;
+            if (!hw::gpuModelFromName(fields[1], gpu) ||
+                !graph::opTypeFromName(fields[2], op))
+                util::fatal("CeerModel::load: bad op_model line");
+            OpTimeModel entry;
+            entry.gpu = gpu;
+            entry.op = op;
+            entry.quadratic = fields[3] == "1";
+            entry.usable = fields[4] == "1";
+            entry.r2 = std::stod(fields[5]);
+            entry.medianUs = std::stod(fields[6]);
+            entry.points =
+                static_cast<std::size_t>(std::stoull(fields[7]));
+            entry.model = LinearModel::deserialize(fields[8]);
+            model.opModels.emplace(std::make_pair(gpu, op),
+                                   std::move(entry));
+        } else if (tag == "comm_fit") {
+            require(5);
+            GpuModel gpu;
+            if (!hw::gpuModelFromName(fields[1], gpu))
+                util::fatal("CeerModel::load: bad comm_fit line");
+            const auto k =
+                static_cast<std::size_t>(std::stoull(fields[2]));
+            if (k == 0)
+                util::fatal("CeerModel::load: comm_fit k must be >= 1");
+            auto &per_k = model.comm.fits[gpu];
+            if (per_k.size() < k)
+                per_k.resize(k);
+            per_k[k - 1].r2 = std::stod(fields[3]);
+            per_k[k - 1].model = LinearModel::deserialize(fields[4]);
+            per_k[k - 1].valid = true;
+        } else {
+            util::fatal("CeerModel::load: unknown tag '" + tag + "'");
+        }
+    }
+    return model;
+}
+
+} // namespace core
+} // namespace ceer

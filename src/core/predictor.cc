@@ -1,0 +1,125 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "profile/features.h"
+#include "util/logging.h"
+
+namespace ceer {
+namespace core {
+
+using graph::Graph;
+using graph::Node;
+using hw::GpuModel;
+
+CeerPredictor::CeerPredictor(CeerModel model) : model_(std::move(model))
+{
+}
+
+double
+CeerPredictor::predictOpUs(const Node &node, GpuModel gpu) const
+{
+    switch (model_.classify(node.type)) {
+      case OpClass::Cpu:
+        return model_.cpuMedianUs;
+      case OpClass::Light:
+        return model_.lightMedianUs;
+      case OpClass::Heavy: {
+        const OpTimeModel *op_model = model_.opModel(gpu, node.type);
+        if (!op_model) {
+            // Heavy op never profiled on this GPU: the paper's
+            // fallback for unseen operations is the median estimate.
+            return model_.lightMedianUs;
+        }
+        return op_model->predictUs(profile::opFeatures(node));
+      }
+    }
+    util::panic("CeerPredictor::predictOpUs: bad class");
+}
+
+double
+CeerPredictor::predictIterationUs(const Graph &g, GpuModel gpu,
+                                  int num_gpus,
+                                  const PredictOptions &options) const
+{
+    double total = 0.0;
+    for (const Node &node : g.nodes()) {
+        const OpClass op_class = model_.classify(node.type);
+        if (!options.includeLightAndCpu && op_class != OpClass::Heavy)
+            continue;
+        total += predictOpUs(node, gpu);
+    }
+    if (options.includeComm) {
+        total += model_.comm.overheadUs(
+            gpu, num_gpus, static_cast<double>(g.totalParameters()));
+    }
+    return total;
+}
+
+PredictionBreakdown
+CeerPredictor::breakdown(const Graph &g, GpuModel gpu,
+                         int num_gpus) const
+{
+    PredictionBreakdown result;
+    std::map<graph::OpType, double> by_type;
+    for (const Node &node : g.nodes()) {
+        const double estimate = predictOpUs(node, gpu);
+        switch (model_.classify(node.type)) {
+          case OpClass::Heavy:
+            result.heavyUs += estimate;
+            by_type[node.type] += estimate;
+            break;
+          case OpClass::Light:
+            result.lightUs += estimate;
+            break;
+          case OpClass::Cpu:
+            result.cpuUs += estimate;
+            break;
+        }
+    }
+    result.commUs = model_.comm.overheadUs(
+        gpu, num_gpus, static_cast<double>(g.totalParameters()));
+    result.heavyByType.assign(by_type.begin(), by_type.end());
+    std::sort(result.heavyByType.begin(), result.heavyByType.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    return result;
+}
+
+TrainingPrediction
+CeerPredictor::predictTraining(const Graph &g, GpuModel gpu,
+                               int num_gpus,
+                               std::int64_t dataset_samples,
+                               std::int64_t batch_per_gpu,
+                               const PredictOptions &options) const
+{
+    if (dataset_samples <= 0 || batch_per_gpu <= 0)
+        util::panic("predictTraining: dataset and batch must be > 0");
+    TrainingPrediction prediction;
+    const std::int64_t per_iteration =
+        batch_per_gpu * static_cast<std::int64_t>(num_gpus);
+    prediction.iterations =
+        (dataset_samples + per_iteration - 1) / per_iteration;
+    prediction.iterationUs =
+        predictIterationUs(g, gpu, num_gpus, options);
+    prediction.hours = prediction.iterationUs *
+                       static_cast<double>(prediction.iterations) /
+                       3.6e9;
+    return prediction;
+}
+
+TrainingPrediction
+CeerPredictor::predictTraining(const Graph &g,
+                               const cloud::GpuInstance &instance,
+                               std::int64_t dataset_samples,
+                               std::int64_t batch_per_gpu,
+                               const PredictOptions &options) const
+{
+    return predictTraining(g, instance.gpu, instance.numGpus,
+                           dataset_samples, batch_per_gpu, options);
+}
+
+} // namespace core
+} // namespace ceer

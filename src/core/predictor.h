@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Training time and cost prediction (paper Eqs. 1-3).
+ *
+ * Per-iteration time is the sum over all graph operations of their
+ * estimated compute times — regression for heavy ops, medians for
+ * light/CPU ops — plus the communication overhead S_GPU(k, params).
+ * Total time scales by the iteration count D / (k * B); cost is time
+ * multiplied by the instance's hourly price.
+ */
+
+#ifndef CEER_CORE_PREDICTOR_H
+#define CEER_CORE_PREDICTOR_H
+
+#include "cloud/instances.h"
+#include "core/ceer_model.h"
+#include "graph/graph.h"
+
+namespace ceer {
+namespace core {
+
+/** Ablation switches (all on = full Ceer). */
+struct PredictOptions
+{
+    /** Include S_GPU (Eq. 2). Off reproduces the Sec. IV-A ablation. */
+    bool includeComm = true;
+
+    /**
+     * Include the median terms for light GPU and CPU ops. Off
+     * reproduces the heavy-only ablation of Sec. IV-B (15-25% error).
+     */
+    bool includeLightAndCpu = true;
+};
+
+/** A full training-run prediction. */
+struct TrainingPrediction
+{
+    std::int64_t iterations = 0; ///< D / (k * B).
+    double iterationUs = 0.0;    ///< Predicted per-iteration time.
+    double hours = 0.0;          ///< Predicted total training time.
+
+    /** Cost at @p hourly_usd dollars per hour. */
+    double
+    costUsd(double hourly_usd) const
+    {
+        return hours * hourly_usd;
+    }
+};
+
+/**
+ * Attribution of a per-iteration prediction (Eq. 2), for explaining
+ * where Ceer thinks the time goes.
+ */
+struct PredictionBreakdown
+{
+    double heavyUs = 0.0; ///< Sum of heavy-op regression estimates.
+    double lightUs = 0.0; ///< n_l * light median.
+    double cpuUs = 0.0;   ///< n_c * CPU median.
+    double commUs = 0.0;  ///< S_GPU(k, params).
+
+    /** Total per-iteration prediction. */
+    double
+    totalUs() const
+    {
+        return heavyUs + lightUs + cpuUs + commUs;
+    }
+
+    /** Per-op-type contribution of the heavy term, descending. */
+    std::vector<std::pair<graph::OpType, double>> heavyByType;
+};
+
+/** Applies a trained CeerModel to unseen CNNs. */
+class CeerPredictor
+{
+  public:
+    /** @param model Trained model; copied into the predictor. */
+    explicit CeerPredictor(CeerModel model);
+
+    /** The underlying model. */
+    const CeerModel &model() const { return model_; }
+
+    /**
+     * Predicted compute time of a single op instance on @p gpu.
+     * Heavy ops with no trained model fall back to the light median
+     * (the paper's rule for unseen operations, Sec. IV-D).
+     */
+    double predictOpUs(const graph::Node &node, hw::GpuModel gpu) const;
+
+    /**
+     * Predicted per-iteration training time (Eq. 2).
+     *
+     * @param g        Training graph at the per-GPU batch size.
+     * @param gpu      GPU model.
+     * @param num_gpus Data-parallel width k.
+     * @param options  Ablation switches.
+     */
+    double predictIterationUs(const graph::Graph &g, hw::GpuModel gpu,
+                              int num_gpus,
+                              const PredictOptions &options = {}) const;
+
+    /**
+     * Predicted full-training time (Eq. 2 scaled by D / (k * B)).
+     *
+     * @param g               Training graph at the per-GPU batch.
+     * @param gpu             GPU model.
+     * @param num_gpus        Data-parallel width.
+     * @param dataset_samples Dataset size D.
+     * @param batch_per_gpu   Per-GPU batch B.
+     * @param options         Ablation switches.
+     */
+    TrainingPrediction
+    predictTraining(const graph::Graph &g, hw::GpuModel gpu,
+                    int num_gpus, std::int64_t dataset_samples,
+                    std::int64_t batch_per_gpu,
+                    const PredictOptions &options = {}) const;
+
+    /**
+     * Attributes a per-iteration prediction to heavy ops (per type),
+     * light ops, CPU ops and communication. The breakdown's total
+     * equals predictIterationUs with default options.
+     */
+    PredictionBreakdown breakdown(const graph::Graph &g,
+                                  hw::GpuModel gpu, int num_gpus) const;
+
+    /** Convenience: predictTraining for a catalog instance. */
+    TrainingPrediction
+    predictTraining(const graph::Graph &g,
+                    const cloud::GpuInstance &instance,
+                    std::int64_t dataset_samples,
+                    std::int64_t batch_per_gpu,
+                    const PredictOptions &options = {}) const;
+
+  private:
+    CeerModel model_;
+};
+
+} // namespace core
+} // namespace ceer
+
+#endif // CEER_CORE_PREDICTOR_H

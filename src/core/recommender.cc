@@ -1,0 +1,110 @@
+#include "core/recommender.h"
+
+#include <map>
+
+#include "util/strings.h"
+
+#include "hw/memory.h"
+
+#include "util/logging.h"
+
+namespace ceer {
+namespace core {
+
+const CandidateEvaluation &
+Recommendation::best() const
+{
+    if (bestIndex < 0 ||
+        static_cast<std::size_t>(bestIndex) >= evaluations.size())
+        util::panic("Recommendation::best: no feasible candidate");
+    return evaluations[static_cast<std::size_t>(bestIndex)];
+}
+
+ObjectiveFn
+objectiveFunction(Objective objective)
+{
+    if (objective == Objective::MinTrainingTime)
+        return [](double hours, double) { return hours; };
+    return [](double, double cost_usd) { return cost_usd; };
+}
+
+Recommendation
+recommend(const CeerPredictor &predictor, const WorkloadSpec &workload,
+          const std::vector<cloud::GpuInstance> &candidates,
+          Objective objective, const Constraints &constraints)
+{
+    return recommend(predictor, workload, candidates,
+                     objectiveFunction(objective), constraints);
+}
+
+Recommendation
+recommend(const CeerPredictor &predictor, const WorkloadSpec &workload,
+          const std::vector<cloud::GpuInstance> &candidates,
+          const ObjectiveFn &objective, const Constraints &constraints)
+{
+    if (!workload.graph)
+        util::panic("recommend: workload has no graph");
+    if (!objective)
+        util::panic("recommend: empty objective function");
+    if (workload.graph->batchSize() > 0 &&
+        workload.graph->batchSize() != workload.batchPerGpu) {
+        util::panic(util::format(
+            "recommend: graph was built at batch %lld but the "
+            "workload declares batch %lld — per-op input sizes would "
+            "not match the iteration count",
+            static_cast<long long>(workload.graph->batchSize()),
+            static_cast<long long>(workload.batchPerGpu)));
+    }
+
+    // Memory depends only on the GPU model (the per-GPU batch and the
+    // replica footprint are the same for any k); compute it once per
+    // silicon.
+    std::map<hw::GpuModel, bool> fits;
+    if (constraints.enforceGpuMemory) {
+        for (hw::GpuModel gpu : hw::allGpuModels())
+            fits[gpu] = hw::fitsInGpuMemory(*workload.graph, gpu);
+    }
+
+    Recommendation result;
+    result.evaluations.reserve(candidates.size());
+    for (const cloud::GpuInstance &instance : candidates) {
+        CandidateEvaluation evaluation;
+        evaluation.instance = instance;
+        if (constraints.enforceGpuMemory)
+            evaluation.fitsMemory = fits.at(instance.gpu);
+        evaluation.prediction = predictor.predictTraining(
+            *workload.graph, instance, workload.datasetSamples,
+            workload.batchPerGpu);
+        evaluation.costUsd =
+            evaluation.prediction.costUsd(instance.hourlyUsd);
+        evaluation.withinHourly =
+            instance.hourlyUsd <= constraints.hourlyBudgetUsd +
+                                      constraints.hourlyToleranceUsd;
+        evaluation.withinTotal =
+            evaluation.costUsd <= constraints.totalBudgetUsd;
+        result.evaluations.push_back(std::move(evaluation));
+    }
+
+    for (std::size_t i = 0; i < result.evaluations.size(); ++i) {
+        const CandidateEvaluation &candidate = result.evaluations[i];
+        if (!candidate.feasible())
+            continue;
+        if (result.bestIndex < 0) {
+            result.bestIndex = static_cast<int>(i);
+            continue;
+        }
+        const CandidateEvaluation &incumbent =
+            result.evaluations[static_cast<std::size_t>(
+                result.bestIndex)];
+        const double candidate_score = objective(
+            candidate.prediction.hours, candidate.costUsd);
+        const double incumbent_score = objective(
+            incumbent.prediction.hours, incumbent.costUsd);
+        if (candidate_score < incumbent_score)
+            result.bestIndex = static_cast<int>(i);
+    }
+    return result;
+}
+
+} // namespace core
+} // namespace ceer

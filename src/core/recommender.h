@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Optimal cloud-instance recommendation (paper Sec. IV-D and the
+ * Sec. V scenarios): evaluate every candidate instance with the
+ * trained predictor and minimize a user objective under optional
+ * budget constraints.
+ */
+
+#ifndef CEER_CORE_RECOMMENDER_H
+#define CEER_CORE_RECOMMENDER_H
+
+#include <functional>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "cloud/instances.h"
+#include "core/predictor.h"
+
+namespace ceer {
+namespace core {
+
+/** What the user wants to minimize. */
+enum class Objective
+{
+    MinTrainingTime, ///< Fastest feasible instance.
+    MinCost,         ///< Cheapest feasible instance.
+};
+
+/**
+ * User-specified objective Obj(T, C) (paper Sec. IV-D): maps predicted
+ * training hours and total cost to a score; the recommender minimizes
+ * it. Allows blends like T * C or alpha*T + beta*C.
+ */
+using ObjectiveFn = std::function<double(double hours, double cost_usd)>;
+
+/** The ObjectiveFn equivalent of a built-in Objective. */
+ObjectiveFn objectiveFunction(Objective objective);
+
+/** The workload to be placed. */
+struct WorkloadSpec
+{
+    const graph::Graph *graph = nullptr; ///< Training graph (batch B).
+    std::int64_t datasetSamples = 0;     ///< Dataset size D.
+    std::int64_t batchPerGpu = 32;       ///< Per-GPU batch B.
+};
+
+/** Constraints of a scenario. */
+struct Constraints
+{
+    /** Maximum hourly rental price (infinity = unconstrained). */
+    double hourlyBudgetUsd = std::numeric_limits<double>::infinity();
+
+    /** Tolerated hourly-budget violation (the paper allows $0.42). */
+    double hourlyToleranceUsd = 0.0;
+
+    /** Maximum total training spend (infinity = unconstrained). */
+    double totalBudgetUsd = std::numeric_limits<double>::infinity();
+
+    /**
+     * Reject instances whose GPU memory cannot hold the training
+     * footprint (params + gradients + optimizer + activations).
+     */
+    bool enforceGpuMemory = true;
+};
+
+/** Prediction for one candidate instance. */
+struct CandidateEvaluation
+{
+    cloud::GpuInstance instance;  ///< The candidate.
+    TrainingPrediction prediction; ///< Ceer's time prediction.
+    double costUsd = 0.0;          ///< Predicted total cost.
+    bool withinHourly = true;      ///< Meets the hourly budget.
+    bool withinTotal = true;       ///< Meets the total budget.
+    bool fitsMemory = true;        ///< Fits in the GPU's memory.
+
+    /** Feasible under every constraint. */
+    bool
+    feasible() const
+    {
+        return withinHourly && withinTotal && fitsMemory;
+    }
+};
+
+/** Result of a recommendation query. */
+struct Recommendation
+{
+    std::vector<CandidateEvaluation> evaluations; ///< All candidates.
+    int bestIndex = -1; ///< Index of the winner, -1 if none feasible.
+
+    /** The winning evaluation; panics when bestIndex < 0. */
+    const CandidateEvaluation &best() const;
+};
+
+/**
+ * Evaluates every candidate and picks the best feasible one.
+ *
+ * @param predictor   Trained Ceer predictor.
+ * @param workload    CNN + dataset to train.
+ * @param candidates  Candidate instances (e.g. a whole catalog).
+ * @param objective   Metric to minimize.
+ * @param constraints Budget constraints.
+ */
+Recommendation recommend(const CeerPredictor &predictor,
+                         const WorkloadSpec &workload,
+                         const std::vector<cloud::GpuInstance> &candidates,
+                         Objective objective,
+                         const Constraints &constraints = {});
+
+/**
+ * Overload minimizing an arbitrary Obj(T, C).
+ *
+ * @param objective Score to minimize over feasible candidates.
+ */
+Recommendation recommend(const CeerPredictor &predictor,
+                         const WorkloadSpec &workload,
+                         const std::vector<cloud::GpuInstance> &candidates,
+                         const ObjectiveFn &objective,
+                         const Constraints &constraints = {});
+
+} // namespace core
+} // namespace ceer
+
+#endif // CEER_CORE_RECOMMENDER_H

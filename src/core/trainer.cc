@@ -1,0 +1,215 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace core {
+
+using graph::Device;
+using graph::OpType;
+using hw::GpuModel;
+using profile::IterationProfile;
+using profile::OpProfile;
+using profile::ProfileDataset;
+
+namespace {
+
+/** Classification step: heavy iff mean time on the threshold GPU is
+ *  above the threshold. GPU ops never seen on the threshold GPU stay
+ *  light. */
+std::set<OpType>
+classifyHeavy(const ProfileDataset &dataset, const TrainOptions &options)
+{
+    std::set<OpType> heavy;
+    for (OpType op : dataset.opTypes(options.thresholdGpu)) {
+        if (graph::opTypeInfo(op).device != Device::Gpu)
+            continue;
+        if (dataset.meanTimeUs(options.thresholdGpu, op) >=
+            options.heavyThresholdUs) {
+            heavy.insert(op);
+        }
+    }
+    return heavy;
+}
+
+/** Fits one heavy-op model from its instances on one GPU. */
+OpTimeModel
+fitOpModel(GpuModel gpu, OpType op,
+           const std::vector<const OpProfile *> &instances,
+           const TrainOptions &options)
+{
+    OpTimeModel fitted;
+    fitted.gpu = gpu;
+    fitted.op = op;
+
+    // Deduplicate identical feature vectors across CNNs: the same
+    // {op, input size} instance may appear in several models.
+    std::map<std::vector<double>, util::RunningStats> unique;
+    std::vector<double> means;
+    for (const OpProfile *instance : instances) {
+        unique[instance->features].add(instance->timeUs.mean());
+        means.push_back(instance->timeUs.mean());
+    }
+    fitted.medianUs = util::median(means);
+    fitted.points = unique.size();
+    if (unique.size() < options.minPoints)
+        return fitted; // not usable; falls back to the median.
+
+    std::vector<std::vector<double>> X;
+    std::vector<double> y;
+    for (const auto &[features, stats] : unique) {
+        X.push_back(features);
+        y.push_back(stats.mean());
+    }
+
+    const LinearModel linear = LinearModel::fit(X, y);
+    const double linear_r2 = linear.rSquared(X, y);
+
+    const auto x_quadratic = quadraticExpandAll(X);
+    const LinearModel quad = LinearModel::fit(x_quadratic, y);
+    const double quad_r2 = quad.rSquared(x_quadratic, y);
+
+    if (quad_r2 > linear_r2 + options.quadraticGain) {
+        fitted.quadratic = true;
+        fitted.model = quad;
+        fitted.r2 = quad_r2;
+    } else {
+        fitted.quadratic = false;
+        fitted.model = linear;
+        fitted.r2 = linear_r2;
+    }
+    fitted.usable = true;
+    return fitted;
+}
+
+/** Pools reservoir samples of all profiles passing @p predicate. */
+template <typename Predicate>
+double
+pooledMedian(const ProfileDataset &dataset, Predicate predicate)
+{
+    std::vector<double> pooled;
+    for (const OpProfile &profile : dataset.ops()) {
+        if (!predicate(profile))
+            continue;
+        const auto &samples = profile.samples.samples();
+        pooled.insert(pooled.end(), samples.begin(), samples.end());
+    }
+    return util::median(std::move(pooled));
+}
+
+/** Fits S_1 and the D_k (k >= 2) comm regressions for every GPU. */
+CommModel
+fitCommModel(const ProfileDataset &dataset)
+{
+    CommModel comm;
+    // Bucket run-level profiles: (gpu, model) -> per-k iteration data.
+    struct RunPoint
+    {
+        double params = 0.0;
+        double iterationUs[8] = {0};
+        double commUs1 = 0.0;
+        bool have[8] = {false};
+    };
+    std::map<GpuModel, std::map<std::string, RunPoint>> buckets;
+    int max_k = 1;
+    for (const IterationProfile &run : dataset.iterations()) {
+        if (run.numGpus < 1 || run.numGpus > 8)
+            continue;
+        RunPoint &point = buckets[run.gpu][run.model];
+        point.params = static_cast<double>(run.paramCount);
+        point.iterationUs[run.numGpus - 1] = run.meanIterationUs;
+        point.have[run.numGpus - 1] = true;
+        if (run.numGpus == 1)
+            point.commUs1 = run.meanCommUs;
+        max_k = std::max(max_k, run.numGpus);
+    }
+
+    for (const auto &[gpu, models] : buckets) {
+        auto &per_k = comm.fits[gpu];
+        per_k.resize(static_cast<std::size_t>(max_k));
+
+        // k = 1: host<->GPU overhead straight from the "GPU logs".
+        std::vector<std::vector<double>> x1;
+        std::vector<double> y1;
+        for (const auto &[name, point] : models) {
+            if (!point.have[0])
+                continue;
+            x1.push_back({point.params});
+            y1.push_back(point.commUs1);
+        }
+        if (x1.size() >= 2) {
+            per_k[0].model = LinearModel::fit(x1, y1);
+            per_k[0].r2 = per_k[0].model.rSquared(x1, y1);
+            per_k[0].valid = true;
+        }
+
+        // k >= 2: the paper's subtraction method.
+        for (int k = 2; k <= max_k; ++k) {
+            std::vector<std::vector<double>> x;
+            std::vector<double> y;
+            for (const auto &[name, point] : models) {
+                if (!point.have[0] || !point.have[k - 1])
+                    continue;
+                x.push_back({point.params});
+                y.push_back(point.iterationUs[k - 1] -
+                            point.iterationUs[0]);
+            }
+            if (x.size() >= 2) {
+                auto &fit = per_k[static_cast<std::size_t>(k) - 1];
+                fit.model = LinearModel::fit(x, y);
+                fit.r2 = fit.model.rSquared(x, y);
+                fit.valid = true;
+            }
+        }
+    }
+    return comm;
+}
+
+} // namespace
+
+CeerModel
+trainCeer(const ProfileDataset &dataset, const TrainOptions &options)
+{
+    CeerModel model;
+    model.heavyThresholdUs = options.heavyThresholdUs;
+    model.heavyOps = classifyHeavy(dataset, options);
+
+    for (GpuModel gpu : hw::allGpuModels()) {
+        for (OpType op : model.heavyOps) {
+            const auto instances = dataset.opsFor(gpu, op);
+            if (instances.empty())
+                continue;
+            model.opModels.emplace(std::make_pair(gpu, op),
+                                   fitOpModel(gpu, op, instances,
+                                              options));
+        }
+    }
+
+    model.lightMedianUs = pooledMedian(
+        dataset, [&](const OpProfile &p) {
+            return !p.onCpu && !model.heavyOps.count(p.op);
+        });
+    model.cpuMedianUs = pooledMedian(
+        dataset, [](const OpProfile &p) { return p.onCpu; });
+
+    model.comm = fitCommModel(dataset);
+
+    const auto [r2_lo, r2_hi] = model.opModelR2Range();
+    CEER_LOG(Info) << "trained Ceer: " << model.heavyOps.size()
+                   << " heavy op types, op-model R^2 in ["
+                   << util::format("%.3f", r2_lo) << ", "
+                   << util::format("%.3f", r2_hi) << "], light median "
+                   << util::format("%.1f", model.lightMedianUs)
+                   << "us, cpu median "
+                   << util::format("%.1f", model.cpuMedianUs) << "us";
+    return model;
+}
+
+} // namespace core
+} // namespace ceer

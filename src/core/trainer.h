@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Training pipeline: fits a CeerModel from an operation-level profile
+ * dataset (paper Sec. IV-B/IV-C).
+ */
+
+#ifndef CEER_CORE_TRAINER_H
+#define CEER_CORE_TRAINER_H
+
+#include "core/ceer_model.h"
+#include "profile/profiler.h"
+
+namespace ceer {
+namespace core {
+
+/** Knobs of the training pipeline. */
+struct TrainOptions
+{
+    /**
+     * Heavy/light threshold: mean compute time on the threshold GPU
+     * (paper: 0.5 ms on P2).
+     */
+    double heavyThresholdUs = 500.0;
+
+    /** GPU whose mean times drive the classification. */
+    hw::GpuModel thresholdGpu = hw::GpuModel::K80;
+
+    /**
+     * Minimum R^2 improvement for preferring the quadratic fit over
+     * the linear one for an op model.
+     */
+    double quadraticGain = 0.015;
+
+    /** Minimum distinct instances required to fit a regression. */
+    std::size_t minPoints = 4;
+};
+
+/**
+ * Fits the full Ceer model from profiles:
+ *  1. classify op types into heavy/light/CPU by mean time on P2;
+ *  2. per (GPU, heavy op): linear-vs-quadratic input-size regression
+ *     over instance mean times;
+ *  3. pooled sample medians for light GPU ops and CPU ops;
+ *  4. per (GPU, k) linear comm-overhead regressions on the parameter
+ *     count, with the k>=2 targets obtained by the paper's
+ *     subtraction method (multi-GPU minus single-GPU iteration time).
+ *
+ * @param dataset Profiles of the training CNNs (op level and run
+ *                level).
+ * @param options Pipeline knobs.
+ */
+CeerModel trainCeer(const profile::ProfileDataset &dataset,
+                    const TrainOptions &options = {});
+
+} // namespace core
+} // namespace ceer
+
+#endif // CEER_CORE_TRAINER_H

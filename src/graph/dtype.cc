@@ -1,0 +1,35 @@
+#include "graph/dtype.h"
+
+#include "util/logging.h"
+
+namespace ceer {
+namespace graph {
+
+std::size_t
+dataTypeSize(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::Float32: return 4;
+      case DataType::Float16: return 2;
+      case DataType::Int32:   return 4;
+      case DataType::Int64:   return 8;
+      case DataType::Bool:    return 1;
+    }
+    util::panic("unknown DataType");
+}
+
+std::string
+dataTypeName(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::Float32: return "float32";
+      case DataType::Float16: return "float16";
+      case DataType::Int32:   return "int32";
+      case DataType::Int64:   return "int64";
+      case DataType::Bool:    return "bool";
+    }
+    util::panic("unknown DataType");
+}
+
+} // namespace graph
+} // namespace ceer

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Element data types for tensors in the CNN graph.
+ */
+
+#ifndef CEER_GRAPH_DTYPE_H
+#define CEER_GRAPH_DTYPE_H
+
+#include <cstddef>
+#include <string>
+
+namespace ceer {
+namespace graph {
+
+/** Element type of a tensor. Training here is fp32, matching the paper. */
+enum class DataType
+{
+    Float32,
+    Float16,
+    Int32,
+    Int64,
+    Bool,
+};
+
+/** Returns the size in bytes of one element of @p dtype. */
+std::size_t dataTypeSize(DataType dtype);
+
+/** Returns the TensorFlow-style name, e.g. "float32". */
+std::string dataTypeName(DataType dtype);
+
+} // namespace graph
+} // namespace ceer
+
+#endif // CEER_GRAPH_DTYPE_H

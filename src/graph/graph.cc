@@ -1,0 +1,211 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace graph {
+
+std::int64_t
+Node::inputBytes() const
+{
+    std::int64_t total = 0;
+    for (const auto &shape : inputShapes)
+        total += shape.numBytes(dtype);
+    return total;
+}
+
+std::int64_t
+Node::outputBytes() const
+{
+    return outputShape.numBytes(dtype);
+}
+
+NodeId
+Graph::addNode(const std::string &name, OpType type,
+               const std::vector<NodeId> &inputs,
+               const std::vector<TensorShape> &extraInputs,
+               const TensorShape &output, const OpAttrs &attrs)
+{
+    Node node;
+    node.id = static_cast<NodeId>(nodes_.size());
+    node.type = type;
+    node.attrs = attrs;
+    node.outputShape = output;
+
+    // Uniquify the name with a numeric suffix, TensorFlow-style.
+    const int occurrence = nameCounts_[name]++;
+    node.name = occurrence == 0
+                    ? name
+                    : util::format("%s_%d", name.c_str(), occurrence);
+
+    node.inputs = inputs;
+    for (NodeId input : inputs) {
+        if (input < 0 || input >= node.id) {
+            util::panic(util::format(
+                "Graph::addNode('%s'): input id %d invalid for node %d",
+                name.c_str(), input, node.id));
+        }
+        node.inputShapes.push_back(nodes_[input].outputShape);
+    }
+    for (const auto &shape : extraInputs)
+        node.inputShapes.push_back(shape);
+
+    nodes_.push_back(std::move(node));
+    consumersValid_ = false;
+    return nodes_.back().id;
+}
+
+void
+Graph::markGradientRange(NodeId begin, NodeId end)
+{
+    if (begin < 0 || end < begin ||
+        static_cast<std::size_t>(end) > nodes_.size())
+        util::panic("Graph::markGradientRange: bad range");
+    for (NodeId id = begin; id < end; ++id)
+        nodes_[static_cast<std::size_t>(id)].isGradient = true;
+}
+
+std::int64_t
+Graph::addParamVar(const std::string &name, const TensorShape &shape)
+{
+    params_.push_back(ParamVar{name, shape});
+    return shape.numElements();
+}
+
+const Node &
+Graph::node(NodeId id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
+        util::panic(util::format("Graph::node: invalid id %d", id));
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::int64_t
+Graph::totalParameters() const
+{
+    std::int64_t total = 0;
+    for (const auto &var : params_)
+        total += var.count();
+    return total;
+}
+
+const std::vector<std::vector<NodeId>> &
+Graph::consumers() const
+{
+    if (!consumersValid_) {
+        consumersCache_.assign(nodes_.size(), {});
+        for (const auto &node : nodes_) {
+            for (NodeId input : node.inputs)
+                consumersCache_[static_cast<std::size_t>(input)]
+                    .push_back(node.id);
+        }
+        consumersValid_ = true;
+    }
+    return consumersCache_;
+}
+
+std::vector<OpTypeCount>
+Graph::countByOpType() const
+{
+    std::map<OpType, std::size_t> tally;
+    for (const auto &node : nodes_)
+        ++tally[node.type];
+    std::vector<OpTypeCount> counts;
+    counts.reserve(tally.size());
+    for (const auto &[type, count] : tally)
+        counts.push_back({type, count});
+    std::sort(counts.begin(), counts.end(),
+              [](const OpTypeCount &a, const OpTypeCount &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  return a.type < b.type;
+              });
+    return counts;
+}
+
+std::size_t
+Graph::gpuOpCount() const
+{
+    std::size_t n = 0;
+    for (const auto &node : nodes_)
+        if (node.device() == Device::Gpu)
+            ++n;
+    return n;
+}
+
+std::size_t
+Graph::cpuOpCount() const
+{
+    return nodes_.size() - gpuOpCount();
+}
+
+bool
+Graph::validate(std::string *error) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+
+    std::set<std::string> names;
+    for (const auto &node : nodes_) {
+        if (!names.insert(node.name).second)
+            return fail("duplicate node name: " + node.name);
+        for (NodeId input : node.inputs) {
+            if (input < 0 || input >= node.id) {
+                return fail(util::format(
+                    "node '%s' (%d) has out-of-order input %d",
+                    node.name.c_str(), node.id, input));
+            }
+        }
+        if (node.inputShapes.size() < node.inputs.size()) {
+            return fail(util::format(
+                "node '%s' has %zu input shapes for %zu inputs",
+                node.name.c_str(), node.inputShapes.size(),
+                node.inputs.size()));
+        }
+        for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+            const Node &producer =
+                nodes_[static_cast<std::size_t>(node.inputs[i])];
+            if (node.inputShapes[i] != producer.outputShape) {
+                return fail(util::format(
+                    "node '%s' input %zu shape %s != producer '%s' "
+                    "output %s",
+                    node.name.c_str(), i,
+                    node.inputShapes[i].toString().c_str(),
+                    producer.name.c_str(),
+                    producer.outputShape.toString().c_str()));
+            }
+        }
+    }
+    return true;
+}
+
+std::string
+Graph::toDot() const
+{
+    std::string out = "digraph \"" + name_ + "\" {\n";
+    out += "  rankdir=TB;\n  node [shape=box, fontsize=9];\n";
+    for (const auto &node : nodes_) {
+        const bool cpu = node.device() == Device::Cpu;
+        out += util::format(
+            "  n%d [label=\"%s\\n%s %s\"%s];\n", node.id,
+            node.name.c_str(), opTypeName(node.type).c_str(),
+            node.outputShape.toString().c_str(),
+            cpu ? ", style=dashed" : "");
+    }
+    for (const auto &node : nodes_) {
+        for (NodeId input : node.inputs)
+            out += util::format("  n%d -> n%d;\n", input, node.id);
+    }
+    out += "}\n";
+    return out;
+}
+
+} // namespace graph
+} // namespace ceer

@@ -1,0 +1,144 @@
+#include "graph/op_type.h"
+
+#include <array>
+#include <map>
+
+#include "util/logging.h"
+
+namespace ceer {
+namespace graph {
+
+namespace {
+
+constexpr std::array<OpTypeInfo, opTypeCount()> kOpTable = {{
+    // Heavy GPU ops (paper Figs. 2-3).
+    {"Conv2D", Device::Gpu, CostCategory::Conv},
+    {"Conv2DBackpropInput", Device::Gpu, CostCategory::Conv},
+    {"Conv2DBackpropFilter", Device::Gpu, CostCategory::ConvFilterGrad},
+    {"MaxPool", Device::Gpu, CostCategory::Pool},
+    {"MaxPoolGrad", Device::Gpu, CostCategory::PoolGrad},
+    {"AvgPool", Device::Gpu, CostCategory::Pool},
+    {"AvgPoolGrad", Device::Gpu, CostCategory::PoolGrad},
+    {"Relu", Device::Gpu, CostCategory::Elementwise},
+    {"ReluGrad", Device::Gpu, CostCategory::Elementwise},
+    {"BiasAdd", Device::Gpu, CostCategory::Bias},
+    {"BiasAddGrad", Device::Gpu, CostCategory::Bias},
+    {"AddV2", Device::Gpu, CostCategory::Elementwise},
+    {"AddN", Device::Gpu, CostCategory::Elementwise},
+    {"Mul", Device::Gpu, CostCategory::Elementwise},
+    {"FusedBatchNormV3", Device::Gpu, CostCategory::BatchNorm},
+    {"FusedBatchNormGradV3", Device::Gpu, CostCategory::BatchNorm},
+    {"MatMul", Device::Gpu, CostCategory::MatMulCat},
+    {"ConcatV2", Device::Gpu, CostCategory::DataMovement},
+    {"Transpose", Device::Gpu, CostCategory::DataMovement},
+    {"Pad", Device::Gpu, CostCategory::DataMovement},
+
+    // Further GPU ops.
+    // Depthwise convs have minimal arithmetic intensity; era-accurate
+    // kernels ran at elementwise-like (memory-bound) throughput.
+    {"DepthwiseConv2dNative", Device::Gpu, CostCategory::Elementwise},
+    {"DepthwiseConv2dNativeBackpropInput", Device::Gpu,
+     CostCategory::Elementwise},
+    {"DepthwiseConv2dNativeBackpropFilter", Device::Gpu,
+     CostCategory::Elementwise},
+    {"BatchMatMul", Device::Gpu, CostCategory::MatMulCat},
+    {"LayerNorm", Device::Gpu, CostCategory::BatchNorm},
+    {"LayerNormGrad", Device::Gpu, CostCategory::BatchNorm},
+    {"Gelu", Device::Gpu, CostCategory::Elementwise},
+    {"GeluGrad", Device::Gpu, CostCategory::Elementwise},
+    {"Tanh", Device::Gpu, CostCategory::Elementwise},
+    {"Sigmoid", Device::Gpu, CostCategory::Elementwise},
+    {"Gather", Device::Gpu, CostCategory::DataMovement},
+    {"Softmax", Device::Gpu, CostCategory::Reduction},
+    {"SoftmaxCrossEntropyWithLogits", Device::Gpu,
+     CostCategory::Reduction},
+    {"LRN", Device::Gpu, CostCategory::Normalization},
+    {"LRNGrad", Device::Gpu, CostCategory::Normalization},
+    {"Mean", Device::Gpu, CostCategory::Reduction},
+    {"Sum", Device::Gpu, CostCategory::Reduction},
+    {"Tile", Device::Gpu, CostCategory::DataMovement},
+    {"Slice", Device::Gpu, CostCategory::DataMovement},
+    {"StridedSlice", Device::Gpu, CostCategory::DataMovement},
+    {"Pack", Device::Gpu, CostCategory::DataMovement},
+    {"ExpandDims", Device::Gpu, CostCategory::Trivial},
+    {"Cast", Device::Gpu, CostCategory::Elementwise},
+    {"RealDiv", Device::Gpu, CostCategory::Elementwise},
+    {"Sub", Device::Gpu, CostCategory::Elementwise},
+    {"Rsqrt", Device::Gpu, CostCategory::Elementwise},
+    {"Maximum", Device::Gpu, CostCategory::Elementwise},
+    {"Exp", Device::Gpu, CostCategory::Elementwise},
+    {"GreaterEqual", Device::Gpu, CostCategory::Elementwise},
+    {"Select", Device::Gpu, CostCategory::Elementwise},
+    {"ZerosLike", Device::Gpu, CostCategory::Elementwise},
+    {"Fill", Device::Gpu, CostCategory::Elementwise},
+    {"ArgMax", Device::Gpu, CostCategory::Reduction},
+    // Variable updates run where the variable lives under TF r1.x
+    // replicated training; their cost is part of the per-iteration
+    // parameter staging/synchronization overhead (see
+    // hw/interconnect.h), so the kernel itself is launch-only here.
+    {"ApplyGradientDescent", Device::Gpu, CostCategory::Trivial},
+    {"ApplyMomentum", Device::Gpu, CostCategory::Trivial},
+    {"ApplyAdam", Device::Gpu, CostCategory::Trivial},
+    {"Identity", Device::Gpu, CostCategory::Trivial},
+    {"Reshape", Device::Gpu, CostCategory::Trivial},
+    {"Squeeze", Device::Gpu, CostCategory::Trivial},
+    {"Shape", Device::Gpu, CostCategory::Trivial},
+
+    // CPU-only kernels.
+    {"IteratorGetNext", Device::Cpu, CostCategory::Cpu},
+    {"SparseToDense", Device::Cpu, CostCategory::Cpu},
+    {"OneHot", Device::Cpu, CostCategory::Cpu},
+    {"RandomUniform", Device::Cpu, CostCategory::Cpu},
+    {"DecodeJpeg", Device::Cpu, CostCategory::Cpu},
+    {"Range", Device::Cpu, CostCategory::Cpu},
+    {"Assert", Device::Cpu, CostCategory::Cpu},
+}};
+
+} // namespace
+
+const OpTypeInfo &
+opTypeInfo(OpType type)
+{
+    const auto idx = static_cast<std::size_t>(type);
+    if (idx >= kOpTable.size())
+        util::panic("opTypeInfo: invalid OpType");
+    return kOpTable[idx];
+}
+
+std::string
+opTypeName(OpType type)
+{
+    return opTypeInfo(type).name;
+}
+
+bool
+opTypeFromName(const std::string &name, OpType &out)
+{
+    static const std::map<std::string, OpType> index = [] {
+        std::map<std::string, OpType> m;
+        for (std::size_t i = 0; i < kOpTable.size(); ++i)
+            m.emplace(kOpTable[i].name, static_cast<OpType>(i));
+        return m;
+    }();
+    const auto it = index.find(name);
+    if (it == index.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+const std::vector<OpType> &
+allOpTypes()
+{
+    static const std::vector<OpType> all = [] {
+        std::vector<OpType> v;
+        v.reserve(opTypeCount());
+        for (std::size_t i = 0; i < opTypeCount(); ++i)
+            v.push_back(static_cast<OpType>(i));
+        return v;
+    }();
+    return all;
+}
+
+} // namespace graph
+} // namespace ceer

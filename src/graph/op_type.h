@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Operation-type registry for the CNN graph.
+ *
+ * The set of op types mirrors the TensorFlow r1.x kernels that the paper's
+ * empirical study observed when training CNNs: the 20 "heavy" GPU
+ * operations of Figs. 2-3, a larger population of light GPU operations,
+ * and operations that only have CPU kernels (e.g. SparseToDense).
+ *
+ * Note that "heavy" vs "light" is *not* encoded here — in the paper it is
+ * a measured property (mean compute time >= 0.5 ms on a P2 instance), and
+ * Ceer's classifier discovers it from profiles. This registry only carries
+ * static metadata: the default placement device and the cost category the
+ * hardware model uses to compute FLOPs/bytes.
+ */
+
+#ifndef CEER_GRAPH_OP_TYPE_H
+#define CEER_GRAPH_OP_TYPE_H
+
+#include <string>
+#include <vector>
+
+namespace ceer {
+namespace graph {
+
+/** Placement device for an operation. */
+enum class Device { Gpu, Cpu };
+
+/**
+ * Category used by the hardware model to derive FLOPs and memory traffic
+ * from shapes. Categories also carry per-GPU efficiency factors.
+ */
+enum class CostCategory
+{
+    Conv,           ///< Direct/implicit-GEMM convolution kernels.
+    ConvFilterGrad, ///< Weight-gradient convolution (superlinear in size).
+    Pool,           ///< Forward pooling (memory-bound).
+    PoolGrad,       ///< Pooling gradients (memory-bound, extra traffic).
+    Elementwise,    ///< Pointwise math (ReLU, Add, Mul, ...).
+    Bias,           ///< Bias add / bias gradient (broadcast traffic).
+    BatchNorm,      ///< Fused batch-norm forward/backward.
+    MatMulCat,      ///< Dense matrix multiplication.
+    DataMovement,   ///< Concat, transpose, pad, slice, tile.
+    Reduction,      ///< Reductions and softmax-style kernels.
+    Normalization,  ///< Local response normalization kernels.
+    Trivial,        ///< Metadata-only ops (Identity, Reshape, Shape).
+    Cpu,            ///< Host-side kernels.
+};
+
+/** All operation types the graph substrate can express. */
+enum class OpType
+{
+    // --- GPU ops observed heavy in the paper (Figs. 2-3) ---
+    Conv2D,
+    Conv2DBackpropInput,
+    Conv2DBackpropFilter,
+    MaxPool,
+    MaxPoolGrad,
+    AvgPool,
+    AvgPoolGrad,
+    Relu,
+    ReluGrad,
+    BiasAdd,
+    BiasAddGrad,
+    AddV2,
+    AddN,
+    Mul,
+    FusedBatchNormV3,
+    FusedBatchNormGradV3,
+    MatMul,
+    ConcatV2,
+    Transpose,
+    Pad,
+
+    // --- Further GPU ops (typically light at CNN shapes) ---
+    // (BatchMatMul..Gather are Transformer-era kernels and the
+    // Depthwise* ops are MobileNet-era kernels — all absent from the
+    // paper's CNNs: the "unseen operations" of Sec. IV-D/VI.)
+    DepthwiseConv2dNative,
+    DepthwiseConv2dNativeBackpropInput,
+    DepthwiseConv2dNativeBackpropFilter,
+    BatchMatMul,
+    LayerNorm,
+    LayerNormGrad,
+    Gelu,
+    GeluGrad,
+    Tanh,
+    Sigmoid,
+    Gather,
+    Softmax,
+    SoftmaxCrossEntropyWithLogits,
+    Lrn,
+    LrnGrad,
+    Mean,
+    Sum,
+    Tile,
+    Slice,
+    StridedSlice,
+    Pack,
+    ExpandDims,
+    Cast,
+    RealDiv,
+    Sub,
+    Rsqrt,
+    Maximum,
+    Exp,
+    GreaterEqual,
+    Select,
+    ZerosLike,
+    Fill,
+    ArgMax,
+    ApplyGradientDescent,
+    ApplyMomentum,
+    ApplyAdam,
+    Identity,
+    Reshape,
+    Squeeze,
+    Shape,
+
+    // --- Ops with CPU-only kernels (data pipeline & bookkeeping) ---
+    IteratorGetNext,
+    SparseToDense,
+    OneHot,
+    RandomUniform,
+    DecodeJpeg,
+    Range,
+    Assert,
+
+    kCount, ///< Sentinel; not a real op.
+};
+
+/** Static metadata for one op type. */
+struct OpTypeInfo
+{
+    const char *name;      ///< TensorFlow-style kernel name.
+    Device device;         ///< Default placement.
+    CostCategory category; ///< Hardware cost category.
+};
+
+/** Returns metadata for @p type; panics on the sentinel. */
+const OpTypeInfo &opTypeInfo(OpType type);
+
+/** Returns the kernel name of @p type, e.g. "Conv2DBackpropFilter". */
+std::string opTypeName(OpType type);
+
+/**
+ * Parses a kernel name back to an OpType.
+ *
+ * @param name Exact kernel name.
+ * @param out  Receives the parsed type on success.
+ * @return true when @p name is known.
+ */
+bool opTypeFromName(const std::string &name, OpType &out);
+
+/** All real op types in declaration order. */
+const std::vector<OpType> &allOpTypes();
+
+/** Number of real op types. */
+constexpr std::size_t
+opTypeCount()
+{
+    return static_cast<std::size_t>(OpType::kCount);
+}
+
+} // namespace graph
+} // namespace ceer
+
+#endif // CEER_GRAPH_OP_TYPE_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Output-shape computation for conv/pool style ops (TensorFlow padding
+ * semantics).
+ */
+
+#ifndef CEER_GRAPH_SHAPE_INFERENCE_H
+#define CEER_GRAPH_SHAPE_INFERENCE_H
+
+#include "graph/graph.h"
+#include "graph/tensor_shape.h"
+
+namespace ceer {
+namespace graph {
+
+/**
+ * Computes one spatial output dimension.
+ *
+ * SAME: ceil(in / stride); VALID: ceil((in - k + 1) / stride).
+ *
+ * @param in      Input extent.
+ * @param kernel  Filter/window extent.
+ * @param stride  Stride (>= 1).
+ * @param padding Padding mode.
+ */
+std::int64_t convOutputDim(std::int64_t in, int kernel, int stride,
+                           PaddingMode padding);
+
+/**
+ * Output shape of Conv2D over an NHWC input.
+ *
+ * @param input        NHWC input shape.
+ * @param out_channels Number of filters.
+ * @param kernel_h     Filter height.
+ * @param kernel_w     Filter width.
+ * @param stride       Stride (both axes).
+ * @param padding      Padding mode.
+ */
+TensorShape conv2dOutputShape(const TensorShape &input,
+                              std::int64_t out_channels, int kernel_h,
+                              int kernel_w, int stride,
+                              PaddingMode padding);
+
+/** Output shape of MaxPool/AvgPool over an NHWC input. */
+TensorShape poolOutputShape(const TensorShape &input, int window_h,
+                            int window_w, int stride, PaddingMode padding);
+
+/** Output shape of concatenating @p shapes along the channel axis. */
+TensorShape concatChannelsShape(const std::vector<TensorShape> &shapes);
+
+/** Shape after flattening all non-batch dims: [N, rest]. */
+TensorShape flattenShape(const TensorShape &input);
+
+} // namespace graph
+} // namespace ceer
+
+#endif // CEER_GRAPH_SHAPE_INFERENCE_H

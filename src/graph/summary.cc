@@ -1,0 +1,95 @@
+#include "graph/summary.h"
+
+#include <map>
+#include <ostream>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace ceer {
+namespace graph {
+
+namespace {
+
+/** Strips gradient prefixes and truncates to @p depth components. */
+std::string
+layerKey(const std::string &name, int depth)
+{
+    std::string stripped = name;
+    for (const char *prefix : {"grad/", "train/"}) {
+        if (util::startsWith(stripped, prefix))
+            stripped = stripped.substr(std::string(prefix).size());
+    }
+    std::string::size_type pos = 0;
+    for (int level = 0; level < depth; ++level) {
+        pos = stripped.find('/', pos);
+        if (pos == std::string::npos)
+            return stripped;
+        ++pos;
+    }
+    return stripped.substr(0, pos - 1);
+}
+
+} // namespace
+
+void
+ModelSummary::print(std::ostream &out) const
+{
+    out << "model: " << model << " (" << totalOps << " ops, "
+        << util::format("%.1fM", static_cast<double>(totalParams) / 1e6)
+        << " params, " << util::format("%.2f", totalGflops)
+        << " GFLOPs/iteration)\n";
+    util::TablePrinter table({"layer", "output", "params", "fwd ops",
+                              "bwd ops", "GFLOPs"});
+    for (const LayerSummary &layer : layers) {
+        table.addRow({layer.name, layer.outputShape.toString(),
+                      std::to_string(layer.params),
+                      std::to_string(layer.forwardOps),
+                      std::to_string(layer.backwardOps),
+                      util::format("%.3f", layer.gflops)});
+    }
+    table.print(out);
+}
+
+ModelSummary
+summarize(const Graph &g, int depth, const NodeFlopsFn &flopsFn)
+{
+    ModelSummary summary;
+    summary.model = g.name();
+    summary.totalOps = g.size();
+
+    std::map<std::string, std::size_t> index;
+    auto layer_for = [&](const std::string &key) -> LayerSummary & {
+        auto it = index.find(key);
+        if (it == index.end()) {
+            it = index.emplace(key, summary.layers.size()).first;
+            summary.layers.push_back({});
+            summary.layers.back().name = key;
+        }
+        return summary.layers[it->second];
+    };
+
+    for (const Node &node : g.nodes()) {
+        LayerSummary &layer = layer_for(layerKey(node.name, depth));
+        if (node.isGradient) {
+            ++layer.backwardOps;
+        } else {
+            ++layer.forwardOps;
+            layer.outputShape = node.outputShape;
+        }
+        if (flopsFn) {
+            const double gflops = flopsFn(node) / 1e9;
+            layer.gflops += gflops;
+            summary.totalGflops += gflops;
+        }
+    }
+    for (const ParamVar &var : g.paramVars()) {
+        LayerSummary &layer = layer_for(layerKey(var.name, depth));
+        layer.params += var.count();
+        summary.totalParams += var.count();
+    }
+    return summary;
+}
+
+} // namespace graph
+} // namespace ceer

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Layer-level model summaries (Keras-style) derived from a training
+ * graph: ops are grouped by their hierarchical name prefix into the
+ * layers the builder created, with per-layer op counts, parameter
+ * counts, output shapes and analytic FLOPs.
+ */
+
+#ifndef CEER_GRAPH_SUMMARY_H
+#define CEER_GRAPH_SUMMARY_H
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ceer {
+namespace graph {
+
+/** Aggregated view of one layer (name-prefix group). */
+struct LayerSummary
+{
+    std::string name;          ///< Layer prefix, e.g. "conv1".
+    std::size_t forwardOps = 0;  ///< Forward nodes in the layer.
+    std::size_t backwardOps = 0; ///< Gradient/optimizer nodes.
+    std::int64_t params = 0;     ///< Trainable parameters.
+    TensorShape outputShape;     ///< Last forward node's output.
+    double gflops = 0.0;         ///< Analytic forward+backward GFLOPs.
+};
+
+/** Whole-model summary. */
+struct ModelSummary
+{
+    std::string model;                ///< Graph name.
+    std::vector<LayerSummary> layers; ///< In construction order.
+    std::int64_t totalParams = 0;     ///< Sum over layers.
+    double totalGflops = 0.0;         ///< Sum over layers.
+    std::size_t totalOps = 0;         ///< All graph nodes.
+
+    /** Renders an aligned table to @p out. */
+    void print(std::ostream &out) const;
+};
+
+/**
+ * Per-node FLOP callback. The graph layer knows nothing about
+ * hardware; callers wanting FLOP columns pass e.g.
+ * `[](const Node &n) { return hw::opCost(n).flops; }`.
+ */
+using NodeFlopsFn = std::function<double(const Node &)>;
+
+/**
+ * Builds the summary of @p g.
+ *
+ * @param g        A graph built by GraphBuilder (hierarchical names).
+ * @param depth    Number of '/'-separated name components that define
+ *                 a layer (default 1: "conv1/Conv2D" -> layer "conv1";
+ *                 gradient nodes are attributed to their forward layer
+ *                 by stripping the "grad/" / "train/" prefixes).
+ * @param flopsFn  Optional per-node FLOP counter for the GFLOP columns
+ *                 (left at zero when absent).
+ */
+ModelSummary summarize(const Graph &g, int depth = 1,
+                       const NodeFlopsFn &flopsFn = {});
+
+} // namespace graph
+} // namespace ceer
+
+#endif // CEER_GRAPH_SUMMARY_H

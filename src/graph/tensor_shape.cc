@@ -1,0 +1,114 @@
+#include "graph/tensor_shape.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace graph {
+
+TensorShape::TensorShape(std::initializer_list<std::int64_t> dims)
+    : dims_(dims)
+{
+    for (auto d : dims_) {
+        if (d < 0)
+            util::panic("TensorShape dimensions must be non-negative");
+    }
+}
+
+TensorShape::TensorShape(std::vector<std::int64_t> dims)
+    : dims_(std::move(dims))
+{
+    for (auto d : dims_) {
+        if (d < 0)
+            util::panic("TensorShape dimensions must be non-negative");
+    }
+}
+
+TensorShape
+TensorShape::nhwc(std::int64_t n, std::int64_t h, std::int64_t w,
+                  std::int64_t c)
+{
+    return TensorShape{n, h, w, c};
+}
+
+TensorShape
+TensorShape::matrix(std::int64_t rows, std::int64_t cols)
+{
+    return TensorShape{rows, cols};
+}
+
+TensorShape
+TensorShape::vector(std::int64_t n)
+{
+    return TensorShape{n};
+}
+
+std::int64_t
+TensorShape::dim(int axis) const
+{
+    const int r = static_cast<int>(rank());
+    if (axis < 0)
+        axis += r;
+    if (axis < 0 || axis >= r)
+        util::panic(util::format("TensorShape::dim axis %d out of range "
+                                 "for rank %d", axis, r));
+    return dims_[static_cast<std::size_t>(axis)];
+}
+
+std::int64_t
+TensorShape::numElements() const
+{
+    std::int64_t n = 1;
+    for (auto d : dims_)
+        n *= d;
+    return n;
+}
+
+std::int64_t
+TensorShape::numBytes(DataType dtype) const
+{
+    return numElements() *
+           static_cast<std::int64_t>(dataTypeSize(dtype));
+}
+
+std::int64_t
+TensorShape::height() const
+{
+    if (rank() != 4)
+        util::panic("TensorShape::height requires rank-4 NHWC tensor");
+    return dims_[1];
+}
+
+std::int64_t
+TensorShape::width() const
+{
+    if (rank() != 4)
+        util::panic("TensorShape::width requires rank-4 NHWC tensor");
+    return dims_[2];
+}
+
+TensorShape
+TensorShape::withBatch(std::int64_t n) const
+{
+    if (rank() == 0)
+        util::panic("TensorShape::withBatch on scalar shape");
+    std::vector<std::int64_t> dims = dims_;
+    dims[0] = n;
+    return TensorShape(std::move(dims));
+}
+
+std::string
+TensorShape::toString() const
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            out += ",";
+        out += std::to_string(dims_[i]);
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace graph
+} // namespace ceer

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * TensorShape: dimension vector with NHWC helpers.
+ *
+ * Image tensors throughout the library use NHWC layout (batch, height,
+ * width, channels), matching TensorFlow's default on GPU instances in the
+ * paper's setup.
+ */
+
+#ifndef CEER_GRAPH_TENSOR_SHAPE_H
+#define CEER_GRAPH_TENSOR_SHAPE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "graph/dtype.h"
+
+namespace ceer {
+namespace graph {
+
+/** Shape of a dense tensor; all dimensions are static and non-negative. */
+class TensorShape
+{
+  public:
+    /** Constructs a rank-0 (scalar) shape. */
+    TensorShape() = default;
+
+    /** Constructs from an explicit dimension list. */
+    TensorShape(std::initializer_list<std::int64_t> dims);
+
+    /** Constructs from a dimension vector. */
+    explicit TensorShape(std::vector<std::int64_t> dims);
+
+    /** Builds a rank-4 NHWC shape. */
+    static TensorShape nhwc(std::int64_t n, std::int64_t h, std::int64_t w,
+                            std::int64_t c);
+
+    /** Builds a rank-2 (rows, cols) shape. */
+    static TensorShape matrix(std::int64_t rows, std::int64_t cols);
+
+    /** Builds a rank-1 shape. */
+    static TensorShape vector(std::int64_t n);
+
+    /** Number of dimensions. */
+    std::size_t rank() const { return dims_.size(); }
+
+    /** Dimension at @p axis; negative axes count from the end. */
+    std::int64_t dim(int axis) const;
+
+    /** All dimensions. */
+    const std::vector<std::int64_t> &dims() const { return dims_; }
+
+    /** Product of dimensions (1 for scalars). */
+    std::int64_t numElements() const;
+
+    /** numElements() times the element size of @p dtype. */
+    std::int64_t numBytes(DataType dtype = DataType::Float32) const;
+
+    /** Batch dimension (dim 0); requires rank >= 1. */
+    std::int64_t batch() const { return dim(0); }
+
+    /** Height of an NHWC tensor; requires rank 4. */
+    std::int64_t height() const;
+
+    /** Width of an NHWC tensor; requires rank 4. */
+    std::int64_t width() const;
+
+    /** Channels of an NHWC tensor (last dim); requires rank >= 1. */
+    std::int64_t channels() const { return dim(-1); }
+
+    /** Replaces the batch dimension, returning a new shape. */
+    TensorShape withBatch(std::int64_t n) const;
+
+    /** "[n,h,w,c]" rendering. */
+    std::string toString() const;
+
+    bool operator==(const TensorShape &other) const = default;
+
+  private:
+    std::vector<std::int64_t> dims_;
+};
+
+} // namespace graph
+} // namespace ceer
+
+#endif // CEER_GRAPH_TENSOR_SHAPE_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Timing models for GPU kernels and CPU ops.
+ *
+ * GpuTimingModel turns the analytic OpCost of a node into a compute
+ * time on a specific GPU: launch overhead plus a roofline
+ * max(flops / eff_tflops, bytes / eff_gbps) with a superlinear
+ * correction for Conv2DBackpropFilter.
+ *
+ * Stochastic behaviour reproduces the paper's Fig. 5: for a fixed
+ * {heavy op, input size} pair, run-to-run variability is low (95% of
+ * pairs have normalized stddev < 0.1), while light and CPU ops vary a
+ * lot. Each {op type, input size, GPU} instance gets a deterministic
+ * noise level drawn from a hash, so the *distribution* of variabilities
+ * across instances matches the paper's CDF.
+ */
+
+#ifndef CEER_HW_DEVICE_MODEL_H
+#define CEER_HW_DEVICE_MODEL_H
+
+#include "graph/graph.h"
+#include "hw/gpu_spec.h"
+#include "hw/op_cost.h"
+#include "util/random.h"
+
+namespace ceer {
+namespace hw {
+
+/** Compute-time model for one GPU model. */
+class GpuTimingModel
+{
+  public:
+    /** @param model Which GPU silicon to model. */
+    explicit GpuTimingModel(GpuModel model);
+
+    /** The spec this model was built from. */
+    const GpuSpec &spec() const { return *spec_; }
+
+    /**
+     * Noise-free (median) compute time of @p node in microseconds.
+     * Panics if the node is CPU-placed.
+     */
+    double meanTimeUs(const graph::Node &node) const;
+
+    /**
+     * Samples one execution time with instance-specific variability.
+     *
+     * @param node Node to execute.
+     * @param rng  Generator owned by the simulated device.
+     */
+    double sampleTimeUs(const graph::Node &node, util::Rng &rng) const;
+
+    /**
+     * Deterministic lognormal sigma for a {op type, input size, GPU}
+     * instance. Heavy (work-dominated) kernels receive sigma in
+     * [0.012, 0.112] with ~95% below 0.1; an additional term that
+     * decays with kernel duration makes short kernels noisy.
+     */
+    double instanceSigma(const graph::Node &node) const;
+
+    /**
+     * Total lognormal sigma used when sampling @p node: the instance
+     * sigma combined with a short-kernel term ~0.32*exp(-work/7us)
+     * that makes launch-bound kernels noisy while leaving kernels
+     * above ~20us inside the paper's Fig. 5 variability band.
+     */
+    double effectiveSigma(const graph::Node &node) const;
+
+  private:
+    double workUs(const graph::Node &node) const;
+
+    const GpuSpec *spec_;
+};
+
+/** Compute-time model for CPU-placed ops (host kernels). */
+class CpuTimingModel
+{
+  public:
+    /**
+     * @param speed_factor Relative host speed of the instance family
+     *                     (1.0 = baseline); larger is slower.
+     */
+    explicit CpuTimingModel(double speed_factor = 1.0);
+
+    /** Median time of @p node in microseconds. */
+    double meanTimeUs(const graph::Node &node) const;
+
+    /** Samples one execution (gamma noise, CV ~= 0.6). */
+    double sampleTimeUs(const graph::Node &node, util::Rng &rng) const;
+
+  private:
+    double speedFactor_;
+};
+
+/** Host speed factor of the instance family carrying @p model. */
+double hostSpeedFactor(GpuModel model);
+
+} // namespace hw
+} // namespace ceer
+
+#endif // CEER_HW_DEVICE_MODEL_H

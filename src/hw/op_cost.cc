@@ -1,0 +1,186 @@
+#include "hw/op_cost.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ceer {
+namespace hw {
+
+using graph::CostCategory;
+using graph::Node;
+using graph::OpType;
+
+namespace {
+
+double
+totalInputBytes(const Node &node)
+{
+    return static_cast<double>(node.inputBytes());
+}
+
+double
+outputBytes(const Node &node)
+{
+    return static_cast<double>(node.outputBytes());
+}
+
+/** 2 * output_elems * kh * kw * in_channels (multiply-accumulate). */
+double
+convFlops(const Node &node)
+{
+    const auto &attrs = node.attrs;
+    // Input channels live in the filter shape [kh, kw, inC, outC].
+    const double in_channels =
+        attrs.filterShape.rank() == 4
+            ? static_cast<double>(attrs.filterShape.dim(2))
+            : 1.0;
+    // For the backward ops, outputShape is the gradient being produced;
+    // the MAC count is symmetric with the forward pass, so compute it
+    // from whichever rank-4 activation tensor is largest.
+    double out_elems =
+        static_cast<double>(node.outputShape.numElements());
+    if (node.type != OpType::Conv2D) {
+        // Both backprop kernels perform the same MAC count as the
+        // forward pass: 2 * fwd_output_elems * kh * kw * inC. The
+        // largest rank-4 tensor in play is the input activation (the
+        // output of BackpropInput / an input of BackpropFilter);
+        // dividing its element count by the stride area recovers the
+        // forward output element count.
+        for (const auto &shape : node.inputShapes) {
+            if (shape.rank() == 4) {
+                out_elems = std::max(
+                    out_elems,
+                    static_cast<double>(shape.numElements()));
+            }
+        }
+        out_elems /=
+            static_cast<double>(attrs.strideH * attrs.strideW);
+    }
+    return 2.0 * out_elems * attrs.kernelH * attrs.kernelW * in_channels;
+}
+
+} // namespace
+
+OpCost
+opCost(const Node &node)
+{
+    OpCost cost;
+    const double in_bytes = totalInputBytes(node);
+    const double out_bytes = outputBytes(node);
+    cost.bytes = in_bytes + out_bytes;
+
+    // Depthwise convolutions: 2 * elems * kh * kw MACs (no input-
+    // channel factor — each channel sees only its own filter plane).
+    if (node.type == OpType::DepthwiseConv2dNative ||
+        node.type == OpType::DepthwiseConv2dNativeBackpropInput ||
+        node.type == OpType::DepthwiseConv2dNativeBackpropFilter) {
+        double elems =
+            static_cast<double>(node.outputShape.numElements());
+        if (node.type != OpType::DepthwiseConv2dNative) {
+            for (const auto &shape : node.inputShapes) {
+                if (shape.rank() == 4) {
+                    elems = std::max(
+                        elems,
+                        static_cast<double>(shape.numElements()));
+                }
+            }
+            elems /= static_cast<double>(node.attrs.strideH *
+                                         node.attrs.strideW);
+        }
+        cost.flops =
+            2.0 * elems * node.attrs.kernelH * node.attrs.kernelW;
+        return cost;
+    }
+
+    switch (node.category()) {
+      case CostCategory::Conv:
+      case CostCategory::ConvFilterGrad:
+        cost.flops = convFlops(node);
+        break;
+      case CostCategory::MatMulCat: {
+        // 2 * output_elems * K. The contraction length K is recovered
+        // from the first input and the output's leading dim, which is
+        // correct for all three kernels TF emits for a dense layer:
+        // forward C[M,N] = A[M,K] W[K,N]  -> K = MK / M;
+        // input grad dA[M,K] = dC[M,N] W' -> "K" = MN / M = N;
+        // weight grad dW[K,N] = A' dC     -> "K" = MK / K = M (batch).
+        const auto &a = node.inputShapes.front();
+        const double out_elems =
+            static_cast<double>(node.outputShape.numElements());
+        // Rows of the (possibly batched) output matrix; dividing the
+        // first input's element count by it recovers the contraction
+        // length for MatMul and BatchMatMul in all three kernel roles
+        // (forward, input grad, weight grad).
+        const double rows =
+            out_elems / static_cast<double>(node.outputShape.dim(-1));
+        const double k =
+            static_cast<double>(a.numElements()) / std::max(rows, 1.0);
+        cost.flops = 2.0 * out_elems * k;
+        break;
+      }
+      case CostCategory::Pool:
+        cost.flops =
+            static_cast<double>(node.outputShape.numElements()) *
+            node.attrs.kernelH * node.attrs.kernelW;
+        break;
+      case CostCategory::PoolGrad:
+        // Scatter of the gradient plus window bookkeeping: traffic
+        // dominates; count one op per input element.
+        cost.flops =
+            static_cast<double>(node.outputShape.numElements());
+        // MaxPoolGrad re-reads the forward input and output.
+        cost.bytes = in_bytes + 2.0 * out_bytes;
+        break;
+      case CostCategory::Elementwise:
+      case CostCategory::Bias:
+        cost.flops =
+            static_cast<double>(node.outputShape.numElements());
+        break;
+      case CostCategory::BatchNorm:
+        // Fused mean/variance/normalize passes: ~5 ops per element
+        // forward, ~8 backward, and extra traffic backward.
+        if (node.type == OpType::FusedBatchNormGradV3 ||
+            node.type == OpType::LayerNormGrad) {
+            cost.flops =
+                8.0 *
+                static_cast<double>(node.outputShape.numElements());
+            cost.bytes = in_bytes + 2.0 * out_bytes;
+        } else {
+            cost.flops =
+                5.0 *
+                static_cast<double>(node.outputShape.numElements());
+        }
+        break;
+      case CostCategory::DataMovement:
+        cost.flops = 0.0;
+        break;
+      case CostCategory::Reduction:
+        cost.flops = static_cast<double>(
+            node.inputShapes.empty()
+                ? node.outputShape.numElements()
+                : node.inputShapes.front().numElements());
+        break;
+      case CostCategory::Normalization: {
+        const double window = 2.0 * node.attrs.depthRadius + 1.0;
+        cost.flops =
+            2.0 * window *
+            static_cast<double>(node.outputShape.numElements());
+        cost.bytes = 2.0 * in_bytes + out_bytes;
+        break;
+      }
+      case CostCategory::Trivial:
+        // Metadata-only: no traffic proportional to the tensor.
+        cost.flops = 0.0;
+        cost.bytes = 0.0;
+        break;
+      case CostCategory::Cpu:
+        cost.flops = 0.0;
+        cost.bytes = 0.0;
+        break;
+    }
+    return cost;
+}
+
+} // namespace hw
+} // namespace ceer

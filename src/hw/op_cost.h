@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Analytic FLOP and memory-traffic counts for graph operations.
+ *
+ * These are the classic first-order kernel cost formulas (as used by
+ * PALEO and roofline analyses): convolution FLOPs are
+ * 2 * output_elems * kh * kw * in_channels, pooling moves its input and
+ * output through memory, elementwise ops are pure traffic, etc. The
+ * timing model combines them with per-GPU effective throughputs.
+ */
+
+#ifndef CEER_HW_OP_COST_H
+#define CEER_HW_OP_COST_H
+
+#include "graph/graph.h"
+
+namespace ceer {
+namespace hw {
+
+/** First-order cost of one kernel. */
+struct OpCost
+{
+    double flops = 0.0; ///< Floating-point operations.
+    double bytes = 0.0; ///< Bytes moved through device memory.
+};
+
+/**
+ * Computes the analytic cost of @p node from its shapes and attrs.
+ *
+ * CPU ops return zero cost here; their time comes from the CPU model.
+ */
+OpCost opCost(const graph::Node &node);
+
+} // namespace hw
+} // namespace ceer
+
+#endif // CEER_HW_OP_COST_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * AlexNet (Krizhevsky et al., 2012): five convolutions with LRN and
+ * max pooling, followed by three fully connected layers with dropout.
+ * No batch normalization — conv layers use biases, which is why AlexNet
+ * stresses BiasAdd/BiasAddGrad and the FC MatMuls rather than
+ * FusedBatchNorm kernels.
+ */
+
+#include "models/model_zoo.h"
+
+#include "graph/autodiff.h"
+#include "graph/builder.h"
+
+namespace ceer {
+namespace models {
+
+using graph::ConvOptions;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::PaddingMode;
+
+graph::Graph
+buildAlexNet(std::int64_t batch)
+{
+    GraphBuilder b("alexnet", batch);
+    NodeId x = b.imageInput(227, 227, 3);
+    x = b.transpose(x, "data_format");
+
+    ConvOptions biased;
+    biased.batchNorm = false;
+    biased.bias = true;
+    biased.relu = true;
+
+    ConvOptions conv1 = biased;
+    conv1.strideH = conv1.strideW = 4;
+    conv1.padding = PaddingMode::Valid;
+    x = b.conv2d(x, 96, 11, 11, conv1, "conv1");
+    x = b.lrn(x, "norm1");
+    x = b.maxPool(x, 3, 2, PaddingMode::Valid, "pool1");
+
+    x = b.conv2d(x, 256, 5, 5, biased, "conv2");
+    x = b.lrn(x, "norm2");
+    x = b.maxPool(x, 3, 2, PaddingMode::Valid, "pool2");
+
+    x = b.conv2d(x, 384, 3, 3, biased, "conv3");
+    x = b.conv2d(x, 384, 3, 3, biased, "conv4");
+    x = b.conv2d(x, 256, 3, 3, biased, "conv5");
+    x = b.maxPool(x, 3, 2, PaddingMode::Valid, "pool5");
+
+    x = b.fullyConnected(x, 4096, /*relu=*/true, "fc6");
+    x = b.dropout(x, "drop6");
+    x = b.fullyConnected(x, 4096, /*relu=*/true, "fc7");
+    x = b.dropout(x, "drop7");
+    x = b.fullyConnected(x, 1000, /*relu=*/false, "fc8");
+
+    const NodeId loss = b.softmaxLoss(x);
+    graph::addTrainingOps(b.graph(), loss);
+    return b.finish();
+}
+
+} // namespace models
+} // namespace ceer

@@ -1,0 +1,53 @@
+#include "models/inception_common.h"
+
+namespace ceer {
+namespace models {
+namespace detail {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::PaddingMode;
+
+NodeId
+inceptionV4Stem(GraphBuilder &b)
+{
+    NodeId x = b.imageInput(299, 299, 3);
+    x = b.transpose(x, "data_format");
+
+    x = b.conv2d(x, 32, 3, 3, bnConv(2, PaddingMode::Valid),
+                 "stem/conv1a");
+    x = b.conv2d(x, 32, 3, 3, bnConv(1, PaddingMode::Valid),
+                 "stem/conv1b");
+    x = b.conv2d(x, 64, 3, 3, bnConv(), "stem/conv1c");
+
+    // Branch point 1: pool | stride-2 conv.
+    const NodeId pool1 =
+        b.maxPool(x, 3, 2, PaddingMode::Valid, "stem/pool1");
+    const NodeId conv1 = b.conv2d(x, 96, 3, 3,
+                                  bnConv(2, PaddingMode::Valid),
+                                  "stem/conv2");
+    x = b.concat({pool1, conv1}, "stem/mixed1");
+
+    // Branch point 2: 1x1->3x3 | 1x1->7x1->1x7->3x3.
+    NodeId left = b.conv2d(x, 64, 1, 1, bnConv(), "stem/b1/1x1");
+    left = b.conv2d(left, 96, 3, 3, bnConv(1, PaddingMode::Valid),
+                    "stem/b1/3x3");
+    NodeId right = b.conv2d(x, 64, 1, 1, bnConv(), "stem/b2/1x1");
+    right = b.conv2d(right, 64, 7, 1, bnConv(), "stem/b2/7x1");
+    right = b.conv2d(right, 64, 1, 7, bnConv(), "stem/b2/1x7");
+    right = b.conv2d(right, 96, 3, 3, bnConv(1, PaddingMode::Valid),
+                     "stem/b2/3x3");
+    x = b.concat({left, right}, "stem/mixed2");
+
+    // Branch point 3: stride-2 conv | pool -> 35x35x384.
+    const NodeId conv3 = b.conv2d(x, 192, 3, 3,
+                                  bnConv(2, PaddingMode::Valid),
+                                  "stem/conv3");
+    const NodeId pool3 =
+        b.maxPool(x, 3, 2, PaddingMode::Valid, "stem/pool3");
+    return b.concat({conv3, pool3}, "stem/mixed3");
+}
+
+} // namespace detail
+} // namespace models
+} // namespace ceer

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for the Inception-v4 family (Szegedy et al., 2017):
+ * the batch-normalized conv options and the common v4 stem used by both
+ * Inception-v4 and Inception-ResNet-v2.
+ */
+
+#ifndef CEER_MODELS_INCEPTION_COMMON_H
+#define CEER_MODELS_INCEPTION_COMMON_H
+
+#include "graph/builder.h"
+
+namespace ceer {
+namespace models {
+namespace detail {
+
+/** BN + ReLU convolution options (no bias). */
+inline graph::ConvOptions
+bnConv(int stride = 1,
+       graph::PaddingMode padding = graph::PaddingMode::Same)
+{
+    graph::ConvOptions options;
+    options.batchNorm = true;
+    options.bias = false;
+    options.relu = true;
+    options.strideH = options.strideW = stride;
+    options.padding = padding;
+    return options;
+}
+
+/**
+ * Inception-v4 stem: 299x299x3 -> 35x35x384 through two filter-concat
+ * branch points.
+ */
+graph::NodeId inceptionV4Stem(graph::GraphBuilder &b);
+
+} // namespace detail
+} // namespace models
+} // namespace ceer
+
+#endif // CEER_MODELS_INCEPTION_COMMON_H

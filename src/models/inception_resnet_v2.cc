@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Inception-ResNet-v2 (Szegedy et al., 2017): inception branches whose
+ * concatenated output is projected with a 1x1 conv, scaled, and added
+ * back to the input (residual shortcut). Mixes the ConcatV2-heavy and
+ * AddV2-heavy op profiles of the two families. ~56M parameters.
+ */
+
+#include "models/model_zoo.h"
+
+#include "graph/autodiff.h"
+#include "models/inception_common.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace models {
+
+using detail::bnConv;
+using graph::ConvOptions;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::PaddingMode;
+
+namespace {
+
+/** 1x1 projection conv without activation (residual branch output). */
+ConvOptions
+projConv()
+{
+    ConvOptions options;
+    options.batchNorm = false;
+    options.bias = true;
+    options.relu = false;
+    return options;
+}
+
+/** 35x35 residual module (block35). */
+NodeId
+block35(GraphBuilder &b, NodeId x, const std::string &name)
+{
+    const std::int64_t channels = b.shapeOf(x).channels();
+
+    const NodeId b1 = b.conv2d(x, 32, 1, 1, bnConv(), name + "/b1/1x1");
+
+    NodeId b2 = b.conv2d(x, 32, 1, 1, bnConv(), name + "/b2/1x1");
+    b2 = b.conv2d(b2, 32, 3, 3, bnConv(), name + "/b2/3x3");
+
+    NodeId b3 = b.conv2d(x, 32, 1, 1, bnConv(), name + "/b3/1x1");
+    b3 = b.conv2d(b3, 48, 3, 3, bnConv(), name + "/b3/3x3a");
+    b3 = b.conv2d(b3, 64, 3, 3, bnConv(), name + "/b3/3x3b");
+
+    NodeId mixed = b.concat({b1, b2, b3}, name + "/concat");
+    mixed = b.conv2d(mixed, channels, 1, 1, projConv(), name + "/proj");
+    mixed = b.scale(mixed, name + "/scale");
+    NodeId out = b.add(x, mixed, name + "/residual");
+    return b.relu(out, name + "/out");
+}
+
+/** 17x17 residual module (block17). */
+NodeId
+block17(GraphBuilder &b, NodeId x, const std::string &name)
+{
+    const std::int64_t channels = b.shapeOf(x).channels();
+
+    const NodeId b1 =
+        b.conv2d(x, 192, 1, 1, bnConv(), name + "/b1/1x1");
+
+    NodeId b2 = b.conv2d(x, 128, 1, 1, bnConv(), name + "/b2/1x1");
+    b2 = b.conv2d(b2, 160, 1, 7, bnConv(), name + "/b2/1x7");
+    b2 = b.conv2d(b2, 192, 7, 1, bnConv(), name + "/b2/7x1");
+
+    NodeId mixed = b.concat({b1, b2}, name + "/concat");
+    mixed = b.conv2d(mixed, channels, 1, 1, projConv(), name + "/proj");
+    mixed = b.scale(mixed, name + "/scale");
+    NodeId out = b.add(x, mixed, name + "/residual");
+    return b.relu(out, name + "/out");
+}
+
+/** 8x8 residual module (block8). */
+NodeId
+block8(GraphBuilder &b, NodeId x, const std::string &name)
+{
+    const std::int64_t channels = b.shapeOf(x).channels();
+
+    const NodeId b1 =
+        b.conv2d(x, 192, 1, 1, bnConv(), name + "/b1/1x1");
+
+    NodeId b2 = b.conv2d(x, 192, 1, 1, bnConv(), name + "/b2/1x1");
+    b2 = b.conv2d(b2, 224, 1, 3, bnConv(), name + "/b2/1x3");
+    b2 = b.conv2d(b2, 256, 3, 1, bnConv(), name + "/b2/3x1");
+
+    NodeId mixed = b.concat({b1, b2}, name + "/concat");
+    mixed = b.conv2d(mixed, channels, 1, 1, projConv(), name + "/proj");
+    mixed = b.scale(mixed, name + "/scale");
+    NodeId out = b.add(x, mixed, name + "/residual");
+    return b.relu(out, name + "/out");
+}
+
+} // namespace
+
+graph::Graph
+buildInceptionResNetV2(std::int64_t batch)
+{
+    GraphBuilder b("inception_resnet_v2", batch);
+    NodeId x = detail::inceptionV4Stem(b);
+
+    for (int i = 0; i < 10; ++i)
+        x = block35(b, x, util::format("block35_%d", i + 1));
+
+    // Reduction-A with (k, l, m, n) = (256, 256, 384, 384).
+    {
+        const NodeId b1 = b.conv2d(x, 384, 3, 3,
+                                   bnConv(2, PaddingMode::Valid),
+                                   "reduction_a/b1/3x3");
+        NodeId b2 =
+            b.conv2d(x, 256, 1, 1, bnConv(), "reduction_a/b2/1x1");
+        b2 = b.conv2d(b2, 256, 3, 3, bnConv(), "reduction_a/b2/3x3a");
+        b2 = b.conv2d(b2, 384, 3, 3, bnConv(2, PaddingMode::Valid),
+                      "reduction_a/b2/3x3b");
+        const NodeId b3 = b.maxPool(x, 3, 2, PaddingMode::Valid,
+                                    "reduction_a/pool");
+        x = b.concat({b1, b2, b3}, "reduction_a/concat");
+    }
+
+    for (int i = 0; i < 20; ++i)
+        x = block17(b, x, util::format("block17_%d", i + 1));
+
+    // Reduction-B: three conv branches plus pool.
+    {
+        NodeId b1 =
+            b.conv2d(x, 256, 1, 1, bnConv(), "reduction_b/b1/1x1");
+        b1 = b.conv2d(b1, 384, 3, 3, bnConv(2, PaddingMode::Valid),
+                      "reduction_b/b1/3x3");
+        NodeId b2 =
+            b.conv2d(x, 256, 1, 1, bnConv(), "reduction_b/b2/1x1");
+        b2 = b.conv2d(b2, 288, 3, 3, bnConv(2, PaddingMode::Valid),
+                      "reduction_b/b2/3x3");
+        NodeId b3 =
+            b.conv2d(x, 256, 1, 1, bnConv(), "reduction_b/b3/1x1");
+        b3 = b.conv2d(b3, 288, 3, 3, bnConv(), "reduction_b/b3/3x3a");
+        b3 = b.conv2d(b3, 320, 3, 3, bnConv(2, PaddingMode::Valid),
+                      "reduction_b/b3/3x3b");
+        const NodeId b4 = b.maxPool(x, 3, 2, PaddingMode::Valid,
+                                    "reduction_b/pool");
+        x = b.concat({b1, b2, b3, b4}, "reduction_b/concat");
+    }
+
+    for (int i = 0; i < 10; ++i)
+        x = block8(b, x, util::format("block8_%d", i + 1));
+
+    x = b.conv2d(x, 1536, 1, 1, bnConv(), "conv_final");
+    x = b.globalAvgPool(x, "pool");
+    x = b.dropout(x, "drop");
+    x = b.fullyConnected(x, 1000, /*relu=*/false, "logits");
+
+    const NodeId loss = b.softmaxLoss(x);
+    graph::addTrainingOps(b.graph(), loss);
+    return b.finish();
+}
+
+} // namespace models
+} // namespace ceer

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * GoogLeNet / Inception-v1 (Szegedy et al., 2015): LRN stem and nine
+ * inception modules, each with four parallel branches concatenated on
+ * the channel axis. At ~6.6M parameters it anchors the low end of the
+ * paper's Fig. 7 parameter-count axis, and it is the CNN used for the
+ * data-parallel scaling study (Fig. 6).
+ */
+
+#include "models/model_zoo.h"
+
+#include <vector>
+
+#include "graph/autodiff.h"
+#include "graph/builder.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace models {
+
+using graph::ConvOptions;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::PaddingMode;
+
+namespace {
+
+ConvOptions
+biasedConv(int stride = 1, PaddingMode padding = PaddingMode::Same)
+{
+    ConvOptions options;
+    options.batchNorm = false;
+    options.bias = true;
+    options.relu = true;
+    options.strideH = options.strideW = stride;
+    options.padding = padding;
+    return options;
+}
+
+/**
+ * Classic inception module: 1x1 | 1x1->3x3 | 1x1->5x5 | pool->1x1.
+ */
+NodeId
+inceptionModule(GraphBuilder &b, NodeId x, int c1, int c3r, int c3,
+                int c5r, int c5, int cp, const std::string &name)
+{
+    const NodeId branch1 =
+        b.conv2d(x, c1, 1, 1, biasedConv(), name + "/b1/conv");
+
+    NodeId branch2 = b.conv2d(x, c3r, 1, 1, biasedConv(),
+                              name + "/b2/reduce");
+    branch2 = b.conv2d(branch2, c3, 3, 3, biasedConv(),
+                       name + "/b2/conv");
+
+    NodeId branch3 = b.conv2d(x, c5r, 1, 1, biasedConv(),
+                              name + "/b3/reduce");
+    branch3 = b.conv2d(branch3, c5, 5, 5, biasedConv(),
+                       name + "/b3/conv");
+
+    NodeId branch4 = b.maxPool(x, 3, 1, PaddingMode::Same,
+                               name + "/b4/pool");
+    branch4 = b.conv2d(branch4, cp, 1, 1, biasedConv(),
+                       name + "/b4/conv");
+
+    return b.concat({branch1, branch2, branch3, branch4},
+                    name + "/concat");
+}
+
+} // namespace
+
+graph::Graph
+buildInceptionV1(std::int64_t batch)
+{
+    GraphBuilder b("inception_v1", batch);
+    NodeId x = b.imageInput(224, 224, 3);
+    x = b.transpose(x, "data_format");
+
+    ConvOptions stem = biasedConv(2);
+    x = b.conv2d(x, 64, 7, 7, stem, "conv1");
+    x = b.maxPool(x, 3, 2, PaddingMode::Same, "pool1");
+    x = b.lrn(x, "norm1");
+    x = b.conv2d(x, 64, 1, 1, biasedConv(), "conv2/reduce");
+    x = b.conv2d(x, 192, 3, 3, biasedConv(), "conv2");
+    x = b.lrn(x, "norm2");
+    x = b.maxPool(x, 3, 2, PaddingMode::Same, "pool2");
+
+    x = inceptionModule(b, x, 64, 96, 128, 16, 32, 32, "mixed3a");
+    x = inceptionModule(b, x, 128, 128, 192, 32, 96, 64, "mixed3b");
+    x = b.maxPool(x, 3, 2, PaddingMode::Same, "pool3");
+
+    x = inceptionModule(b, x, 192, 96, 208, 16, 48, 64, "mixed4a");
+    x = inceptionModule(b, x, 160, 112, 224, 24, 64, 64, "mixed4b");
+    x = inceptionModule(b, x, 128, 128, 256, 24, 64, 64, "mixed4c");
+    x = inceptionModule(b, x, 112, 144, 288, 32, 64, 64, "mixed4d");
+    x = inceptionModule(b, x, 256, 160, 320, 32, 128, 128, "mixed4e");
+    x = b.maxPool(x, 3, 2, PaddingMode::Same, "pool4");
+
+    x = inceptionModule(b, x, 256, 160, 320, 32, 128, 128, "mixed5a");
+    x = inceptionModule(b, x, 384, 192, 384, 48, 128, 128, "mixed5b");
+
+    x = b.globalAvgPool(x, "pool5");
+    x = b.dropout(x, "drop");
+    x = b.fullyConnected(x, 1000, /*relu=*/false, "logits");
+
+    const NodeId loss = b.softmaxLoss(x);
+    graph::addTrainingOps(b.graph(), loss);
+    return b.finish();
+}
+
+} // namespace models
+} // namespace ceer

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Inception-v3 (Szegedy et al., 2016): 299x299 input, batch-normalized
+ * convolutions, and factorized nxn -> 1xn + nx1 modules. A test-set
+ * model in the paper (Figs. 8, 11, 12). ~24M parameters.
+ */
+
+#include "models/model_zoo.h"
+
+#include <vector>
+
+#include "graph/autodiff.h"
+#include "graph/builder.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace models {
+
+using graph::ConvOptions;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::PaddingMode;
+
+namespace {
+
+ConvOptions
+bnConv(int stride = 1, PaddingMode padding = PaddingMode::Same)
+{
+    ConvOptions options;
+    options.batchNorm = true;
+    options.bias = false;
+    options.relu = true;
+    options.strideH = options.strideW = stride;
+    options.padding = padding;
+    return options;
+}
+
+/** 35x35 module (Inception-A): 1x1 | 5x5 | double 3x3 | avgpool. */
+NodeId
+inceptionA(GraphBuilder &b, NodeId x, int pool_channels,
+           const std::string &name)
+{
+    const NodeId b1 = b.conv2d(x, 64, 1, 1, bnConv(), name + "/b1/1x1");
+
+    NodeId b2 = b.conv2d(x, 48, 1, 1, bnConv(), name + "/b2/1x1");
+    b2 = b.conv2d(b2, 64, 5, 5, bnConv(), name + "/b2/5x5");
+
+    NodeId b3 = b.conv2d(x, 64, 1, 1, bnConv(), name + "/b3/1x1");
+    b3 = b.conv2d(b3, 96, 3, 3, bnConv(), name + "/b3/3x3a");
+    b3 = b.conv2d(b3, 96, 3, 3, bnConv(), name + "/b3/3x3b");
+
+    NodeId b4 = b.avgPool(x, 3, 1, PaddingMode::Same, name + "/b4/pool");
+    b4 = b.conv2d(b4, pool_channels, 1, 1, bnConv(), name + "/b4/1x1");
+
+    return b.concat({b1, b2, b3, b4}, name + "/concat");
+}
+
+/** 35x35 -> 17x17 grid reduction. */
+NodeId
+reductionA(GraphBuilder &b, NodeId x, const std::string &name)
+{
+    const NodeId b1 = b.conv2d(x, 384, 3, 3,
+                               bnConv(2, PaddingMode::Valid),
+                               name + "/b1/3x3");
+
+    NodeId b2 = b.conv2d(x, 64, 1, 1, bnConv(), name + "/b2/1x1");
+    b2 = b.conv2d(b2, 96, 3, 3, bnConv(), name + "/b2/3x3a");
+    b2 = b.conv2d(b2, 96, 3, 3, bnConv(2, PaddingMode::Valid),
+                  name + "/b2/3x3b");
+
+    const NodeId b3 = b.maxPool(x, 3, 2, PaddingMode::Valid,
+                                name + "/b3/pool");
+
+    return b.concat({b1, b2, b3}, name + "/concat");
+}
+
+/** 17x17 module (Inception-B) with factorized 7x7 convolutions. */
+NodeId
+inceptionB(GraphBuilder &b, NodeId x, int mid, const std::string &name)
+{
+    const NodeId b1 = b.conv2d(x, 192, 1, 1, bnConv(), name + "/b1/1x1");
+
+    NodeId b2 = b.conv2d(x, mid, 1, 1, bnConv(), name + "/b2/1x1");
+    b2 = b.conv2d(b2, mid, 1, 7, bnConv(), name + "/b2/1x7");
+    b2 = b.conv2d(b2, 192, 7, 1, bnConv(), name + "/b2/7x1");
+
+    NodeId b3 = b.conv2d(x, mid, 1, 1, bnConv(), name + "/b3/1x1");
+    b3 = b.conv2d(b3, mid, 7, 1, bnConv(), name + "/b3/7x1a");
+    b3 = b.conv2d(b3, mid, 1, 7, bnConv(), name + "/b3/1x7a");
+    b3 = b.conv2d(b3, mid, 7, 1, bnConv(), name + "/b3/7x1b");
+    b3 = b.conv2d(b3, 192, 1, 7, bnConv(), name + "/b3/1x7b");
+
+    NodeId b4 = b.avgPool(x, 3, 1, PaddingMode::Same, name + "/b4/pool");
+    b4 = b.conv2d(b4, 192, 1, 1, bnConv(), name + "/b4/1x1");
+
+    return b.concat({b1, b2, b3, b4}, name + "/concat");
+}
+
+/** 17x17 -> 8x8 grid reduction. */
+NodeId
+reductionB(GraphBuilder &b, NodeId x, const std::string &name)
+{
+    NodeId b1 = b.conv2d(x, 192, 1, 1, bnConv(), name + "/b1/1x1");
+    b1 = b.conv2d(b1, 320, 3, 3, bnConv(2, PaddingMode::Valid),
+                  name + "/b1/3x3");
+
+    NodeId b2 = b.conv2d(x, 192, 1, 1, bnConv(), name + "/b2/1x1");
+    b2 = b.conv2d(b2, 192, 1, 7, bnConv(), name + "/b2/1x7");
+    b2 = b.conv2d(b2, 192, 7, 1, bnConv(), name + "/b2/7x1");
+    b2 = b.conv2d(b2, 192, 3, 3, bnConv(2, PaddingMode::Valid),
+                  name + "/b2/3x3");
+
+    const NodeId b3 = b.maxPool(x, 3, 2, PaddingMode::Valid,
+                                name + "/b3/pool");
+
+    return b.concat({b1, b2, b3}, name + "/concat");
+}
+
+/** 8x8 module (Inception-C) with expanded 1x3/3x1 outputs. */
+NodeId
+inceptionC(GraphBuilder &b, NodeId x, const std::string &name)
+{
+    const NodeId b1 = b.conv2d(x, 320, 1, 1, bnConv(), name + "/b1/1x1");
+
+    NodeId b2 = b.conv2d(x, 384, 1, 1, bnConv(), name + "/b2/1x1");
+    const NodeId b2a =
+        b.conv2d(b2, 384, 1, 3, bnConv(), name + "/b2/1x3");
+    const NodeId b2b =
+        b.conv2d(b2, 384, 3, 1, bnConv(), name + "/b2/3x1");
+
+    NodeId b3 = b.conv2d(x, 448, 1, 1, bnConv(), name + "/b3/1x1");
+    b3 = b.conv2d(b3, 384, 3, 3, bnConv(), name + "/b3/3x3");
+    const NodeId b3a =
+        b.conv2d(b3, 384, 1, 3, bnConv(), name + "/b3/1x3");
+    const NodeId b3b =
+        b.conv2d(b3, 384, 3, 1, bnConv(), name + "/b3/3x1");
+
+    NodeId b4 = b.avgPool(x, 3, 1, PaddingMode::Same, name + "/b4/pool");
+    b4 = b.conv2d(b4, 192, 1, 1, bnConv(), name + "/b4/1x1");
+
+    return b.concat({b1, b2a, b2b, b3a, b3b, b4}, name + "/concat");
+}
+
+} // namespace
+
+graph::Graph
+buildInceptionV3(std::int64_t batch)
+{
+    GraphBuilder b("inception_v3", batch);
+    NodeId x = b.imageInput(299, 299, 3);
+    x = b.transpose(x, "data_format");
+
+    // Stem: 299 -> 35x35x192.
+    x = b.conv2d(x, 32, 3, 3, bnConv(2, PaddingMode::Valid),
+                 "conv1a");
+    x = b.conv2d(x, 32, 3, 3, bnConv(1, PaddingMode::Valid), "conv1b");
+    x = b.conv2d(x, 64, 3, 3, bnConv(), "conv1c");
+    x = b.maxPool(x, 3, 2, PaddingMode::Valid, "pool1");
+    x = b.conv2d(x, 80, 1, 1, bnConv(1, PaddingMode::Valid), "conv2a");
+    x = b.conv2d(x, 192, 3, 3, bnConv(1, PaddingMode::Valid), "conv2b");
+    x = b.maxPool(x, 3, 2, PaddingMode::Valid, "pool2");
+
+    // 3x Inception-A at 35x35.
+    x = inceptionA(b, x, 32, "mixed_5b");
+    x = inceptionA(b, x, 64, "mixed_5c");
+    x = inceptionA(b, x, 64, "mixed_5d");
+
+    x = reductionA(b, x, "mixed_6a");
+
+    // 4x Inception-B at 17x17.
+    x = inceptionB(b, x, 128, "mixed_6b");
+    x = inceptionB(b, x, 160, "mixed_6c");
+    x = inceptionB(b, x, 160, "mixed_6d");
+    x = inceptionB(b, x, 192, "mixed_6e");
+
+    x = reductionB(b, x, "mixed_7a");
+
+    // 2x Inception-C at 8x8.
+    x = inceptionC(b, x, "mixed_7b");
+    x = inceptionC(b, x, "mixed_7c");
+
+    x = b.globalAvgPool(x, "pool3");
+    x = b.dropout(x, "drop");
+    x = b.fullyConnected(x, 1000, /*relu=*/false, "logits");
+
+    const NodeId loss = b.softmaxLoss(x);
+    graph::addTrainingOps(b.graph(), loss);
+    return b.finish();
+}
+
+} // namespace models
+} // namespace ceer

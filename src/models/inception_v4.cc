@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Inception-v4 (Szegedy et al., 2017): the deeper, purely-inception
+ * variant — 4 A-modules at 35x35, 7 B-modules at 17x17 and 3 C-modules
+ * at 8x8, with dedicated reduction modules. ~43M parameters.
+ */
+
+#include "models/model_zoo.h"
+
+#include "graph/autodiff.h"
+#include "models/inception_common.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace models {
+
+using detail::bnConv;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::PaddingMode;
+
+namespace {
+
+NodeId
+inceptionA(GraphBuilder &b, NodeId x, const std::string &name)
+{
+    const NodeId b1 = b.conv2d(x, 96, 1, 1, bnConv(), name + "/b1/1x1");
+
+    NodeId b2 = b.conv2d(x, 64, 1, 1, bnConv(), name + "/b2/1x1");
+    b2 = b.conv2d(b2, 96, 3, 3, bnConv(), name + "/b2/3x3");
+
+    NodeId b3 = b.conv2d(x, 64, 1, 1, bnConv(), name + "/b3/1x1");
+    b3 = b.conv2d(b3, 96, 3, 3, bnConv(), name + "/b3/3x3a");
+    b3 = b.conv2d(b3, 96, 3, 3, bnConv(), name + "/b3/3x3b");
+
+    NodeId b4 = b.avgPool(x, 3, 1, PaddingMode::Same, name + "/b4/pool");
+    b4 = b.conv2d(b4, 96, 1, 1, bnConv(), name + "/b4/1x1");
+
+    return b.concat({b1, b2, b3, b4}, name + "/concat");
+}
+
+NodeId
+reductionA(GraphBuilder &b, NodeId x, const std::string &name)
+{
+    // (k, l, m, n) = (192, 224, 256, 384) for Inception-v4.
+    const NodeId b1 = b.conv2d(x, 384, 3, 3,
+                               bnConv(2, PaddingMode::Valid),
+                               name + "/b1/3x3");
+
+    NodeId b2 = b.conv2d(x, 192, 1, 1, bnConv(), name + "/b2/1x1");
+    b2 = b.conv2d(b2, 224, 3, 3, bnConv(), name + "/b2/3x3a");
+    b2 = b.conv2d(b2, 256, 3, 3, bnConv(2, PaddingMode::Valid),
+                  name + "/b2/3x3b");
+
+    const NodeId b3 = b.maxPool(x, 3, 2, PaddingMode::Valid,
+                                name + "/b3/pool");
+    return b.concat({b1, b2, b3}, name + "/concat");
+}
+
+NodeId
+inceptionB(GraphBuilder &b, NodeId x, const std::string &name)
+{
+    const NodeId b1 = b.conv2d(x, 384, 1, 1, bnConv(), name + "/b1/1x1");
+
+    NodeId b2 = b.conv2d(x, 192, 1, 1, bnConv(), name + "/b2/1x1");
+    b2 = b.conv2d(b2, 224, 1, 7, bnConv(), name + "/b2/1x7");
+    b2 = b.conv2d(b2, 256, 7, 1, bnConv(), name + "/b2/7x1");
+
+    NodeId b3 = b.conv2d(x, 192, 1, 1, bnConv(), name + "/b3/1x1");
+    b3 = b.conv2d(b3, 192, 7, 1, bnConv(), name + "/b3/7x1a");
+    b3 = b.conv2d(b3, 224, 1, 7, bnConv(), name + "/b3/1x7a");
+    b3 = b.conv2d(b3, 224, 7, 1, bnConv(), name + "/b3/7x1b");
+    b3 = b.conv2d(b3, 256, 1, 7, bnConv(), name + "/b3/1x7b");
+
+    NodeId b4 = b.avgPool(x, 3, 1, PaddingMode::Same, name + "/b4/pool");
+    b4 = b.conv2d(b4, 128, 1, 1, bnConv(), name + "/b4/1x1");
+
+    return b.concat({b1, b2, b3, b4}, name + "/concat");
+}
+
+NodeId
+reductionB(GraphBuilder &b, NodeId x, const std::string &name)
+{
+    NodeId b1 = b.conv2d(x, 192, 1, 1, bnConv(), name + "/b1/1x1");
+    b1 = b.conv2d(b1, 192, 3, 3, bnConv(2, PaddingMode::Valid),
+                  name + "/b1/3x3");
+
+    NodeId b2 = b.conv2d(x, 256, 1, 1, bnConv(), name + "/b2/1x1");
+    b2 = b.conv2d(b2, 256, 1, 7, bnConv(), name + "/b2/1x7");
+    b2 = b.conv2d(b2, 320, 7, 1, bnConv(), name + "/b2/7x1");
+    b2 = b.conv2d(b2, 320, 3, 3, bnConv(2, PaddingMode::Valid),
+                  name + "/b2/3x3");
+
+    const NodeId b3 = b.maxPool(x, 3, 2, PaddingMode::Valid,
+                                name + "/b3/pool");
+    return b.concat({b1, b2, b3}, name + "/concat");
+}
+
+NodeId
+inceptionC(GraphBuilder &b, NodeId x, const std::string &name)
+{
+    const NodeId b1 = b.conv2d(x, 256, 1, 1, bnConv(), name + "/b1/1x1");
+
+    NodeId b2 = b.conv2d(x, 384, 1, 1, bnConv(), name + "/b2/1x1");
+    const NodeId b2a =
+        b.conv2d(b2, 256, 1, 3, bnConv(), name + "/b2/1x3");
+    const NodeId b2b =
+        b.conv2d(b2, 256, 3, 1, bnConv(), name + "/b2/3x1");
+
+    NodeId b3 = b.conv2d(x, 384, 1, 1, bnConv(), name + "/b3/1x1");
+    b3 = b.conv2d(b3, 448, 3, 1, bnConv(), name + "/b3/3x1");
+    b3 = b.conv2d(b3, 512, 1, 3, bnConv(), name + "/b3/1x3");
+    const NodeId b3a =
+        b.conv2d(b3, 256, 1, 3, bnConv(), name + "/b3/out1x3");
+    const NodeId b3b =
+        b.conv2d(b3, 256, 3, 1, bnConv(), name + "/b3/out3x1");
+
+    NodeId b4 = b.avgPool(x, 3, 1, PaddingMode::Same, name + "/b4/pool");
+    b4 = b.conv2d(b4, 256, 1, 1, bnConv(), name + "/b4/1x1");
+
+    return b.concat({b1, b2a, b2b, b3a, b3b, b4}, name + "/concat");
+}
+
+} // namespace
+
+graph::Graph
+buildInceptionV4(std::int64_t batch)
+{
+    GraphBuilder b("inception_v4", batch);
+    NodeId x = detail::inceptionV4Stem(b);
+
+    for (int i = 0; i < 4; ++i)
+        x = inceptionA(b, x, util::format("mixed_5%c", 'b' + i));
+    x = reductionA(b, x, "mixed_6a");
+    for (int i = 0; i < 7; ++i)
+        x = inceptionB(b, x, util::format("mixed_6%c", 'b' + i));
+    x = reductionB(b, x, "mixed_7a");
+    for (int i = 0; i < 3; ++i)
+        x = inceptionC(b, x, util::format("mixed_7%c", 'b' + i));
+
+    x = b.globalAvgPool(x, "pool");
+    x = b.dropout(x, "drop");
+    x = b.fullyConnected(x, 1000, /*relu=*/false, "logits");
+
+    const NodeId loss = b.softmaxLoss(x);
+    graph::addTrainingOps(b.graph(), loss);
+    return b.finish();
+}
+
+} // namespace models
+} // namespace ceer

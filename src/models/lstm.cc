@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A two-layer-free, single-cell LSTM sequence classifier (paper
+ * Sec. VI: RNNs are explicitly future work).
+ *
+ * Unrolled BPTT over 64 time steps: per step a feature concat
+ * [x_t, h_{t-1}], one fused-gate MatMul (the 4 gates computed in one
+ * [1024, 2048] product, as cuDNN-era kernels do), gate nonlinearities
+ * and the cell-state update. Unlike the Transformer, almost every
+ * kernel here (MatMul, ConcatV2, Slice, Mul, AddV2) is already covered
+ * by CNN training profiles — only Sigmoid is new, and it is light —
+ * so a CNN-trained Ceer predicts this model far better than the
+ * Transformer (see bench/ext_unseen_ops).
+ *
+ * Modeling note: each step emits its own weight-gradient MatMul and
+ * update op, where TF's BPTT would sum the 64 step gradients into one
+ * update. The extra update ops are launch-only (Trivial category), so
+ * the timing difference is negligible; parameter counts are exact
+ * because variables are registered once.
+ */
+
+#include "models/model_zoo.h"
+
+#include "graph/autodiff.h"
+#include "graph/builder.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace models {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::TensorShape;
+
+namespace {
+
+constexpr int kSteps = 64;
+constexpr std::int64_t kEmbedDim = 512;
+constexpr std::int64_t kHiddenDim = 512;
+constexpr std::int64_t kVocab = 10000;
+
+} // namespace
+
+graph::Graph
+buildLstmClassifier(std::int64_t batch)
+{
+    GraphBuilder b("lstm_classifier", batch);
+    const NodeId tokens = b.tokenInput(kSteps);
+    const NodeId embedded =
+        b.embedding(tokens, kVocab, kEmbedDim, "embeddings");
+
+    // Fused gate weights [x_t ; h] -> [i f g o], registered once.
+    const TensorShape gate_weights{kEmbedDim + kHiddenDim,
+                                   4 * kHiddenDim};
+    const TensorShape gate_bias = TensorShape::vector(4 * kHiddenDim);
+    b.graph().addParamVar("cell/weights", gate_weights);
+    b.graph().addParamVar("cell/bias", gate_bias);
+
+    const TensorShape state = TensorShape::matrix(batch, kHiddenDim);
+    const TensorShape gates = TensorShape::matrix(batch,
+                                                  4 * kHiddenDim);
+
+    NodeId h = b.graph().addNode("cell/h0", graph::OpType::Fill, {}, {},
+                                 state);
+    NodeId c = b.graph().addNode("cell/c0", graph::OpType::Fill, {}, {},
+                                 state);
+
+    graph::OpAttrs matmul_attrs;
+    matmul_attrs.filterShape = gate_weights;
+    graph::OpAttrs bias_attrs;
+    bias_attrs.filterShape = gate_bias;
+
+    for (int t = 0; t < kSteps; ++t) {
+        const std::string step = util::format("step_%02d", t);
+        const NodeId x = b.timeStep(embedded, step + "/input");
+        const NodeId xh = b.concat({x, h}, step);
+        const NodeId preact = b.graph().addNode(
+            step + "/gates/MatMul", graph::OpType::MatMul, {xh},
+            {gate_weights}, gates, matmul_attrs);
+        const NodeId biased = b.graph().addNode(
+            step + "/gates/BiasAdd", graph::OpType::BiasAdd, {preact},
+            {gate_bias}, gates, bias_attrs);
+
+        // Gate slices: input, forget, output, candidate.
+        auto gate = [&](const char *name) {
+            return b.graph().addNode(
+                step + "/" + name + "/Slice", graph::OpType::Slice,
+                {biased}, {}, state);
+        };
+        const NodeId input_gate =
+            b.sigmoid(gate("i"), step + "/i");
+        const NodeId forget_gate =
+            b.sigmoid(gate("f"), step + "/f");
+        const NodeId output_gate =
+            b.sigmoid(gate("o"), step + "/o");
+        const NodeId candidate = b.tanh(gate("g"), step + "/g");
+
+        // c_t = f * c + i * g; h_t = o * tanh(c_t).
+        const NodeId keep = b.graph().addNode(
+            step + "/keep/Mul", graph::OpType::Mul, {forget_gate, c},
+            {}, state);
+        const NodeId write = b.graph().addNode(
+            step + "/write/Mul", graph::OpType::Mul,
+            {input_gate, candidate}, {}, state);
+        c = b.add(keep, write, step + "/cell");
+        const NodeId cell_act = b.tanh(c, step + "/cell");
+        h = b.graph().addNode(step + "/h/Mul", graph::OpType::Mul,
+                              {output_gate, cell_act}, {}, state);
+    }
+
+    const NodeId logits = b.fullyConnected(h, 2, false, "classifier");
+    const NodeId loss = b.softmaxLoss(logits);
+    graph::addTrainingOps(b.graph(), loss);
+    return b.finish();
+}
+
+} // namespace models
+} // namespace ceer

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * MobileNet-v1 (Howard et al., 2017): 13 depthwise-separable blocks.
+ *
+ * Also outside the paper's zoo. MobileNet is the canonical instance of
+ * the paper's Sec. IV-D caveat that "new operations may be developed
+ * over time by researchers": its DepthwiseConv2dNative kernels did not
+ * exist in the CNNs the paper profiles, so a Ceer trained on that zoo
+ * hits the unseen-heavy-op fallback even though MobileNet is a plain
+ * image-classification CNN (see bench/ext_unseen_ops). ~4.2M params.
+ */
+
+#include "models/model_zoo.h"
+
+#include "graph/autodiff.h"
+#include "graph/builder.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace models {
+
+using graph::ConvOptions;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+namespace {
+
+/** Depthwise 3x3 + pointwise 1x1, each with BN + ReLU. */
+NodeId
+separableBlock(GraphBuilder &b, NodeId x, std::int64_t out_channels,
+               int stride, const std::string &name)
+{
+    NodeId out = b.depthwiseConv2d(x, 3, stride, name + "/dw");
+    ConvOptions pointwise;
+    pointwise.batchNorm = true;
+    pointwise.bias = false;
+    pointwise.relu = true;
+    return b.conv2d(out, out_channels, 1, 1, pointwise, name + "/pw");
+}
+
+} // namespace
+
+graph::Graph
+buildMobileNetV1(std::int64_t batch)
+{
+    GraphBuilder b("mobilenet_v1", batch);
+    NodeId x = b.imageInput(224, 224, 3);
+    x = b.transpose(x, "data_format");
+
+    ConvOptions stem;
+    stem.batchNorm = true;
+    stem.relu = true;
+    stem.strideH = stem.strideW = 2;
+    x = b.conv2d(x, 32, 3, 3, stem, "conv1");
+
+    struct BlockSpec
+    {
+        std::int64_t channels;
+        int stride;
+    };
+    const BlockSpec blocks[] = {
+        {64, 1},  {128, 2}, {128, 1}, {256, 2},  {256, 1},
+        {512, 2}, {512, 1}, {512, 1}, {512, 1},  {512, 1},
+        {512, 1}, {1024, 2}, {1024, 1},
+    };
+    int index = 0;
+    for (const BlockSpec &block : blocks) {
+        x = separableBlock(b, x, block.channels, block.stride,
+                           util::format("block_%02d", ++index));
+    }
+
+    x = b.globalAvgPool(x, "pool");
+    x = b.dropout(x, "drop");
+    x = b.fullyConnected(x, 1000, /*relu=*/false, "logits");
+
+    const NodeId loss = b.softmaxLoss(x);
+    graph::addTrainingOps(b.graph(), loss);
+    return b.finish();
+}
+
+} // namespace models
+} // namespace ceer

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The 12-CNN model zoo from the paper's empirical study.
+ *
+ * Training set (8): VGG-11, VGG-16, Inception-v1, Inception-v4,
+ * ResNet-50, ResNet-152, ResNet-200, Inception-ResNet-v2.
+ * Test set (4): Inception-v3, AlexNet, ResNet-101, VGG-19.
+ *
+ * Every builder produces a full training graph (forward + backward +
+ * optimizer + data pipeline) at a given per-GPU batch size, with layer
+ * configurations taken from the architectures' original papers so that
+ * op mixes, tensor shapes and parameter counts are realistic
+ * (e.g. AlexNet ~61M params, VGG-19 ~144M, Inception-v1 ~6.6M).
+ */
+
+#ifndef CEER_MODELS_MODEL_ZOO_H
+#define CEER_MODELS_MODEL_ZOO_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ceer {
+namespace models {
+
+/** AlexNet (227x227 input, LRN, dropout, 3 FC layers; ~61M params). */
+graph::Graph buildAlexNet(std::int64_t batch);
+
+/**
+ * VGG-A/D/E (224x224, 2x2 max pools, 3 FC layers).
+ *
+ * @param layers One of 11, 16, 19.
+ * @param batch  Per-GPU batch size.
+ */
+graph::Graph buildVgg(int layers, std::int64_t batch);
+
+/** GoogLeNet / Inception-v1 (224x224, LRN stem, 9 inception modules). */
+graph::Graph buildInceptionV1(std::int64_t batch);
+
+/** Inception-v3 (299x299, factorized 7x1/1x7 modules; ~24M params). */
+graph::Graph buildInceptionV3(std::int64_t batch);
+
+/** Inception-v4 (299x299, deeper stem and more modules; ~43M params). */
+graph::Graph buildInceptionV4(std::int64_t batch);
+
+/**
+ * ResNet-v2 with pre-activation bottleneck blocks (224x224).
+ *
+ * @param layers One of 50, 101, 152, 200.
+ * @param batch  Per-GPU batch size.
+ */
+graph::Graph buildResNetV2(int layers, std::int64_t batch);
+
+/** Inception-ResNet-v2 (299x299, scaled residual inception; ~56M). */
+graph::Graph buildInceptionResNetV2(std::int64_t batch);
+
+/**
+ * BERT-base-style Transformer encoder (~110M params). NOT part of the
+ * paper's 12-CNN zoo: built to exercise the paper's unseen-operation
+ * limitation (Secs. IV-D, VI); see bench/ext_unseen_ops.
+ */
+graph::Graph buildTransformerEncoder(std::int64_t batch);
+
+/**
+ * Unrolled LSTM sequence classifier (~7.5M params, 64 steps). Also
+ * outside the zoo (paper Sec. VI: RNNs are future work); unlike the
+ * Transformer its kernels are mostly CNN-known, so it is the
+ * "predictable without retraining" contrast in bench/ext_unseen_ops.
+ */
+graph::Graph buildLstmClassifier(std::int64_t batch);
+
+/**
+ * MobileNet-v1 (~4.2M params). A CNN, but built on depthwise
+ * convolutions the paper's zoo never exercises — the canonical
+ * "new operation developed over time" of Sec. IV-D. Outside the zoo.
+ */
+graph::Graph buildMobileNetV1(std::int64_t batch);
+
+/**
+ * Builds a model by zoo name (e.g. "vgg_16", "resnet_101").
+ * Fatals on unknown names; see allModelNames().
+ */
+graph::Graph buildModel(const std::string &name, std::int64_t batch);
+
+/** All 12 zoo model names. */
+const std::vector<std::string> &allModelNames();
+
+/** The paper's 8 training-set model names. */
+const std::vector<std::string> &trainingSetNames();
+
+/** The paper's 4 test-set model names. */
+const std::vector<std::string> &testSetNames();
+
+/** Default input resolution (height == width) for a zoo model. */
+int modelInputSize(const std::string &name);
+
+} // namespace models
+} // namespace ceer
+
+#endif // CEER_MODELS_MODEL_ZOO_H

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Name-based model registry and the paper's train/test split.
+ */
+
+#include "models/model_zoo.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace models {
+
+graph::Graph
+buildModel(const std::string &name, std::int64_t batch)
+{
+    if (name == "alexnet")
+        return buildAlexNet(batch);
+    if (name == "vgg_11")
+        return buildVgg(11, batch);
+    if (name == "vgg_16")
+        return buildVgg(16, batch);
+    if (name == "vgg_19")
+        return buildVgg(19, batch);
+    if (name == "inception_v1")
+        return buildInceptionV1(batch);
+    if (name == "inception_v3")
+        return buildInceptionV3(batch);
+    if (name == "inception_v4")
+        return buildInceptionV4(batch);
+    if (name == "resnet_50")
+        return buildResNetV2(50, batch);
+    if (name == "resnet_101")
+        return buildResNetV2(101, batch);
+    if (name == "resnet_152")
+        return buildResNetV2(152, batch);
+    if (name == "resnet_200")
+        return buildResNetV2(200, batch);
+    if (name == "inception_resnet_v2")
+        return buildInceptionResNetV2(batch);
+    // Outside the 12-CNN zoo (paper Sec. VI future work).
+    if (name == "transformer_encoder")
+        return buildTransformerEncoder(batch);
+    if (name == "lstm_classifier")
+        return buildLstmClassifier(batch);
+    if (name == "mobilenet_v1")
+        return buildMobileNetV1(batch);
+    util::fatal("unknown model '" + name + "'; known models: " +
+                util::join(allModelNames(), ", "));
+}
+
+const std::vector<std::string> &
+allModelNames()
+{
+    static const std::vector<std::string> names = {
+        "alexnet",      "vgg_11",       "vgg_16",
+        "vgg_19",       "inception_v1", "inception_v3",
+        "inception_v4", "resnet_50",    "resnet_101",
+        "resnet_152",   "resnet_200",   "inception_resnet_v2",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+trainingSetNames()
+{
+    // The 8 CNNs the paper trains Ceer's models on (Sec. III).
+    static const std::vector<std::string> names = {
+        "vgg_11",       "vgg_16",       "inception_v1",
+        "inception_v4", "resnet_50",    "resnet_152",
+        "resnet_200",   "inception_resnet_v2",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+testSetNames()
+{
+    // The 4 held-out CNNs used for validation/evaluation (Secs. IV-V).
+    static const std::vector<std::string> names = {
+        "inception_v3", "alexnet", "resnet_101", "vgg_19",
+    };
+    return names;
+}
+
+int
+modelInputSize(const std::string &name)
+{
+    if (name == "alexnet")
+        return 227;
+    if (util::startsWith(name, "inception") && name != "inception_v1")
+        return 299;
+    return 224;
+}
+
+} // namespace models
+} // namespace ceer

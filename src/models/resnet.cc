@@ -1,0 +1,121 @@
+/**
+ * @file
+ * ResNet-v2 (He et al., 2016) with pre-activation bottleneck blocks.
+ * Depths 50/101/152/200 differ only in the per-stage block counts.
+ * ResNets are AddV2/AddN-heavy (the shortcut connections) and
+ * FusedBatchNorm-heavy, with few pooling ops — the property the paper
+ * uses to explain why G4 beats P3 on cost for ResNet-101 (Sec. V).
+ */
+
+#include "models/model_zoo.h"
+
+#include <vector>
+
+#include "graph/autodiff.h"
+#include "graph/builder.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace models {
+
+using graph::ConvOptions;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::PaddingMode;
+
+namespace {
+
+/** Raw convolution: no BN, no bias, no activation (pre-activation). */
+ConvOptions
+rawConv(int stride)
+{
+    ConvOptions options;
+    options.batchNorm = false;
+    options.bias = false;
+    options.relu = false;
+    options.strideH = options.strideW = stride;
+    return options;
+}
+
+/**
+ * One pre-activation bottleneck block: BN-ReLU, then 1x1/3x3/1x1 convs
+ * of widths w/w/4w, plus identity or projection shortcut.
+ */
+NodeId
+bottleneckBlock(GraphBuilder &b, NodeId x, int width, int stride,
+                bool project, const std::string &name)
+{
+    NodeId preact = b.batchNorm(x, name + "/preact");
+    preact = b.relu(preact, name + "/preact");
+
+    NodeId shortcut = x;
+    if (project) {
+        shortcut =
+            b.conv2d(preact, 4 * width, 1, 1, rawConv(stride),
+                     name + "/shortcut");
+    }
+
+    NodeId y = b.conv2d(preact, width, 1, 1, rawConv(1), name + "/conv1");
+    y = b.batchNorm(y, name + "/conv1");
+    y = b.relu(y, name + "/conv1");
+    y = b.conv2d(y, width, 3, 3, rawConv(stride), name + "/conv2");
+    y = b.batchNorm(y, name + "/conv2");
+    y = b.relu(y, name + "/conv2");
+    y = b.conv2d(y, 4 * width, 1, 1, rawConv(1), name + "/conv3");
+
+    return b.add(shortcut, y, name + "/add");
+}
+
+} // namespace
+
+graph::Graph
+buildResNetV2(int layers, std::int64_t batch)
+{
+    std::vector<int> blocks_per_stage;
+    switch (layers) {
+      case 50:  blocks_per_stage = {3, 4, 6, 3}; break;
+      case 101: blocks_per_stage = {3, 4, 23, 3}; break;
+      case 152: blocks_per_stage = {3, 8, 36, 3}; break;
+      case 200: blocks_per_stage = {3, 24, 36, 3}; break;
+      default:
+        util::fatal(util::format("buildResNetV2: unsupported depth %d "
+                                 "(use 50, 101, 152 or 200)", layers));
+    }
+    const int widths[4] = {64, 128, 256, 512};
+
+    GraphBuilder b(util::format("resnet_%d", layers), batch);
+    NodeId x = b.imageInput(224, 224, 3);
+    x = b.transpose(x, "data_format");
+
+    // Stem, TF-official style: explicit 3-pixel Pad, then a VALID
+    // 7x7/2 conv (224 -> 230 -> 112) and a 3x3/2 max pool -> 56x56.
+    x = b.pad(x, 3, "conv1_pad");
+    ConvOptions stem = rawConv(2);
+    stem.padding = PaddingMode::Valid;
+    x = b.conv2d(x, 64, 7, 7, stem, "conv1");
+    x = b.maxPool(x, 3, 2, PaddingMode::Same, "pool1");
+
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int block = 0; block < blocks_per_stage[stage]; ++block) {
+            // Downsample at the first block of stages 2-4.
+            const int stride = (stage > 0 && block == 0) ? 2 : 1;
+            const bool project = block == 0;
+            x = bottleneckBlock(
+                b, x, widths[stage], stride, project,
+                util::format("stage%d/block%d", stage + 1, block + 1));
+        }
+    }
+
+    x = b.batchNorm(x, "postnorm");
+    x = b.relu(x, "postnorm");
+    x = b.globalAvgPool(x, "pool5");
+    x = b.fullyConnected(x, 1000, /*relu=*/false, "logits");
+
+    const NodeId loss = b.softmaxLoss(x);
+    graph::addTrainingOps(b.graph(), loss);
+    return b.finish();
+}
+
+} // namespace models
+} // namespace ceer

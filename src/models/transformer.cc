@@ -1,0 +1,123 @@
+/**
+ * @file
+ * A BERT-base-style Transformer encoder for sequence classification.
+ *
+ * NOT part of the paper's 12-CNN zoo: the paper (Sec. VI) explicitly
+ * leaves RNNs/Transformers as future work and notes that Ceer cannot
+ * predict models containing heavy operations unseen during training
+ * (Sec. IV-D). This model exists to exercise exactly that limitation:
+ * its BatchMatMul / LayerNorm / Gelu / Gather kernels never appear in
+ * the CNN training set (see bench/ext_unseen_ops).
+ *
+ * Configuration (BERT-base): 12 layers, d_model 768, 12 heads,
+ * feed-forward 3072, sequence length 128, vocab 30522 -> ~110M
+ * trainable parameters.
+ */
+
+#include "models/model_zoo.h"
+
+#include "graph/autodiff.h"
+#include "graph/builder.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace models {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::TensorShape;
+
+namespace {
+
+constexpr int kLayers = 12;
+constexpr std::int64_t kModelDim = 768;
+constexpr std::int64_t kHeads = 12;
+constexpr std::int64_t kFeedForward = 3072;
+constexpr int kSeqLen = 128;
+constexpr std::int64_t kVocab = 30522;
+
+/**
+ * One encoder layer over a [N*S, d] activation; returns the same
+ * shape. Post-norm residual structure, as in the original BERT.
+ */
+NodeId
+encoderLayer(GraphBuilder &b, NodeId x, std::int64_t batch,
+             const std::string &name)
+{
+    const std::int64_t head_dim = kModelDim / kHeads;
+    const TensorShape heads_shape{batch * kHeads, kSeqLen, head_dim};
+    const TensorShape scores_shape{batch * kHeads, kSeqLen, kSeqLen};
+    const TensorShape flat_shape =
+        TensorShape::matrix(batch * kSeqLen, kModelDim);
+
+    // Q, K, V projections (dense layers over the token axis).
+    const NodeId q = b.reshape(
+        b.fullyConnected(x, kModelDim, false, name + "/att/q"),
+        heads_shape, name + "/att/q_heads");
+    const NodeId k = b.reshape(
+        b.fullyConnected(x, kModelDim, false, name + "/att/k"),
+        heads_shape, name + "/att/k_heads");
+    const NodeId v = b.reshape(
+        b.fullyConnected(x, kModelDim, false, name + "/att/v"),
+        heads_shape, name + "/att/v_heads");
+
+    // Attention: scores = QK' / sqrt(d), softmax, context = scores V.
+    NodeId scores = b.batchMatMul(q, k, scores_shape, name + "/att/qk");
+    scores = b.scale(scores, name + "/att/scale");
+    const NodeId probs = b.graph().addNode(
+        name + "/att/Softmax", graph::OpType::Softmax, {scores}, {},
+        scores_shape);
+    NodeId context =
+        b.batchMatMul(probs, v, heads_shape, name + "/att/ctx");
+    context = b.reshape(context, flat_shape, name + "/att/merge");
+    context = b.fullyConnected(context, kModelDim, false,
+                               name + "/att/out");
+
+    // Residual + layer norm.
+    NodeId attended = b.add(x, context, name + "/att/residual");
+    attended = b.layerNorm(attended, name + "/att");
+
+    // Feed-forward block with GELU.
+    NodeId ff = b.fullyConnected(attended, kFeedForward, false,
+                                 name + "/ff/in");
+    ff = b.gelu(ff, name + "/ff");
+    ff = b.fullyConnected(ff, kModelDim, false, name + "/ff/out");
+
+    NodeId out = b.add(attended, ff, name + "/ff/residual");
+    return b.layerNorm(out, name + "/ff");
+}
+
+} // namespace
+
+graph::Graph
+buildTransformerEncoder(std::int64_t batch)
+{
+    GraphBuilder b("transformer_encoder", batch);
+    const NodeId tokens = b.tokenInput(kSeqLen);
+
+    NodeId x = b.embedding(tokens, kVocab, kModelDim, "embeddings");
+    x = b.positionalEmbedding(x, "positions");
+    x = b.layerNorm(x, "embeddings");
+    x = b.reshape(x, TensorShape::matrix(batch * kSeqLen, kModelDim),
+                  "flatten_tokens");
+
+    for (int layer = 0; layer < kLayers; ++layer)
+        x = encoderLayer(b, x, batch,
+                         util::format("layer_%d", layer));
+
+    // BERT-style pooler over the leading token, then a 2-class head.
+    x = b.reshape(x, TensorShape{batch, kSeqLen, kModelDim},
+                  "unflatten_tokens");
+    NodeId pooled = b.firstToken(x, "pooler");
+    pooled = b.fullyConnected(pooled, kModelDim, false, "pooler/dense");
+    pooled = b.tanh(pooled, "pooler");
+    const NodeId logits =
+        b.fullyConnected(pooled, 2, false, "classifier");
+
+    const NodeId loss = b.softmaxLoss(logits);
+    graph::addTrainingOps(b.graph(), loss);
+    return b.finish();
+}
+
+} // namespace models
+} // namespace ceer

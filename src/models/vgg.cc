@@ -1,0 +1,71 @@
+/**
+ * @file
+ * VGG (Simonyan & Zisserman, 2014), configurations A (11 layers),
+ * D (16) and E (19). Uniform 3x3 convolutions with biases (no batch
+ * norm), 2x2 max pools, and the three large FC layers that give VGG its
+ * ~130-145M parameter counts — the top of the paper's Fig. 7 x-axis.
+ */
+
+#include "models/model_zoo.h"
+
+#include <vector>
+
+#include "graph/autodiff.h"
+#include "graph/builder.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace models {
+
+using graph::ConvOptions;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::PaddingMode;
+
+graph::Graph
+buildVgg(int layers, std::int64_t batch)
+{
+    // Convs per stage for the five stages (channel widths 64..512).
+    std::vector<int> convs_per_stage;
+    switch (layers) {
+      case 11: convs_per_stage = {1, 1, 2, 2, 2}; break;
+      case 16: convs_per_stage = {2, 2, 3, 3, 3}; break;
+      case 19: convs_per_stage = {2, 2, 4, 4, 4}; break;
+      default:
+        util::fatal(util::format("buildVgg: unsupported depth %d "
+                                 "(use 11, 16 or 19)", layers));
+    }
+    const int widths[5] = {64, 128, 256, 512, 512};
+
+    GraphBuilder b(util::format("vgg_%d", layers), batch);
+    NodeId x = b.imageInput(224, 224, 3);
+    x = b.transpose(x, "data_format");
+
+    ConvOptions biased;
+    biased.batchNorm = false;
+    biased.bias = true;
+    biased.relu = true;
+
+    for (int stage = 0; stage < 5; ++stage) {
+        for (int i = 0; i < convs_per_stage[stage]; ++i) {
+            x = b.conv2d(x, widths[stage], 3, 3, biased,
+                         util::format("conv%d_%d", stage + 1, i + 1));
+        }
+        x = b.maxPool(x, 2, 2, PaddingMode::Valid,
+                      util::format("pool%d", stage + 1));
+    }
+
+    x = b.fullyConnected(x, 4096, /*relu=*/true, "fc6");
+    x = b.dropout(x, "drop6");
+    x = b.fullyConnected(x, 4096, /*relu=*/true, "fc7");
+    x = b.dropout(x, "drop7");
+    x = b.fullyConnected(x, 1000, /*relu=*/false, "fc8");
+
+    const NodeId loss = b.softmaxLoss(x);
+    graph::addTrainingOps(b.graph(), loss);
+    return b.finish();
+}
+
+} // namespace models
+} // namespace ceer

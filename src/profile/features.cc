@@ -1,0 +1,38 @@
+#include "profile/features.h"
+
+#include "hw/op_cost.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace profile {
+
+std::vector<double>
+opFeatures(const graph::Node &node)
+{
+    std::vector<double> features(kNumOpFeatures, 0.0);
+    features[0] = static_cast<double>(node.inputBytes());
+    if (!node.inputShapes.empty()) {
+        features[1] =
+            static_cast<double>(node.inputShapes[0].numBytes(node.dtype));
+    }
+    if (node.inputShapes.size() > 1) {
+        features[2] =
+            static_cast<double>(node.inputShapes[1].numBytes(node.dtype));
+    }
+    features[3] = hw::opCost(node).flops;
+    return features;
+}
+
+std::string
+opInstanceKey(const graph::Node &node)
+{
+    std::string key = graph::opTypeName(node.type);
+    for (const auto &shape : node.inputShapes) {
+        key += '|';
+        key += std::to_string(shape.numBytes(node.dtype));
+    }
+    return key;
+}
+
+} // namespace profile
+} // namespace ceer

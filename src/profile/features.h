@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Input-size feature extraction for compute-time modeling.
+ *
+ * The paper's regression features are the operation's input sizes: for
+ * most ops the (total) input tensor size; for Conv2D-style ops both the
+ * activation size and the filter size ("the size of both input images
+ * and the size of the filters serve as input", Sec. IV-B).
+ */
+
+#ifndef CEER_PROFILE_FEATURES_H
+#define CEER_PROFILE_FEATURES_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ceer {
+namespace profile {
+
+/** Number of features produced by opFeatures(). */
+constexpr std::size_t kNumOpFeatures = 4;
+
+/**
+ * Extracts the regression feature vector of an op instance:
+ * { total input bytes, first input bytes, second input bytes (0 if
+ * absent), analytic FLOP count }. The byte features are the paper's
+ * primary input sizes; the FLOP count stands in for the "supplemental
+ * inputs, such as filters, strides, and padding" the paper adds for
+ * Conv2D-style ops (Sec. III-C) — all are derived from DAG metadata
+ * alone. Identical op instances map to identical features.
+ */
+std::vector<double> opFeatures(const graph::Node &node);
+
+/** Stable string key for grouping identical op instances. */
+std::string opInstanceKey(const graph::Node &node);
+
+} // namespace profile
+} // namespace ceer
+
+#endif // CEER_PROFILE_FEATURES_H

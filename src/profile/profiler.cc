@@ -1,0 +1,295 @@
+#include "profile/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "models/model_zoo.h"
+#include "profile/features.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace profile {
+
+using graph::Device;
+using graph::Graph;
+using graph::Node;
+using graph::OpType;
+
+Profiler::Profiler(const Graph &g, std::string model, hw::GpuModel gpu)
+    : graph_(&g), model_(std::move(model)), gpu_(gpu)
+{
+    // Pre-bucket nodes by instance key so observe() is an array index.
+    std::map<std::string, std::size_t> index;
+    nodeToProfile_.reserve(g.size());
+    for (const Node &node : g.nodes()) {
+        const std::string key = opInstanceKey(node);
+        auto it = index.find(key);
+        if (it == index.end()) {
+            OpProfile profile;
+            profile.model = model_;
+            profile.gpu = gpu_;
+            profile.op = node.type;
+            profile.onCpu = node.device() == Device::Cpu;
+            profile.features = opFeatures(node);
+            it = index.emplace(key, profiles_.size()).first;
+            profiles_.push_back(std::move(profile));
+        }
+        profiles_[it->second].occurrences++;
+        nodeToProfile_.push_back(it->second);
+    }
+}
+
+void
+Profiler::observe(const Node &node, double time_us)
+{
+    OpProfile &profile =
+        profiles_[nodeToProfile_[static_cast<std::size_t>(node.id)]];
+    profile.timeUs.add(time_us);
+    profile.samples.add(time_us);
+}
+
+std::vector<OpProfile>
+Profiler::takeProfiles()
+{
+    return std::move(profiles_);
+}
+
+void
+ProfileDataset::add(std::vector<OpProfile> profiles)
+{
+    for (auto &profile : profiles)
+        ops_.push_back(std::move(profile));
+}
+
+void
+ProfileDataset::addIteration(const IterationProfile &profile)
+{
+    iterations_.push_back(profile);
+}
+
+std::vector<const OpProfile *>
+ProfileDataset::opsFor(hw::GpuModel gpu) const
+{
+    std::vector<const OpProfile *> out;
+    for (const auto &profile : ops_)
+        if (profile.gpu == gpu)
+            out.push_back(&profile);
+    return out;
+}
+
+std::vector<const OpProfile *>
+ProfileDataset::opsFor(hw::GpuModel gpu, OpType op) const
+{
+    std::vector<const OpProfile *> out;
+    for (const auto &profile : ops_)
+        if (profile.gpu == gpu && profile.op == op)
+            out.push_back(&profile);
+    return out;
+}
+
+double
+ProfileDataset::meanTimeUs(hw::GpuModel gpu, OpType op) const
+{
+    // Execution-weighted mean across instances.
+    double total = 0.0;
+    double count = 0.0;
+    for (const auto &profile : ops_) {
+        if (profile.gpu != gpu || profile.op != op)
+            continue;
+        total += profile.timeUs.sum();
+        count += static_cast<double>(profile.timeUs.count());
+    }
+    return count > 0.0 ? total / count : 0.0;
+}
+
+std::vector<OpType>
+ProfileDataset::opTypes(hw::GpuModel gpu) const
+{
+    std::set<OpType> seen;
+    for (const auto &profile : ops_)
+        if (profile.gpu == gpu)
+            seen.insert(profile.op);
+    return {seen.begin(), seen.end()};
+}
+
+void
+ProfileDataset::saveCsv(std::ostream &out) const
+{
+    util::CsvWriter writer(out);
+    writer.writeRow({"kind", "model", "gpu", "op", "device",
+                     "occurrences", "count", "mean_us", "stddev_us",
+                     "features", "samples"});
+    for (const auto &run : iterations_) {
+        writer.writeRow({
+            "iter",
+            run.model,
+            hw::gpuModelName(run.gpu),
+            std::to_string(run.numGpus),
+            std::to_string(run.paramCount),
+            "",
+            "",
+            util::format("%.9g", run.meanIterationUs),
+            util::format("%.9g", run.meanComputeUs),
+            util::format("%.9g", run.meanCommUs),
+            "",
+        });
+    }
+    for (const auto &profile : ops_) {
+        std::vector<std::string> feature_text;
+        for (double f : profile.features)
+            feature_text.push_back(util::format("%.17g", f));
+        std::vector<std::string> sample_text;
+        for (double s : profile.samples.samples())
+            sample_text.push_back(util::format("%.6g", s));
+        writer.writeRow({
+            "op",
+            profile.model,
+            hw::gpuModelName(profile.gpu),
+            graph::opTypeName(profile.op),
+            profile.onCpu ? "cpu" : "gpu",
+            std::to_string(profile.occurrences),
+            std::to_string(profile.timeUs.count()),
+            util::format("%.9g", profile.timeUs.mean()),
+            util::format("%.9g", profile.timeUs.stddev()),
+            util::join(feature_text, ";"),
+            util::join(sample_text, ";"),
+        });
+    }
+}
+
+ProfileDataset
+ProfileDataset::loadCsv(std::istream &in)
+{
+    ProfileDataset dataset;
+    const auto rows = util::readCsv(in);
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        const auto &row = rows[i];
+        if (row.size() < 11)
+            util::fatal(util::format(
+                "ProfileDataset::loadCsv: row %zu has %zu fields", i,
+                row.size()));
+        if (row[0] == "iter") {
+            IterationProfile run;
+            run.model = row[1];
+            if (!hw::gpuModelFromName(row[2], run.gpu))
+                util::fatal("ProfileDataset::loadCsv: bad GPU " +
+                            row[2]);
+            run.numGpus = static_cast<int>(std::stol(row[3]));
+            run.paramCount = std::stoll(row[4]);
+            run.meanIterationUs = std::stod(row[7]);
+            run.meanComputeUs = std::stod(row[8]);
+            run.meanCommUs = std::stod(row[9]);
+            dataset.iterations_.push_back(std::move(run));
+            continue;
+        }
+        if (row[0] != "op")
+            util::fatal("ProfileDataset::loadCsv: unknown row kind '" +
+                        row[0] + "'");
+        OpProfile profile;
+        profile.model = row[1];
+        if (!hw::gpuModelFromName(row[2], profile.gpu))
+            util::fatal("ProfileDataset::loadCsv: bad GPU " + row[2]);
+        if (!graph::opTypeFromName(row[3], profile.op))
+            util::fatal("ProfileDataset::loadCsv: bad op " + row[3]);
+        profile.onCpu = row[4] == "cpu";
+        profile.occurrences =
+            static_cast<std::size_t>(std::stoull(row[5]));
+        const auto count = static_cast<std::size_t>(std::stoull(row[6]));
+        const double mean = std::stod(row[7]);
+        const double stddev = std::stod(row[8]);
+        for (const auto &text : util::split(row[9], ';'))
+            if (!text.empty())
+                profile.features.push_back(std::stod(text));
+        for (const auto &text : util::split(row[10], ';'))
+            if (!text.empty())
+                profile.samples.add(std::stod(text));
+        // Rebuild approximate RunningStats from (count, mean, stddev):
+        // we reconstruct a two-point distribution with those moments.
+        if (count == 1) {
+            profile.timeUs.add(mean);
+        } else if (count > 1) {
+            const double half =
+                stddev * std::sqrt(static_cast<double>(count - 1) /
+                                   static_cast<double>(count));
+            for (std::size_t j = 0; j < count; ++j)
+                profile.timeUs.add(j % 2 == 0 ? mean + half
+                                              : mean - half);
+        }
+        dataset.ops_.push_back(std::move(profile));
+    }
+    return dataset;
+}
+
+std::pair<std::vector<OpProfile>, IterationProfile>
+profileRun(const Graph &g, const std::string &model_name,
+           const sim::SimConfig &config, int iterations)
+{
+    Profiler profiler(g, model_name, config.gpu);
+    sim::TrainingSimulator simulator(g, config);
+    const sim::RunStats stats =
+        simulator.run(iterations, profiler.observer());
+
+    IterationProfile run;
+    run.model = model_name;
+    run.gpu = config.gpu;
+    run.numGpus = config.numGpus;
+    run.paramCount = g.totalParameters();
+    run.meanIterationUs = stats.iterationUs.mean();
+    run.meanComputeUs = stats.computeUs.mean();
+    run.meanCommUs = stats.commUs.mean();
+    return {profiler.takeProfiles(), run};
+}
+
+ProfileDataset
+collectProfiles(const std::vector<std::string> &model_names,
+                const CollectOptions &options)
+{
+    ProfileDataset dataset;
+    std::uint64_t run_index = 0;
+    for (const auto &name : model_names) {
+        const Graph g = models::buildModel(name, options.batch);
+        for (hw::GpuModel gpu : hw::allGpuModels()) {
+            sim::SimConfig config;
+            config.gpu = gpu;
+            config.numGpus = 1;
+            config.gpusPerHost = options.gpusPerHost;
+            config.seed = options.seed + 1000 * run_index++;
+            auto [profiles, run] =
+                profileRun(g, name, config, options.iterations);
+            dataset.add(std::move(profiles));
+            dataset.addIteration(run);
+
+            if (!options.multiGpuRuns)
+                continue;
+            for (int k = 2; k <= options.maxGpus; ++k) {
+                sim::SimConfig multi = config;
+                multi.numGpus = k;
+                multi.seed = options.seed + 1000 * run_index++;
+                // Run-level only: op times match the k=1 case by
+                // construction (same per-GPU batch), as in the paper.
+                sim::TrainingSimulator simulator(g, multi);
+                const sim::RunStats stats =
+                    simulator.run(options.iterations);
+                IterationProfile multi_run;
+                multi_run.model = name;
+                multi_run.gpu = gpu;
+                multi_run.numGpus = k;
+                multi_run.paramCount = g.totalParameters();
+                multi_run.meanIterationUs = stats.iterationUs.mean();
+                multi_run.meanComputeUs = stats.computeUs.mean();
+                multi_run.meanCommUs = stats.commUs.mean();
+                dataset.addIteration(multi_run);
+            }
+        }
+        CEER_LOG(Info) << "profiled " << name << " on "
+                       << hw::allGpuModels().size() << " GPU models";
+    }
+    return dataset;
+}
+
+} // namespace profile
+} // namespace ceer

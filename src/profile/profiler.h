@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Operation-level profiler: aggregates per-instance compute-time
+ * statistics over many simulated training iterations, reproducing the
+ * paper's empirical-study methodology (Sec. III: 1,000 iterations per
+ * CNN per GPU, statistics per {operation, input size} pair).
+ */
+
+#ifndef CEER_PROFILE_PROFILER_H
+#define CEER_PROFILE_PROFILER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "hw/gpu_spec.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace ceer {
+namespace profile {
+
+/**
+ * Aggregated timings of one {op type, input sizes} instance within one
+ * (CNN, GPU) profiling run.
+ */
+struct OpProfile
+{
+    std::string model;            ///< CNN name.
+    hw::GpuModel gpu;             ///< GPU the run executed on.
+    graph::OpType op;             ///< Operation type.
+    bool onCpu = false;           ///< Device placement.
+    std::vector<double> features; ///< Input-size features (bytes).
+    std::size_t occurrences = 0;  ///< Graph nodes mapping to this entry.
+    util::RunningStats timeUs;    ///< Per-execution compute times.
+    util::SampleReservoir samples{64}; ///< Bounded samples for medians.
+
+    /** Total input bytes (features[0]). */
+    double inputBytes() const
+    {
+        return features.empty() ? 0.0 : features[0];
+    }
+};
+
+/**
+ * Per-(CNN, GPU, numGpus) run-level aggregate used to train and
+ * validate the communication model.
+ */
+struct IterationProfile
+{
+    std::string model;            ///< CNN name.
+    hw::GpuModel gpu;             ///< GPU model.
+    int numGpus = 1;              ///< Data-parallel width.
+    std::int64_t paramCount = 0;  ///< Trainable parameters.
+    double meanIterationUs = 0.0; ///< Mean per-iteration total time.
+    double meanComputeUs = 0.0;   ///< Mean compute part.
+    double meanCommUs = 0.0;      ///< Mean comm part ("GPU logs").
+};
+
+/**
+ * Observer that buckets op executions by instance key.
+ *
+ * Bind one profiler per (graph, run); pass observer() to
+ * TrainingSimulator::run.
+ */
+class Profiler
+{
+  public:
+    /**
+     * @param g     Graph being profiled (must outlive the profiler).
+     * @param model CNN name recorded into profiles.
+     * @param gpu   GPU model recorded into profiles.
+     */
+    Profiler(const graph::Graph &g, std::string model, hw::GpuModel gpu);
+
+    /** Records one execution of @p node. */
+    void observe(const graph::Node &node, double time_us);
+
+    /** Adapter for TrainingSimulator. */
+    sim::OpObserver
+    observer()
+    {
+        return [this](const graph::Node &node, double t) {
+            observe(node, t);
+        };
+    }
+
+    /** Finished per-instance profiles (moves them out). */
+    std::vector<OpProfile> takeProfiles();
+
+  private:
+    const graph::Graph *graph_;
+    std::string model_;
+    hw::GpuModel gpu_;
+    /// node id -> index into profiles_ (instances are shared between
+    /// identical nodes).
+    std::vector<std::size_t> nodeToProfile_;
+    std::vector<OpProfile> profiles_;
+};
+
+/** The paper's operation-level dataset: profiles across CNNs x GPUs. */
+class ProfileDataset
+{
+  public:
+    /** Appends profiles from one run. */
+    void add(std::vector<OpProfile> profiles);
+
+    /** Appends one run-level iteration profile. */
+    void addIteration(const IterationProfile &profile);
+
+    /** All op profiles. */
+    const std::vector<OpProfile> &ops() const { return ops_; }
+
+    /** All iteration profiles. */
+    const std::vector<IterationProfile> &iterations() const
+    {
+        return iterations_;
+    }
+
+    /** Op profiles for one GPU model. */
+    std::vector<const OpProfile *> opsFor(hw::GpuModel gpu) const;
+
+    /** Op profiles for one (GPU, op type). */
+    std::vector<const OpProfile *> opsFor(hw::GpuModel gpu,
+                                          graph::OpType op) const;
+
+    /** Mean compute time of @p op on @p gpu over all instances. */
+    double meanTimeUs(hw::GpuModel gpu, graph::OpType op) const;
+
+    /** Distinct op types present for @p gpu. */
+    std::vector<graph::OpType> opTypes(hw::GpuModel gpu) const;
+
+    /**
+     * Serializes the dataset to CSV: one "op" row per instance plus
+     * one "iter" row per run-level profile, so a saved dataset can be
+     * reloaded and used to train the full Ceer model (including the
+     * communication fits).
+     */
+    void saveCsv(std::ostream &out) const;
+
+    /** Parses a dataset written by saveCsv. */
+    static ProfileDataset loadCsv(std::istream &in);
+
+  private:
+    std::vector<OpProfile> ops_;
+    std::vector<IterationProfile> iterations_;
+};
+
+/**
+ * Profiles one CNN on one GPU configuration.
+ *
+ * @param g          Training graph.
+ * @param model_name CNN name for the records.
+ * @param config     Simulated deployment.
+ * @param iterations Training iterations to simulate.
+ * @return Op profiles (replica 0) and the run-level aggregate.
+ */
+std::pair<std::vector<OpProfile>, IterationProfile>
+profileRun(const graph::Graph &g, const std::string &model_name,
+           const sim::SimConfig &config, int iterations);
+
+/** Options for collectProfiles(). */
+struct CollectOptions
+{
+    std::int64_t batch = 32;     ///< Per-GPU batch size.
+    int iterations = 200;        ///< Iterations per (CNN, GPU) run.
+    std::uint64_t seed = 42;     ///< Base RNG seed.
+    int maxGpus = 4;             ///< Collect k = 1..maxGpus run levels.
+    bool multiGpuRuns = true;    ///< Also run k > 1 for the comm model.
+    int gpusPerHost = 8;         ///< Topology of the profiled runs.
+};
+
+/**
+ * Runs the paper's empirical study: profiles every named CNN on all
+ * four GPU models (op level at k=1; run level at k=1..maxGpus).
+ */
+ProfileDataset collectProfiles(const std::vector<std::string> &models,
+                               const CollectOptions &options);
+
+} // namespace profile
+} // namespace ceer
+
+#endif // CEER_PROFILE_PROFILER_H

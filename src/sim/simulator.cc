@@ -1,0 +1,140 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ceer {
+namespace sim {
+
+using graph::Device;
+using graph::Node;
+using graph::OpType;
+
+TrainingSimulator::TrainingSimulator(const graph::Graph &g,
+                                     const SimConfig &config)
+    : graph_(&g),
+      config_(config),
+      gpuModel_(config.gpu),
+      cpuModel_(hw::hostSpeedFactor(config.gpu)),
+      commRng_(config.seed, 0xC0FFEEull)
+{
+    if (config.numGpus < 1)
+        util::panic("TrainingSimulator: numGpus must be >= 1");
+    if (config.gpusPerHost < 1)
+        util::panic("TrainingSimulator: gpusPerHost must be >= 1");
+
+    timings_.reserve(g.size());
+    for (const Node &node : g.nodes()) {
+        NodeTiming timing{};
+        timing.onGpu = node.device() == Device::Gpu;
+        if (timing.onGpu) {
+            timing.baseUs = gpuModel_.meanTimeUs(node);
+            timing.sigma = gpuModel_.effectiveSigma(node);
+        } else {
+            timing.cpuMean = cpuModel_.meanTimeUs(node);
+        }
+        timings_.push_back(timing);
+
+        if (node.type == OpType::IteratorGetNext) {
+            inputBytes_ += static_cast<double>(node.outputBytes());
+        }
+    }
+    paramBytes_ = static_cast<double>(g.totalParameters()) * 4.0;
+
+    replicaRngs_.reserve(static_cast<std::size_t>(config.numGpus));
+    for (int r = 0; r < config.numGpus; ++r)
+        replicaRngs_.emplace_back(config.seed,
+                                  static_cast<std::uint64_t>(r) + 1);
+}
+
+double
+TrainingSimulator::sampleNode(std::size_t index, util::Rng &rng) const
+{
+    const NodeTiming &timing = timings_[index];
+    if (timing.onGpu)
+        return timing.baseUs * rng.lognormalFactor(timing.sigma);
+    constexpr double kShape = 2.78;
+    return timing.cpuMean * rng.gamma(kShape, 1.0 / kShape);
+}
+
+IterationResult
+TrainingSimulator::runIteration()
+{
+    return runIteration(OpObserver());
+}
+
+IterationResult
+TrainingSimulator::runIteration(const OpObserver &observer)
+{
+    IterationResult result;
+    double slowest = 0.0;
+    for (std::size_t r = 0; r < replicaRngs_.size(); ++r) {
+        double replica_total = 0.0;
+        util::Rng &rng = replicaRngs_[r];
+        for (std::size_t i = 0; i < timings_.size(); ++i) {
+            const double t = sampleNode(i, rng);
+            replica_total += t;
+            if (r == 0 && observer)
+                observer(graph_->nodes()[i], t);
+        }
+        slowest = std::max(slowest, replica_total);
+    }
+    result.computeUs = slowest;
+    result.commUs = hw::sampleCommOverheadUs(
+        config_.gpu, config_.numGpus, paramBytes_, inputBytes_,
+        commRng_, config_.gpusPerHost);
+    return result;
+}
+
+RunStats
+TrainingSimulator::run(int iterations, const OpObserver &observer)
+{
+    if (iterations < 1)
+        util::panic("TrainingSimulator::run: iterations must be >= 1");
+    RunStats stats;
+    for (int i = 0; i < iterations; ++i) {
+        const IterationResult result = runIteration(observer);
+        stats.iterationUs.add(result.totalUs());
+        stats.computeUs.add(result.computeUs);
+        stats.commUs.add(result.commUs);
+    }
+    return stats;
+}
+
+double
+TrainingSimulator::meanIterationUs() const
+{
+    double compute = 0.0;
+    for (const NodeTiming &timing : timings_)
+        compute += timing.onGpu ? timing.baseUs : timing.cpuMean;
+    return compute + hw::commOverheadUs(config_.gpu, config_.numGpus,
+                                        paramBytes_, inputBytes_,
+                                        config_.gpusPerHost);
+}
+
+TrainingRunEstimate
+simulateTraining(const graph::Graph &g, const SimConfig &config,
+                 std::int64_t dataset_samples, std::int64_t batch_per_gpu,
+                 int sample_iterations)
+{
+    if (dataset_samples <= 0 || batch_per_gpu <= 0)
+        util::panic("simulateTraining: dataset and batch must be > 0");
+    TrainingSimulator simulator(g, config);
+    const RunStats stats = simulator.run(sample_iterations);
+
+    TrainingRunEstimate estimate;
+    const std::int64_t samples_per_iteration =
+        batch_per_gpu * config.numGpus;
+    estimate.iterations = (dataset_samples + samples_per_iteration - 1) /
+                          samples_per_iteration;
+    estimate.meanIterationUs = stats.iterationUs.mean();
+    estimate.totalHours = estimate.meanIterationUs *
+                          static_cast<double>(estimate.iterations) /
+                          3.6e9;
+    return estimate;
+}
+
+} // namespace sim
+} // namespace ceer

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Training-run simulator: executes a CNN training graph on simulated
+ * GPU instances, iteration by iteration.
+ *
+ * This substitutes for the paper's measurement substrate (TensorFlow on
+ * AWS GPU instances). One iteration executes every node of the graph on
+ * its device's timing model, then adds the data-parallel communication
+ * overhead. With k GPUs the whole model is replicated, each replica
+ * keeps the same per-GPU batch (the paper's setup), and the iteration
+ * time is the slowest replica plus synchronization.
+ */
+
+#ifndef CEER_SIM_SIMULATOR_H
+#define CEER_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "hw/device_model.h"
+#include "hw/interconnect.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace ceer {
+namespace sim {
+
+/** Configuration of one simulated training deployment. */
+struct SimConfig
+{
+    hw::GpuModel gpu = hw::GpuModel::V100; ///< GPU silicon.
+    int numGpus = 1;                       ///< Data-parallel replicas.
+    /**
+     * GPUs per host. The paper's instances are single-host (up to 8
+     * GPUs); smaller values spread the replicas across hosts and put
+     * the NIC on the synchronization path (Sec. VI limitation 2).
+     */
+    int gpusPerHost = 8;
+    std::uint64_t seed = 42;               ///< Noise seed.
+};
+
+/**
+ * Callback invoked for every op execution on replica 0.
+ *
+ * @param node   The executed node.
+ * @param timeUs Sampled compute time in microseconds.
+ */
+using OpObserver =
+    std::function<void(const graph::Node &node, double timeUs)>;
+
+/** Timing of one training iteration. */
+struct IterationResult
+{
+    double computeUs = 0.0; ///< Slowest replica's summed op time.
+    double commUs = 0.0;    ///< Communication/synchronization overhead.
+
+    /** Total iteration latency. */
+    double totalUs() const { return computeUs + commUs; }
+};
+
+/** Aggregated timings over a simulated run. */
+struct RunStats
+{
+    util::RunningStats iterationUs; ///< Per-iteration totals.
+    util::RunningStats computeUs;   ///< Per-iteration compute parts.
+    util::RunningStats commUs;      ///< Per-iteration comm parts.
+};
+
+/**
+ * Simulates training of one graph on one instance configuration.
+ *
+ * Per-node base times and noise levels are precomputed at construction,
+ * so iterations are cheap enough to run the paper's 1000-iteration
+ * profiling studies.
+ */
+class TrainingSimulator
+{
+  public:
+    /**
+     * @param g      Training graph (forward+backward), which must
+     *               outlive the simulator.
+     * @param config Deployment to simulate.
+     */
+    TrainingSimulator(const graph::Graph &g, const SimConfig &config);
+
+    /** Runs one iteration without observation. */
+    IterationResult runIteration();
+
+    /** Runs one iteration, reporting replica-0 op times to @p observer. */
+    IterationResult runIteration(const OpObserver &observer);
+
+    /**
+     * Runs @p iterations iterations and aggregates their timings.
+     *
+     * @param iterations Number of iterations (>= 1).
+     * @param observer   Optional per-op observer (replica 0).
+     */
+    RunStats run(int iterations, const OpObserver &observer = nullptr);
+
+    /** Trainable parameter bytes of the graph (comm-model feature). */
+    double paramBytes() const { return paramBytes_; }
+
+    /** Per-replica input batch bytes moved host->device per iteration. */
+    double inputBytes() const { return inputBytes_; }
+
+    /** Noise-free per-iteration mean (compute sum + mean comm). */
+    double meanIterationUs() const;
+
+    /** The simulated configuration. */
+    const SimConfig &config() const { return config_; }
+
+  private:
+    struct NodeTiming
+    {
+        double baseUs;  ///< Median time.
+        double sigma;   ///< Lognormal sigma (GPU ops).
+        bool onGpu;     ///< Placement.
+        double cpuMean; ///< Mean for CPU gamma sampling.
+    };
+
+    double sampleNode(std::size_t index, util::Rng &rng) const;
+
+    const graph::Graph *graph_;
+    SimConfig config_;
+    hw::GpuTimingModel gpuModel_;
+    hw::CpuTimingModel cpuModel_;
+    std::vector<NodeTiming> timings_;
+    std::vector<util::Rng> replicaRngs_;
+    util::Rng commRng_;
+    double paramBytes_ = 0.0;
+    double inputBytes_ = 0.0;
+};
+
+/** Result of simulating a full training pass over a dataset. */
+struct TrainingRunEstimate
+{
+    std::int64_t iterations = 0;  ///< D / (k * B).
+    double meanIterationUs = 0.0; ///< Measured mean per-iteration time.
+    double totalHours = 0.0;      ///< iterations * mean, in hours.
+};
+
+/**
+ * Simulates one epoch over a dataset and scales to total time.
+ *
+ * @param g                Training graph built at the per-GPU batch.
+ * @param config           Deployment to simulate.
+ * @param dataset_samples  Total samples D.
+ * @param batch_per_gpu    Per-GPU batch size B.
+ * @param sample_iterations Iterations to actually simulate for the
+ *                          mean (the full count is D/(kB)).
+ */
+TrainingRunEstimate simulateTraining(const graph::Graph &g,
+                                     const SimConfig &config,
+                                     std::int64_t dataset_samples,
+                                     std::int64_t batch_per_gpu,
+                                     int sample_iterations = 60);
+
+} // namespace sim
+} // namespace ceer
+
+#endif // CEER_SIM_SIMULATOR_H

@@ -1,0 +1,124 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace ceer {
+namespace sim {
+
+using graph::Device;
+using graph::Node;
+
+void
+IterationTrace::add(TraceEvent event)
+{
+    events_.push_back(std::move(event));
+}
+
+double
+IterationTrace::laneTotalUs(int lane) const
+{
+    double total = 0.0;
+    for (const auto &event : events_)
+        if (event.lane == lane)
+            total += event.durationUs;
+    return total;
+}
+
+namespace {
+
+/** Escapes a string for embedding in a JSON literal. */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:   out += c; break;
+        }
+    }
+    return out;
+}
+
+const char *
+laneName(int lane)
+{
+    switch (lane) {
+      case 0: return "GPU stream";
+      case 1: return "host (CPU ops)";
+      case 2: return "synchronization";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+IterationTrace::writeChromeTrace(std::ostream &out) const
+{
+    out << "[\n";
+    // Thread-name metadata per lane.
+    for (int lane = 0; lane <= 2; ++lane) {
+        out << util::format(
+            "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+            "\"tid\": %d, \"args\": {\"name\": \"%s\"}},\n",
+            lane, laneName(lane));
+    }
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const TraceEvent &event = events_[i];
+        out << util::format(
+            "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+            "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}%s\n",
+            jsonEscape(event.name).c_str(),
+            jsonEscape(event.category).c_str(), event.startUs,
+            event.durationUs, event.lane,
+            i + 1 == events_.size() ? "" : ",");
+    }
+    out << "]\n";
+}
+
+IterationTrace
+traceIteration(const graph::Graph &g, const SimConfig &config)
+{
+    TrainingSimulator simulator(g, config);
+    IterationTrace trace;
+    double gpu_cursor = 0.0;
+    double cpu_cursor = 0.0;
+    const IterationResult result = simulator.runIteration(
+        [&](const Node &node, double time_us) {
+            TraceEvent event;
+            event.name = node.name;
+            event.category = graph::opTypeName(node.type);
+            event.durationUs = time_us;
+            if (node.device() == Device::Gpu) {
+                event.lane = 0;
+                event.startUs = gpu_cursor;
+                gpu_cursor += time_us;
+            } else {
+                event.lane = 1;
+                event.startUs = cpu_cursor;
+                cpu_cursor += time_us;
+            }
+            trace.add(std::move(event));
+        });
+
+    TraceEvent sync;
+    sync.name = util::format("sync (k=%d)", config.numGpus);
+    sync.category = "Communication";
+    sync.lane = 2;
+    sync.startUs = std::max(gpu_cursor, cpu_cursor);
+    sync.durationUs = result.commUs;
+    trace.add(std::move(sync));
+    trace.setTotalUs(result.totalUs());
+    return trace;
+}
+
+} // namespace sim
+} // namespace ceer

@@ -1,0 +1,85 @@
+#include "util/csv.h"
+
+#include <istream>
+
+namespace ceer {
+namespace util {
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+    ++rows_;
+}
+
+std::vector<std::string>
+parseCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    current += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                current += c;
+            }
+        } else if (c == '"') {
+            in_quotes = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(current));
+            current.clear();
+        } else if (c == '\r') {
+            // Tolerate CRLF input.
+        } else {
+            current += c;
+        }
+    }
+    fields.push_back(std::move(current));
+    return fields;
+}
+
+std::vector<std::vector<std::string>>
+readCsv(std::istream &in)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line == "\r")
+            continue;
+        rows.push_back(parseCsvLine(line));
+    }
+    return rows;
+}
+
+} // namespace util
+} // namespace ceer

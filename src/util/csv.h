@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal CSV writing/reading for profile datasets and bench output.
+ *
+ * The dialect is deliberately simple: comma separator, quoting with
+ * double quotes only when a field contains a comma, quote or newline,
+ * embedded quotes doubled. This round-trips everything we emit.
+ */
+
+#ifndef CEER_UTIL_CSV_H
+#define CEER_UTIL_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ceer {
+namespace util {
+
+/** Streams rows to an std::ostream in CSV format. */
+class CsvWriter
+{
+  public:
+    /** @param out Destination stream; must outlive the writer. */
+    explicit CsvWriter(std::ostream &out) : out_(out) {}
+
+    /** Writes one row; fields are escaped as needed. */
+    void writeRow(const std::vector<std::string> &fields);
+
+    /** Number of rows written so far. */
+    std::size_t rows() const { return rows_; }
+
+    /** Escapes a single field per the dialect above. */
+    static std::string escape(const std::string &field);
+
+  private:
+    std::ostream &out_;
+    std::size_t rows_ = 0;
+};
+
+/**
+ * Parses one CSV line into fields (inverse of CsvWriter::escape).
+ *
+ * @param line A single line without the trailing newline.
+ * @return The decoded fields.
+ */
+std::vector<std::string> parseCsvLine(const std::string &line);
+
+/**
+ * Reads an entire CSV document from a stream.
+ *
+ * Quoted fields spanning newlines are not supported (we never emit them).
+ *
+ * @param in Input stream read to EOF.
+ * @return One vector of fields per non-empty line.
+ */
+std::vector<std::vector<std::string>> readCsv(std::istream &in);
+
+} // namespace util
+} // namespace ceer
+
+#endif // CEER_UTIL_CSV_H

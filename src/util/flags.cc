@@ -1,0 +1,169 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace util {
+
+namespace {
+
+const char *
+kindName(int kind)
+{
+    switch (kind) {
+      case 0: return "int";
+      case 1: return "double";
+      case 2: return "string";
+      case 3: return "bool";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+Flags::defineInt(const std::string &name, std::int64_t default_value,
+                 const std::string &help)
+{
+    const std::string text = std::to_string(default_value);
+    flags_[name] = Flag{Kind::Int, text, text, help};
+}
+
+void
+Flags::defineDouble(const std::string &name, double default_value,
+                    const std::string &help)
+{
+    const std::string text = format("%.17g", default_value);
+    flags_[name] = Flag{Kind::Double, text, text, help};
+}
+
+void
+Flags::defineString(const std::string &name,
+                    const std::string &default_value,
+                    const std::string &help)
+{
+    flags_[name] = Flag{Kind::String, default_value, default_value, help};
+}
+
+void
+Flags::defineBool(const std::string &name, bool default_value,
+                  const std::string &help)
+{
+    const std::string text = default_value ? "true" : "false";
+    flags_[name] = Flag{Kind::Bool, text, text, help};
+}
+
+void
+Flags::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (!startsWith(arg, "--")) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        arg = arg.substr(2);
+        if (arg == "help") {
+            std::fputs(usage(argv[0]).c_str(), stdout);
+            std::exit(0);
+        }
+        std::string name = arg;
+        std::string value;
+        bool have_value = false;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            have_value = true;
+        }
+        auto it = flags_.find(name);
+        if (it == flags_.end())
+            fatal("unknown flag --" + name + " (see --help)");
+        Flag &flag = it->second;
+        if (flag.kind == Kind::Bool && !have_value) {
+            flag.value = "true";
+            continue;
+        }
+        if (!have_value) {
+            if (i + 1 >= argc)
+                fatal("flag --" + name + " expects a value");
+            value = argv[++i];
+        }
+        // Validate numeric values eagerly.
+        if (flag.kind == Kind::Int) {
+            char *end = nullptr;
+            std::strtoll(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0')
+                fatal("flag --" + name + " expects an integer, got '" +
+                      value + "'");
+        } else if (flag.kind == Kind::Double) {
+            char *end = nullptr;
+            std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0')
+                fatal("flag --" + name + " expects a number, got '" +
+                      value + "'");
+        } else if (flag.kind == Kind::Bool) {
+            const std::string lower = toLower(value);
+            if (lower != "true" && lower != "false")
+                fatal("flag --" + name + " expects true/false");
+            value = lower;
+        }
+        flag.value = value;
+    }
+}
+
+const Flags::Flag &
+Flags::lookup(const std::string &name, Kind kind) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        panic("flag --" + name + " was never defined");
+    if (it->second.kind != kind) {
+        panic("flag --" + name + " accessed as " +
+              kindName(static_cast<int>(kind)) + " but defined as " +
+              kindName(static_cast<int>(it->second.kind)));
+    }
+    return it->second;
+}
+
+std::int64_t
+Flags::getInt(const std::string &name) const
+{
+    return std::strtoll(lookup(name, Kind::Int).value.c_str(), nullptr, 10);
+}
+
+double
+Flags::getDouble(const std::string &name) const
+{
+    return std::strtod(lookup(name, Kind::Double).value.c_str(), nullptr);
+}
+
+std::string
+Flags::getString(const std::string &name) const
+{
+    return lookup(name, Kind::String).value;
+}
+
+bool
+Flags::getBool(const std::string &name) const
+{
+    return lookup(name, Kind::Bool).value == "true";
+}
+
+std::string
+Flags::usage(const std::string &program) const
+{
+    std::string out = "usage: " + program + " [flags]\n";
+    for (const auto &[name, flag] : flags_) {
+        out += format("  --%-24s %s (default: %s)\n", name.c_str(),
+                      flag.help.c_str(), flag.defaultValue.c_str());
+    }
+    return out;
+}
+
+} // namespace util
+} // namespace ceer

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tiny command-line flag parser for bench and example binaries.
+ *
+ * Supports `--name value` and `--name=value` forms plus boolean
+ * `--name` switches. Unknown flags are fatal so typos do not silently
+ * change an experiment.
+ */
+
+#ifndef CEER_UTIL_FLAGS_H
+#define CEER_UTIL_FLAGS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ceer {
+namespace util {
+
+/** Declarative flag set parsed from argv. */
+class Flags
+{
+  public:
+    /** Declares an integer flag with a default and help text. */
+    void defineInt(const std::string &name, std::int64_t default_value,
+                   const std::string &help);
+
+    /** Declares a floating-point flag. */
+    void defineDouble(const std::string &name, double default_value,
+                      const std::string &help);
+
+    /** Declares a string flag. */
+    void defineString(const std::string &name,
+                      const std::string &default_value,
+                      const std::string &help);
+
+    /** Declares a boolean switch (false unless present). */
+    void defineBool(const std::string &name, bool default_value,
+                    const std::string &help);
+
+    /**
+     * Parses argv; exits with usage text on `--help` and fatals on
+     * unknown flags or malformed values.
+     */
+    void parse(int argc, char **argv);
+
+    /** Returns the value of a declared integer flag. */
+    std::int64_t getInt(const std::string &name) const;
+
+    /** Returns the value of a declared double flag. */
+    double getDouble(const std::string &name) const;
+
+    /** Returns the value of a declared string flag. */
+    std::string getString(const std::string &name) const;
+
+    /** Returns the value of a declared boolean flag. */
+    bool getBool(const std::string &name) const;
+
+    /** Positional (non-flag) arguments in order of appearance. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Renders usage text for --help. */
+    std::string usage(const std::string &program) const;
+
+  private:
+    enum class Kind { Int, Double, String, Bool };
+
+    struct Flag
+    {
+        Kind kind;
+        std::string value;
+        std::string defaultValue;
+        std::string help;
+    };
+
+    const Flag &lookup(const std::string &name, Kind kind) const;
+
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace util
+} // namespace ceer
+
+#endif // CEER_UTIL_FLAGS_H

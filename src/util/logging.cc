@@ -1,0 +1,63 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ceer {
+namespace util {
+
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::Info};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info:  return "INFO";
+      case LogLevel::Warn:  return "WARN";
+      case LogLevel::Error: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold.load(std::memory_order_relaxed);
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void
+logLine(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(logThreshold()))
+        return;
+    std::fprintf(stderr, "[ceer %s] %s\n", levelName(level), msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "[ceer FATAL] %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "[ceer PANIC] %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace util
+} // namespace ceer

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal leveled logging and fatal-error helpers.
+ *
+ * The simulator and the Ceer pipeline are long-running batch programs;
+ * logging is line-oriented to stderr so that bench/table output on stdout
+ * stays machine-parsable.
+ */
+
+#ifndef CEER_UTIL_LOGGING_H
+#define CEER_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace ceer {
+
+/** Severity for log messages, lowest to highest. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+namespace util {
+
+/** Returns the current global log threshold. */
+LogLevel logThreshold();
+
+/**
+ * Sets the global log threshold; messages below it are dropped.
+ *
+ * @param level New minimum severity to emit.
+ */
+void setLogThreshold(LogLevel level);
+
+/**
+ * Emits one formatted log line to stderr if @p level passes the threshold.
+ *
+ * @param level Severity of the message.
+ * @param msg   Already-formatted message body.
+ */
+void logLine(LogLevel level, const std::string &msg);
+
+/**
+ * Prints a fatal error message and terminates the process with exit(1).
+ *
+ * Use for user-level errors (bad flags, malformed input files), matching
+ * the gem5 fatal()/panic() distinction.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Prints an internal-invariant violation and aborts.
+ *
+ * Use for conditions that indicate a bug in this library itself.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Stream-style builder used by the CEER_LOG macro. */
+class LogMessage
+{
+  public:
+    LogMessage(LogLevel level) : level_(level) {}
+
+    ~LogMessage() { logLine(level_, stream_.str()); }
+
+    template <typename T>
+    LogMessage &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+} // namespace util
+} // namespace ceer
+
+#define CEER_LOG(level) ::ceer::util::LogMessage(::ceer::LogLevel::level)
+
+#endif // CEER_UTIL_LOGGING_H

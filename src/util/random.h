@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All stochastic behaviour in the hardware/training simulator flows through
+ * Rng so that experiments are reproducible given a seed. The generator is
+ * xoshiro256**, seeded via SplitMix64, which is fast and has no observable
+ * bias for our purposes (noise factors and straggler draws).
+ */
+
+#ifndef CEER_UTIL_RANDOM_H
+#define CEER_UTIL_RANDOM_H
+
+#include <cstdint>
+
+namespace ceer {
+namespace util {
+
+/**
+ * SplitMix64 step; used for seeding and for cheap stateless hashing of
+ * (seed, stream) pairs into independent generator states.
+ *
+ * @param state In/out 64-bit state, advanced by one step.
+ * @return Next 64-bit output.
+ */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * xoshiro256** pseudo-random generator with convenience distributions.
+ *
+ * Not thread-safe; each simulated device owns its own Rng.
+ */
+class Rng
+{
+  public:
+    /** Constructs a generator from a 64-bit seed (SplitMix64 expanded). */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /**
+     * Constructs an independent stream for (seed, stream).
+     *
+     * Distinct stream ids yield decorrelated sequences for the same seed,
+     * which we use to give every simulated GPU its own stream.
+     */
+    Rng(std::uint64_t seed, std::uint64_t stream);
+
+    /** Returns the next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** Returns a double uniformly distributed in [0, 1). */
+    double uniform();
+
+    /** Returns a double uniformly distributed in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Returns an integer uniformly distributed in [0, n); n must be > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Returns a standard normal deviate (Box-Muller, cached pair). */
+    double normal();
+
+    /** Returns a normal deviate with the given mean and stddev. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Returns a lognormal multiplicative-noise factor with unit median.
+     *
+     * exp(N(0, sigma)); sigma is the shape parameter. Used to model
+     * run-to-run compute-time variability.
+     */
+    double lognormalFactor(double sigma);
+
+    /** Returns an exponential deviate with the given mean. */
+    double exponential(double mean);
+
+    /**
+     * Returns a Gamma(shape k, scale theta) deviate.
+     *
+     * Marsaglia-Tsang for k >= 1, boosting for k < 1. Used for
+     * heavy-tailed CPU-operation time variability.
+     */
+    double gamma(double shape, double scale);
+
+  private:
+    std::uint64_t state_[4];
+    double cachedNormal_ = 0.0;
+    bool hasCachedNormal_ = false;
+};
+
+} // namespace util
+} // namespace ceer
+
+#endif // CEER_UTIL_RANDOM_H

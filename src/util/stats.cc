@@ -1,0 +1,184 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ceer {
+namespace util {
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::normalizedStddev() const
+{
+    if (count_ == 0 || mean_ == 0.0)
+        return 0.0;
+    return stddev() / std::abs(mean_);
+}
+
+double
+RunningStats::min() const
+{
+    return count_ ? min_ : std::numeric_limits<double>::infinity();
+}
+
+double
+RunningStats::max() const
+{
+    return count_ ? max_ : -std::numeric_limits<double>::infinity();
+}
+
+SampleReservoir::SampleReservoir(std::size_t capacity)
+    : capacity_(capacity), rngState_(0xA02BDBF7BB3C0A7ull)
+{
+    if (capacity_ == 0)
+        panic("SampleReservoir capacity must be positive");
+    samples_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void
+SampleReservoir::add(double x)
+{
+    ++offered_;
+    if (samples_.size() < capacity_) {
+        samples_.push_back(x);
+        return;
+    }
+    // Classic reservoir sampling: replace a random slot with probability
+    // capacity / offered.
+    const std::uint64_t pick = splitMix64(rngState_) % offered_;
+    if (pick < capacity_)
+        samples_[pick] = x;
+}
+
+double
+SampleReservoir::median() const
+{
+    return util::median(samples_);
+}
+
+double
+SampleReservoir::percentile(double p) const
+{
+    return util::percentile(samples_, p);
+}
+
+double
+median(std::vector<double> values)
+{
+    return percentile(std::move(values), 50.0);
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    if (lo == hi)
+        return values[lo];
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<CdfPoint>
+empiricalCdf(std::vector<double> values, std::size_t maxPoints)
+{
+    std::vector<CdfPoint> cdf;
+    if (values.empty())
+        return cdf;
+    if (maxPoints < 2)
+        maxPoints = 2;
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    const std::size_t points = std::min(maxPoints, n);
+    cdf.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        // Pick evenly spaced ranks, always including the last sample.
+        const std::size_t idx =
+            (points == 1) ? n - 1 : i * (n - 1) / (points - 1);
+        cdf.push_back({values[idx],
+                       static_cast<double>(idx + 1) /
+                           static_cast<double>(n)});
+    }
+    return cdf;
+}
+
+double
+meanAbsolutePercentageError(const std::vector<double> &observed,
+                            const std::vector<double> &predicted)
+{
+    if (observed.size() != predicted.size())
+        panic("MAPE: size mismatch between observed and predicted");
+    if (observed.empty())
+        return 0.0;
+    double total = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        if (observed[i] == 0.0)
+            continue;
+        total += std::abs(predicted[i] - observed[i]) /
+                 std::abs(observed[i]);
+        ++counted;
+    }
+    return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+} // namespace util
+} // namespace ceer

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the profiling layer: feature extraction, per-instance
+ * aggregation, dataset queries, CSV round-trip, and the paper-level
+ * properties of collected profiles (heavy-op variability, light-op
+ * contribution).
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "profile/features.h"
+#include "profile/profiler.h"
+
+namespace ceer {
+namespace profile {
+namespace {
+
+using graph::Graph;
+using graph::OpType;
+
+/** Small dataset fixture shared by the pricier tests. */
+const ProfileDataset &
+smallDataset()
+{
+    static const ProfileDataset dataset = [] {
+        CollectOptions options;
+        options.iterations = 30;
+        options.maxGpus = 2;
+        return collectProfiles({"inception_v1", "vgg_11"}, options);
+    }();
+    return dataset;
+}
+
+TEST(FeaturesTest, ShapeAndContent)
+{
+    const Graph g = models::buildInceptionV1(8);
+    for (const auto &node : g.nodes()) {
+        const auto features = opFeatures(node);
+        ASSERT_EQ(features.size(), kNumOpFeatures);
+        EXPECT_DOUBLE_EQ(features[0],
+                         static_cast<double>(node.inputBytes()));
+        if (!node.inputShapes.empty()) {
+            EXPECT_DOUBLE_EQ(
+                features[1],
+                static_cast<double>(node.inputShapes[0].numBytes()));
+        }
+        EXPECT_GE(features[3], 0.0);
+    }
+}
+
+TEST(FeaturesTest, InstanceKeyGroupsIdenticalOps)
+{
+    const Graph g = models::buildVgg(16, 8);
+    // VGG-16 stage 4 and 5 convs share shapes: keys must collide for
+    // identical instances and differ across types.
+    std::map<std::string, int> keys;
+    for (const auto &node : g.nodes())
+        ++keys[opInstanceKey(node)];
+    EXPECT_LT(keys.size(), g.size());
+    bool found_repeat = false;
+    for (const auto &[key, count] : keys)
+        found_repeat |= count > 1;
+    EXPECT_TRUE(found_repeat);
+}
+
+TEST(ProfilerTest, AggregatesEveryExecution)
+{
+    const Graph g = models::buildInceptionV1(8);
+    sim::SimConfig config;
+    auto [profiles, run] = profileRun(g, "inception_v1", config, 12);
+
+    std::size_t occurrences = 0;
+    std::size_t executions = 0;
+    for (const auto &profile : profiles) {
+        occurrences += profile.occurrences;
+        executions += profile.timeUs.count();
+        EXPECT_GT(profile.timeUs.mean(), 0.0);
+        EXPECT_EQ(profile.timeUs.count(),
+                  profile.occurrences * 12);
+    }
+    EXPECT_EQ(occurrences, g.size());
+    EXPECT_EQ(executions, g.size() * 12);
+    EXPECT_EQ(run.paramCount, g.totalParameters());
+    EXPECT_GT(run.meanIterationUs, 0.0);
+    EXPECT_GT(run.meanCommUs, 0.0);
+    EXPECT_NEAR(run.meanIterationUs,
+                run.meanComputeUs + run.meanCommUs, 1e-6);
+}
+
+TEST(ProfilerTest, HeavyInstancesHaveLowVariability)
+{
+    const Graph g = models::buildVgg(11, 32);
+    sim::SimConfig config;
+    config.gpu = hw::GpuModel::K80;
+    auto [profiles, run] = profileRun(g, "vgg_11", config, 60);
+
+    // Paper Fig. 5: for heavy instances (>= 0.5ms on P2), ~95% have
+    // normalized stddev < 0.1.
+    std::size_t heavy = 0, low_var = 0;
+    for (const auto &profile : profiles) {
+        if (profile.onCpu || profile.timeUs.mean() < 500.0)
+            continue;
+        ++heavy;
+        low_var += profile.timeUs.normalizedStddev() < 0.1;
+    }
+    ASSERT_GT(heavy, 10u);
+    EXPECT_GE(static_cast<double>(low_var) / static_cast<double>(heavy),
+              0.8);
+}
+
+TEST(ProfilerTest, CpuOpsHaveHighVariability)
+{
+    const Graph g = models::buildAlexNet(32);
+    sim::SimConfig config;
+    auto [profiles, run] = profileRun(g, "alexnet", config, 80);
+    for (const auto &profile : profiles) {
+        if (!profile.onCpu)
+            continue;
+        EXPECT_GT(profile.timeUs.normalizedStddev(), 0.25)
+            << graph::opTypeName(profile.op);
+    }
+}
+
+TEST(DatasetTest, QueriesFilterCorrectly)
+{
+    const ProfileDataset &dataset = smallDataset();
+    const auto v100_ops = dataset.opsFor(hw::GpuModel::V100);
+    ASSERT_FALSE(v100_ops.empty());
+    for (const auto *profile : v100_ops)
+        EXPECT_EQ(profile->gpu, hw::GpuModel::V100);
+
+    const auto convs =
+        dataset.opsFor(hw::GpuModel::K80, OpType::Conv2D);
+    ASSERT_FALSE(convs.empty());
+    for (const auto *profile : convs)
+        EXPECT_EQ(profile->op, OpType::Conv2D);
+
+    EXPECT_GT(dataset.meanTimeUs(hw::GpuModel::K80, OpType::Conv2D),
+              500.0);
+    EXPECT_FALSE(dataset.opTypes(hw::GpuModel::T4).empty());
+}
+
+TEST(DatasetTest, IterationProfilesCoverMultiGpu)
+{
+    const ProfileDataset &dataset = smallDataset();
+    // 2 models x 4 GPUs x k in {1, 2}.
+    EXPECT_EQ(dataset.iterations().size(), 2u * 4 * 2);
+    for (const auto &run : dataset.iterations()) {
+        EXPECT_GE(run.numGpus, 1);
+        EXPECT_LE(run.numGpus, 2);
+        EXPECT_GT(run.meanIterationUs, 0.0);
+    }
+}
+
+TEST(DatasetTest, MultiGpuIterationsAreSlower)
+{
+    const ProfileDataset &dataset = smallDataset();
+    std::map<std::pair<std::string, int>, double> by_key;
+    for (const auto &run : dataset.iterations()) {
+        if (run.gpu == hw::GpuModel::V100)
+            by_key[{run.model, run.numGpus}] = run.meanIterationUs;
+    }
+    EXPECT_GT((by_key[{"inception_v1", 2}]),
+              (by_key[{"inception_v1", 1}]));
+    EXPECT_GT((by_key[{"vgg_11", 2}]), (by_key[{"vgg_11", 1}]));
+}
+
+TEST(DatasetTest, CsvRoundTripPreservesContent)
+{
+    const ProfileDataset &dataset = smallDataset();
+    std::stringstream buffer;
+    dataset.saveCsv(buffer);
+    const ProfileDataset loaded = ProfileDataset::loadCsv(buffer);
+
+    ASSERT_EQ(loaded.ops().size(), dataset.ops().size());
+    for (std::size_t i = 0; i < loaded.ops().size(); ++i) {
+        const OpProfile &original = dataset.ops()[i];
+        const OpProfile &restored = loaded.ops()[i];
+        EXPECT_EQ(restored.model, original.model);
+        EXPECT_EQ(restored.gpu, original.gpu);
+        EXPECT_EQ(restored.op, original.op);
+        EXPECT_EQ(restored.onCpu, original.onCpu);
+        EXPECT_EQ(restored.occurrences, original.occurrences);
+        EXPECT_EQ(restored.features, original.features);
+        EXPECT_EQ(restored.timeUs.count(), original.timeUs.count());
+        EXPECT_NEAR(restored.timeUs.mean(), original.timeUs.mean(),
+                    1e-6 * original.timeUs.mean() + 1e-9);
+        EXPECT_NEAR(restored.timeUs.stddev(), original.timeUs.stddev(),
+                    0.02 * original.timeUs.stddev() + 1e-9);
+    }
+}
+
+TEST(DatasetTest, CsvRoundTripPreservesIterationRows)
+{
+    const ProfileDataset &dataset = smallDataset();
+    std::stringstream buffer;
+    dataset.saveCsv(buffer);
+    const ProfileDataset loaded = ProfileDataset::loadCsv(buffer);
+
+    ASSERT_EQ(loaded.iterations().size(), dataset.iterations().size());
+    for (std::size_t i = 0; i < loaded.iterations().size(); ++i) {
+        const IterationProfile &original = dataset.iterations()[i];
+        const IterationProfile &restored = loaded.iterations()[i];
+        EXPECT_EQ(restored.model, original.model);
+        EXPECT_EQ(restored.gpu, original.gpu);
+        EXPECT_EQ(restored.numGpus, original.numGpus);
+        EXPECT_EQ(restored.paramCount, original.paramCount);
+        EXPECT_NEAR(restored.meanIterationUs, original.meanIterationUs,
+                    1e-6 * original.meanIterationUs);
+        EXPECT_NEAR(restored.meanCommUs, original.meanCommUs,
+                    1e-6 * original.meanCommUs + 1e-9);
+    }
+}
+
+TEST(DatasetTest, LightOpsContributeLittle)
+{
+    // Paper Sec. III-A: light ops contribute < 7% of training time.
+    // Classification is per op *type* by mean time on P2, as in the
+    // paper; contributions are then measured on every GPU.
+    const ProfileDataset &dataset = smallDataset();
+    std::set<OpType> heavy;
+    for (OpType op : dataset.opTypes(hw::GpuModel::K80)) {
+        if (graph::opTypeInfo(op).device == graph::Device::Gpu &&
+            dataset.meanTimeUs(hw::GpuModel::K80, op) >= 500.0) {
+            heavy.insert(op);
+        }
+    }
+    for (hw::GpuModel gpu : hw::allGpuModels()) {
+        double light = 0.0, total = 0.0;
+        for (const auto *profile : dataset.opsFor(gpu)) {
+            const double contribution =
+                profile->timeUs.mean() *
+                static_cast<double>(profile->occurrences);
+            total += contribution;
+            if (!profile->onCpu && !heavy.count(profile->op))
+                light += contribution;
+        }
+        EXPECT_LT(light / total, 0.07) << hw::gpuModelName(gpu);
+    }
+}
+
+} // namespace
+} // namespace profile
+} // namespace ceer

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Failure-injection tests: malformed persisted artifacts, bad flag
+ * input and misuse of the public API must fail loudly (fatal/panic)
+ * rather than silently corrupting an experiment.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/ceer_model.h"
+#include "graph/builder.h"
+#include "graph/shape_inference.h"
+#include "profile/profiler.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/stats.h"
+
+namespace ceer {
+namespace {
+
+// --- ProfileDataset CSV ---
+
+TEST(CsvRobustnessTest, TruncatedRowIsFatal)
+{
+    std::istringstream in(
+        "kind,model,gpu,op,device,occurrences,count,mean_us,stddev_us,"
+        "features,samples\n"
+        "op,vgg_11,V100,Conv2D\n");
+    EXPECT_DEATH(profile::ProfileDataset::loadCsv(in), "fields");
+}
+
+TEST(CsvRobustnessTest, UnknownGpuIsFatal)
+{
+    std::istringstream in(
+        "kind,model,gpu,op,device,occurrences,count,mean_us,stddev_us,"
+        "features,samples\n"
+        "op,vgg_11,H100,Conv2D,gpu,1,1,5,0,1;1;0;1,5\n");
+    EXPECT_DEATH(profile::ProfileDataset::loadCsv(in), "bad GPU");
+}
+
+TEST(CsvRobustnessTest, UnknownOpIsFatal)
+{
+    std::istringstream in(
+        "kind,model,gpu,op,device,occurrences,count,mean_us,stddev_us,"
+        "features,samples\n"
+        "op,vgg_11,V100,FlashAttention,gpu,1,1,5,0,1;1;0;1,5\n");
+    EXPECT_DEATH(profile::ProfileDataset::loadCsv(in), "bad op");
+}
+
+TEST(CsvRobustnessTest, UnknownRowKindIsFatal)
+{
+    std::istringstream in(
+        "kind,model,gpu,op,device,occurrences,count,mean_us,stddev_us,"
+        "features,samples\n"
+        "blob,vgg_11,V100,Conv2D,gpu,1,1,5,0,1;1;0;1,5\n");
+    EXPECT_DEATH(profile::ProfileDataset::loadCsv(in), "row kind");
+}
+
+TEST(CsvRobustnessTest, EmptyDocumentLoadsEmptyDataset)
+{
+    std::istringstream in(
+        "kind,model,gpu,op,device,occurrences,count,mean_us,stddev_us,"
+        "features,samples\n");
+    const auto dataset = profile::ProfileDataset::loadCsv(in);
+    EXPECT_TRUE(dataset.ops().empty());
+    EXPECT_TRUE(dataset.iterations().empty());
+}
+
+// --- CeerModel text files ---
+
+TEST(ModelFileTest, MissingHeaderIsFatal)
+{
+    std::istringstream in("not a ceer model\n");
+    EXPECT_DEATH(core::CeerModel::load(in), "header");
+}
+
+TEST(ModelFileTest, UnknownTagIsFatal)
+{
+    std::istringstream in("ceer_model v1\nflux_capacitor 1.21\n");
+    EXPECT_DEATH(core::CeerModel::load(in), "unknown tag");
+}
+
+TEST(ModelFileTest, BadOpNameIsFatal)
+{
+    std::istringstream in("ceer_model v1\nheavy_ops NotAnOp\n");
+    EXPECT_DEATH(core::CeerModel::load(in), "bad op");
+}
+
+TEST(ModelFileTest, TruncatedLinesAreFatal)
+{
+    std::istringstream short_median("ceer_model v1\nlight_median_us\n");
+    EXPECT_DEATH(core::CeerModel::load(short_median), "truncated");
+    std::istringstream short_fit(
+        "ceer_model v1\ncomm_fit V100 2\n");
+    EXPECT_DEATH(core::CeerModel::load(short_fit), "truncated");
+    std::istringstream zero_k(
+        "ceer_model v1\ncomm_fit V100 0 0.9 1;1,1\n");
+    EXPECT_DEATH(core::CeerModel::load(zero_k), "k must be");
+}
+
+TEST(ModelFileTest, EmptyStreamIsFatal)
+{
+    std::istringstream in("");
+    EXPECT_DEATH(core::CeerModel::load(in), "header");
+}
+
+// --- Flags ---
+
+TEST(FlagsRobustnessTest, UnknownFlagIsFatal)
+{
+    util::Flags flags;
+    flags.defineInt("iters", 10, "iterations");
+    const char *argv[] = {"prog", "--itres", "10"};
+    EXPECT_DEATH(flags.parse(3, const_cast<char **>(argv)),
+                 "unknown flag");
+}
+
+TEST(FlagsRobustnessTest, NonNumericValueIsFatal)
+{
+    util::Flags flags;
+    flags.defineInt("iters", 10, "iterations");
+    const char *argv[] = {"prog", "--iters", "ten"};
+    EXPECT_DEATH(flags.parse(3, const_cast<char **>(argv)), "integer");
+}
+
+TEST(FlagsRobustnessTest, MissingValueIsFatal)
+{
+    util::Flags flags;
+    flags.defineString("out", "", "output");
+    const char *argv[] = {"prog", "--out"};
+    EXPECT_DEATH(flags.parse(2, const_cast<char **>(argv)),
+                 "expects a value");
+}
+
+TEST(FlagsRobustnessTest, WrongTypeAccessPanics)
+{
+    util::Flags flags;
+    flags.defineInt("iters", 10, "iterations");
+    const char *argv[] = {"prog"};
+    flags.parse(1, const_cast<char **>(argv));
+    EXPECT_DEATH(flags.getString("iters"), "accessed as");
+    EXPECT_DEATH(flags.getInt("missing"), "never defined");
+}
+
+// --- Graph construction misuse ---
+
+TEST(GraphRobustnessTest, ForwardReferenceInputPanics)
+{
+    graph::Graph g("bad");
+    EXPECT_DEATH(g.addNode("x", graph::OpType::Relu, {0}, {},
+                           graph::TensorShape{4}),
+                 "invalid");
+}
+
+TEST(GraphRobustnessTest, ValidKernelLargerThanInputPanics)
+{
+    EXPECT_DEATH(graph::convOutputDim(5, 7, 1,
+                                      graph::PaddingMode::Valid),
+                 "larger than");
+}
+
+TEST(GraphRobustnessTest, MismatchedResidualAddPanics)
+{
+    graph::GraphBuilder b("bad", 4);
+    const auto x = b.imageInput(8, 8, 3);
+    graph::ConvOptions options;
+    options.batchNorm = false;
+    options.relu = false;
+    const auto a = b.conv2d(x, 8, 3, 3, options, "a");
+    const auto c = b.conv2d(x, 16, 3, 3, options, "c");
+    EXPECT_DEATH(b.add(a, c, "residual"), "shape mismatch");
+}
+
+TEST(GraphRobustnessTest, ZeroBatchPanics)
+{
+    EXPECT_DEATH(graph::GraphBuilder("bad", 0), "batch");
+}
+
+// --- Statistics misuse ---
+
+TEST(StatsRobustnessTest, ZeroCapacityReservoirPanics)
+{
+    EXPECT_DEATH(util::SampleReservoir(0), "capacity");
+}
+
+TEST(StatsRobustnessTest, MapeSizeMismatchPanics)
+{
+    EXPECT_DEATH(
+        util::meanAbsolutePercentageError({1.0, 2.0}, {1.0}),
+        "mismatch");
+}
+
+} // namespace
+} // namespace ceer

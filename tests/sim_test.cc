@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the training simulator: determinism, data-parallel
+ * behaviour, scaling against the paper's Fig. 6 numbers, and the
+ * full-training estimate arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "sim/simulator.h"
+
+namespace ceer {
+namespace sim {
+namespace {
+
+using graph::Graph;
+
+const Graph &
+inceptionV1()
+{
+    static const Graph g = models::buildInceptionV1(32);
+    return g;
+}
+
+TEST(SimulatorTest, DeterministicForSameSeed)
+{
+    SimConfig config;
+    config.seed = 99;
+    TrainingSimulator a(inceptionV1(), config);
+    TrainingSimulator b(inceptionV1(), config);
+    for (int i = 0; i < 5; ++i) {
+        const IterationResult ra = a.runIteration();
+        const IterationResult rb = b.runIteration();
+        EXPECT_DOUBLE_EQ(ra.computeUs, rb.computeUs);
+        EXPECT_DOUBLE_EQ(ra.commUs, rb.commUs);
+    }
+}
+
+TEST(SimulatorTest, DifferentSeedsDiffer)
+{
+    SimConfig a_config, b_config;
+    a_config.seed = 1;
+    b_config.seed = 2;
+    TrainingSimulator a(inceptionV1(), a_config);
+    TrainingSimulator b(inceptionV1(), b_config);
+    EXPECT_NE(a.runIteration().computeUs, b.runIteration().computeUs);
+}
+
+TEST(SimulatorTest, ObserverSeesEveryNode)
+{
+    SimConfig config;
+    TrainingSimulator simulator(inceptionV1(), config);
+    std::size_t observed = 0;
+    double observed_total = 0.0;
+    const IterationResult result = simulator.runIteration(
+        [&](const graph::Node &, double t) {
+            ++observed;
+            observed_total += t;
+        });
+    EXPECT_EQ(observed, inceptionV1().size());
+    // Single replica: observed sum is exactly the compute part.
+    EXPECT_DOUBLE_EQ(observed_total, result.computeUs);
+}
+
+TEST(SimulatorTest, IterationTimeRankingAcrossGpus)
+{
+    // P3 < G4 < G3 < P2 per-iteration (paper Sec. III).
+    std::map<hw::GpuModel, double> mean;
+    for (hw::GpuModel gpu : hw::allGpuModels()) {
+        SimConfig config;
+        config.gpu = gpu;
+        TrainingSimulator simulator(inceptionV1(), config);
+        mean[gpu] = simulator.run(10).iterationUs.mean();
+    }
+    EXPECT_LT(mean[hw::GpuModel::V100], mean[hw::GpuModel::T4]);
+    EXPECT_LT(mean[hw::GpuModel::T4], mean[hw::GpuModel::M60]);
+    EXPECT_LT(mean[hw::GpuModel::M60], mean[hw::GpuModel::K80]);
+}
+
+TEST(SimulatorTest, MultiGpuIterationSlowerButTrainingFaster)
+{
+    for (int k : {2, 3, 4}) {
+        SimConfig single, multi;
+        multi.numGpus = k;
+        TrainingSimulator s1(inceptionV1(), single);
+        TrainingSimulator sk(inceptionV1(), multi);
+        const double t1 = s1.run(15).iterationUs.mean();
+        const double tk = sk.run(15).iterationUs.mean();
+        // Per-iteration: slower (comm overhead). Per-sample: faster.
+        EXPECT_GT(tk, t1);
+        EXPECT_LT(tk / static_cast<double>(k), t1);
+    }
+}
+
+TEST(SimulatorTest, Fig6ScalingReductionsNearPaper)
+{
+    // Paper Fig. 6: training-time reductions for Inception-v1 vs 1 GPU
+    // average ~35.8% (k=2), ~46.6% (k=3), ~53.6% (k=4) across GPUs.
+    double reduction[3] = {0, 0, 0};
+    for (hw::GpuModel gpu : hw::allGpuModels()) {
+        SimConfig config;
+        config.gpu = gpu;
+        TrainingSimulator s1(inceptionV1(), config);
+        const double t1 = s1.run(25).iterationUs.mean();
+        for (int k = 2; k <= 4; ++k) {
+            SimConfig multi = config;
+            multi.numGpus = k;
+            TrainingSimulator sk(inceptionV1(), multi);
+            const double tk = sk.run(25).iterationUs.mean();
+            reduction[k - 2] += 1.0 - tk / (k * t1);
+        }
+    }
+    for (auto &value : reduction)
+        value /= 4.0;
+    EXPECT_NEAR(reduction[0], 0.358, 0.06);
+    EXPECT_NEAR(reduction[1], 0.466, 0.06);
+    EXPECT_NEAR(reduction[2], 0.536, 0.06);
+}
+
+TEST(SimulatorTest, ParamAndInputBytesExposed)
+{
+    SimConfig config;
+    TrainingSimulator simulator(inceptionV1(), config);
+    EXPECT_DOUBLE_EQ(
+        simulator.paramBytes(),
+        static_cast<double>(inceptionV1().totalParameters()) * 4.0);
+    // Input batch: 32 x 224 x 224 x 3 floats plus the tiny label
+    // vector (all graph tensors are fp32-sized here).
+    const double image_bytes = 32.0 * 224 * 224 * 3 * 4;
+    EXPECT_NEAR(simulator.inputBytes(), image_bytes, 300.0);
+}
+
+TEST(SimulatorTest, MeanIterationTracksSampledMean)
+{
+    SimConfig config;
+    TrainingSimulator simulator(inceptionV1(), config);
+    const double analytic = simulator.meanIterationUs();
+    const double sampled = simulator.run(40).iterationUs.mean();
+    EXPECT_NEAR(sampled, analytic, 0.06 * analytic);
+}
+
+TEST(SimulateTrainingTest, IterationCountArithmetic)
+{
+    SimConfig config;
+    config.numGpus = 4;
+    const TrainingRunEstimate estimate =
+        simulateTraining(inceptionV1(), config, 6400, 32, 10);
+    // 6400 samples / (4 GPUs * batch 32) = 50 iterations.
+    EXPECT_EQ(estimate.iterations, 50);
+    EXPECT_NEAR(estimate.totalHours,
+                estimate.meanIterationUs * 50 / 3.6e9, 1e-12);
+}
+
+TEST(SimulateTrainingTest, RoundsUpPartialIterations)
+{
+    SimConfig config;
+    const TrainingRunEstimate estimate =
+        simulateTraining(inceptionV1(), config, 100, 32, 4);
+    EXPECT_EQ(estimate.iterations, 4); // ceil(100/32).
+}
+
+TEST(SimulatorTest, InvalidConfigDies)
+{
+    SimConfig config;
+    config.numGpus = 0;
+    EXPECT_DEATH(TrainingSimulator(inceptionV1(), config), "numGpus");
+    SimConfig ok;
+    TrainingSimulator simulator(inceptionV1(), ok);
+    EXPECT_DEATH(simulator.run(0), "iterations");
+}
+
+} // namespace
+} // namespace sim
+} // namespace ceer

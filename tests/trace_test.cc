@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the iteration-timeline (Chrome tracing) exporter.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "sim/trace.h"
+
+namespace ceer {
+namespace sim {
+namespace {
+
+IterationTrace
+sampleTrace()
+{
+    const graph::Graph g = models::buildInceptionV1(8);
+    SimConfig config;
+    config.seed = 31337;
+    return traceIteration(g, config);
+}
+
+TEST(TraceTest, OneEventPerNodePlusSync)
+{
+    const graph::Graph g = models::buildInceptionV1(8);
+    SimConfig config;
+    const IterationTrace trace = traceIteration(g, config);
+    EXPECT_EQ(trace.events().size(), g.size() + 1);
+    EXPECT_EQ(trace.events().back().category, "Communication");
+    EXPECT_EQ(trace.events().back().lane, 2);
+}
+
+TEST(TraceTest, LanesArePackedWithoutOverlap)
+{
+    const IterationTrace trace = sampleTrace();
+    double cursor[2] = {0.0, 0.0};
+    for (const auto &event : trace.events()) {
+        if (event.lane > 1)
+            continue;
+        // Sequential layout: each event starts where the previous one
+        // on its lane ended.
+        EXPECT_NEAR(event.startUs, cursor[event.lane], 1e-9)
+            << event.name;
+        cursor[event.lane] = event.startUs + event.durationUs;
+        EXPECT_GT(event.durationUs, 0.0) << event.name;
+    }
+}
+
+TEST(TraceTest, TotalsAreConsistent)
+{
+    const graph::Graph g = models::buildAlexNet(8);
+    SimConfig config;
+    config.seed = 7;
+    const IterationTrace trace = traceIteration(g, config);
+    // GPU + CPU lane totals plus comm should bound the iteration total
+    // (total = max(gpu, cpu) + comm in the additive model).
+    const double gpu = trace.laneTotalUs(0);
+    const double cpu = trace.laneTotalUs(1);
+    const double comm = trace.laneTotalUs(2);
+    EXPECT_NEAR(trace.totalUs(), gpu + cpu + comm, 1e-6);
+    EXPECT_GT(gpu, cpu); // GPU work dominates a CNN iteration.
+}
+
+TEST(TraceTest, ChromeJsonIsWellFormed)
+{
+    const IterationTrace trace = sampleTrace();
+    std::ostringstream out;
+    trace.writeChromeTrace(out);
+    const std::string text = out.str();
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.front(), '[');
+    EXPECT_EQ(text[text.size() - 2], ']');
+    // Balanced braces and the metadata records present.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+              std::count(text.begin(), text.end(), '}'));
+    EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(text.find("GPU stream"), std::string::npos);
+    EXPECT_NE(text.find("synchronization"), std::string::npos);
+    // No trailing comma before the closing bracket.
+    EXPECT_EQ(text.find(",\n]"), std::string::npos);
+}
+
+TEST(TraceTest, CategoriesAreOpTypeNames)
+{
+    const IterationTrace trace = sampleTrace();
+    bool saw_conv = false, saw_cpu_op = false;
+    for (const auto &event : trace.events()) {
+        saw_conv |= event.category == "Conv2D" && event.lane == 0;
+        saw_cpu_op |=
+            event.category == "IteratorGetNext" && event.lane == 1;
+    }
+    EXPECT_TRUE(saw_conv);
+    EXPECT_TRUE(saw_cpu_op);
+}
+
+} // namespace
+} // namespace sim
+} // namespace ceer

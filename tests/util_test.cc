@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unit tests for the util module: statistics, RNG, CSV, strings, tables.
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace ceer {
+namespace util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.normalizedStddev(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanAndVarianceMatchClosedForm)
+{
+    RunningStats stats;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(x);
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    // Sample variance of the classic dataset is 32/7.
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential)
+{
+    RunningStats combined, a, b;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0 + i * 0.25;
+        combined.add(x);
+        (i < 37 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), combined.min());
+    EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStatsTest, NormalizedStddevIsCoefficientOfVariation)
+{
+    RunningStats stats;
+    stats.add(90.0);
+    stats.add(110.0);
+    // mean 100, sample stddev sqrt(200) ~ 14.14 -> CV ~ 0.1414.
+    EXPECT_NEAR(stats.normalizedStddev(), std::sqrt(200.0) / 100.0,
+                1e-12);
+}
+
+TEST(MedianTest, OddAndEvenCounts)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks)
+{
+    std::vector<double> values{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(values, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 25.0), 17.5);
+}
+
+TEST(SampleReservoirTest, RetainsEverythingBelowCapacity)
+{
+    SampleReservoir reservoir(100);
+    for (int i = 1; i <= 99; ++i)
+        reservoir.add(i);
+    EXPECT_EQ(reservoir.offered(), 99u);
+    EXPECT_EQ(reservoir.samples().size(), 99u);
+    EXPECT_DOUBLE_EQ(reservoir.median(), 50.0);
+}
+
+TEST(SampleReservoirTest, BoundedAboveCapacityAndRepresentative)
+{
+    SampleReservoir reservoir(512);
+    for (int i = 0; i < 100000; ++i)
+        reservoir.add(static_cast<double>(i % 1000));
+    EXPECT_EQ(reservoir.samples().size(), 512u);
+    // Median of a uniform 0..999 stream should be near 500.
+    EXPECT_NEAR(reservoir.median(), 500.0, 80.0);
+}
+
+TEST(EmpiricalCdfTest, MonotoneAndBounded)
+{
+    std::vector<double> values;
+    for (int i = 0; i < 1000; ++i)
+        values.push_back(std::fmod(i * 0.7153, 1.0));
+    const auto cdf = empiricalCdf(values, 50);
+    ASSERT_LE(cdf.size(), 50u);
+    ASSERT_GE(cdf.size(), 2u);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+        EXPECT_LT(cdf[i - 1].cumulative, cdf[i].cumulative);
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().cumulative, 1.0);
+}
+
+TEST(MapeTest, ComputesMeanAbsolutePercentageError)
+{
+    EXPECT_NEAR(meanAbsolutePercentageError({100.0, 200.0},
+                                            {110.0, 180.0}),
+                0.10, 1e-12);
+    // Zero observations are skipped rather than dividing by zero.
+    EXPECT_NEAR(meanAbsolutePercentageError({0.0, 100.0}, {5.0, 90.0}),
+                0.10, 1e-12);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(42);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        stats.add(u);
+    }
+    EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+    EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, StreamsAreDecorrelated)
+{
+    Rng a(7, 0), b(7, 1);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, NormalMomentsMatch)
+{
+    Rng rng(123);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, LognormalFactorHasUnitMedian)
+{
+    Rng rng(9);
+    std::vector<double> values;
+    for (int i = 0; i < 20001; ++i)
+        values.push_back(rng.lognormalFactor(0.3));
+    EXPECT_NEAR(median(values), 1.0, 0.02);
+}
+
+TEST(RngTest, GammaMomentsMatch)
+{
+    Rng rng(77);
+    RunningStats stats;
+    const double shape = 2.5, scale = 1.5;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.gamma(shape, scale));
+    EXPECT_NEAR(stats.mean(), shape * scale, 0.05);
+    EXPECT_NEAR(stats.variance(), shape * scale * scale, 0.3);
+}
+
+TEST(RngTest, UniformIntBounds)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(CsvTest, EscapeRoundTrip)
+{
+    const std::vector<std::string> row{"plain", "with,comma",
+                                       "with \"quote\"", ""};
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.writeRow(row);
+    const auto parsed = parseCsvLine(
+        out.str().substr(0, out.str().size() - 1));
+    EXPECT_EQ(parsed, row);
+}
+
+TEST(CsvTest, ReadMultipleRows)
+{
+    std::istringstream in("a,b,c\n1,2,3\n\n4,5,6\n");
+    const auto rows = readCsv(in);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0][0], "a");
+    EXPECT_EQ(rows[2][2], "6");
+}
+
+TEST(StringsTest, SplitJoinTrim)
+{
+    EXPECT_EQ(split("a,b,,c", ','),
+              (std::vector<std::string>{"a", "b", "", "c"}));
+    EXPECT_EQ(join({"x", "y"}, "-"), "x-y");
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_TRUE(startsWith("resnet_101", "resnet"));
+    EXPECT_TRUE(endsWith("fig08_validation", "validation"));
+    EXPECT_EQ(toLower("AbC"), "abc");
+}
+
+TEST(StringsTest, FormatAndHumanUnits)
+{
+    EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(humanBytes(85e6), "85.0MB");
+    EXPECT_EQ(humanMicros(500.0), "500.0us");
+    EXPECT_EQ(humanMicros(2500.0), "2.50ms");
+    EXPECT_EQ(humanMicros(2.5e6), "2.50s");
+    EXPECT_EQ(humanMicros(7.2e9), "2.00h");
+}
+
+TEST(TableTest, RendersAlignedColumns)
+{
+    TablePrinter table({"op", "time"});
+    table.addRow({"Conv2D", "12.5"});
+    table.addRow({"MaxPool", "3.1"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("Conv2D"), std::string::npos);
+    EXPECT_NE(text.find("| op"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TableTest, CheckLineReportsBand)
+{
+    std::ostringstream out;
+    EXPECT_TRUE(printCheck(out, "ratio", 10.0, 8.0, 12.0));
+    EXPECT_FALSE(printCheck(out, "ratio", 20.0, 8.0, 12.0));
+    EXPECT_NE(out.str().find("[PASS]"), std::string::npos);
+    EXPECT_NE(out.str().find("[CHECK]"), std::string::npos);
+}
+
+TEST(FlagsTest, ParsesAllKinds)
+{
+    Flags flags;
+    flags.defineInt("iters", 100, "iterations");
+    flags.defineDouble("budget", 3.0, "budget");
+    flags.defineString("model", "alexnet", "model name");
+    flags.defineBool("verbose", false, "verbosity");
+
+    const char *argv[] = {"prog", "--iters", "250", "--budget=4.5",
+                          "--verbose", "extra"};
+    flags.parse(6, const_cast<char **>(argv));
+
+    EXPECT_EQ(flags.getInt("iters"), 250);
+    EXPECT_DOUBLE_EQ(flags.getDouble("budget"), 4.5);
+    EXPECT_EQ(flags.getString("model"), "alexnet");
+    EXPECT_TRUE(flags.getBool("verbose"));
+    ASSERT_EQ(flags.positional().size(), 1u);
+    EXPECT_EQ(flags.positional()[0], "extra");
+}
+
+} // namespace
+} // namespace util
+} // namespace ceer

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * `calibration_report` — prints the simulated substrate's aggregate
+ * behaviour against every calibration target in DESIGN.md.
+ *
+ * The per-category effective throughputs in hw/gpu_spec.cc and the
+ * interconnect constants in hw/interconnect.cc are fitted quantities;
+ * anyone changing them (new GPU, different era of hardware) should run
+ * this tool to see which paper-derived aggregates moved. The bench
+ * binaries check the same bands, but this report computes everything
+ * in one place in under a minute.
+ */
+
+#include <iostream>
+
+#include "models/model_zoo.h"
+#include "sim/simulator.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ceer;
+
+double
+meanIterationUs(const graph::Graph &g, hw::GpuModel gpu, int k,
+                int iterations, std::uint64_t seed)
+{
+    sim::SimConfig config;
+    config.gpu = gpu;
+    config.numGpus = k;
+    config.seed = seed;
+    sim::TrainingSimulator simulator(g, config);
+    return simulator.run(iterations).iterationUs.mean();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineInt("iters", 25, "iterations per measurement");
+    flags.parse(argc, argv);
+    const int iters = static_cast<int>(flags.getInt("iters"));
+
+    bool all_ok = true;
+    auto check = [&](const std::string &what, double measured,
+                     double lo, double hi) {
+        all_ok &= util::printCheck(std::cout, what, measured, lo, hi);
+    };
+
+    // --- Fig. 6: Inception-v1 data-parallel scaling ---
+    util::printBanner(std::cout, "Fig. 6 targets (Inception-v1)");
+    {
+        const graph::Graph g = models::buildInceptionV1(32);
+        double reduction[3] = {0, 0, 0};
+        for (hw::GpuModel gpu : hw::allGpuModels()) {
+            const double t1 = meanIterationUs(g, gpu, 1, iters, 9);
+            for (int k = 2; k <= 4; ++k) {
+                reduction[k - 2] +=
+                    1.0 - meanIterationUs(g, gpu, k, iters, 9) /
+                              (k * t1);
+            }
+        }
+        const double target[3] = {0.358, 0.466, 0.536};
+        for (int i = 0; i < 3; ++i) {
+            check(util::format("mean reduction at %d GPUs", i + 2),
+                  reduction[i] / 4.0, target[i] - 0.06,
+                  target[i] + 0.06);
+        }
+    }
+
+    // --- Fig. 8: k = 4 end-to-end ratios over the test CNNs ---
+    util::printBanner(std::cout, "Fig. 8 targets (test CNNs, k = 4)");
+    {
+        double p2 = 0.0, g3 = 0.0, g4 = 0.0;
+        int g4_cheapest = 0;
+        const double hourly[4] = {12.24, 3.60, 3.912, 4.56};
+        for (const std::string &name : models::testSetNames()) {
+            const graph::Graph g = models::buildModel(name, 32);
+            double t[4];
+            int index = 0;
+            for (hw::GpuModel gpu : hw::allGpuModels())
+                t[index++] = meanIterationUs(g, gpu, 4, iters, 13);
+            p2 += t[1] / t[0];
+            g4 += t[2] / t[0];
+            g3 += t[3] / t[0];
+            int cheapest = 0;
+            for (int i = 1; i < 4; ++i)
+                if (t[i] * hourly[i] < t[cheapest] * hourly[cheapest])
+                    cheapest = i;
+            g4_cheapest += cheapest == 2;
+        }
+        check("P2/P3 time ratio (paper 3.62)", p2 / 4.0, 2.5, 5.6);
+        check("G3/P3 time ratio (paper 2.70)", g3 / 4.0, 2.0, 3.9);
+        check("G4/P3 time ratio (paper 1.92)", g4 / 4.0, 1.45, 2.4);
+        check("CNNs where G4 is cheapest", g4_cheapest, 3, 4);
+    }
+
+    // --- Sec. IV-A: AlexNet k=1 comm share on P3 ---
+    util::printBanner(std::cout, "Sec. IV-A target (AlexNet, k = 1)");
+    {
+        const graph::Graph g = models::buildAlexNet(32);
+        sim::SimConfig config;
+        config.seed = 17;
+        sim::TrainingSimulator simulator(g, config);
+        const sim::RunStats stats = simulator.run(iters * 3);
+        check("comm share of the AlexNet iteration on P3 "
+              "(paper: ~30%)",
+              stats.commUs.mean() / stats.iterationUs.mean(), 0.18,
+              0.40);
+    }
+
+    std::cout << (all_ok ? "\nCALIBRATION OK\n"
+                         : "\nCALIBRATION DRIFTED — re-tune "
+                           "hw/gpu_spec.cc / hw/interconnect.cc\n");
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * `ceer` — command-line front end for the whole pipeline.
+ *
+ * Subcommands:
+ *   zoo                              list the 12 zoo CNNs
+ *   dot        --model M             print a Graphviz DOT of M's graph
+ *   summary    --model M [--depth D] per-layer op/param/GFLOP table
+ *   profile    --out profiles.csv    run the empirical study -> CSV
+ *   train      --profiles f --out m  fit Ceer from a profile CSV
+ *   predict    --ceer-model m --model M --gpu P3 --gpus 4
+ *   recommend  --ceer-model m --model M [--objective cost|time]
+ *              [--hourly-budget B] [--total-budget B] [--market]
+ *
+ * Every subcommand accepts --help. Model files come from `train` (or
+ * the export_profiles example); all state lives in plain text files.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "baselines/baselines.h"
+#include "cloud/instances.h"
+#include "core/predictor.h"
+#include "core/recommender.h"
+#include "core/trainer.h"
+#include "graph/summary.h"
+#include "hw/op_cost.h"
+#include "models/model_zoo.h"
+#include "profile/profiler.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ceer;
+
+core::CeerModel
+loadModelFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot open Ceer model file '" + path + "'");
+    return core::CeerModel::load(in);
+}
+
+int
+cmdZoo(int, char **)
+{
+    util::TablePrinter table({"model", "set", "input", "params (M)",
+                              "graph ops"});
+    for (const std::string &name : models::allModelNames()) {
+        const graph::Graph g = models::buildModel(name, 32);
+        const auto &test = models::testSetNames();
+        const bool is_test =
+            std::find(test.begin(), test.end(), name) != test.end();
+        table.addRow({name, is_test ? "test" : "train",
+                      util::format("%dx%d",
+                                   models::modelInputSize(name),
+                                   models::modelInputSize(name)),
+                      util::format("%.1f",
+                                   g.totalParameters() / 1e6),
+                      std::to_string(g.size())});
+    }
+    table.print(std::cout);
+    std::cout << "extras (outside the paper's zoo): "
+                 "transformer_encoder, lstm_classifier, mobilenet_v1\n";
+    return 0;
+}
+
+int
+cmdSummary(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineString("model", "inception_v1", "zoo model");
+    flags.defineInt("batch", 32, "per-GPU batch size");
+    flags.defineInt("depth", 1, "layer-name depth for grouping");
+    flags.parse(argc, argv);
+    const graph::Graph g = models::buildModel(
+        flags.getString("model"), flags.getInt("batch"));
+    const graph::ModelSummary summary = graph::summarize(
+        g, static_cast<int>(flags.getInt("depth")),
+        [](const graph::Node &node) { return hw::opCost(node).flops; });
+    summary.print(std::cout);
+    return 0;
+}
+
+int
+cmdDot(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineString("model", "inception_v1", "zoo model");
+    flags.defineInt("batch", 32, "per-GPU batch size");
+    flags.parse(argc, argv);
+    const graph::Graph g =
+        models::buildModel(flags.getString("model"), flags.getInt("batch"));
+    std::cout << g.toDot();
+    return 0;
+}
+
+int
+cmdProfile(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineInt("iters", 200, "profiling iterations per run");
+    flags.defineInt("batch", 32, "per-GPU batch size");
+    flags.defineInt("seed", 42, "base RNG seed");
+    flags.defineString("models", "",
+                       "comma-separated CNNs (default: training set)");
+    flags.defineString("out", "profiles.csv", "output CSV path");
+    flags.parse(argc, argv);
+
+    std::vector<std::string> names = models::trainingSetNames();
+    if (!flags.getString("models").empty()) {
+        names.clear();
+        for (const auto &name :
+             util::split(flags.getString("models"), ','))
+            if (!name.empty())
+                names.push_back(util::trim(name));
+    }
+    profile::CollectOptions options;
+    options.iterations = static_cast<int>(flags.getInt("iters"));
+    options.batch = flags.getInt("batch");
+    options.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    const profile::ProfileDataset dataset =
+        profile::collectProfiles(names, options);
+
+    std::ofstream out(flags.getString("out"));
+    if (!out)
+        util::fatal("cannot open " + flags.getString("out"));
+    dataset.saveCsv(out);
+    std::cout << "wrote " << dataset.ops().size() << " op rows and "
+              << dataset.iterations().size() << " iter rows to "
+              << flags.getString("out") << "\n";
+    return 0;
+}
+
+int
+cmdTrain(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineString("profiles", "profiles.csv", "input profile CSV");
+    flags.defineString("out", "ceer_model.txt", "output model file");
+    flags.parse(argc, argv);
+
+    std::ifstream in(flags.getString("profiles"));
+    if (!in)
+        util::fatal("cannot open " + flags.getString("profiles"));
+    const profile::ProfileDataset dataset =
+        profile::ProfileDataset::loadCsv(in);
+    const core::CeerModel model = core::trainCeer(dataset);
+
+    std::ofstream out(flags.getString("out"));
+    if (!out)
+        util::fatal("cannot open " + flags.getString("out"));
+    model.save(out);
+    const auto [lo, hi] = model.opModelR2Range();
+    std::cout << "trained on " << dataset.ops().size()
+              << " op rows: " << model.heavyOps.size()
+              << " heavy op types, R^2 "
+              << util::format("[%.2f, %.2f]", lo, hi) << " -> "
+              << flags.getString("out") << "\n";
+    return 0;
+}
+
+int
+cmdPredict(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineString("ceer-model", "ceer_model.txt", "model file");
+    flags.defineString("model", "resnet_101", "zoo CNN to predict");
+    flags.defineString("gpu", "P3", "GPU model or family name");
+    flags.defineInt("gpus", 1, "data-parallel width");
+    flags.defineInt("batch", 32, "per-GPU batch size");
+    flags.defineInt("samples", 1200000, "dataset size");
+    flags.parse(argc, argv);
+
+    hw::GpuModel gpu;
+    if (!hw::gpuModelFromName(flags.getString("gpu"), gpu))
+        util::fatal("unknown GPU '" + flags.getString("gpu") + "'");
+    const core::CeerPredictor predictor(
+        loadModelFile(flags.getString("ceer-model")));
+    const graph::Graph g = models::buildModel(flags.getString("model"),
+                                              flags.getInt("batch"));
+    const core::TrainingPrediction prediction =
+        predictor.predictTraining(g, gpu,
+                                  static_cast<int>(flags.getInt("gpus")),
+                                  flags.getInt("samples"),
+                                  flags.getInt("batch"));
+    std::cout << flags.getString("model") << " on "
+              << flags.getInt("gpus") << "x " << hw::gpuModelName(gpu)
+              << ": " << util::humanMicros(prediction.iterationUs)
+              << "/iteration, " << prediction.iterations
+              << " iterations, "
+              << util::format("%.2fh", prediction.hours) << " total\n";
+    return 0;
+}
+
+int
+cmdRecommend(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineString("ceer-model", "ceer_model.txt", "model file");
+    flags.defineString("model", "resnet_101", "zoo CNN to place");
+    flags.defineString("objective", "cost", "minimize 'cost' or 'time'");
+    flags.defineDouble("hourly-budget", 1e18, "max hourly price (USD)");
+    flags.defineDouble("total-budget", 1e18, "max total spend (USD)");
+    flags.defineBool("market", false, "use market GPU prices");
+    flags.defineString("catalog", "",
+                       "custom instance-catalog CSV "
+                       "(name,gpu,gpus,hourly_usd); overrides --market");
+    flags.defineInt("batch", 32, "per-GPU batch size");
+    flags.defineInt("samples", 1200000, "dataset size");
+    flags.parse(argc, argv);
+
+    const core::CeerPredictor predictor(
+        loadModelFile(flags.getString("ceer-model")));
+    const graph::Graph g = models::buildModel(flags.getString("model"),
+                                              flags.getInt("batch"));
+    cloud::InstanceCatalog catalog =
+        flags.getBool("market") ? cloud::InstanceCatalog::marketPriced()
+                                : cloud::InstanceCatalog::awsOnDemand();
+    if (!flags.getString("catalog").empty()) {
+        std::ifstream catalog_in(flags.getString("catalog"));
+        if (!catalog_in)
+            util::fatal("cannot open " + flags.getString("catalog"));
+        catalog = cloud::InstanceCatalog::fromCsv(catalog_in);
+    }
+
+    core::WorkloadSpec workload{&g, flags.getInt("samples"),
+                                flags.getInt("batch")};
+    core::Constraints constraints;
+    constraints.hourlyBudgetUsd = flags.getDouble("hourly-budget");
+    constraints.totalBudgetUsd = flags.getDouble("total-budget");
+    const core::Objective objective =
+        flags.getString("objective") == "time"
+            ? core::Objective::MinTrainingTime
+            : core::Objective::MinCost;
+    const core::Recommendation recommendation =
+        core::recommend(predictor, workload, catalog.instances(),
+                        objective, constraints);
+
+    util::TablePrinter table({"instance", "$/hr", "pred time",
+                              "pred cost", "feasible"});
+    for (const auto &evaluation : recommendation.evaluations) {
+        table.addRow({evaluation.instance.name,
+                      util::format("%.3f",
+                                   evaluation.instance.hourlyUsd),
+                      util::format("%.2fh",
+                                   evaluation.prediction.hours),
+                      util::format("$%.2f", evaluation.costUsd),
+                      evaluation.feasible() ? "yes" : "no"});
+    }
+    table.print(std::cout);
+    if (recommendation.bestIndex < 0) {
+        std::cout << "no instance satisfies the constraints\n";
+        return 1;
+    }
+    const auto &best = recommendation.best();
+    std::cout << "recommended: " << best.instance.name << " ("
+              << util::format("%.2fh", best.prediction.hours) << ", "
+              << util::format("$%.2f", best.costUsd) << ")\n";
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout <<
+        "usage: ceer <command> [flags]\n"
+        "commands:\n"
+        "  zoo        list the 12 zoo CNNs\n"
+        "  dot        print a CNN's graph as Graphviz DOT\n"
+        "  summary    per-layer table (ops, params, GFLOPs)\n"
+        "  profile    run the empirical study, write a profile CSV\n"
+        "  train      fit a Ceer model from a profile CSV\n"
+        "  predict    predict training time for a CNN on an instance\n"
+        "  recommend  pick the optimal instance under constraints\n"
+        "run `ceer <command> --help` for the command's flags\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string command = argv[1];
+    // Shift argv so each subcommand parses its own flags.
+    int sub_argc = argc - 1;
+    char **sub_argv = argv + 1;
+    if (command == "zoo")
+        return cmdZoo(sub_argc, sub_argv);
+    if (command == "dot")
+        return cmdDot(sub_argc, sub_argv);
+    if (command == "summary")
+        return cmdSummary(sub_argc, sub_argv);
+    if (command == "profile")
+        return cmdProfile(sub_argc, sub_argv);
+    if (command == "train")
+        return cmdTrain(sub_argc, sub_argv);
+    if (command == "predict")
+        return cmdPredict(sub_argc, sub_argv);
+    if (command == "recommend")
+        return cmdRecommend(sub_argc, sub_argv);
+    if (command == "--help" || command == "help") {
+        usage();
+        return 0;
+    }
+    std::cerr << "unknown command '" << command << "'\n";
+    usage();
+    return 1;
+}
