@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_light_cpu"
+  "../bench/abl_light_cpu.pdb"
+  "CMakeFiles/abl_light_cpu.dir/abl_light_cpu.cc.o"
+  "CMakeFiles/abl_light_cpu.dir/abl_light_cpu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_light_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

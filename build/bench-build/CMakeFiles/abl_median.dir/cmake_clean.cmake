@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_median"
+  "../bench/abl_median.pdb"
+  "CMakeFiles/abl_median.dir/abl_median.cc.o"
+  "CMakeFiles/abl_median.dir/abl_median.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_no_comm"
+  "../bench/abl_no_comm.pdb"
+  "CMakeFiles/abl_no_comm.dir/abl_no_comm.cc.o"
+  "CMakeFiles/abl_no_comm.dir/abl_no_comm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_no_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_quadratic"
+  "../bench/abl_quadratic.pdb"
+  "CMakeFiles/abl_quadratic.dir/abl_quadratic.cc.o"
+  "CMakeFiles/abl_quadratic.dir/abl_quadratic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_quadratic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

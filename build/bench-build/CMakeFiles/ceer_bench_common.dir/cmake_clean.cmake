@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceer_bench_common.dir/common.cc.o"
+  "CMakeFiles/ceer_bench_common.dir/common.cc.o.d"
+  "libceer_bench_common.a"
+  "libceer_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceer_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

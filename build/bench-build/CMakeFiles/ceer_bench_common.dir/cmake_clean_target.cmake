@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libceer_bench_common.a"
+)

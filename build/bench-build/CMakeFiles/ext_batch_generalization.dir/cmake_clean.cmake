@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_batch_generalization"
+  "../bench/ext_batch_generalization.pdb"
+  "CMakeFiles/ext_batch_generalization.dir/ext_batch_generalization.cc.o"
+  "CMakeFiles/ext_batch_generalization.dir/ext_batch_generalization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_batch_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

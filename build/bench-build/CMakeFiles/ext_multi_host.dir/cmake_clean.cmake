@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multi_host"
+  "../bench/ext_multi_host.pdb"
+  "CMakeFiles/ext_multi_host.dir/ext_multi_host.cc.o"
+  "CMakeFiles/ext_multi_host.dir/ext_multi_host.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_price_sensitivity"
+  "../bench/ext_price_sensitivity.pdb"
+  "CMakeFiles/ext_price_sensitivity.dir/ext_price_sensitivity.cc.o"
+  "CMakeFiles/ext_price_sensitivity.dir/ext_price_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_price_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_unseen_ops"
+  "../bench/ext_unseen_ops.pdb"
+  "CMakeFiles/ext_unseen_ops.dir/ext_unseen_ops.cc.o"
+  "CMakeFiles/ext_unseen_ops.dir/ext_unseen_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_unseen_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

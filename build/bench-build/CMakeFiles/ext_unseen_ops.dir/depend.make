@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_unseen_ops.
+# This may be replaced when dependencies are built.

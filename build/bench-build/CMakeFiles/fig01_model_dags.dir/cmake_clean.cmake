@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_model_dags"
+  "../bench/fig01_model_dags.pdb"
+  "CMakeFiles/fig01_model_dags.dir/fig01_model_dags.cc.o"
+  "CMakeFiles/fig01_model_dags.dir/fig01_model_dags.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_model_dags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

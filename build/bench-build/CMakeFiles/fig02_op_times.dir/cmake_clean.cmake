@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_op_times"
+  "../bench/fig02_op_times.pdb"
+  "CMakeFiles/fig02_op_times.dir/fig02_op_times.cc.o"
+  "CMakeFiles/fig02_op_times.dir/fig02_op_times.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_op_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

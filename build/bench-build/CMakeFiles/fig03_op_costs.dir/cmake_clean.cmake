@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_op_costs"
+  "../bench/fig03_op_costs.pdb"
+  "CMakeFiles/fig03_op_costs.dir/fig03_op_costs.cc.o"
+  "CMakeFiles/fig03_op_costs.dir/fig03_op_costs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_op_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

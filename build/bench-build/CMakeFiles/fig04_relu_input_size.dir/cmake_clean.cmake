@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_relu_input_size"
+  "../bench/fig04_relu_input_size.pdb"
+  "CMakeFiles/fig04_relu_input_size.dir/fig04_relu_input_size.cc.o"
+  "CMakeFiles/fig04_relu_input_size.dir/fig04_relu_input_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_relu_input_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_variability_cdf"
+  "../bench/fig05_variability_cdf.pdb"
+  "CMakeFiles/fig05_variability_cdf.dir/fig05_variability_cdf.cc.o"
+  "CMakeFiles/fig05_variability_cdf.dir/fig05_variability_cdf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_variability_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_data_parallel_scaling"
+  "../bench/fig06_data_parallel_scaling.pdb"
+  "CMakeFiles/fig06_data_parallel_scaling.dir/fig06_data_parallel_scaling.cc.o"
+  "CMakeFiles/fig06_data_parallel_scaling.dir/fig06_data_parallel_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_data_parallel_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_validation"
+  "../bench/fig08_validation.pdb"
+  "CMakeFiles/fig08_validation.dir/fig08_validation.cc.o"
+  "CMakeFiles/fig08_validation.dir/fig08_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

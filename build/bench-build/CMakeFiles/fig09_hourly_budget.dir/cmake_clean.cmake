@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_hourly_budget"
+  "../bench/fig09_hourly_budget.pdb"
+  "CMakeFiles/fig09_hourly_budget.dir/fig09_hourly_budget.cc.o"
+  "CMakeFiles/fig09_hourly_budget.dir/fig09_hourly_budget.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_hourly_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

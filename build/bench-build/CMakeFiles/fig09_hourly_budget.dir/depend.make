@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_hourly_budget.
+# This may be replaced when dependencies are built.

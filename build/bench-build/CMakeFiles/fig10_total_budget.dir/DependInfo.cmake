@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_total_budget.cc" "bench-build/CMakeFiles/fig10_total_budget.dir/fig10_total_budget.cc.o" "gcc" "bench-build/CMakeFiles/fig10_total_budget.dir/fig10_total_budget.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/ceer_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ceer_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ceer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ceer_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/ceer_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/ceer_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ceer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ceer_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ceer_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ceer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

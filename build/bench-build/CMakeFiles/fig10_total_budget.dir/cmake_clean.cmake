@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_total_budget"
+  "../bench/fig10_total_budget.pdb"
+  "CMakeFiles/fig10_total_budget.dir/fig10_total_budget.cc.o"
+  "CMakeFiles/fig10_total_budget.dir/fig10_total_budget.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_total_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

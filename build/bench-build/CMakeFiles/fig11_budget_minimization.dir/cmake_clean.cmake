@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_budget_minimization"
+  "../bench/fig11_budget_minimization.pdb"
+  "CMakeFiles/fig11_budget_minimization.dir/fig11_budget_minimization.cc.o"
+  "CMakeFiles/fig11_budget_minimization.dir/fig11_budget_minimization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_budget_minimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

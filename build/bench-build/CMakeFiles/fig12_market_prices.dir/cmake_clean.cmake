@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_market_prices"
+  "../bench/fig12_market_prices.pdb"
+  "CMakeFiles/fig12_market_prices.dir/fig12_market_prices.cc.o"
+  "CMakeFiles/fig12_market_prices.dir/fig12_market_prices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_market_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

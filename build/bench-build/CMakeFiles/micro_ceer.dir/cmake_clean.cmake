@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_ceer"
+  "../bench/micro_ceer.pdb"
+  "CMakeFiles/micro_ceer.dir/micro_ceer.cc.o"
+  "CMakeFiles/micro_ceer.dir/micro_ceer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ceer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_gpu_instances"
+  "../bench/tab_gpu_instances.pdb"
+  "CMakeFiles/tab_gpu_instances.dir/tab_gpu_instances.cc.o"
+  "CMakeFiles/tab_gpu_instances.dir/tab_gpu_instances.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_gpu_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

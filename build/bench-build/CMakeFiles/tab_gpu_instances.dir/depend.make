@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_gpu_instances.
+# This may be replaced when dependencies are built.

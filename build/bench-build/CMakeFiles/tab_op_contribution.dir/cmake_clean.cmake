@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_op_contribution"
+  "../bench/tab_op_contribution.pdb"
+  "CMakeFiles/tab_op_contribution.dir/tab_op_contribution.cc.o"
+  "CMakeFiles/tab_op_contribution.dir/tab_op_contribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_op_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_op_contribution.
+# This may be replaced when dependencies are built.

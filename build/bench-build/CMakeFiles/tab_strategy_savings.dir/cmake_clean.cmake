@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_strategy_savings"
+  "../bench/tab_strategy_savings.pdb"
+  "CMakeFiles/tab_strategy_savings.dir/tab_strategy_savings.cc.o"
+  "CMakeFiles/tab_strategy_savings.dir/tab_strategy_savings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_strategy_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

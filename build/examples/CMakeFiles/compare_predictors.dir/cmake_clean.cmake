@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_predictors.dir/compare_predictors.cpp.o"
+  "CMakeFiles/compare_predictors.dir/compare_predictors.cpp.o.d"
+  "compare_predictors"
+  "compare_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

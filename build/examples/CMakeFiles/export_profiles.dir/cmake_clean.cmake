@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_profiles.dir/export_profiles.cpp.o"
+  "CMakeFiles/export_profiles.dir/export_profiles.cpp.o.d"
+  "export_profiles"
+  "export_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

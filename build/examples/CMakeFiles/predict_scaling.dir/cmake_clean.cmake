@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_scaling.dir/predict_scaling.cpp.o"
+  "CMakeFiles/predict_scaling.dir/predict_scaling.cpp.o.d"
+  "predict_scaling"
+  "predict_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommend_instance.dir/recommend_instance.cpp.o"
+  "CMakeFiles/recommend_instance.dir/recommend_instance.cpp.o.d"
+  "recommend_instance"
+  "recommend_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommend_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for recommend_instance.
+# This may be replaced when dependencies are built.

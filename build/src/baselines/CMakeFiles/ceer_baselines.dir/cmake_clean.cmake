@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceer_baselines.dir/baselines.cc.o"
+  "CMakeFiles/ceer_baselines.dir/baselines.cc.o.d"
+  "libceer_baselines.a"
+  "libceer_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceer_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

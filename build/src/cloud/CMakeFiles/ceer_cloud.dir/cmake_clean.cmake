@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceer_cloud.dir/instances.cc.o"
+  "CMakeFiles/ceer_cloud.dir/instances.cc.o.d"
+  "libceer_cloud.a"
+  "libceer_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceer_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceer_core.dir/ceer_model.cc.o"
+  "CMakeFiles/ceer_core.dir/ceer_model.cc.o.d"
+  "CMakeFiles/ceer_core.dir/predictor.cc.o"
+  "CMakeFiles/ceer_core.dir/predictor.cc.o.d"
+  "CMakeFiles/ceer_core.dir/recommender.cc.o"
+  "CMakeFiles/ceer_core.dir/recommender.cc.o.d"
+  "CMakeFiles/ceer_core.dir/regression.cc.o"
+  "CMakeFiles/ceer_core.dir/regression.cc.o.d"
+  "CMakeFiles/ceer_core.dir/trainer.cc.o"
+  "CMakeFiles/ceer_core.dir/trainer.cc.o.d"
+  "libceer_core.a"
+  "libceer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

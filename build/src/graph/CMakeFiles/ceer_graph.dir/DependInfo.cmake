@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/autodiff.cc" "src/graph/CMakeFiles/ceer_graph.dir/autodiff.cc.o" "gcc" "src/graph/CMakeFiles/ceer_graph.dir/autodiff.cc.o.d"
+  "/root/repo/src/graph/builder.cc" "src/graph/CMakeFiles/ceer_graph.dir/builder.cc.o" "gcc" "src/graph/CMakeFiles/ceer_graph.dir/builder.cc.o.d"
+  "/root/repo/src/graph/dtype.cc" "src/graph/CMakeFiles/ceer_graph.dir/dtype.cc.o" "gcc" "src/graph/CMakeFiles/ceer_graph.dir/dtype.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/ceer_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/ceer_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/op_type.cc" "src/graph/CMakeFiles/ceer_graph.dir/op_type.cc.o" "gcc" "src/graph/CMakeFiles/ceer_graph.dir/op_type.cc.o.d"
+  "/root/repo/src/graph/shape_inference.cc" "src/graph/CMakeFiles/ceer_graph.dir/shape_inference.cc.o" "gcc" "src/graph/CMakeFiles/ceer_graph.dir/shape_inference.cc.o.d"
+  "/root/repo/src/graph/summary.cc" "src/graph/CMakeFiles/ceer_graph.dir/summary.cc.o" "gcc" "src/graph/CMakeFiles/ceer_graph.dir/summary.cc.o.d"
+  "/root/repo/src/graph/tensor_shape.cc" "src/graph/CMakeFiles/ceer_graph.dir/tensor_shape.cc.o" "gcc" "src/graph/CMakeFiles/ceer_graph.dir/tensor_shape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ceer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

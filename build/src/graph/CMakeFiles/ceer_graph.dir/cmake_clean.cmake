@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceer_graph.dir/autodiff.cc.o"
+  "CMakeFiles/ceer_graph.dir/autodiff.cc.o.d"
+  "CMakeFiles/ceer_graph.dir/builder.cc.o"
+  "CMakeFiles/ceer_graph.dir/builder.cc.o.d"
+  "CMakeFiles/ceer_graph.dir/dtype.cc.o"
+  "CMakeFiles/ceer_graph.dir/dtype.cc.o.d"
+  "CMakeFiles/ceer_graph.dir/graph.cc.o"
+  "CMakeFiles/ceer_graph.dir/graph.cc.o.d"
+  "CMakeFiles/ceer_graph.dir/op_type.cc.o"
+  "CMakeFiles/ceer_graph.dir/op_type.cc.o.d"
+  "CMakeFiles/ceer_graph.dir/shape_inference.cc.o"
+  "CMakeFiles/ceer_graph.dir/shape_inference.cc.o.d"
+  "CMakeFiles/ceer_graph.dir/summary.cc.o"
+  "CMakeFiles/ceer_graph.dir/summary.cc.o.d"
+  "CMakeFiles/ceer_graph.dir/tensor_shape.cc.o"
+  "CMakeFiles/ceer_graph.dir/tensor_shape.cc.o.d"
+  "libceer_graph.a"
+  "libceer_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceer_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

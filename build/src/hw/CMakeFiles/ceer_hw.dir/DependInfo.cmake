@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/device_model.cc" "src/hw/CMakeFiles/ceer_hw.dir/device_model.cc.o" "gcc" "src/hw/CMakeFiles/ceer_hw.dir/device_model.cc.o.d"
+  "/root/repo/src/hw/gpu_spec.cc" "src/hw/CMakeFiles/ceer_hw.dir/gpu_spec.cc.o" "gcc" "src/hw/CMakeFiles/ceer_hw.dir/gpu_spec.cc.o.d"
+  "/root/repo/src/hw/interconnect.cc" "src/hw/CMakeFiles/ceer_hw.dir/interconnect.cc.o" "gcc" "src/hw/CMakeFiles/ceer_hw.dir/interconnect.cc.o.d"
+  "/root/repo/src/hw/memory.cc" "src/hw/CMakeFiles/ceer_hw.dir/memory.cc.o" "gcc" "src/hw/CMakeFiles/ceer_hw.dir/memory.cc.o.d"
+  "/root/repo/src/hw/op_cost.cc" "src/hw/CMakeFiles/ceer_hw.dir/op_cost.cc.o" "gcc" "src/hw/CMakeFiles/ceer_hw.dir/op_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ceer_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ceer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceer_hw.dir/device_model.cc.o"
+  "CMakeFiles/ceer_hw.dir/device_model.cc.o.d"
+  "CMakeFiles/ceer_hw.dir/gpu_spec.cc.o"
+  "CMakeFiles/ceer_hw.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/ceer_hw.dir/interconnect.cc.o"
+  "CMakeFiles/ceer_hw.dir/interconnect.cc.o.d"
+  "CMakeFiles/ceer_hw.dir/memory.cc.o"
+  "CMakeFiles/ceer_hw.dir/memory.cc.o.d"
+  "CMakeFiles/ceer_hw.dir/op_cost.cc.o"
+  "CMakeFiles/ceer_hw.dir/op_cost.cc.o.d"
+  "libceer_hw.a"
+  "libceer_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceer_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

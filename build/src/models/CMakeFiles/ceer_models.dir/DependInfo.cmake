@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/alexnet.cc" "src/models/CMakeFiles/ceer_models.dir/alexnet.cc.o" "gcc" "src/models/CMakeFiles/ceer_models.dir/alexnet.cc.o.d"
+  "/root/repo/src/models/inception_common.cc" "src/models/CMakeFiles/ceer_models.dir/inception_common.cc.o" "gcc" "src/models/CMakeFiles/ceer_models.dir/inception_common.cc.o.d"
+  "/root/repo/src/models/inception_resnet_v2.cc" "src/models/CMakeFiles/ceer_models.dir/inception_resnet_v2.cc.o" "gcc" "src/models/CMakeFiles/ceer_models.dir/inception_resnet_v2.cc.o.d"
+  "/root/repo/src/models/inception_v1.cc" "src/models/CMakeFiles/ceer_models.dir/inception_v1.cc.o" "gcc" "src/models/CMakeFiles/ceer_models.dir/inception_v1.cc.o.d"
+  "/root/repo/src/models/inception_v3.cc" "src/models/CMakeFiles/ceer_models.dir/inception_v3.cc.o" "gcc" "src/models/CMakeFiles/ceer_models.dir/inception_v3.cc.o.d"
+  "/root/repo/src/models/inception_v4.cc" "src/models/CMakeFiles/ceer_models.dir/inception_v4.cc.o" "gcc" "src/models/CMakeFiles/ceer_models.dir/inception_v4.cc.o.d"
+  "/root/repo/src/models/lstm.cc" "src/models/CMakeFiles/ceer_models.dir/lstm.cc.o" "gcc" "src/models/CMakeFiles/ceer_models.dir/lstm.cc.o.d"
+  "/root/repo/src/models/mobilenet.cc" "src/models/CMakeFiles/ceer_models.dir/mobilenet.cc.o" "gcc" "src/models/CMakeFiles/ceer_models.dir/mobilenet.cc.o.d"
+  "/root/repo/src/models/registry.cc" "src/models/CMakeFiles/ceer_models.dir/registry.cc.o" "gcc" "src/models/CMakeFiles/ceer_models.dir/registry.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "src/models/CMakeFiles/ceer_models.dir/resnet.cc.o" "gcc" "src/models/CMakeFiles/ceer_models.dir/resnet.cc.o.d"
+  "/root/repo/src/models/transformer.cc" "src/models/CMakeFiles/ceer_models.dir/transformer.cc.o" "gcc" "src/models/CMakeFiles/ceer_models.dir/transformer.cc.o.d"
+  "/root/repo/src/models/vgg.cc" "src/models/CMakeFiles/ceer_models.dir/vgg.cc.o" "gcc" "src/models/CMakeFiles/ceer_models.dir/vgg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ceer_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ceer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

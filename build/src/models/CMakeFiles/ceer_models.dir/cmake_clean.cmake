@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceer_models.dir/alexnet.cc.o"
+  "CMakeFiles/ceer_models.dir/alexnet.cc.o.d"
+  "CMakeFiles/ceer_models.dir/inception_common.cc.o"
+  "CMakeFiles/ceer_models.dir/inception_common.cc.o.d"
+  "CMakeFiles/ceer_models.dir/inception_resnet_v2.cc.o"
+  "CMakeFiles/ceer_models.dir/inception_resnet_v2.cc.o.d"
+  "CMakeFiles/ceer_models.dir/inception_v1.cc.o"
+  "CMakeFiles/ceer_models.dir/inception_v1.cc.o.d"
+  "CMakeFiles/ceer_models.dir/inception_v3.cc.o"
+  "CMakeFiles/ceer_models.dir/inception_v3.cc.o.d"
+  "CMakeFiles/ceer_models.dir/inception_v4.cc.o"
+  "CMakeFiles/ceer_models.dir/inception_v4.cc.o.d"
+  "CMakeFiles/ceer_models.dir/lstm.cc.o"
+  "CMakeFiles/ceer_models.dir/lstm.cc.o.d"
+  "CMakeFiles/ceer_models.dir/mobilenet.cc.o"
+  "CMakeFiles/ceer_models.dir/mobilenet.cc.o.d"
+  "CMakeFiles/ceer_models.dir/registry.cc.o"
+  "CMakeFiles/ceer_models.dir/registry.cc.o.d"
+  "CMakeFiles/ceer_models.dir/resnet.cc.o"
+  "CMakeFiles/ceer_models.dir/resnet.cc.o.d"
+  "CMakeFiles/ceer_models.dir/transformer.cc.o"
+  "CMakeFiles/ceer_models.dir/transformer.cc.o.d"
+  "CMakeFiles/ceer_models.dir/vgg.cc.o"
+  "CMakeFiles/ceer_models.dir/vgg.cc.o.d"
+  "libceer_models.a"
+  "libceer_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceer_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceer_profile.dir/features.cc.o"
+  "CMakeFiles/ceer_profile.dir/features.cc.o.d"
+  "CMakeFiles/ceer_profile.dir/profiler.cc.o"
+  "CMakeFiles/ceer_profile.dir/profiler.cc.o.d"
+  "libceer_profile.a"
+  "libceer_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceer_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceer_sim.dir/simulator.cc.o"
+  "CMakeFiles/ceer_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/ceer_sim.dir/trace.cc.o"
+  "CMakeFiles/ceer_sim.dir/trace.cc.o.d"
+  "libceer_sim.a"
+  "libceer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

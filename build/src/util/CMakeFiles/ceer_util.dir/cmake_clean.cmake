@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceer_util.dir/csv.cc.o"
+  "CMakeFiles/ceer_util.dir/csv.cc.o.d"
+  "CMakeFiles/ceer_util.dir/flags.cc.o"
+  "CMakeFiles/ceer_util.dir/flags.cc.o.d"
+  "CMakeFiles/ceer_util.dir/logging.cc.o"
+  "CMakeFiles/ceer_util.dir/logging.cc.o.d"
+  "CMakeFiles/ceer_util.dir/random.cc.o"
+  "CMakeFiles/ceer_util.dir/random.cc.o.d"
+  "CMakeFiles/ceer_util.dir/stats.cc.o"
+  "CMakeFiles/ceer_util.dir/stats.cc.o.d"
+  "CMakeFiles/ceer_util.dir/strings.cc.o"
+  "CMakeFiles/ceer_util.dir/strings.cc.o.d"
+  "CMakeFiles/ceer_util.dir/table.cc.o"
+  "CMakeFiles/ceer_util.dir/table.cc.o.d"
+  "libceer_util.a"
+  "libceer_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceer_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceer_test.dir/ceer_test.cc.o"
+  "CMakeFiles/ceer_test.dir/ceer_test.cc.o.d"
+  "ceer_test"
+  "ceer_test.pdb"
+  "ceer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

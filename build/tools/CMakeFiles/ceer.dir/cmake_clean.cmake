@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceer.dir/ceer_cli.cc.o"
+  "CMakeFiles/ceer.dir/ceer_cli.cc.o.d"
+  "ceer"
+  "ceer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
