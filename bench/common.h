@@ -41,17 +41,34 @@ struct BenchConfig
     int evalIterations = 120;  ///< Iterations for "observed" numbers.
     std::int64_t batch = kDefaultBatch; ///< Per-GPU batch size.
     std::uint64_t seed = 42;   ///< Base RNG seed.
+    int threads = 0;           ///< Profiling workers (0 = hardware).
+    /**
+     * Directory of the shared on-disk profile cache ("" or "none"
+     * disables). The whole bench suite shares one cache: the first
+     * binary profiles and saves, the rest load in milliseconds.
+     */
+    std::string profileCache = "build/profile-cache";
 };
 
 /**
  * Parses the standard bench flags (--iters, --eval-iters, --batch,
- * --seed) plus --help.
+ * --seed, --threads, --profile-cache) plus --help.
  *
  * The paper profiles 1,000 iterations per run; the default here is 200
  * to keep single-core bench runs short. Pass --iters 1000 for full
  * fidelity (conclusions are unchanged).
  */
 BenchConfig parseBenchFlags(int argc, char **argv);
+
+/**
+ * Cache file path for one profiling configuration, content-keyed by
+ * (format version, model set, iterations, batch, seed, multi-GPU
+ * sweep shape). Thread count is deliberately excluded: collection is
+ * deterministic across thread counts.
+ */
+std::string profileCachePath(const std::string &cache_dir,
+                             const std::vector<std::string> &models,
+                             const profile::CollectOptions &options);
 
 /** Profiles the paper's 8 training CNNs and trains Ceer. */
 struct TrainedCeer

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Profiling-engine throughput microbenchmark.
+ *
+ * Profiles one CNN across all four GPU models at increasing thread
+ * counts and reports ops-profiled/sec plus the speedup over the serial
+ * run. Also asserts that every thread count produced a byte-identical
+ * dataset (the engine's determinism contract) and writes a
+ * machine-readable BENCH_profile.json so future PRs can track the
+ * perf trajectory.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "models/model_zoo.h"
+#include "profile/profiler.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ceer;
+    using Clock = std::chrono::steady_clock;
+
+    util::Flags flags;
+    flags.defineString("model", "inception_v1", "CNN to profile");
+    flags.defineInt("iters", 60, "profiling iterations per run");
+    flags.defineInt("max-threads", 0,
+                    "largest thread count to sweep (0 = max(4, "
+                    "hardware threads))");
+    flags.defineString("out", "BENCH_profile.json",
+                       "machine-readable results ('' disables)");
+    flags.parse(argc, argv);
+
+    const std::string model = flags.getString("model");
+    profile::CollectOptions options;
+    options.iterations = static_cast<int>(flags.getInt("iters"));
+    options.multiGpuRuns = true;
+
+    const unsigned hardware = std::thread::hardware_concurrency();
+    int max_threads = static_cast<int>(flags.getInt("max-threads"));
+    if (max_threads <= 0)
+        max_threads = std::max(4u, hardware ? hardware : 1u);
+
+    std::vector<int> sweep;
+    for (int t = 1; t <= max_threads; t *= 2)
+        sweep.push_back(t);
+    if (sweep.back() != max_threads)
+        sweep.push_back(max_threads);
+
+    util::printBanner(std::cout,
+                      "micro_profile: parallel profiling throughput (" +
+                          model + ", " +
+                          std::to_string(options.iterations) +
+                          " iters/run)");
+    std::cout << "hardware threads: " << hardware << "\n";
+
+    struct Result
+    {
+        int threads;
+        double wallSeconds;
+        double opsPerSecond;
+        double speedup;
+    };
+    std::vector<Result> results;
+    std::string reference_csv;
+    double serial_wall = 0.0;
+
+    util::TablePrinter table(
+        {"threads", "wall (s)", "ops/sec", "speedup", "identical"});
+    for (int threads : sweep) {
+        options.threads = threads;
+        const auto start = Clock::now();
+        const profile::ProfileDataset dataset =
+            profile::collectProfiles({model}, options);
+        const double wall =
+            std::chrono::duration<double>(Clock::now() - start).count();
+
+        // Executions observed, not instances: the real unit of work.
+        double executions = 0.0;
+        for (const auto &profile : dataset.ops())
+            executions += static_cast<double>(profile.timeUs.count());
+
+        std::ostringstream csv;
+        dataset.saveCsv(csv);
+        if (threads == 1) {
+            reference_csv = csv.str();
+            serial_wall = wall;
+        }
+        const bool identical = csv.str() == reference_csv;
+
+        Result r;
+        r.threads = threads;
+        r.wallSeconds = wall;
+        r.opsPerSecond = executions / wall;
+        r.speedup = serial_wall / wall;
+        results.push_back(r);
+        table.addRow({std::to_string(threads),
+                      util::format("%.3f", r.wallSeconds),
+                      util::format("%.3g", r.opsPerSecond),
+                      util::format("%.2fx", r.speedup),
+                      identical ? "yes" : "NO"});
+        if (!identical) {
+            std::cerr << "FAIL: dataset at " << threads
+                      << " threads differs from the serial dataset\n";
+            return 1;
+        }
+    }
+    table.print(std::cout);
+
+    const std::string out_path = flags.getString("out");
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::cerr << "cannot open " << out_path << "\n";
+            return 1;
+        }
+        out << "{\n"
+            << "  \"benchmark\": \"profile_throughput\",\n"
+            << "  \"model\": \"" << model << "\",\n"
+            << "  \"iterations\": " << options.iterations << ",\n"
+            << "  \"hardware_threads\": " << hardware << ",\n"
+            << "  \"results\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const Result &r = results[i];
+            out << "    {\"threads\": " << r.threads
+                << ", \"wall_s\": " << util::format("%.6f", r.wallSeconds)
+                << ", \"ops_per_sec\": "
+                << util::format("%.1f", r.opsPerSecond)
+                << ", \"speedup\": " << util::format("%.4f", r.speedup)
+                << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+        std::cout << "wrote " << out_path << "\n";
+    }
+    return 0;
+}

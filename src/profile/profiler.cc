@@ -9,7 +9,9 @@
 #include "profile/features.h"
 #include "util/csv.h"
 #include "util/logging.h"
+#include "util/random.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace ceer {
 namespace profile {
@@ -61,8 +63,12 @@ Profiler::takeProfiles()
 void
 ProfileDataset::add(std::vector<OpProfile> profiles)
 {
-    for (auto &profile : profiles)
+    for (auto &profile : profiles) {
+        const std::size_t index = ops_.size();
+        opIndex_[{profile.gpu, profile.op}].push_back(index);
+        gpuIndex_[profile.gpu].push_back(index);
         ops_.push_back(std::move(profile));
+    }
 }
 
 void
@@ -75,9 +81,12 @@ std::vector<const OpProfile *>
 ProfileDataset::opsFor(hw::GpuModel gpu) const
 {
     std::vector<const OpProfile *> out;
-    for (const auto &profile : ops_)
-        if (profile.gpu == gpu)
-            out.push_back(&profile);
+    const auto it = gpuIndex_.find(gpu);
+    if (it == gpuIndex_.end())
+        return out;
+    out.reserve(it->second.size());
+    for (std::size_t index : it->second)
+        out.push_back(&ops_[index]);
     return out;
 }
 
@@ -85,21 +94,27 @@ std::vector<const OpProfile *>
 ProfileDataset::opsFor(hw::GpuModel gpu, OpType op) const
 {
     std::vector<const OpProfile *> out;
-    for (const auto &profile : ops_)
-        if (profile.gpu == gpu && profile.op == op)
-            out.push_back(&profile);
+    const auto it = opIndex_.find({gpu, op});
+    if (it == opIndex_.end())
+        return out;
+    out.reserve(it->second.size());
+    for (std::size_t index : it->second)
+        out.push_back(&ops_[index]);
     return out;
 }
 
 double
 ProfileDataset::meanTimeUs(hw::GpuModel gpu, OpType op) const
 {
-    // Execution-weighted mean across instances.
+    // Execution-weighted mean across instances; summing in insertion
+    // order matches the historical full-scan result bit for bit.
+    const auto it = opIndex_.find({gpu, op});
+    if (it == opIndex_.end())
+        return 0.0;
     double total = 0.0;
     double count = 0.0;
-    for (const auto &profile : ops_) {
-        if (profile.gpu != gpu || profile.op != op)
-            continue;
+    for (std::size_t index : it->second) {
+        const OpProfile &profile = ops_[index];
         total += profile.timeUs.sum();
         count += static_cast<double>(profile.timeUs.count());
     }
@@ -109,11 +124,14 @@ ProfileDataset::meanTimeUs(hw::GpuModel gpu, OpType op) const
 std::vector<OpType>
 ProfileDataset::opTypes(hw::GpuModel gpu) const
 {
-    std::set<OpType> seen;
-    for (const auto &profile : ops_)
-        if (profile.gpu == gpu)
-            seen.insert(profile.op);
-    return {seen.begin(), seen.end()};
+    // opIndex_ keys are sorted by (gpu, op), so the slice for one GPU
+    // yields op types in the same ascending order the old std::set
+    // scan produced.
+    std::vector<OpType> out;
+    for (auto it = opIndex_.lower_bound({gpu, OpType{}});
+         it != opIndex_.end() && it->first.first == gpu; ++it)
+        out.push_back(it->first.second);
+    return out;
 }
 
 void
@@ -165,6 +183,7 @@ ProfileDataset
 ProfileDataset::loadCsv(std::istream &in)
 {
     ProfileDataset dataset;
+    std::vector<OpProfile> loaded_ops;
     const auto rows = util::readCsv(in);
     for (std::size_t i = 1; i < rows.size(); ++i) {
         const auto &row = rows[i];
@@ -219,8 +238,10 @@ ProfileDataset::loadCsv(std::istream &in)
                 profile.timeUs.add(j % 2 == 0 ? mean + half
                                               : mean - half);
         }
-        dataset.ops_.push_back(std::move(profile));
+        loaded_ops.push_back(std::move(profile));
     }
+    // Route through add() so the (gpu, op) indices are built.
+    dataset.add(std::move(loaded_ops));
     return dataset;
 }
 
@@ -244,50 +265,125 @@ profileRun(const Graph &g, const std::string &model_name,
     return {profiler.takeProfiles(), run};
 }
 
+std::uint64_t
+runSeed(std::uint64_t base_seed, const std::string &model,
+        hw::GpuModel gpu, int num_gpus)
+{
+    std::uint64_t h = util::hashMix(base_seed, 0x43454552ull); // "CEER"
+    h = util::hashMix(h, model);
+    h = util::hashMix(h, static_cast<std::uint64_t>(gpu));
+    h = util::hashMix(h, static_cast<std::uint64_t>(num_gpus));
+    return h;
+}
+
+namespace {
+
+/** One independent (CNN, GPU, k) profiling run of the sweep. */
+struct RunTask
+{
+    std::size_t modelIndex = 0;
+    hw::GpuModel gpu = hw::GpuModel::V100;
+    int numGpus = 1;
+};
+
+/** What one task produces (op profiles only at k = 1). */
+struct RunResult
+{
+    std::vector<OpProfile> ops;
+    IterationProfile run;
+};
+
+RunResult
+executeRunTask(const Graph &g, const std::string &name,
+               const RunTask &task, const CollectOptions &options)
+{
+    sim::SimConfig config;
+    config.gpu = task.gpu;
+    config.numGpus = task.numGpus;
+    config.gpusPerHost = options.gpusPerHost;
+    config.seed = runSeed(options.seed, name, task.gpu, task.numGpus);
+
+    RunResult result;
+    if (task.numGpus == 1) {
+        auto [profiles, run] =
+            profileRun(g, name, config, options.iterations);
+        result.ops = std::move(profiles);
+        result.run = run;
+        return result;
+    }
+    // k >= 2 is run-level only: op times match the k=1 case by
+    // construction (same per-GPU batch), as in the paper.
+    sim::TrainingSimulator simulator(g, config);
+    const sim::RunStats stats = simulator.run(options.iterations);
+    result.run.model = name;
+    result.run.gpu = task.gpu;
+    result.run.numGpus = task.numGpus;
+    result.run.paramCount = g.totalParameters();
+    result.run.meanIterationUs = stats.iterationUs.mean();
+    result.run.meanComputeUs = stats.computeUs.mean();
+    result.run.meanCommUs = stats.commUs.mean();
+    return result;
+}
+
+} // namespace
+
 ProfileDataset
 collectProfiles(const std::vector<std::string> &model_names,
                 const CollectOptions &options)
 {
-    ProfileDataset dataset;
-    std::uint64_t run_index = 0;
-    for (const auto &name : model_names) {
-        const Graph g = models::buildModel(name, options.batch);
+    // Enumerate the sweep as independent tasks in canonical order;
+    // results merge back in this exact order, so the dataset is
+    // bit-identical for any thread count.
+    std::vector<RunTask> tasks;
+    for (std::size_t m = 0; m < model_names.size(); ++m) {
         for (hw::GpuModel gpu : hw::allGpuModels()) {
-            sim::SimConfig config;
-            config.gpu = gpu;
-            config.numGpus = 1;
-            config.gpusPerHost = options.gpusPerHost;
-            config.seed = options.seed + 1000 * run_index++;
-            auto [profiles, run] =
-                profileRun(g, name, config, options.iterations);
-            dataset.add(std::move(profiles));
-            dataset.addIteration(run);
-
+            tasks.push_back({m, gpu, 1});
             if (!options.multiGpuRuns)
                 continue;
-            for (int k = 2; k <= options.maxGpus; ++k) {
-                sim::SimConfig multi = config;
-                multi.numGpus = k;
-                multi.seed = options.seed + 1000 * run_index++;
-                // Run-level only: op times match the k=1 case by
-                // construction (same per-GPU batch), as in the paper.
-                sim::TrainingSimulator simulator(g, multi);
-                const sim::RunStats stats =
-                    simulator.run(options.iterations);
-                IterationProfile multi_run;
-                multi_run.model = name;
-                multi_run.gpu = gpu;
-                multi_run.numGpus = k;
-                multi_run.paramCount = g.totalParameters();
-                multi_run.meanIterationUs = stats.iterationUs.mean();
-                multi_run.meanComputeUs = stats.computeUs.mean();
-                multi_run.meanCommUs = stats.commUs.mean();
-                dataset.addIteration(multi_run);
-            }
+            for (int k = 2; k <= options.maxGpus; ++k)
+                tasks.push_back({m, gpu, k});
         }
+    }
+
+    // Build each graph once and share it read-only across tasks.
+    // consumers() is the only lazily-built Graph cache; pre-warm it so
+    // concurrent readers never mutate shared state.
+    std::vector<Graph> graphs;
+    graphs.reserve(model_names.size());
+    for (const auto &name : model_names) {
+        graphs.push_back(models::buildModel(name, options.batch));
+        graphs.back().consumers();
+    }
+
+    std::vector<RunResult> results(tasks.size());
+    auto execute = [&](std::size_t i) {
+        const RunTask &task = tasks[i];
+        results[i] = executeRunTask(graphs[task.modelIndex],
+                                    model_names[task.modelIndex], task,
+                                    options);
+    };
+
+    const std::size_t threads =
+        util::ThreadPool::effectiveThreads(options.threads);
+    if (threads <= 1 || tasks.size() <= 1) {
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            execute(i);
+    } else {
+        // The caller participates in parallelFor, so spawn one fewer
+        // worker than the requested parallelism.
+        util::ThreadPool pool(threads - 1);
+        pool.parallelFor(tasks.size(), execute);
+    }
+
+    ProfileDataset dataset;
+    for (RunResult &result : results) {
+        if (!result.ops.empty())
+            dataset.add(std::move(result.ops));
+        dataset.addIteration(result.run);
+    }
+    for (const auto &name : model_names)
         CEER_LOG(Info) << "profiled " << name << " on "
                        << hw::allGpuModels().size() << " GPU models";
-    }
     return dataset;
 }
 

@@ -99,7 +99,13 @@ class Profiler
     std::vector<OpProfile> profiles_;
 };
 
-/** The paper's operation-level dataset: profiles across CNNs x GPUs. */
+/**
+ * The paper's operation-level dataset: profiles across CNNs x GPUs.
+ *
+ * Lookups by (GPU, op type) are served from an index maintained on
+ * insertion, so the nested (GPU x heavy op) loops in core::trainCeer
+ * avoid repeated O(N) scans over the whole dataset.
+ */
 class ProfileDataset
 {
   public:
@@ -118,10 +124,10 @@ class ProfileDataset
         return iterations_;
     }
 
-    /** Op profiles for one GPU model. */
+    /** Op profiles for one GPU model, in insertion order. */
     std::vector<const OpProfile *> opsFor(hw::GpuModel gpu) const;
 
-    /** Op profiles for one (GPU, op type). */
+    /** Op profiles for one (GPU, op type), in insertion order. */
     std::vector<const OpProfile *> opsFor(hw::GpuModel gpu,
                                           graph::OpType op) const;
 
@@ -145,6 +151,12 @@ class ProfileDataset
   private:
     std::vector<OpProfile> ops_;
     std::vector<IterationProfile> iterations_;
+    /// (gpu, op) -> indices into ops_, in insertion order.
+    std::map<std::pair<hw::GpuModel, graph::OpType>,
+             std::vector<std::size_t>>
+        opIndex_;
+    /// gpu -> indices into ops_, in insertion order.
+    std::map<hw::GpuModel, std::vector<std::size_t>> gpuIndex_;
 };
 
 /**
@@ -169,11 +181,33 @@ struct CollectOptions
     int maxGpus = 4;             ///< Collect k = 1..maxGpus run levels.
     bool multiGpuRuns = true;    ///< Also run k > 1 for the comm model.
     int gpusPerHost = 8;         ///< Topology of the profiled runs.
+    /**
+     * Worker threads for the profiling sweep (0 = one per hardware
+     * thread). The collected dataset is bit-identical for every value:
+     * each (CNN, GPU, k) run seeds its own RNG from runSeed() and
+     * results merge in canonical order.
+     */
+    int threads = 0;
 };
+
+/**
+ * Deterministic per-run seed for one (CNN, GPU, k) profiling run.
+ *
+ * A hash-mix of the base seed and the run's identity, so the seed does
+ * not depend on sweep iteration order (the historical
+ * `seed + 1000 * run_index` scheme did, and could collide across base
+ * seeds).
+ */
+std::uint64_t runSeed(std::uint64_t base_seed, const std::string &model,
+                      hw::GpuModel gpu, int num_gpus);
 
 /**
  * Runs the paper's empirical study: profiles every named CNN on all
  * four GPU models (op level at k=1; run level at k=1..maxGpus).
+ *
+ * Runs are independent tasks executed on a thread pool
+ * (options.threads); the result is identical regardless of thread
+ * count or schedule.
  */
 ProfileDataset collectProfiles(const std::vector<std::string> &models,
                                const CollectOptions &options);

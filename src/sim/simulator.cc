@@ -68,16 +68,28 @@ TrainingSimulator::runIteration()
 IterationResult
 TrainingSimulator::runIteration(const OpObserver &observer)
 {
+    // The `r == 0 && observer` test is hoisted out of the per-node loop
+    // so the common unobserved path is a tight sample-and-accumulate
+    // loop. Every replica still draws its own sample for every node —
+    // including light ops — because the iteration time is the *max*
+    // over replicas: reusing one replica's draws would collapse the
+    // straggler distribution and is not distributionally neutral.
     IterationResult result;
+    const std::size_t node_count = timings_.size();
     double slowest = 0.0;
     for (std::size_t r = 0; r < replicaRngs_.size(); ++r) {
         double replica_total = 0.0;
         util::Rng &rng = replicaRngs_[r];
-        for (std::size_t i = 0; i < timings_.size(); ++i) {
-            const double t = sampleNode(i, rng);
-            replica_total += t;
-            if (r == 0 && observer)
-                observer(graph_->nodes()[i], t);
+        if (r == 0 && observer) {
+            const auto &nodes = graph_->nodes();
+            for (std::size_t i = 0; i < node_count; ++i) {
+                const double t = sampleNode(i, rng);
+                replica_total += t;
+                observer(nodes[i], t);
+            }
+        } else {
+            for (std::size_t i = 0; i < node_count; ++i)
+                replica_total += sampleNode(i, rng);
         }
         slowest = std::max(slowest, replica_total);
     }

@@ -16,6 +16,24 @@ splitMix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
+std::uint64_t
+hashMix(std::uint64_t seed, std::uint64_t value)
+{
+    std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ull + value);
+    return splitMix64(state);
+}
+
+std::uint64_t
+hashMix(std::uint64_t seed, const std::string &text)
+{
+    // Length prefix keeps ("ab", "c") distinct from ("a", "bc") when
+    // several strings are mixed in sequence.
+    std::uint64_t h = hashMix(seed, text.size());
+    for (unsigned char c : text)
+        h = hashMix(h, c);
+    return h;
+}
+
 namespace {
 
 inline std::uint64_t

@@ -12,6 +12,7 @@
 #define CEER_UTIL_RANDOM_H
 
 #include <cstdint>
+#include <string>
 
 namespace ceer {
 namespace util {
@@ -24,6 +25,19 @@ namespace util {
  * @return Next 64-bit output.
  */
 std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * Mixes @p value into @p seed with a SplitMix64 avalanche step.
+ *
+ * Order-sensitive and collision-resistant for our purposes; used to
+ * derive independent per-run seeds from structured keys such as
+ * (base seed, model name, GPU, replica count) without any dependence
+ * on iteration order.
+ */
+std::uint64_t hashMix(std::uint64_t seed, std::uint64_t value);
+
+/** Mixes a string into @p seed (length-prefixed, byte by byte). */
+std::uint64_t hashMix(std::uint64_t seed, const std::string &text);
 
 /**
  * xoshiro256** pseudo-random generator with convenience distributions.

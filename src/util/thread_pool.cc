@@ -1,0 +1,109 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace ceer {
+namespace util {
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    if (workers == kAutoWorkers) {
+        const unsigned hardware = std::thread::hardware_concurrency();
+        workers = hardware > 1 ? hardware - 1 : 0;
+    }
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and no work left.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    // Shared cursor: each executor claims the next unprocessed index.
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    auto failure = std::make_shared<std::atomic<bool>>(false);
+    auto runRange = [n, next, failure, &body] {
+        std::size_t i;
+        while ((i = next->fetch_add(1)) < n) {
+            if (failure->load(std::memory_order_relaxed))
+                return; // abandon remaining work after a throw.
+            body(i);
+        }
+    };
+
+    const std::size_t helpers = std::min(workers_.size(), n - 1);
+    std::vector<std::future<void>> pending;
+    pending.reserve(helpers);
+    for (std::size_t i = 0; i < helpers; ++i)
+        pending.push_back(submit(runRange));
+
+    std::exception_ptr error;
+    try {
+        runRange();
+    } catch (...) {
+        error = std::current_exception();
+        failure->store(true, std::memory_order_relaxed);
+    }
+    for (std::future<void> &future : pending) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!error)
+                error = std::current_exception();
+            failure->store(true, std::memory_order_relaxed);
+        }
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+std::size_t
+ThreadPool::effectiveThreads(int requested)
+{
+    if (requested > 0)
+        return static_cast<std::size_t>(requested);
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware > 0 ? hardware : 1;
+}
+
+} // namespace util
+} // namespace ceer

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fixed-size worker pool used to parallelize embarrassingly parallel
+ * work (profiling runs, sweeps) without spawning a thread per task.
+ *
+ * Tasks are arbitrary callables submitted to a shared FIFO queue;
+ * submit() returns a std::future for the callable's result. The
+ * parallelFor() helper distributes an index range over the workers via
+ * an atomic cursor, with the calling thread participating so that a
+ * pool of W workers gives W+1-way concurrency and a 0-worker pool
+ * degrades to a plain serial loop on the caller.
+ */
+
+#ifndef CEER_UTIL_THREAD_POOL_H
+#define CEER_UTIL_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ceer {
+namespace util {
+
+/**
+ * Fixed worker pool with a shared task queue.
+ *
+ * Thread-safe: submit() and parallelFor() may be called from any
+ * thread. The destructor drains outstanding tasks and joins.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers Worker thread count. kAutoWorkers picks
+     *                hardware_concurrency() - 1 (the caller counts as
+     *                one executor via parallelFor); 0 creates no
+     *                threads and makes parallelFor a serial loop.
+     */
+    explicit ThreadPool(std::size_t workers = kAutoWorkers);
+
+    /** Joins all workers after finishing queued tasks. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Sentinel for "size the pool from the hardware". */
+    static constexpr std::size_t kAutoWorkers = ~std::size_t{0};
+
+    /** Number of worker threads (excludes the calling thread). */
+    std::size_t workerCount() const { return workers_.size(); }
+
+    /**
+     * Enqueues @p task for execution on a worker.
+     *
+     * @return Future for the task's result; exceptions thrown by the
+     *         task surface from future::get().
+     */
+    template <typename F>
+    auto submit(F task) -> std::future<std::invoke_result_t<F>>
+    {
+        using Result = std::invoke_result_t<F>;
+        auto packaged = std::make_shared<std::packaged_task<Result()>>(
+            std::move(task));
+        std::future<Result> future = packaged->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([packaged] { (*packaged)(); });
+        }
+        wake_.notify_one();
+        return future;
+    }
+
+    /**
+     * Runs body(i) for every i in [0, n), blocking until all complete.
+     *
+     * Indices are claimed from an atomic cursor, so the assignment of
+     * index to thread is nondeterministic — the body must not depend
+     * on execution order. The calling thread executes tasks too.
+     * The first exception thrown by any body is rethrown here (after
+     * all indices finish or are abandoned).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Effective parallelism for a requested thread count: @p requested
+     * if positive, otherwise hardware_concurrency() (min 1).
+     */
+    static std::size_t effectiveThreads(int requested);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+};
+
+} // namespace util
+} // namespace ceer
+
+#endif // CEER_UTIL_THREAD_POOL_H

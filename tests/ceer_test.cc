@@ -531,6 +531,62 @@ TEST(SerializationTest, SaveLoadRoundTripPredictsIdentically)
     }
 }
 
+TEST(SerializationTest, DatasetCsvRoundTripTrainsTheSameModel)
+{
+    // Regression for the profile cache: training from a reloaded
+    // profile CSV must reproduce the freshly-trained model (the
+    // two-point moment reconstruction in loadCsv is the only lossy
+    // step, and it must stay negligible).
+    profile::CollectOptions options;
+    options.iterations = 30;
+    options.maxGpus = 2;
+    const profile::ProfileDataset dataset = profile::collectProfiles(
+        {"alexnet", "vgg_11", "inception_v1"}, options);
+    const CeerModel fresh = trainCeer(dataset);
+
+    std::stringstream buffer;
+    dataset.saveCsv(buffer);
+    const profile::ProfileDataset reloaded =
+        profile::ProfileDataset::loadCsv(buffer);
+    const CeerModel restored = trainCeer(reloaded);
+
+    EXPECT_EQ(restored.heavyOps, fresh.heavyOps);
+    EXPECT_NEAR(restored.lightMedianUs, fresh.lightMedianUs,
+                1e-4 * fresh.lightMedianUs + 1e-9);
+    EXPECT_NEAR(restored.cpuMedianUs, fresh.cpuMedianUs,
+                1e-4 * fresh.cpuMedianUs + 1e-9);
+
+    ASSERT_EQ(restored.opModels.size(), fresh.opModels.size());
+    for (const auto &[key, fresh_op] : fresh.opModels) {
+        const auto it = restored.opModels.find(key);
+        ASSERT_NE(it, restored.opModels.end())
+            << hw::gpuModelName(key.first) << " "
+            << graph::opTypeName(key.second);
+        const OpTimeModel &restored_op = it->second;
+        EXPECT_EQ(restored_op.usable, fresh_op.usable);
+        EXPECT_EQ(restored_op.quadratic, fresh_op.quadratic);
+        EXPECT_EQ(restored_op.points, fresh_op.points);
+        EXPECT_NEAR(restored_op.medianUs, fresh_op.medianUs,
+                    1e-6 * fresh_op.medianUs + 1e-9);
+        if (fresh_op.usable)
+            EXPECT_NEAR(restored_op.r2, fresh_op.r2, 1e-3)
+                << hw::gpuModelName(key.first) << " "
+                << graph::opTypeName(key.second);
+    }
+
+    // The comm fits come from iter rows, which round-trip directly.
+    for (const auto &[gpu, fits] : fresh.comm.fits) {
+        const auto it = restored.comm.fits.find(gpu);
+        ASSERT_NE(it, restored.comm.fits.end());
+        ASSERT_EQ(it->second.size(), fits.size());
+        for (std::size_t k = 0; k < fits.size(); ++k) {
+            EXPECT_EQ(it->second[k].valid, fits[k].valid);
+            if (fits[k].valid)
+                EXPECT_NEAR(it->second[k].r2, fits[k].r2, 1e-4);
+        }
+    }
+}
+
 } // namespace
 } // namespace core
 } // namespace ceer

@@ -215,6 +215,73 @@ TEST(DatasetTest, CsvRoundTripPreservesIterationRows)
     }
 }
 
+TEST(SeedingTest, RunSeedsAreOrderIndependentAndCollisionFree)
+{
+    // The run seed is a pure function of (base, model, gpu, k): no
+    // dependence on sweep order, and no collisions across the sweep
+    // grid or across nearby base seeds (the historical
+    // `base + 1000 * run_index` scheme had both defects).
+    std::set<std::uint64_t> seeds;
+    std::size_t combos = 0;
+    for (std::uint64_t base : {0ull, 1ull, 42ull, 43ull, 1000042ull}) {
+        for (const char *model : {"alexnet", "vgg_11", "inception_v1"}) {
+            for (hw::GpuModel gpu : hw::allGpuModels()) {
+                for (int k = 1; k <= 8; ++k) {
+                    seeds.insert(runSeed(base, model, gpu, k));
+                    ++combos;
+                }
+            }
+        }
+    }
+    EXPECT_EQ(seeds.size(), combos);
+    EXPECT_EQ(runSeed(42, "alexnet", hw::GpuModel::V100, 2),
+              runSeed(42, "alexnet", hw::GpuModel::V100, 2));
+}
+
+TEST(SeedingTest, ParallelCollectionMatchesSerialByteForByte)
+{
+    CollectOptions options;
+    options.iterations = 12;
+    options.maxGpus = 2;
+
+    options.threads = 1;
+    const ProfileDataset serial =
+        collectProfiles({"alexnet", "vgg_11"}, options);
+    std::stringstream serial_csv;
+    serial.saveCsv(serial_csv);
+
+    options.threads = 4;
+    const ProfileDataset parallel =
+        collectProfiles({"alexnet", "vgg_11"}, options);
+    std::stringstream parallel_csv;
+    parallel.saveCsv(parallel_csv);
+
+    EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+}
+
+TEST(DatasetTest, LoadedDatasetServesIndexedQueries)
+{
+    // The (gpu, op) index must be rebuilt on load, not only on fresh
+    // collection.
+    const ProfileDataset &dataset = smallDataset();
+    std::stringstream buffer;
+    dataset.saveCsv(buffer);
+    const ProfileDataset loaded = ProfileDataset::loadCsv(buffer);
+
+    for (hw::GpuModel gpu : hw::allGpuModels()) {
+        EXPECT_EQ(loaded.opsFor(gpu).size(), dataset.opsFor(gpu).size());
+        const auto types = dataset.opTypes(gpu);
+        EXPECT_EQ(loaded.opTypes(gpu), types);
+        for (OpType op : types) {
+            EXPECT_EQ(loaded.opsFor(gpu, op).size(),
+                      dataset.opsFor(gpu, op).size());
+            EXPECT_NEAR(loaded.meanTimeUs(gpu, op),
+                        dataset.meanTimeUs(gpu, op),
+                        1e-6 * dataset.meanTimeUs(gpu, op) + 1e-9);
+        }
+    }
+}
+
 TEST(DatasetTest, LightOpsContributeLittle)
 {
     // Paper Sec. III-A: light ops contribute < 7% of training time.

@@ -107,6 +107,9 @@ cmdProfile(int argc, char **argv)
     flags.defineInt("iters", 200, "profiling iterations per run");
     flags.defineInt("batch", 32, "per-GPU batch size");
     flags.defineInt("seed", 42, "base RNG seed");
+    flags.defineInt("threads", 0,
+                    "profiling worker threads (0 = one per hardware "
+                    "thread)");
     flags.defineString("models", "",
                        "comma-separated CNNs (default: training set)");
     flags.defineString("out", "profiles.csv", "output CSV path");
@@ -124,6 +127,7 @@ cmdProfile(int argc, char **argv)
     options.iterations = static_cast<int>(flags.getInt("iters"));
     options.batch = flags.getInt("batch");
     options.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    options.threads = static_cast<int>(flags.getInt("threads"));
     const profile::ProfileDataset dataset =
         profile::collectProfiles(names, options);
 

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+#
+# CI-style check: Release build + full ctest, then a ThreadSanitizer
+# build of the concurrency-sensitive pieces (thread pool + parallel
+# profile collection) so data races in the profiling engine are caught
+# on every change.
+#
+# Usage: tools/check.sh [jobs]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "==> Release build + tests"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> ThreadSanitizer build (thread pool + parallel collection)"
+cmake -B build-tsan -S . -DCEER_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j "$JOBS" \
+      --target thread_pool_test profile_test
+
+# Run the TSan binaries directly (ctest discovery would require every
+# test target to be built). TSAN_OPTIONS makes races hard failures.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+./build-tsan/tests/thread_pool_test
+./build-tsan/tests/profile_test \
+    --gtest_filter='SeedingTest.*:DatasetTest.LoadedDatasetServesIndexedQueries'
+
+echo "==> all checks passed"
