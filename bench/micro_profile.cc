@@ -33,8 +33,8 @@ main(int argc, char **argv)
     flags.defineString("model", "inception_v1", "CNN to profile");
     flags.defineInt("iters", 60, "profiling iterations per run");
     flags.defineInt("max-threads", 0,
-                    "largest thread count to sweep (0 = max(4, "
-                    "hardware threads))");
+                    "largest thread count to sweep (0 = hardware "
+                    "threads; capped at hardware threads either way)");
     flags.defineString("out", "BENCH_profile.json",
                        "machine-readable results ('' disables)");
     flags.parse(argc, argv);
@@ -44,10 +44,23 @@ main(int argc, char **argv)
     options.iterations = static_cast<int>(flags.getInt("iters"));
     options.multiGpuRuns = true;
 
+    // Cap the sweep at the hardware: thread counts beyond
+    // hardware_concurrency() only measure scheduler contention, and on
+    // a small host they used to report "speedups" below 1.0x with no
+    // indication anything was wrong.
     const unsigned hardware = std::thread::hardware_concurrency();
+    const int hardware_cap = static_cast<int>(hardware ? hardware : 1);
     int max_threads = static_cast<int>(flags.getInt("max-threads"));
     if (max_threads <= 0)
-        max_threads = std::max(4u, hardware ? hardware : 1u);
+        max_threads = hardware_cap;
+    if (max_threads > hardware_cap) {
+        std::cout << "capping --max-threads " << max_threads << " at "
+                  << hardware_cap << " hardware thread"
+                  << (hardware_cap == 1 ? "" : "s")
+                  << " (oversubscription measures scheduling, not "
+                     "speedup)\n";
+        max_threads = hardware_cap;
+    }
 
     std::vector<int> sweep;
     for (int t = 1; t <= max_threads; t *= 2)
@@ -68,6 +81,7 @@ main(int argc, char **argv)
         double wallSeconds;
         double opsPerSecond;
         double speedup;
+        bool belowSerial;
     };
     std::vector<Result> results;
     std::string reference_csv;
@@ -101,12 +115,19 @@ main(int argc, char **argv)
         r.wallSeconds = wall;
         r.opsPerSecond = executions / wall;
         r.speedup = serial_wall / wall;
+        r.belowSerial = threads > 1 && r.speedup < 1.0;
         results.push_back(r);
         table.addRow({std::to_string(threads),
                       util::format("%.3f", r.wallSeconds),
                       util::format("%.3g", r.opsPerSecond),
-                      util::format("%.2fx", r.speedup),
+                      util::format("%.2fx", r.speedup) +
+                          (r.belowSerial ? " (!)" : ""),
                       identical ? "yes" : "NO"});
+        if (r.belowSerial) {
+            std::cout << "warning: " << threads
+                      << " threads ran slower than serial; treat this "
+                         "point as noise, not a regression\n";
+        }
         if (!identical) {
             std::cerr << "FAIL: dataset at " << threads
                       << " threads differs from the serial dataset\n";
@@ -122,11 +143,17 @@ main(int argc, char **argv)
             std::cerr << "cannot open " << out_path << "\n";
             return 1;
         }
+        int below_serial = 0;
+        for (const Result &r : results)
+            below_serial += r.belowSerial ? 1 : 0;
         out << "{\n"
             << "  \"benchmark\": \"profile_throughput\",\n"
             << "  \"model\": \"" << model << "\",\n"
             << "  \"iterations\": " << options.iterations << ",\n"
             << "  \"hardware_threads\": " << hardware << ",\n"
+            << "  \"max_threads_swept\": " << max_threads << ",\n"
+            << "  \"below_serial_measurements\": " << below_serial
+            << ",\n"
             << "  \"results\": [\n";
         for (std::size_t i = 0; i < results.size(); ++i) {
             const Result &r = results[i];
@@ -135,7 +162,9 @@ main(int argc, char **argv)
                 << ", \"ops_per_sec\": "
                 << util::format("%.1f", r.opsPerSecond)
                 << ", \"speedup\": " << util::format("%.4f", r.speedup)
-                << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+                << ", \"below_serial\": "
+                << (r.belowSerial ? "true" : "false") << "}"
+                << (i + 1 < results.size() ? "," : "") << "\n";
         }
         out << "  ]\n}\n";
         std::cout << "wrote " << out_path << "\n";

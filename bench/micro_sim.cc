@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Simulation-kernel throughput microbenchmark.
+ *
+ * Measures iterations/sec of TrainingSimulator's batched counter-based
+ * kernel against a faithful reimplementation of the pre-SoA scalar
+ * kernel (array-of-structs node walk + stateful per-replica Rng), and
+ * verifies the parallel-run determinism contract: RunStats from
+ * run(n, threads) must be byte-identical at every thread count. Writes
+ * BENCH_sim.json so future PRs can track the perf trajectory.
+ *
+ * The swept thread counts are capped at hardware_concurrency(): on an
+ * oversubscribed host a "parallel speedup" below 1.0 is a scheduling
+ * artifact, and any sub-1.0 measurement that still occurs is flagged
+ * in the JSON rather than reported as a silent regression.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "hw/interconnect.h"
+#include "models/model_zoo.h"
+#include "sim/simulator.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ceer;
+using Clock = std::chrono::steady_clock;
+
+/**
+ * The pre-SoA scalar kernel, kept verbatim as the speedup baseline:
+ * one stateful lognormal/gamma draw per node per replica, strictly
+ * serial across iterations, AoS timing records.
+ */
+class ScalarReferenceSimulator
+{
+  public:
+    ScalarReferenceSimulator(const graph::Graph &g,
+                             const sim::SimConfig &config)
+        : config_(config), commRng_(config.seed, 0xC0FFEEull)
+    {
+        const hw::GpuTimingModel gpu_model(config.gpu);
+        const hw::CpuTimingModel cpu_model(
+            hw::hostSpeedFactor(config.gpu));
+        timings_.reserve(g.size());
+        for (const graph::Node &node : g.nodes()) {
+            NodeTiming timing{};
+            timing.onGpu = node.device() == graph::Device::Gpu;
+            if (timing.onGpu) {
+                timing.baseUs = gpu_model.meanTimeUs(node);
+                timing.sigma = gpu_model.effectiveSigma(node);
+            } else {
+                timing.cpuMean = cpu_model.meanTimeUs(node);
+            }
+            timings_.push_back(timing);
+            if (node.type == graph::OpType::IteratorGetNext)
+                inputBytes_ += static_cast<double>(node.outputBytes());
+        }
+        paramBytes_ = static_cast<double>(g.totalParameters()) * 4.0;
+        for (int r = 0; r < config.numGpus; ++r)
+            replicaRngs_.emplace_back(config.seed,
+                                      static_cast<std::uint64_t>(r) + 1);
+    }
+
+    sim::IterationResult runIteration()
+    {
+        sim::IterationResult result;
+        double slowest = 0.0;
+        for (auto &rng : replicaRngs_) {
+            double total = 0.0;
+            for (const NodeTiming &timing : timings_) {
+                if (timing.onGpu) {
+                    total += timing.baseUs *
+                             rng.lognormalFactor(timing.sigma);
+                } else {
+                    constexpr double kShape = 2.78;
+                    total += timing.cpuMean *
+                             rng.gamma(kShape, 1.0 / kShape);
+                }
+            }
+            slowest = std::max(slowest, total);
+        }
+        result.computeUs = slowest;
+        result.commUs = hw::sampleCommOverheadUs(
+            config_.gpu, config_.numGpus, paramBytes_, inputBytes_,
+            commRng_, config_.gpusPerHost);
+        return result;
+    }
+
+  private:
+    struct NodeTiming
+    {
+        double baseUs;
+        double sigma;
+        bool onGpu;
+        double cpuMean;
+    };
+
+    sim::SimConfig config_;
+    std::vector<NodeTiming> timings_;
+    std::vector<util::Rng> replicaRngs_;
+    util::Rng commRng_;
+    double paramBytes_ = 0.0;
+    double inputBytes_ = 0.0;
+};
+
+/** Bit pattern of a double (== would conflate +0.0 and -0.0). */
+std::uint64_t
+bits(double x)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &x, sizeof u);
+    return u;
+}
+
+/** mean/stddev/count/min/max of a RunStats triple, bit-for-bit. */
+bool
+statsIdentical(const sim::RunStats &a, const sim::RunStats &b)
+{
+    auto same = [](const util::RunningStats &x,
+                   const util::RunningStats &y) {
+        return x.count() == y.count() &&
+               bits(x.mean()) == bits(y.mean()) &&
+               bits(x.stddev()) == bits(y.stddev()) &&
+               bits(x.min()) == bits(y.min()) &&
+               bits(x.max()) == bits(y.max());
+    };
+    return same(a.iterationUs, b.iterationUs) &&
+           same(a.computeUs, b.computeUs) && same(a.commUs, b.commUs);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineString("model", "inception_v1", "CNN to simulate");
+    // Large enough that the batched kernel's timed region is hundreds
+    // of milliseconds; at a few hundred iterations it finishes in
+    // single-digit milliseconds and the speedup is mostly timer noise.
+    flags.defineInt("iters", 20000, "iterations per timed run");
+    flags.defineInt("gpus", 1, "data-parallel replicas");
+    flags.defineString("out", "BENCH_sim.json",
+                       "machine-readable results ('' disables)");
+    flags.parse(argc, argv);
+
+    const std::string model = flags.getString("model");
+    const int iters = static_cast<int>(flags.getInt("iters"));
+    const unsigned hardware = std::thread::hardware_concurrency();
+
+    sim::SimConfig config;
+    config.numGpus = static_cast<int>(flags.getInt("gpus"));
+    const graph::Graph g = models::buildModel(model, 32);
+
+    util::printBanner(std::cout,
+                      "micro_sim: simulation-kernel throughput (" +
+                          model + ", " + std::to_string(iters) +
+                          " iterations)");
+    std::cout << "hardware threads: " << hardware << "\n";
+
+    // --- Single-thread kernel comparison: scalar vs batched. ---
+    ScalarReferenceSimulator scalar(g, config);
+    double scalar_checksum = 0.0;
+    const auto scalar_start = Clock::now();
+    for (int i = 0; i < iters; ++i)
+        scalar_checksum += scalar.runIteration().totalUs();
+    const double scalar_wall =
+        std::chrono::duration<double>(Clock::now() - scalar_start)
+            .count();
+
+    sim::TrainingSimulator batched(g, config);
+    double batched_checksum = 0.0;
+    const auto batched_start = Clock::now();
+    for (int i = 0; i < iters; ++i)
+        batched_checksum += batched.runIteration().totalUs();
+    const double batched_wall =
+        std::chrono::duration<double>(Clock::now() - batched_start)
+            .count();
+
+    const double scalar_ips = iters / scalar_wall;
+    const double batched_ips = iters / batched_wall;
+    const double kernel_speedup = batched_ips / scalar_ips;
+
+    util::TablePrinter kernel_table(
+        {"kernel", "wall (s)", "iters/sec", "speedup"});
+    kernel_table.addRow({"scalar (pre-SoA)",
+                         util::format("%.3f", scalar_wall),
+                         util::format("%.1f", scalar_ips), "1.00x"});
+    kernel_table.addRow({"batched SoA", util::format("%.3f", batched_wall),
+                         util::format("%.1f", batched_ips),
+                         util::format("%.2fx", kernel_speedup)});
+    kernel_table.print(std::cout);
+    // Checksums keep the loops from being optimized away.
+    std::cout << util::format("checksums: scalar %.3e, batched %.3e\n",
+                              scalar_checksum, batched_checksum);
+
+    // --- Iteration-parallel runs: identity + scaling. ---
+    // Identity is always checked at 1/2/4 threads — the determinism
+    // contract holds at any thread count, oversubscribed or not — but
+    // larger counts are swept only up to the hardware, where speedup
+    // numbers stop meaning anything (any sub-1.0 point is flagged).
+    std::vector<int> sweep{1, 2, 4};
+    for (int t = 8; t <= static_cast<int>(hardware ? hardware : 1);
+         t *= 2)
+        sweep.push_back(t);
+
+    struct Result
+    {
+        int threads;
+        double wallSeconds;
+        double itersPerSecond;
+        double speedup;
+        bool identical;
+        bool belowSerial;
+    };
+    std::vector<Result> results;
+    sim::RunStats reference;
+    double serial_wall = 0.0;
+    bool all_identical = true;
+
+    util::TablePrinter run_table(
+        {"threads", "wall (s)", "iters/sec", "speedup", "identical"});
+    for (int threads : sweep) {
+        sim::TrainingSimulator simulator(g, config);
+        const auto start = Clock::now();
+        const sim::RunStats stats = simulator.run(iters, threads);
+        const double wall =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        if (threads == 1) {
+            reference = stats;
+            serial_wall = wall;
+        }
+        Result r;
+        r.threads = threads;
+        r.wallSeconds = wall;
+        r.itersPerSecond = iters / wall;
+        r.speedup = serial_wall / wall;
+        r.identical = statsIdentical(stats, reference);
+        r.belowSerial = threads > 1 && r.speedup < 1.0;
+        all_identical &= r.identical;
+        results.push_back(r);
+        run_table.addRow(
+            {std::to_string(threads), util::format("%.3f", wall),
+             util::format("%.1f", r.itersPerSecond),
+             util::format("%.2fx", r.speedup),
+             r.identical ? "yes" : "NO"});
+        if (!r.identical) {
+            std::cerr << "FAIL: RunStats at " << threads
+                      << " threads differ from the serial run\n";
+        }
+    }
+    run_table.print(std::cout);
+    if (hardware <= 1) {
+        std::cout << "note: single hardware thread; parallel speedups "
+                     "are expected to hover near 1.0x\n";
+    }
+
+    const std::string out_path = flags.getString("out");
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::cerr << "cannot open " << out_path << "\n";
+            return 1;
+        }
+        int below_serial = 0;
+        for (const Result &r : results)
+            below_serial += r.belowSerial ? 1 : 0;
+        out << "{\n"
+            << "  \"benchmark\": \"sim_kernel_throughput\",\n"
+            << "  \"model\": \"" << model << "\",\n"
+            << "  \"iterations\": " << iters << ",\n"
+            << "  \"num_gpus\": " << config.numGpus << ",\n"
+            << "  \"hardware_threads\": " << hardware << ",\n"
+            << "  \"scalar_iters_per_sec\": "
+            << util::format("%.1f", scalar_ips) << ",\n"
+            << "  \"batched_iters_per_sec\": "
+            << util::format("%.1f", batched_ips) << ",\n"
+            << "  \"single_thread_speedup\": "
+            << util::format("%.4f", kernel_speedup) << ",\n"
+            << "  \"parallel_identity_ok\": "
+            << (all_identical ? "true" : "false") << ",\n"
+            << "  \"below_serial_measurements\": " << below_serial
+            << ",\n"
+            << "  \"results\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const Result &r = results[i];
+            out << "    {\"threads\": " << r.threads
+                << ", \"wall_s\": " << util::format("%.6f", r.wallSeconds)
+                << ", \"iters_per_sec\": "
+                << util::format("%.1f", r.itersPerSecond)
+                << ", \"speedup\": " << util::format("%.4f", r.speedup)
+                << ", \"identical\": " << (r.identical ? "true" : "false")
+                << ", \"below_serial\": "
+                << (r.belowSerial ? "true" : "false") << "}"
+                << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+        std::cout << "wrote " << out_path << "\n";
+    }
+    return all_identical ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "hw/interconnect.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "util/logging.h"
@@ -91,6 +92,22 @@ sampleCommOverheadUs(GpuModel model, int num_gpus, double param_bytes,
     return commOverheadUs(model, num_gpus, param_bytes, input_bytes,
                           gpus_per_host) *
            rng.lognormalFactor(0.06);
+}
+
+double
+sampleCommOverheadUs(GpuModel model, int num_gpus, double param_bytes,
+                     double input_bytes, std::uint64_t seed,
+                     std::int64_t iteration, int gpus_per_host)
+{
+    // Tag keeps the comm lane disjoint from the simulator's per-node
+    // GPU/CPU sample keys derived from the same base seed.
+    constexpr std::uint64_t kCommLane = 0x434F4D4Dull; // "COMM"
+    const std::uint64_t key =
+        util::hashMix(util::hashMix(seed, kCommLane),
+                      static_cast<std::uint64_t>(iteration));
+    return commOverheadUs(model, num_gpus, param_bytes, input_bytes,
+                          gpus_per_host) *
+           std::exp(0.06 * util::normalFromKey(key));
 }
 
 } // namespace hw

@@ -74,6 +74,19 @@ double sampleCommOverheadUs(GpuModel model, int num_gpus,
                             double param_bytes, double input_bytes,
                             util::Rng &rng, int gpus_per_host = 8);
 
+/**
+ * Counter-based variant: the lognormal noise is a pure function of
+ * (seed, iteration) instead of a stateful Rng walk, so the sample for
+ * any iteration is independent of how many iterations ran before it.
+ * This is what lets the simulator fan iterations out across threads
+ * while staying bit-deterministic. Same distribution as the Rng
+ * overload (sigma 0.06 around the same mean).
+ */
+double sampleCommOverheadUs(GpuModel model, int num_gpus,
+                            double param_bytes, double input_bytes,
+                            std::uint64_t seed, std::int64_t iteration,
+                            int gpus_per_host = 8);
+
 } // namespace hw
 } // namespace ceer
 

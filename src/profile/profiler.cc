@@ -251,6 +251,10 @@ profileRun(const Graph &g, const std::string &model_name,
 {
     Profiler profiler(g, model_name, config.gpu);
     sim::TrainingSimulator simulator(g, config);
+    // Observed runs execute serially and in graph order (the observer
+    // contract): parallelism lives one level up, across the sweep's
+    // run tasks, so profile datasets stay byte-identical regardless
+    // of either thread count.
     const sim::RunStats stats =
         simulator.run(iterations, profiler.observer());
 

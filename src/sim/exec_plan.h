@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Structure-of-arrays execution plan for the training simulator.
+ *
+ * The simulator's hot loop evaluates every node of the training graph
+ * once per replica per iteration. Walking the graph's array-of-structs
+ * node list means a branch (GPU vs CPU placement) and a strided load
+ * per node. The ExecPlan partitions the graph at construction into two
+ * contiguous lanes — GPU ops (base time + lognormal sigma) and CPU ops
+ * (gamma mean) — so the sampling kernel can run branch-free over dense
+ * arrays, while index maps preserve the graph-order view needed by the
+ * observer path (profiling, tracing).
+ */
+
+#ifndef CEER_SIM_EXEC_PLAN_H
+#define CEER_SIM_EXEC_PLAN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "hw/device_model.h"
+
+namespace ceer {
+namespace sim {
+
+/** Immutable SoA view of one training graph on one device model. */
+struct ExecPlan
+{
+    /// Median GPU-op times in microseconds, in graph order (dense).
+    std::vector<double> gpuBaseUs;
+    /// Lognormal sigma per GPU op, parallel to gpuBaseUs.
+    std::vector<double> gpuSigma;
+    /// Mean CPU-op times in microseconds, in graph order (dense).
+    std::vector<double> cpuMeanUs;
+
+    /// GPU lane slot -> graph node index.
+    std::vector<std::uint32_t> gpuNode;
+    /// CPU lane slot -> graph node index.
+    std::vector<std::uint32_t> cpuNode;
+    /// Graph node index -> slot within its lane.
+    std::vector<std::uint32_t> nodeSlot;
+    /// Graph node index -> true when the node is in the GPU lane.
+    std::vector<std::uint8_t> nodeOnGpu;
+
+    /// Trainable parameter bytes (comm-model feature).
+    double paramBytes = 0.0;
+    /// Per-replica input batch bytes moved host->device per iteration.
+    double inputBytes = 0.0;
+
+    /** Total node count across both lanes. */
+    std::size_t nodeCount() const { return nodeOnGpu.size(); }
+
+    /** Noise-free per-iteration compute sum (both lanes). */
+    double meanComputeUs() const;
+
+    /**
+     * Builds the plan for @p g under the given timing models.
+     *
+     * @param g         Training graph (not retained).
+     * @param gpu_model Timing model for GPU-placed nodes.
+     * @param cpu_model Timing model for CPU-placed nodes.
+     */
+    static ExecPlan build(const graph::Graph &g,
+                          const hw::GpuTimingModel &gpu_model,
+                          const hw::CpuTimingModel &cpu_model);
+};
+
+} // namespace sim
+} // namespace ceer
+
+#endif // CEER_SIM_EXEC_PLAN_H

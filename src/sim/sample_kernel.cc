@@ -1,0 +1,123 @@
+#include "sim/sample_kernel.h"
+
+#include <algorithm>
+#include <array>
+
+// Multiversion the two hot loops: the loader picks the widest clone
+// the CPU supports (ifunc dispatch), so a generic x86-64 build still
+// runs 4- or 8-wide on AVX machines. This TU is compiled with
+// -ffp-contract=off (see CMakeLists.txt) so no clone fuses into FMA
+// and every clone returns bit-identical doubles — sampling stays
+// deterministic across hosts, not just across thread counts.
+// Sanitizer builds skip the clones: ifunc resolvers run before the
+// sanitizer runtime is initialized and crash at load.
+#if defined(__x86_64__) && defined(__gnu_linux__) && defined(__GNUC__) && \
+    !defined(__clang__) && !defined(__SANITIZE_THREAD__) &&               \
+    !defined(__SANITIZE_ADDRESS__)
+#define CEER_KERNEL_CLONES                                             \
+    __attribute__((target_clones("default", "arch=x86-64-v3",          \
+                                 "arch=x86-64-v4")))
+#else
+#define CEER_KERNEL_CLONES
+#endif
+
+namespace ceer {
+namespace sim {
+namespace kernel {
+
+CEER_KERNEL_CLONES void
+normalBlock(std::uint64_t key, std::size_t slot0, std::size_t n,
+            double *z)
+{
+    // Three separated passes so each loop autovectorizes on its own:
+    // integer hashing, then the branch-free central quantile
+    // polynomial over *every* element, then a scalar fix-up for the
+    // ~5% of uniforms that fall in the tails. Pass 2 evaluates the
+    // central rational even for tail inputs; near the branch point
+    // the denominator stays finite and IEEE arithmetic produces an
+    // (unused) finite garbage value that pass 3 overwrites.
+    std::array<double, kBlock> u;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t bits = util::hashMix(
+            key, static_cast<std::uint64_t>(slot0 + i));
+        u[i] = util::uniformFromBits(bits);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const double q = u[i] - 0.5;
+        z[i] = util::inverseNormalCdfCentral(q, q * q);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (u[i] < util::kInverseNormalCdfLow ||
+            u[i] > 1.0 - util::kInverseNormalCdfLow)
+            z[i] = util::inverseNormalCdfTail(u[i]);
+    }
+}
+
+CEER_KERNEL_CLONES double
+lognormalAccumulate(const double *base, const double *sigma,
+                    const double *z, std::size_t n, double *times)
+{
+    // Two passes: the multiply-exp pass is straight-line arithmetic
+    // the compiler vectorizes freely; the left-to-right sum stays its
+    // own scalar loop so the accumulation order is fixed no matter
+    // what vector width the first pass compiled to.
+    std::array<double, kBlock> buf; // n <= kBlock (gpuLaneUs chunks)
+    double *out = times ? times : buf.data();
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = base[i] * fastExp(sigma[i] * z[i]);
+    // Four striped accumulators break the serial add dependence; the
+    // combination order is still fixed, so results stay deterministic.
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        s0 += out[i];
+        s1 += out[i + 1];
+        s2 += out[i + 2];
+        s3 += out[i + 3];
+    }
+    for (; i < n; ++i)
+        s0 += out[i];
+    return (s0 + s1) + (s2 + s3);
+}
+
+double
+gpuLaneUs(std::uint64_t stream_key, const double *base,
+          const double *sigma, std::size_t n, double *scratch,
+          double *times)
+{
+    const std::uint64_t lane_key = util::hashMix(stream_key, kGpuLane);
+    double sum = 0.0;
+    for (std::size_t start = 0; start < n; start += kBlock) {
+        const std::size_t len = std::min(kBlock, n - start);
+        normalBlock(lane_key, start, len, scratch);
+        sum += lognormalAccumulate(base + start, sigma + start, scratch,
+                                   len, times ? times + start : nullptr);
+    }
+    return sum;
+}
+
+double
+cpuLaneUs(std::uint64_t stream_key, const double *mean, std::size_t n,
+          double *times)
+{
+    // CPU ops are heavy-tailed (gamma, CV ~= 0.6) and rare — a few
+    // slots per graph — so each draw seeds a throwaway Rng from its
+    // sample key and walks Marsaglia-Tsang. Still a pure function of
+    // (stream key, slot).
+    constexpr double kShape = 2.78;
+    const std::uint64_t lane_key = util::hashMix(stream_key, kCpuLane);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        util::Rng rng(
+            util::hashMix(lane_key, static_cast<std::uint64_t>(i)));
+        const double t = mean[i] * rng.gamma(kShape, 1.0 / kShape);
+        if (times)
+            times[i] = t;
+        sum += t;
+    }
+    return sum;
+}
+
+} // namespace kernel
+} // namespace sim
+} // namespace ceer

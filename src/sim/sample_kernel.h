@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Batched, stateless sampling kernel for the training simulator.
+ *
+ * Every sample is a pure function of a 64-bit key derived as
+ *
+ *   replicaStreamKey(seed, iteration, replica)  -> stream key
+ *   hashMix(stream key, lane tag ^ slot)        -> per-sample key
+ *
+ * so the draw for (iteration, replica, node) never depends on
+ * execution order: iterations can run on any thread in any order and
+ * produce bit-identical values, and the kernel can generate normals in
+ * blocks and fold them through a fused multiply-exp accumulation loop
+ * over the ExecPlan's contiguous arrays.
+ */
+
+#ifndef CEER_SIM_SAMPLE_KERNEL_H
+#define CEER_SIM_SAMPLE_KERNEL_H
+
+#include <cstdint>
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+
+#include "util/random.h"
+
+namespace ceer {
+namespace sim {
+namespace kernel {
+
+/// Lane tags keeping GPU and CPU draws of one replica stream disjoint
+/// even when slot indices coincide. (The communication lane is keyed
+/// inside hw::sampleCommOverheadUs with its own tag.)
+constexpr std::uint64_t kGpuLane = 0x47505500ull; // "GPU"
+constexpr std::uint64_t kCpuLane = 0x43505500ull; // "CPU"
+
+/** Normals are generated and accumulated in blocks of this size. */
+constexpr std::size_t kBlock = 512;
+
+/**
+ * Stream key for one (seed, iteration, replica) triple.
+ *
+ * Pure hash — no dependence on how many iterations ran before.
+ */
+inline std::uint64_t
+replicaStreamKey(std::uint64_t seed, std::int64_t iteration, int replica)
+{
+    std::uint64_t h =
+        util::hashMix(seed, static_cast<std::uint64_t>(iteration));
+    return util::hashMix(h, static_cast<std::uint64_t>(replica));
+}
+
+/**
+ * Fast exp(x) for the fused lognormal accumulation loop.
+ *
+ * Standard 2^k * P(r) decomposition with a degree-11 Taylor kernel on
+ * |r| <= ln(2)/2; relative error < 1e-13 for |x| <= 30 (the simulator
+ * only evaluates |x| = |sigma * z| <= ~4). Branch-free straight-line
+ * arithmetic so the accumulation loop stays autovectorizable.
+ */
+inline double
+fastExp(double x)
+{
+    constexpr double kLog2e = 1.4426950408889634074;
+    constexpr double kLn2Hi = 6.93147180369123816490e-01;
+    constexpr double kLn2Lo = 1.90821492927058770002e-10;
+    // 1.5 * 2^52. Adding and subtracting it rounds to the nearest
+    // integer in pure FP (no floor call, which baseline x86-64 cannot
+    // inline branch-free), and parks that integer in the low mantissa
+    // bits of the sum for the exponent-scaling step below.
+    constexpr double kRound = 6755399441055744.0;
+    // The simulator never leaves |x| <= ~4; clamp so extreme inputs
+    // saturate instead of corrupting the exponent bit arithmetic.
+    x = x < -700.0 ? -700.0 : (x > 700.0 ? 700.0 : x);
+    const double t = x * kLog2e + kRound;
+    const double kd = t - kRound;
+    const double r = (x - kd * kLn2Hi) - kd * kLn2Lo;
+    // Taylor series to degree 11 via Horner; max |r| = 0.3466 keeps
+    // the truncation error below 7e-15 relative.
+    double p = 1.0 / 39916800.0; // 1/11!
+    p = p * r + 1.0 / 3628800.0;
+    p = p * r + 1.0 / 362880.0;
+    p = p * r + 1.0 / 40320.0;
+    p = p * r + 1.0 / 5040.0;
+    p = p * r + 1.0 / 720.0;
+    p = p * r + 1.0 / 120.0;
+    p = p * r + 1.0 / 24.0;
+    p = p * r + 1.0 / 6.0;
+    p = p * r + 0.5;
+    p = p * r + 1.0;
+    p = p * r + 1.0;
+    // Scale by 2^k through the exponent bits. k sits (biased by
+    // 2^51, which shifts out) in the low mantissa bits of t, so the
+    // scale needs no double->int64 conversion — just integer add and
+    // shift, both SIMD-friendly.
+    std::uint64_t ki;
+    std::memcpy(&ki, &t, sizeof ki);
+    const std::uint64_t bits = (ki + 1023) << 52;
+    double scale;
+    std::memcpy(&scale, &bits, sizeof scale);
+    return p * scale;
+}
+
+/**
+ * Fills z[0..n) with standard normals keyed by (key, slot0 + i).
+ *
+ * Each deviate is inverseNormalCdf(uniform(hashMix(key, slot))) — a
+ * pure function of its key, so any sub-range can be regenerated
+ * independently.
+ */
+void normalBlock(std::uint64_t key, std::size_t slot0, std::size_t n,
+                 double *z);
+
+/**
+ * Sum of base[i] * exp(sigma[i] * z[i]) over one block.
+ *
+ * When @p times is non-null the per-element products are also stored
+ * (observer path).
+ */
+double lognormalAccumulate(const double *base, const double *sigma,
+                           const double *z, std::size_t n, double *times);
+
+/**
+ * One replica's GPU-lane compute time: sum over all GPU slots of
+ * base[i] * exp(sigma[i] * N(key, slot i)).
+ *
+ * Runs in kBlock-sized chunks through a scratch buffer (>= kBlock
+ * doubles). When @p times is non-null, per-slot times are written
+ * (length n).
+ */
+double gpuLaneUs(std::uint64_t stream_key, const double *base,
+                 const double *sigma, std::size_t n, double *scratch,
+                 double *times);
+
+/**
+ * One replica's CPU-lane compute time: sum over CPU slots of
+ * mean[i] * Gamma(shape, 1/shape) with the gamma draw seeded from
+ * (stream key, slot). When @p times is non-null, per-slot times are
+ * written.
+ */
+double cpuLaneUs(std::uint64_t stream_key, const double *mean,
+                 std::size_t n, double *times);
+
+} // namespace kernel
+} // namespace sim
+} // namespace ceer
+
+#endif // CEER_SIM_SAMPLE_KERNEL_H

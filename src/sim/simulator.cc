@@ -1,62 +1,81 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <cmath>
 
+#include "sim/sample_kernel.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace ceer {
 namespace sim {
 
-using graph::Device;
-using graph::Node;
-using graph::OpType;
-
 TrainingSimulator::TrainingSimulator(const graph::Graph &g,
                                      const SimConfig &config)
-    : graph_(&g),
-      config_(config),
-      gpuModel_(config.gpu),
-      cpuModel_(hw::hostSpeedFactor(config.gpu)),
-      commRng_(config.seed, 0xC0FFEEull)
+    : graph_(&g), config_(config)
 {
     if (config.numGpus < 1)
         util::panic("TrainingSimulator: numGpus must be >= 1");
     if (config.gpusPerHost < 1)
         util::panic("TrainingSimulator: gpusPerHost must be >= 1");
 
-    timings_.reserve(g.size());
-    for (const Node &node : g.nodes()) {
-        NodeTiming timing{};
-        timing.onGpu = node.device() == Device::Gpu;
-        if (timing.onGpu) {
-            timing.baseUs = gpuModel_.meanTimeUs(node);
-            timing.sigma = gpuModel_.effectiveSigma(node);
-        } else {
-            timing.cpuMean = cpuModel_.meanTimeUs(node);
-        }
-        timings_.push_back(timing);
-
-        if (node.type == OpType::IteratorGetNext) {
-            inputBytes_ += static_cast<double>(node.outputBytes());
-        }
-    }
-    paramBytes_ = static_cast<double>(g.totalParameters()) * 4.0;
-
-    replicaRngs_.reserve(static_cast<std::size_t>(config.numGpus));
-    for (int r = 0; r < config.numGpus; ++r)
-        replicaRngs_.emplace_back(config.seed,
-                                  static_cast<std::uint64_t>(r) + 1);
+    const hw::GpuTimingModel gpu_model(config.gpu);
+    const hw::CpuTimingModel cpu_model(hw::hostSpeedFactor(config.gpu));
+    plan_ = ExecPlan::build(g, gpu_model, cpu_model);
 }
 
-double
-TrainingSimulator::sampleNode(std::size_t index, util::Rng &rng) const
+IterationResult
+TrainingSimulator::simulateIteration(std::int64_t iteration,
+                                     const OpObserver *observer,
+                                     Scratch &scratch) const
 {
-    const NodeTiming &timing = timings_[index];
-    if (timing.onGpu)
-        return timing.baseUs * rng.lognormalFactor(timing.sigma);
-    constexpr double kShape = 2.78;
-    return timing.cpuMean * rng.gamma(kShape, 1.0 / kShape);
+    const std::size_t gpu_n = plan_.gpuBaseUs.size();
+    const std::size_t cpu_n = plan_.cpuMeanUs.size();
+    scratch.z.resize(std::min(kernel::kBlock, std::max<std::size_t>(gpu_n, 1)));
+
+    const bool observing = observer && *observer;
+    double slowest = 0.0;
+    for (int r = 0; r < config_.numGpus; ++r) {
+        const std::uint64_t stream_key =
+            kernel::replicaStreamKey(config_.seed, iteration, r);
+        if (r == 0 && observing) {
+            // Observer path: materialize per-slot times, then emit and
+            // accumulate in graph order so the observed sum equals
+            // computeUs exactly (single replica).
+            scratch.gpuTimes.resize(gpu_n);
+            scratch.cpuTimes.resize(cpu_n);
+            kernel::gpuLaneUs(stream_key, plan_.gpuBaseUs.data(),
+                              plan_.gpuSigma.data(), gpu_n,
+                              scratch.z.data(), scratch.gpuTimes.data());
+            kernel::cpuLaneUs(stream_key, plan_.cpuMeanUs.data(), cpu_n,
+                              scratch.cpuTimes.data());
+            double total = 0.0;
+            const auto &nodes = graph_->nodes();
+            for (std::size_t i = 0; i < plan_.nodeCount(); ++i) {
+                const double t = plan_.nodeOnGpu[i]
+                                     ? scratch.gpuTimes[plan_.nodeSlot[i]]
+                                     : scratch.cpuTimes[plan_.nodeSlot[i]];
+                total += t;
+                (*observer)(nodes[i], t);
+            }
+            slowest = std::max(slowest, total);
+        } else {
+            // Hot path: fused block accumulation over the SoA lanes.
+            const double total =
+                kernel::gpuLaneUs(stream_key, plan_.gpuBaseUs.data(),
+                                  plan_.gpuSigma.data(), gpu_n,
+                                  scratch.z.data(), nullptr) +
+                kernel::cpuLaneUs(stream_key, plan_.cpuMeanUs.data(),
+                                  cpu_n, nullptr);
+            slowest = std::max(slowest, total);
+        }
+    }
+
+    IterationResult result;
+    result.computeUs = slowest;
+    result.commUs = hw::sampleCommOverheadUs(
+        config_.gpu, config_.numGpus, plan_.paramBytes, plan_.inputBytes,
+        config_.seed, iteration, config_.gpusPerHost);
+    return result;
 }
 
 IterationResult
@@ -68,49 +87,88 @@ TrainingSimulator::runIteration()
 IterationResult
 TrainingSimulator::runIteration(const OpObserver &observer)
 {
-    // The `r == 0 && observer` test is hoisted out of the per-node loop
-    // so the common unobserved path is a tight sample-and-accumulate
-    // loop. Every replica still draws its own sample for every node —
-    // including light ops — because the iteration time is the *max*
-    // over replicas: reusing one replica's draws would collapse the
-    // straggler distribution and is not distributionally neutral.
-    IterationResult result;
-    const std::size_t node_count = timings_.size();
-    double slowest = 0.0;
-    for (std::size_t r = 0; r < replicaRngs_.size(); ++r) {
-        double replica_total = 0.0;
-        util::Rng &rng = replicaRngs_[r];
-        if (r == 0 && observer) {
-            const auto &nodes = graph_->nodes();
-            for (std::size_t i = 0; i < node_count; ++i) {
-                const double t = sampleNode(i, rng);
-                replica_total += t;
-                observer(nodes[i], t);
-            }
-        } else {
-            for (std::size_t i = 0; i < node_count; ++i)
-                replica_total += sampleNode(i, rng);
-        }
-        slowest = std::max(slowest, replica_total);
-    }
-    result.computeUs = slowest;
-    result.commUs = hw::sampleCommOverheadUs(
-        config_.gpu, config_.numGpus, paramBytes_, inputBytes_,
-        commRng_, config_.gpusPerHost);
-    return result;
+    Scratch scratch;
+    return simulateIteration(nextIteration_++, &observer, scratch);
+}
+
+IterationResult
+TrainingSimulator::iterationAt(std::int64_t iteration) const
+{
+    Scratch scratch;
+    return simulateIteration(iteration, nullptr, scratch);
 }
 
 RunStats
 TrainingSimulator::run(int iterations, const OpObserver &observer)
 {
+    return run(iterations, 1, observer);
+}
+
+RunStats
+TrainingSimulator::run(int iterations, int threads,
+                       const OpObserver &observer)
+{
     if (iterations < 1)
         util::panic("TrainingSimulator::run: iterations must be >= 1");
+    const std::int64_t first = nextIteration_;
+    nextIteration_ += iterations;
+
     RunStats stats;
-    for (int i = 0; i < iterations; ++i) {
-        const IterationResult result = runIteration(observer);
-        stats.iterationUs.add(result.totalUs());
-        stats.computeUs.add(result.computeUs);
-        stats.commUs.add(result.commUs);
+    if (observer) {
+        // Observers consume an ordered stream of replica-0 op times
+        // (profiling, tracing), so the run stays serial and in
+        // iteration order regardless of the requested thread count.
+        Scratch scratch;
+        for (int i = 0; i < iterations; ++i) {
+            const IterationResult result =
+                simulateIteration(first + i, &observer, scratch);
+            stats.iterationUs.add(result.totalUs());
+            stats.computeUs.add(result.computeUs);
+            stats.commUs.add(result.commUs);
+        }
+        return stats;
+    }
+
+    // Unobserved runs aggregate in fixed chunks of iterations: chunk c
+    // always covers the same iteration range and chunks always merge
+    // in index order, so the result is bit-identical at every thread
+    // count (counter-based sampling makes the per-iteration results
+    // themselves order-independent).
+    constexpr std::int64_t kChunk = 32;
+    const std::size_t chunks = static_cast<std::size_t>(
+        (iterations + kChunk - 1) / kChunk);
+    std::vector<RunStats> parts(chunks);
+    auto run_chunk = [&](std::size_t c) {
+        Scratch scratch;
+        const std::int64_t lo = first + static_cast<std::int64_t>(c) * kChunk;
+        const std::int64_t hi =
+            std::min<std::int64_t>(first + iterations, lo + kChunk);
+        RunStats part;
+        for (std::int64_t it = lo; it < hi; ++it) {
+            const IterationResult result =
+                simulateIteration(it, nullptr, scratch);
+            part.iterationUs.add(result.totalUs());
+            part.computeUs.add(result.computeUs);
+            part.commUs.add(result.commUs);
+        }
+        parts[c] = part;
+    };
+
+    const std::size_t effective =
+        util::ThreadPool::effectiveThreads(threads);
+    if (effective <= 1 || chunks <= 1) {
+        for (std::size_t c = 0; c < chunks; ++c)
+            run_chunk(c);
+    } else {
+        util::ThreadPool pool(
+            std::min<std::size_t>(effective, chunks) - 1);
+        pool.parallelFor(chunks, run_chunk);
+    }
+
+    for (const RunStats &part : parts) {
+        stats.iterationUs.merge(part.iterationUs);
+        stats.computeUs.merge(part.computeUs);
+        stats.commUs.merge(part.commUs);
     }
     return stats;
 }
@@ -118,12 +176,10 @@ TrainingSimulator::run(int iterations, const OpObserver &observer)
 double
 TrainingSimulator::meanIterationUs() const
 {
-    double compute = 0.0;
-    for (const NodeTiming &timing : timings_)
-        compute += timing.onGpu ? timing.baseUs : timing.cpuMean;
-    return compute + hw::commOverheadUs(config_.gpu, config_.numGpus,
-                                        paramBytes_, inputBytes_,
-                                        config_.gpusPerHost);
+    return plan_.meanComputeUs() +
+           hw::commOverheadUs(config_.gpu, config_.numGpus,
+                              plan_.paramBytes, plan_.inputBytes,
+                              config_.gpusPerHost);
 }
 
 TrainingRunEstimate

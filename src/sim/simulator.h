@@ -9,6 +9,13 @@
  * overhead. With k GPUs the whole model is replicated, each replica
  * keeps the same per-GPU batch (the paper's setup), and the iteration
  * time is the slowest replica plus synchronization.
+ *
+ * Sampling is counter-based: every (iteration, replica, node) draw is
+ * a pure function of the config seed (src/sim/sample_kernel.h), so
+ * iteration i produces the same result whether it runs first, last, or
+ * on another thread. run() exploits this to execute iterations in
+ * parallel with bit-identical aggregate statistics at any thread
+ * count.
  */
 
 #ifndef CEER_SIM_SIMULATOR_H
@@ -21,7 +28,7 @@
 #include "graph/graph.h"
 #include "hw/device_model.h"
 #include "hw/interconnect.h"
-#include "util/random.h"
+#include "sim/exec_plan.h"
 #include "util/stats.h"
 
 namespace ceer {
@@ -71,9 +78,9 @@ struct RunStats
 /**
  * Simulates training of one graph on one instance configuration.
  *
- * Per-node base times and noise levels are precomputed at construction,
- * so iterations are cheap enough to run the paper's 1000-iteration
- * profiling studies.
+ * Per-node base times and noise levels are precomputed at construction
+ * into a structure-of-arrays ExecPlan, so iterations are cheap enough
+ * to run the paper's 1000-iteration profiling studies by default.
  */
 class TrainingSimulator
 {
@@ -85,25 +92,48 @@ class TrainingSimulator
      */
     TrainingSimulator(const graph::Graph &g, const SimConfig &config);
 
-    /** Runs one iteration without observation. */
+    /** Runs the next iteration without observation. */
     IterationResult runIteration();
 
-    /** Runs one iteration, reporting replica-0 op times to @p observer. */
+    /** Runs the next iteration, reporting replica-0 op times to @p observer. */
     IterationResult runIteration(const OpObserver &observer);
 
     /**
-     * Runs @p iterations iterations and aggregates their timings.
+     * Computes iteration @p iteration as a pure function — the
+     * simulator's iteration cursor does not move. Calling this for the
+     * same index always returns the same result, in any order, on any
+     * thread (each call uses its own scratch space).
+     */
+    IterationResult iterationAt(std::int64_t iteration) const;
+
+    /**
+     * Runs @p iterations iterations serially and aggregates their
+     * timings. Equivalent to run(iterations, 1, observer).
      *
      * @param iterations Number of iterations (>= 1).
      * @param observer   Optional per-op observer (replica 0).
      */
     RunStats run(int iterations, const OpObserver &observer = nullptr);
 
+    /**
+     * Runs @p iterations iterations, fanning fixed-size chunks of
+     * iterations out over @p threads threads.
+     *
+     * Aggregation is chunked deterministically: per-chunk RunningStats
+     * merge in chunk order, so the returned RunStats is bit-identical
+     * for every thread count (1 included). @p threads <= 0 uses one
+     * thread per hardware thread. When @p observer is set the run is
+     * forced serial and in iteration order — the observer contract
+     * (profiling, tracing) is an ordered stream of replica-0 op times.
+     */
+    RunStats run(int iterations, int threads,
+                 const OpObserver &observer = nullptr);
+
     /** Trainable parameter bytes of the graph (comm-model feature). */
-    double paramBytes() const { return paramBytes_; }
+    double paramBytes() const { return plan_.paramBytes; }
 
     /** Per-replica input batch bytes moved host->device per iteration. */
-    double inputBytes() const { return inputBytes_; }
+    double inputBytes() const { return plan_.inputBytes; }
 
     /** Noise-free per-iteration mean (compute sum + mean comm). */
     double meanIterationUs() const;
@@ -111,26 +141,26 @@ class TrainingSimulator
     /** The simulated configuration. */
     const SimConfig &config() const { return config_; }
 
+    /** The structure-of-arrays execution plan (tests, benches). */
+    const ExecPlan &plan() const { return plan_; }
+
   private:
-    struct NodeTiming
+    /** Reusable per-thread buffers for one iteration's samples. */
+    struct Scratch
     {
-        double baseUs;  ///< Median time.
-        double sigma;   ///< Lognormal sigma (GPU ops).
-        bool onGpu;     ///< Placement.
-        double cpuMean; ///< Mean for CPU gamma sampling.
+        std::vector<double> z;        ///< Normal block (kernel::kBlock).
+        std::vector<double> gpuTimes; ///< Observer path, GPU lane.
+        std::vector<double> cpuTimes; ///< Observer path, CPU lane.
     };
 
-    double sampleNode(std::size_t index, util::Rng &rng) const;
+    IterationResult simulateIteration(std::int64_t iteration,
+                                      const OpObserver *observer,
+                                      Scratch &scratch) const;
 
     const graph::Graph *graph_;
     SimConfig config_;
-    hw::GpuTimingModel gpuModel_;
-    hw::CpuTimingModel cpuModel_;
-    std::vector<NodeTiming> timings_;
-    std::vector<util::Rng> replicaRngs_;
-    util::Rng commRng_;
-    double paramBytes_ = 0.0;
-    double inputBytes_ = 0.0;
+    ExecPlan plan_;
+    std::int64_t nextIteration_ = 0;
 };
 
 /** Result of simulating a full training pass over a dataset. */

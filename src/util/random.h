@@ -2,10 +2,15 @@
  * @file
  * Deterministic pseudo-random number generation for the simulator.
  *
- * All stochastic behaviour in the hardware/training simulator flows through
- * Rng so that experiments are reproducible given a seed. The generator is
- * xoshiro256**, seeded via SplitMix64, which is fast and has no observable
- * bias for our purposes (noise factors and straggler draws).
+ * Two families of generators live here:
+ *
+ * - Rng: a stateful xoshiro256** stream (seeded via SplitMix64) with
+ *   convenience distributions, for call sites that walk a sequence.
+ * - Counter-based draws (uniformFromKey / normalFromKey): pure
+ *   functions of a 64-bit key built with hashMix. Every sample is
+ *   independent of execution order, which is what lets the simulator
+ *   batch its sampling kernel and fan iterations out across threads
+ *   while staying bit-deterministic.
  */
 
 #ifndef CEER_UTIL_RANDOM_H
@@ -24,7 +29,14 @@ namespace util {
  * @param state In/out 64-bit state, advanced by one step.
  * @return Next 64-bit output.
  */
-std::uint64_t splitMix64(std::uint64_t &state);
+inline std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
 
 /**
  * Mixes @p value into @p seed with a SplitMix64 avalanche step.
@@ -32,17 +44,114 @@ std::uint64_t splitMix64(std::uint64_t &state);
  * Order-sensitive and collision-resistant for our purposes; used to
  * derive independent per-run seeds from structured keys such as
  * (base seed, model name, GPU, replica count) without any dependence
- * on iteration order.
+ * on iteration order. The output is also the unit of counter-based
+ * sampling: feed it to uniformFromBits/normalFromKey for a draw that
+ * is a pure function of the key.
  */
-std::uint64_t hashMix(std::uint64_t seed, std::uint64_t value);
+inline std::uint64_t
+hashMix(std::uint64_t seed, std::uint64_t value)
+{
+    std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ull + value);
+    return splitMix64(state);
+}
 
 /** Mixes a string into @p seed (length-prefixed, byte by byte). */
 std::uint64_t hashMix(std::uint64_t seed, const std::string &text);
 
 /**
+ * Maps 64 random bits to a double uniformly distributed in (0, 1).
+ *
+ * The open interval (never exactly 0 or 1) makes the result safe as a
+ * probability for inverseNormalCdf and as a log() argument.
+ */
+inline double
+uniformFromBits(std::uint64_t bits)
+{
+    // 53 high bits, centered on the half-ulp so 0 and 1 are excluded.
+    return (static_cast<double>(bits >> 11) + 0.5) * 0x1.0p-53;
+}
+
+/** Uniform double in (0, 1) as a pure function of @p key. */
+inline double
+uniformFromKey(std::uint64_t key)
+{
+    return uniformFromBits(hashMix(key, 0x5EEDED));
+}
+
+/// Branch point of the inverse-normal-CDF approximation: probabilities
+/// in [kInverseNormalCdfLow, 1 - kInverseNormalCdfLow] (~95% of
+/// uniform draws) take the polynomial-only central branch.
+constexpr double kInverseNormalCdfLow = 0.02425;
+
+/**
+ * Central branch of Acklam's inverse-normal-CDF approximation.
+ *
+ * Valid for q = p - 0.5 with |q| <= 0.5 - kInverseNormalCdfLow and
+ * r = q * q. Pure rational-polynomial arithmetic — no transcendental
+ * calls, no branches — so block evaluations autovectorize; this is
+ * what makes counter-based normal generation cheaper than a stateful
+ * Box-Muller walk.
+ */
+inline double
+inverseNormalCdfCentral(double q, double r)
+{
+    return (((((-3.969683028665376e+01 * r + 2.209460984245205e+02) *
+                   r -
+               2.759285104469687e+02) *
+                  r +
+              1.383577518672690e+02) *
+                 r -
+             3.066479806614716e+01) *
+                r +
+            2.506628277459239e+00) *
+           q /
+           (((((-5.447609879822406e+01 * r + 1.615858368580409e+02) *
+                   r -
+               1.556989798598866e+02) *
+                  r +
+              6.680131188771972e+01) *
+                 r -
+             1.328068155288572e+01) *
+                r +
+            1.0);
+}
+
+/**
+ * Tail branch of Acklam's approximation, for p < kInverseNormalCdfLow
+ * or p > 1 - kInverseNormalCdfLow (defined out-of-line; it needs
+ * log/sqrt and runs for ~5% of uniform draws).
+ */
+double inverseNormalCdfTail(double p);
+
+/**
+ * Inverse of the standard normal CDF (quantile function).
+ *
+ * Acklam's rational approximation: relative error < 1.2e-9 over all of
+ * (0, 1), which is far below the sampling noise of any study in this
+ * repo. Panics outside (0, 1).
+ */
+double inverseNormalCdf(double p);
+
+/** Standard normal deviate as a pure function of @p key. */
+inline double
+normalFromKey(std::uint64_t key)
+{
+    return inverseNormalCdf(uniformFromBits(hashMix(key, 0x90125)));
+}
+
+/**
  * xoshiro256** pseudo-random generator with convenience distributions.
  *
  * Not thread-safe; each simulated device owns its own Rng.
+ *
+ * Sequence coupling: normal() computes Box-Muller deviates in pairs
+ * and caches the second one across calls (see normal() below), so the
+ * mapping from "n-th call of a given distribution" to underlying
+ * xoshiro outputs depends on the full call history. Two Rngs with the
+ * same seed only stay in lockstep if they receive the *same sequence*
+ * of method calls; interleaving an extra draw shifts every later value
+ * of the other distributions. Pinned by
+ * RngTest.NormalCachingCouplesTheSequence.
  */
 class Rng
 {
@@ -70,7 +179,19 @@ class Rng
     /** Returns an integer uniformly distributed in [0, n); n must be > 0. */
     std::uint64_t uniformInt(std::uint64_t n);
 
-    /** Returns a standard normal deviate (Box-Muller, cached pair). */
+    /**
+     * Returns a standard normal deviate.
+     *
+     * Box-Muller generates deviates in pairs: every *odd* call draws
+     * two uniforms and computes both deviates, returning one and
+     * caching the other; every *even* call returns the cached deviate
+     * and consumes **no** generator state. Consequence: the value
+     * returned by an even call is fixed once the preceding odd call
+     * ran — draws of other distributions interleaved between them do
+     * not affect it, but they do shift everything after the pair.
+     * Callers that need order-independent samples should use the
+     * counter-based normalFromKey instead.
+     */
     double normal();
 
     /** Returns a normal deviate with the given mean and stddev. */

@@ -334,6 +334,27 @@ TEST(InterconnectTest, SampleIsNearMean)
     EXPECT_LT(stats.normalizedStddev(), 0.1);
 }
 
+TEST(InterconnectTest, CounterBasedSampleIsPureAndNearMean)
+{
+    // The (seed, iteration)-keyed overload used by the batched
+    // simulator: same key gives the same draw, different iterations
+    // decorrelate, and the noise stays centred on the mean overhead.
+    const double mean =
+        commOverheadUs(GpuModel::V100, 4, 100e6, 20e6);
+    EXPECT_DOUBLE_EQ(
+        sampleCommOverheadUs(GpuModel::V100, 4, 100e6, 20e6, 9, 17),
+        sampleCommOverheadUs(GpuModel::V100, 4, 100e6, 20e6, 9, 17));
+    EXPECT_NE(
+        sampleCommOverheadUs(GpuModel::V100, 4, 100e6, 20e6, 9, 17),
+        sampleCommOverheadUs(GpuModel::V100, 4, 100e6, 20e6, 9, 18));
+    util::RunningStats stats;
+    for (std::int64_t iter = 0; iter < 2000; ++iter)
+        stats.add(sampleCommOverheadUs(GpuModel::V100, 4, 100e6, 20e6,
+                                       5, iter));
+    EXPECT_NEAR(stats.mean(), mean, 0.03 * mean);
+    EXPECT_LT(stats.normalizedStddev(), 0.1);
+}
+
 TEST(InterconnectTest, InvalidGpuCountDies)
 {
     EXPECT_DEATH(commOverheadUs(GpuModel::V100, 0, 1e6, 1e6), "num_gpus");

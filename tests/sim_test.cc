@@ -5,6 +5,9 @@
  * full-training estimate arithmetic.
  */
 
+#include <cstdint>
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "models/model_zoo.h"
@@ -15,6 +18,27 @@ namespace sim {
 namespace {
 
 using graph::Graph;
+
+/** Bit pattern of a double, for byte-identity assertions. */
+std::uint64_t
+bitsOf(double x)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &x, sizeof u);
+    return u;
+}
+
+/** Asserts two RunningStats are byte-identical, not merely close. */
+void
+expectStatsBitIdentical(const util::RunningStats &a,
+                        const util::RunningStats &b)
+{
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(bitsOf(a.mean()), bitsOf(b.mean()));
+    EXPECT_EQ(bitsOf(a.stddev()), bitsOf(b.stddev()));
+    EXPECT_EQ(bitsOf(a.min()), bitsOf(b.min()));
+    EXPECT_EQ(bitsOf(a.max()), bitsOf(b.max()));
+}
 
 const Graph &
 inceptionV1()
@@ -158,6 +182,47 @@ TEST(SimulateTrainingTest, RoundsUpPartialIterations)
     const TrainingRunEstimate estimate =
         simulateTraining(inceptionV1(), config, 100, 32, 4);
     EXPECT_EQ(estimate.iterations, 4); // ceil(100/32).
+}
+
+TEST(SimulatorTest, ParallelRunIsByteIdenticalToSerial)
+{
+    // The determinism contract of the counter-based kernel: RunStats
+    // from run(n, threads) are byte-identical at every thread count,
+    // including counts above the hardware (iterations are chunked and
+    // merged in a fixed order regardless of which thread ran what).
+    SimConfig config;
+    config.seed = 1234;
+    config.numGpus = 2;
+    const int iters = 97; // deliberately not a multiple of the chunk
+    TrainingSimulator serial(inceptionV1(), config);
+    const RunStats reference = serial.run(iters, 1);
+    for (int threads : {2, 4}) {
+        TrainingSimulator parallel(inceptionV1(), config);
+        const RunStats stats = parallel.run(iters, threads);
+        SCOPED_TRACE(threads);
+        expectStatsBitIdentical(stats.iterationUs, reference.iterationUs);
+        expectStatsBitIdentical(stats.computeUs, reference.computeUs);
+        expectStatsBitIdentical(stats.commUs, reference.commUs);
+    }
+}
+
+TEST(SimulatorTest, IterationAtIsOrderIndependent)
+{
+    // iterationAt(k) is a pure function of (config, k): evaluating
+    // iterations in reverse must reproduce the forward runIteration
+    // stream bit for bit.
+    SimConfig config;
+    config.seed = 7;
+    TrainingSimulator walker(inceptionV1(), config);
+    IterationResult forward[6];
+    for (int i = 0; i < 6; ++i)
+        forward[i] = walker.runIteration();
+    TrainingSimulator random_access(inceptionV1(), config);
+    for (int i = 5; i >= 0; --i) {
+        const IterationResult r = random_access.iterationAt(i);
+        EXPECT_EQ(bitsOf(r.computeUs), bitsOf(forward[i].computeUs));
+        EXPECT_EQ(bitsOf(r.commUs), bitsOf(forward[i].commUs));
+    }
 }
 
 TEST(SimulatorTest, InvalidConfigDies)

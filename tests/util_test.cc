@@ -3,8 +3,10 @@
  * Unit tests for the util module: statistics, RNG, CSV, strings, tables.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -55,6 +57,86 @@ TEST(RunningStatsTest, MergeMatchesSequential)
     EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
     EXPECT_DOUBLE_EQ(a.min(), combined.min());
     EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStatsTest, MergedChunksMatchSinglePass)
+{
+    // The parallel simulator accumulates fixed-size chunks and merges
+    // them in order; the result must match a single-pass accumulation
+    // on count, mean, and variance for any chunking.
+    std::vector<double> data;
+    for (int i = 0; i < 257; ++i)
+        data.push_back(std::cos(i * 0.37) * 40.0 + i * 0.11);
+
+    RunningStats single_pass;
+    for (double x : data)
+        single_pass.add(x);
+
+    for (std::size_t chunk : {1u, 7u, 32u, 256u, 1000u}) {
+        RunningStats merged;
+        for (std::size_t start = 0; start < data.size(); start += chunk) {
+            RunningStats part;
+            const std::size_t stop =
+                std::min(start + chunk, data.size());
+            for (std::size_t i = start; i < stop; ++i)
+                part.add(data[i]);
+            merged.merge(part);
+        }
+        SCOPED_TRACE(chunk);
+        EXPECT_EQ(merged.count(), single_pass.count());
+        EXPECT_NEAR(merged.mean(), single_pass.mean(), 1e-9);
+        EXPECT_NEAR(merged.variance(), single_pass.variance(), 1e-9);
+        EXPECT_DOUBLE_EQ(merged.min(), single_pass.min());
+        EXPECT_DOUBLE_EQ(merged.max(), single_pass.max());
+    }
+}
+
+TEST(RunningStatsTest, MergeWithEmptyChunkIsIdentity)
+{
+    RunningStats filled;
+    for (double x : {1.5, -2.0, 8.25})
+        filled.add(x);
+    const RunningStats empty;
+
+    // Non-empty <- empty: nothing changes, bit for bit.
+    RunningStats a = filled;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), filled.count());
+    EXPECT_DOUBLE_EQ(a.mean(), filled.mean());
+    EXPECT_DOUBLE_EQ(a.variance(), filled.variance());
+    EXPECT_DOUBLE_EQ(a.min(), filled.min());
+    EXPECT_DOUBLE_EQ(a.max(), filled.max());
+
+    // Empty <- non-empty: adopts the source exactly.
+    RunningStats b;
+    b.merge(filled);
+    EXPECT_EQ(b.count(), filled.count());
+    EXPECT_DOUBLE_EQ(b.mean(), filled.mean());
+    EXPECT_DOUBLE_EQ(b.variance(), filled.variance());
+    EXPECT_DOUBLE_EQ(b.min(), filled.min());
+    EXPECT_DOUBLE_EQ(b.max(), filled.max());
+
+    // Empty <- empty stays empty.
+    RunningStats c;
+    c.merge(empty);
+    EXPECT_EQ(c.count(), 0u);
+    EXPECT_DOUBLE_EQ(c.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeOfSingleElementChunksMatchesAdds)
+{
+    // Degenerate chunking: every chunk holds one element (variance of
+    // each part is zero; the merge must still build the right moments).
+    RunningStats merged, added;
+    for (double x : {3.0, 3.0, 4.5, -1.0, 0.0, 12.5}) {
+        added.add(x);
+        RunningStats one;
+        one.add(x);
+        merged.merge(one);
+    }
+    EXPECT_EQ(merged.count(), added.count());
+    EXPECT_NEAR(merged.mean(), added.mean(), 1e-12);
+    EXPECT_NEAR(merged.variance(), added.variance(), 1e-12);
 }
 
 TEST(RunningStatsTest, NormalizedStddevIsCoefficientOfVariation)
@@ -186,6 +268,81 @@ TEST(RngTest, GammaMomentsMatch)
         stats.add(rng.gamma(shape, scale));
     EXPECT_NEAR(stats.mean(), shape * scale, 0.05);
     EXPECT_NEAR(stats.variance(), shape * scale * scale, 0.3);
+}
+
+TEST(RngTest, NormalCachingCouplesTheSequence)
+{
+    // Pins the Box-Muller pairing contract documented on Rng::normal():
+    // every odd call computes two deviates and caches one; every even
+    // call returns the cache and consumes no generator state.
+    Rng a(42), b(42);
+    EXPECT_DOUBLE_EQ(a.normal(), b.normal()); // odd call: pair drawn.
+
+    // An extra draw interleaved between the paired calls does not
+    // change the cached second deviate...
+    (void)b.uniform();
+    EXPECT_DOUBLE_EQ(a.normal(), b.normal()); // even call: cache only.
+
+    // ...but it consumed state, so everything after the pair diverges:
+    // the streams are coupled to the full call history.
+    EXPECT_NE(a.normal(), b.normal());
+
+    // Identical call sequences stay in lockstep indefinitely.
+    Rng c(42), d(42);
+    for (int i = 0; i < 9; ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_DOUBLE_EQ(c.normal(), d.normal());
+    }
+}
+
+TEST(InverseNormalCdfTest, KnownQuantiles)
+{
+    // Acklam's approximation is good to ~1.2e-9 relative; check the
+    // median, the central branch, and both tails against textbook
+    // quantiles.
+    EXPECT_NEAR(inverseNormalCdf(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(inverseNormalCdf(0.975), 1.959963985, 1e-7);
+    EXPECT_NEAR(inverseNormalCdf(0.025), -1.959963985, 1e-7);
+    EXPECT_NEAR(inverseNormalCdf(0.841344746), 1.0, 1e-7);
+    EXPECT_NEAR(inverseNormalCdf(0.001), -3.090232306, 1e-7);
+    EXPECT_NEAR(inverseNormalCdf(0.999), 3.090232306, 1e-7);
+}
+
+TEST(InverseNormalCdfTest, MonotoneAcrossTheBranchPoint)
+{
+    // The central/tail branch seam (p = 0.02425) must not introduce a
+    // jump: the quantile function is strictly increasing.
+    double last = inverseNormalCdf(1e-6);
+    for (double p = 1e-4; p < 1.0 - 1e-4; p += 1e-4) {
+        const double z = inverseNormalCdf(p);
+        ASSERT_GT(z, last) << "p=" << p;
+        last = z;
+    }
+}
+
+TEST(InverseNormalCdfTest, RejectsOutOfRange)
+{
+    EXPECT_DEATH(inverseNormalCdf(0.0), "requires p");
+    EXPECT_DEATH(inverseNormalCdf(1.0), "requires p");
+    EXPECT_DEATH(inverseNormalCdf(-0.3), "requires p");
+}
+
+TEST(CounterBasedDrawTest, PureFunctionOfKey)
+{
+    // Counter-based draws must not depend on any hidden state: the
+    // same key always yields the same deviate, different keys differ.
+    EXPECT_DOUBLE_EQ(normalFromKey(123), normalFromKey(123));
+    EXPECT_NE(normalFromKey(123), normalFromKey(124));
+    EXPECT_DOUBLE_EQ(uniformFromKey(99), uniformFromKey(99));
+}
+
+TEST(CounterBasedDrawTest, NormalFromKeyMomentsMatch)
+{
+    RunningStats stats;
+    for (std::uint64_t key = 0; key < 50000; ++key)
+        stats.add(normalFromKey(hashMix(2026, key)));
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.variance(), 1.0, 0.03);
 }
 
 TEST(RngTest, UniformIntBounds)

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 #
-# CI-style check: Release build + full ctest, then a ThreadSanitizer
-# build of the concurrency-sensitive pieces (thread pool + parallel
-# profile collection) so data races in the profiling engine are caught
-# on every change.
+# CI-style check: Release build + full ctest, microbenchmark smoke
+# runs, then a ThreadSanitizer build of the concurrency-sensitive
+# pieces (thread pool, parallel profile collection, iteration-parallel
+# simulation) so data races are caught on every change.
 #
 # Usage: tools/check.sh [jobs]
 
@@ -17,11 +17,18 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> ThreadSanitizer build (thread pool + parallel collection)"
+echo "==> microbenchmark smoke runs (tiny iteration counts)"
+# The perf-tracking benches must at least run clean and hold their
+# internal determinism checks ('' disables the JSON artifacts; real
+# numbers come from full runs).
+./build/bench/micro_sim --iters 50 --out ''
+./build/bench/micro_profile --iters 5 --out ''
+
+echo "==> ThreadSanitizer build (thread pool + parallel collection + parallel sim)"
 cmake -B build-tsan -S . -DCEER_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-      --target thread_pool_test profile_test
+      --target thread_pool_test profile_test sim_test
 
 # Run the TSan binaries directly (ctest discovery would require every
 # test target to be built). TSAN_OPTIONS makes races hard failures.
@@ -29,5 +36,9 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/profile_test \
     --gtest_filter='SeedingTest.*:DatasetTest.LoadedDatasetServesIndexedQueries'
+# Exercise the iteration-parallel run() under TSan: chunked fan-out
+# across the thread pool with deterministic merge.
+./build-tsan/tests/sim_test \
+    --gtest_filter='SimulatorTest.ParallelRunIsByteIdenticalToSerial'
 
 echo "==> all checks passed"
