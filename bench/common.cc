@@ -1,17 +1,12 @@
 #include "bench/common.h"
 
-#include <algorithm>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
-#include <unistd.h>
 
 #include "core/trainer.h"
 #include "models/model_zoo.h"
+#include "profile/profile_cache.h"
 #include "sim/simulator.h"
 #include "util/logging.h"
-#include "util/random.h"
 #include "util/strings.h"
 
 namespace ceer {
@@ -50,58 +45,6 @@ parseBenchFlags(int argc, char **argv)
     return config;
 }
 
-std::string
-profileCachePath(const std::string &cache_dir,
-                 const std::vector<std::string> &models,
-                 const profile::CollectOptions &options)
-{
-    std::uint64_t key = util::hashMix(0, std::string("ceer-profiles-v1"));
-    key = util::hashMix(key, models.size());
-    for (const std::string &name : models)
-        key = util::hashMix(key, name);
-    key = util::hashMix(key, static_cast<std::uint64_t>(options.batch));
-    key = util::hashMix(key,
-                        static_cast<std::uint64_t>(options.iterations));
-    key = util::hashMix(key, options.seed);
-    key = util::hashMix(key,
-                        static_cast<std::uint64_t>(options.maxGpus));
-    key = util::hashMix(key, options.multiGpuRuns ? 1u : 0u);
-    key = util::hashMix(key,
-                        static_cast<std::uint64_t>(options.gpusPerHost));
-    return cache_dir + "/" + util::format("profiles-%016llx.csv",
-                                          (unsigned long long)key);
-}
-
-namespace {
-
-/**
- * Cheap structural check of a cache entry so a truncated or torn file
- * is treated as a miss instead of poisoning every bench binary
- * (ProfileDataset::loadCsv is fatal on malformed rows).
- */
-bool
-cacheEntryLooksComplete(const std::string &path)
-{
-    std::ifstream in(path);
-    if (!in)
-        return false;
-    std::size_t lines = 0;
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty())
-            continue;
-        // Every saveCsv row has exactly 11 fields (10 commas).
-        const auto commas =
-            std::count(line.begin(), line.end(), ',');
-        if (commas != 10)
-            return false;
-        ++lines;
-    }
-    return lines >= 2; // header plus at least one data row.
-}
-
-} // namespace
-
 profile::ProfileDataset
 collectTrainingProfiles(const BenchConfig &config, bool multiGpu)
 {
@@ -111,66 +54,9 @@ collectTrainingProfiles(const BenchConfig &config, bool multiGpu)
     options.seed = config.seed;
     options.multiGpuRuns = multiGpu;
     options.threads = config.threads;
-
-    const std::vector<std::string> &names = models::trainingSetNames();
-    std::string cache_file;
-    if (!config.profileCache.empty()) {
-        cache_file = profileCachePath(config.profileCache, names,
-                                      options);
-        if (std::filesystem::exists(cache_file)) {
-            if (cacheEntryLooksComplete(cache_file)) {
-                std::ifstream in(cache_file);
-                CEER_LOG(Info) << "profile cache hit: " << cache_file;
-                return profile::ProfileDataset::loadCsv(in);
-            }
-            CEER_LOG(Warn) << "corrupt profile cache entry, "
-                              "re-profiling: "
-                           << cache_file;
-            std::error_code ec;
-            std::filesystem::remove(cache_file, ec);
-        }
-    }
-
-    profile::ProfileDataset dataset =
-        profile::collectProfiles(names, options);
-
-    if (!cache_file.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(config.profileCache, ec);
-        // Write to a process-unique temp file, then rename: concurrent
-        // bench binaries never observe a half-written cache entry.
-        const std::string temp = cache_file + "." +
-                                 std::to_string(::getpid()) + ".tmp";
-        std::ofstream out(temp);
-        if (out) {
-            dataset.saveCsv(out);
-            out.close();
-            // A failed write (e.g. disk full) must not be renamed
-            // into place as a valid-looking entry.
-            if (!out.good()) {
-                std::filesystem::remove(temp, ec);
-                CEER_LOG(Warn)
-                    << "profile cache write failed: " << temp;
-                return dataset;
-            }
-            std::filesystem::rename(temp, cache_file, ec);
-            if (ec) {
-                std::filesystem::remove(temp, ec);
-            } else {
-                CEER_LOG(Info)
-                    << "profile cache write: " << cache_file;
-                // Reload what we just wrote so results are identical
-                // whether the cache was cold or warm (the CSV encoding
-                // of the running stats is mildly lossy).
-                std::ifstream reread(cache_file);
-                if (reread)
-                    return profile::ProfileDataset::loadCsv(reread);
-            }
-        } else {
-            CEER_LOG(Warn) << "profile cache not writable: " << temp;
-        }
-    }
-    return dataset;
+    return profile::collectProfilesCached(models::trainingSetNames(),
+                                          options,
+                                          config.profileCache);
 }
 
 TrainedCeer

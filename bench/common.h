@@ -60,16 +60,6 @@ struct BenchConfig
  */
 BenchConfig parseBenchFlags(int argc, char **argv);
 
-/**
- * Cache file path for one profiling configuration, content-keyed by
- * (format version, model set, iterations, batch, seed, multi-GPU
- * sweep shape). Thread count is deliberately excluded: collection is
- * deterministic across thread counts.
- */
-std::string profileCachePath(const std::string &cache_dir,
-                             const std::vector<std::string> &models,
-                             const profile::CollectOptions &options);
-
 /** Profiles the paper's 8 training CNNs and trains Ceer. */
 struct TrainedCeer
 {
@@ -81,7 +71,9 @@ struct TrainedCeer
 TrainedCeer trainOnPaperTrainingSet(const BenchConfig &config);
 
 /**
- * Runs only the profiling half of the study (the 8 training CNNs).
+ * Runs only the profiling half of the study (the 8 training CNNs),
+ * behind the shared on-disk cache (profile::collectProfilesCached; a
+ * corrupt cache entry degrades to a miss and a re-profile).
  *
  * @param config   Bench configuration.
  * @param multiGpu Also collect k=2..4 run-level profiles (needed for

@@ -1,12 +1,14 @@
 #include "cloud/instances.h"
 
 #include <algorithm>
+#include <cmath>
 #include <istream>
 #include <map>
 #include <ostream>
 
 #include "util/csv.h"
 #include "util/logging.h"
+#include "util/parse.h"
 #include "util/strings.h"
 
 namespace ceer {
@@ -108,9 +110,23 @@ InstanceCatalog::fromCsv(std::istream &in)
         if (!hw::gpuModelFromName(row[1], instance.gpu))
             util::fatal("InstanceCatalog::fromCsv: unknown GPU " +
                         row[1]);
-        instance.numGpus = static_cast<int>(std::stol(row[2]));
-        instance.hourlyUsd = std::stod(row[3]);
-        if (instance.numGpus < 1 || instance.hourlyUsd <= 0.0)
+        const auto gpus = util::parseInt64(row[2]);
+        if (!gpus) {
+            util::fatal(util::format(
+                "InstanceCatalog::fromCsv: row %zu column 3 (gpus): "
+                "%s: '%s'", i, gpus.error, row[2].c_str()));
+        }
+        instance.numGpus = static_cast<int>(gpus.value);
+        const auto price = util::parseDouble(row[3]);
+        if (!price) {
+            util::fatal(util::format(
+                "InstanceCatalog::fromCsv: row %zu column 4 "
+                "(hourly_usd): %s: '%s'", i, price.error,
+                row[3].c_str()));
+        }
+        instance.hourlyUsd = price.value;
+        if (instance.numGpus < 1 || !(instance.hourlyUsd > 0.0) ||
+            !std::isfinite(instance.hourlyUsd))
             util::fatal("InstanceCatalog::fromCsv: bad row for " +
                         instance.name);
         catalog.add(std::move(instance));

@@ -6,6 +6,7 @@
 
 #include "core/regression.h"
 #include "util/logging.h"
+#include "util/parse.h"
 #include "util/strings.h"
 
 namespace ceer {
@@ -117,8 +118,8 @@ CeerModel::save(std::ostream &out) const
         out << "op_model " << hw::gpuModelName(key.first) << " "
             << graph::opTypeName(key.second) << " "
             << (model.quadratic ? 1 : 0) << " " << (model.usable ? 1 : 0)
-            << " " << util::format("%.9g", model.r2) << " "
-            << util::format("%.9g", model.medianUs) << " "
+            << " " << util::format("%.17g", model.r2) << " "
+            << util::format("%.17g", model.medianUs) << " "
             << model.points << " " << model.model.serialize() << "\n";
     }
     for (const auto &[gpu, per_k] : comm.fits) {
@@ -126,7 +127,7 @@ CeerModel::save(std::ostream &out) const
             if (!per_k[i].valid)
                 continue;
             out << "comm_fit " << hw::gpuModelName(gpu) << " " << (i + 1)
-                << " " << util::format("%.9g", per_k[i].r2) << " "
+                << " " << util::format("%.17g", per_k[i].r2) << " "
                 << per_k[i].model.serialize() << "\n";
         }
     }
@@ -136,77 +137,133 @@ CeerModel
 CeerModel::load(std::istream &in)
 {
     CeerModel model;
+    std::string error;
+    if (!tryLoad(in, &model, &error))
+        util::fatal("CeerModel::load: " + error);
+    return model;
+}
+
+bool
+CeerModel::tryLoad(std::istream &in, CeerModel *model,
+                   std::string *error)
+{
+    CeerModel parsed;
     std::string line;
+    std::size_t line_no = 1;
     if (!std::getline(in, line) ||
-        !util::startsWith(line, "ceer_model"))
-        util::fatal("CeerModel::load: missing header");
+        !util::startsWith(line, "ceer_model")) {
+        *error = "missing header";
+        return false;
+    }
+    // All failure paths funnel through fail()/failField() so every
+    // message carries the offending line number.
+    const auto fail = [&](const std::string &what) {
+        *error = util::format("line %zu: ", line_no) + what;
+        return false;
+    };
+    const auto parse_double = [&](const std::string &field,
+                                  const char *what, double *out) {
+        const auto result = util::parseDouble(field);
+        if (!result) {
+            *error = util::format("line %zu: bad %s '%s': %s", line_no,
+                                  what, field.c_str(), result.error);
+            return false;
+        }
+        *out = result.value;
+        return true;
+    };
     while (std::getline(in, line)) {
+        ++line_no;
         if (line.empty())
             continue;
         const auto fields = util::split(line, ' ');
         const std::string &tag = fields[0];
         const auto require = [&](std::size_t count) {
-            if (fields.size() < count) {
-                util::fatal(util::format(
-                    "CeerModel::load: truncated '%s' line (%zu of %zu "
-                    "fields)", tag.c_str(), fields.size(), count));
-            }
+            if (fields.size() >= count)
+                return true;
+            *error = util::format(
+                "line %zu: truncated '%s' line (%zu of %zu fields)",
+                line_no, tag.c_str(), fields.size(), count);
+            return false;
         };
         if (tag == "heavy_threshold_us") {
-            require(2);
-            model.heavyThresholdUs = std::stod(fields[1]);
+            if (!require(2) ||
+                !parse_double(fields[1], "threshold",
+                              &parsed.heavyThresholdUs))
+                return false;
         } else if (tag == "light_median_us") {
-            require(2);
-            model.lightMedianUs = std::stod(fields[1]);
+            if (!require(2) ||
+                !parse_double(fields[1], "median",
+                              &parsed.lightMedianUs))
+                return false;
         } else if (tag == "cpu_median_us") {
-            require(2);
-            model.cpuMedianUs = std::stod(fields[1]);
+            if (!require(2) ||
+                !parse_double(fields[1], "median", &parsed.cpuMedianUs))
+                return false;
         } else if (tag == "heavy_ops") {
             for (std::size_t i = 1; i < fields.size(); ++i) {
                 OpType op;
                 if (!graph::opTypeFromName(fields[i], op))
-                    util::fatal("CeerModel::load: bad op " + fields[i]);
-                model.heavyOps.insert(op);
+                    return fail("bad op " + fields[i]);
+                parsed.heavyOps.insert(op);
             }
         } else if (tag == "op_model") {
-            require(9);
+            if (!require(9))
+                return false;
             GpuModel gpu;
             OpType op;
             if (!hw::gpuModelFromName(fields[1], gpu) ||
                 !graph::opTypeFromName(fields[2], op))
-                util::fatal("CeerModel::load: bad op_model line");
+                return fail("bad op_model line");
             OpTimeModel entry;
             entry.gpu = gpu;
             entry.op = op;
             entry.quadratic = fields[3] == "1";
             entry.usable = fields[4] == "1";
-            entry.r2 = std::stod(fields[5]);
-            entry.medianUs = std::stod(fields[6]);
-            entry.points =
-                static_cast<std::size_t>(std::stoull(fields[7]));
-            entry.model = LinearModel::deserialize(fields[8]);
-            model.opModels.emplace(std::make_pair(gpu, op),
-                                   std::move(entry));
+            if (!parse_double(fields[5], "r2", &entry.r2) ||
+                !parse_double(fields[6], "median", &entry.medianUs))
+                return false;
+            const auto points = util::parseSize(fields[7]);
+            if (!points)
+                return fail("bad op_model points '" + fields[7] +
+                            "': " + points.error);
+            entry.points = points.value;
+            std::string model_error;
+            if (!LinearModel::tryDeserialize(fields[8], &entry.model,
+                                             &model_error))
+                return fail("op_model fit: " + model_error);
+            parsed.opModels.emplace(std::make_pair(gpu, op),
+                                    std::move(entry));
         } else if (tag == "comm_fit") {
-            require(5);
+            if (!require(5))
+                return false;
             GpuModel gpu;
             if (!hw::gpuModelFromName(fields[1], gpu))
-                util::fatal("CeerModel::load: bad comm_fit line");
-            const auto k =
-                static_cast<std::size_t>(std::stoull(fields[2]));
+                return fail("bad comm_fit line");
+            const auto k_parsed = util::parseSize(fields[2]);
+            if (!k_parsed)
+                return fail("bad comm_fit k '" + fields[2] + "': " +
+                            k_parsed.error);
+            const std::size_t k = k_parsed.value;
             if (k == 0)
-                util::fatal("CeerModel::load: comm_fit k must be >= 1");
-            auto &per_k = model.comm.fits[gpu];
+                return fail("comm_fit k must be >= 1");
+            auto &per_k = parsed.comm.fits[gpu];
             if (per_k.size() < k)
                 per_k.resize(k);
-            per_k[k - 1].r2 = std::stod(fields[3]);
-            per_k[k - 1].model = LinearModel::deserialize(fields[4]);
+            std::string model_error;
+            if (!parse_double(fields[3], "r2", &per_k[k - 1].r2))
+                return false;
+            if (!LinearModel::tryDeserialize(fields[4],
+                                             &per_k[k - 1].model,
+                                             &model_error))
+                return fail("comm_fit: " + model_error);
             per_k[k - 1].valid = true;
         } else {
-            util::fatal("CeerModel::load: unknown tag '" + tag + "'");
+            return fail("unknown tag '" + tag + "'");
         }
     }
-    return model;
+    *model = std::move(parsed);
+    return true;
 }
 
 } // namespace core

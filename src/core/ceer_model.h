@@ -107,11 +107,27 @@ struct CeerModel
     /** Range [min, max] of op-model R^2 values (paper: 0.84-0.98). */
     std::pair<double, double> opModelR2Range() const;
 
-    /** Writes the model as a line-oriented text document. */
+    /**
+     * Writes the model as a line-oriented text document.
+     *
+     * All numeric fields are emitted at full precision (%.17g), so a
+     * reloaded model predicts bit-identically to the original.
+     */
     void save(std::ostream &out) const;
 
-    /** Parses a document produced by save(). */
+    /** Parses a document produced by save(); fatal on malformed input. */
     static CeerModel load(std::istream &in);
+
+    /**
+     * Exception-free variant of load().
+     *
+     * @param in    Input stream.
+     * @param model Receives the parsed model on success.
+     * @param error Receives a "line N: ..." description on failure.
+     * @return True on success.
+     */
+    static bool tryLoad(std::istream &in, CeerModel *model,
+                        std::string *error);
 };
 
 } // namespace core

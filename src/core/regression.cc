@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parse.h"
 #include "util/strings.h"
 
 namespace ceer {
@@ -153,19 +154,56 @@ LinearModel
 LinearModel::deserialize(const std::string &text)
 {
     LinearModel model;
+    std::string error;
+    if (!tryDeserialize(text, &model, &error))
+        util::fatal("LinearModel::deserialize: " + error);
+    return model;
+}
+
+bool
+LinearModel::tryDeserialize(const std::string &text, LinearModel *model,
+                            std::string *error)
+{
+    LinearModel parsed;
+    if (text.empty()) {
+        *error = "empty text";
+        return false;
+    }
     const auto parts = util::split(text, ';');
-    if (parts.empty())
-        util::fatal("LinearModel::deserialize: empty text");
-    model.intercept_ = std::stod(parts[0]);
+    const auto intercept = util::parseDouble(parts[0]);
+    if (!intercept) {
+        *error = "bad intercept '" + parts[0] + "': " + intercept.error;
+        return false;
+    }
+    parsed.intercept_ = intercept.value;
     for (std::size_t i = 1; i < parts.size(); ++i) {
         const auto pair = util::split(parts[i], ',');
-        if (pair.size() != 2)
-            util::fatal("LinearModel::deserialize: bad term '" +
-                        parts[i] + "'");
-        model.weights_.push_back(std::stod(pair[0]));
-        model.scales_.push_back(std::stod(pair[1]));
+        if (pair.size() != 2) {
+            *error = "bad term '" + parts[i] + "'";
+            return false;
+        }
+        const auto weight = util::parseDouble(pair[0]);
+        if (!weight) {
+            *error = "bad weight '" + pair[0] + "': " + weight.error;
+            return false;
+        }
+        const auto scale = util::parseDouble(pair[1]);
+        if (!scale) {
+            *error = "bad scale '" + pair[1] + "': " + scale.error;
+            return false;
+        }
+        // predict() divides features by the scales; anything but a
+        // finite positive scale turns predictions into ±inf/NaN.
+        if (!std::isfinite(scale.value) || !(scale.value > 0.0)) {
+            *error = "invalid scale '" + pair[1] +
+                     "' (must be finite and > 0)";
+            return false;
+        }
+        parsed.weights_.push_back(weight.value);
+        parsed.scales_.push_back(scale.value);
     }
-    return model;
+    *model = std::move(parsed);
+    return true;
 }
 
 std::vector<double>

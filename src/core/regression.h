@@ -62,6 +62,21 @@ class LinearModel
     /** Inverse of serialize(); fatals on malformed text. */
     static LinearModel deserialize(const std::string &text);
 
+    /**
+     * Exception-free variant of deserialize().
+     *
+     * Rejects malformed numbers and any scale that is not a finite
+     * positive value (predict() divides by the scales; a zero scale
+     * would silently yield ±inf/NaN predictions).
+     *
+     * @param text  Serialized form.
+     * @param model Receives the parsed model on success.
+     * @param error Receives a description on failure.
+     * @return True on success.
+     */
+    static bool tryDeserialize(const std::string &text,
+                               LinearModel *model, std::string *error);
+
   private:
     std::vector<double> weights_; ///< In scaled feature space.
     std::vector<double> scales_;  ///< Per-feature divisors.

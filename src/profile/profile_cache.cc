@@ -1,0 +1,106 @@
+#include "profile/profile_cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace profile {
+
+std::string
+cacheEntryPath(const std::string &cache_dir,
+               const std::vector<std::string> &models,
+               const CollectOptions &options)
+{
+    std::uint64_t key = util::hashMix(0, std::string("ceer-profiles-v1"));
+    key = util::hashMix(key, models.size());
+    for (const std::string &name : models)
+        key = util::hashMix(key, name);
+    key = util::hashMix(key, static_cast<std::uint64_t>(options.batch));
+    key = util::hashMix(key,
+                        static_cast<std::uint64_t>(options.iterations));
+    key = util::hashMix(key, options.seed);
+    key = util::hashMix(key,
+                        static_cast<std::uint64_t>(options.maxGpus));
+    key = util::hashMix(key, options.multiGpuRuns ? 1u : 0u);
+    key = util::hashMix(key,
+                        static_cast<std::uint64_t>(options.gpusPerHost));
+    return cache_dir + "/" + util::format("profiles-%016llx.csv",
+                                          (unsigned long long)key);
+}
+
+ProfileDataset
+collectProfilesCached(const std::vector<std::string> &models,
+                      const CollectOptions &options,
+                      const std::string &cache_dir)
+{
+    if (cache_dir.empty())
+        return collectProfiles(models, options);
+
+    const std::string cache_file =
+        cacheEntryPath(cache_dir, models, options);
+    if (std::filesystem::exists(cache_file)) {
+        std::ifstream in(cache_file);
+        ProfileDataset cached;
+        std::string parse_error;
+        if (in &&
+            ProfileDataset::tryLoadCsv(in, &cached, &parse_error)) {
+            CEER_LOG(Info) << "profile cache hit: " << cache_file;
+            return cached;
+        }
+        // Any malformed byte degrades to a miss: drop the entry and
+        // fall through to a fresh (re-)profiling run.
+        CEER_LOG(Warn) << "corrupt profile cache entry ("
+                       << (parse_error.empty() ? "unreadable"
+                                               : parse_error)
+                       << "), re-profiling: " << cache_file;
+        std::error_code ec;
+        std::filesystem::remove(cache_file, ec);
+    }
+
+    ProfileDataset dataset = collectProfiles(models, options);
+
+    std::error_code ec;
+    std::filesystem::create_directories(cache_dir, ec);
+    // Write to a process-unique temp file, then rename: concurrent
+    // bench binaries never observe a half-written cache entry.
+    const std::string temp =
+        cache_file + "." + std::to_string(::getpid()) + ".tmp";
+    std::ofstream out(temp);
+    if (!out) {
+        CEER_LOG(Warn) << "profile cache not writable: " << temp;
+        return dataset;
+    }
+    dataset.saveCsv(out);
+    out.close();
+    // A failed write (e.g. disk full) must not be renamed into place
+    // as a valid-looking entry.
+    if (!out.good()) {
+        std::filesystem::remove(temp, ec);
+        CEER_LOG(Warn) << "profile cache write failed: " << temp;
+        return dataset;
+    }
+    std::filesystem::rename(temp, cache_file, ec);
+    if (ec) {
+        std::filesystem::remove(temp, ec);
+        return dataset;
+    }
+    CEER_LOG(Info) << "profile cache write: " << cache_file;
+    // Reload what we just wrote so results are identical whether the
+    // cache was cold or warm (the CSV encoding of the running stats
+    // is mildly lossy).
+    std::ifstream reread(cache_file);
+    ProfileDataset reloaded;
+    std::string parse_error;
+    if (reread &&
+        ProfileDataset::tryLoadCsv(reread, &reloaded, &parse_error))
+        return reloaded;
+    return dataset;
+}
+
+} // namespace profile
+} // namespace ceer

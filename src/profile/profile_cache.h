@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared on-disk profile cache for the bench suite and tools.
+ *
+ * Profiling the full training sweep dominates every bench binary's
+ * runtime; the cache lets the first binary profile and save, and every
+ * later one load in milliseconds. Entries are content-keyed CSV files
+ * (ProfileDataset::saveCsv) written atomically (temp + rename).
+ *
+ * Failure policy: any malformed cache entry — truncated row, garbled
+ * numeric field, broken quoting — is treated as a miss: the entry is
+ * deleted and the sweep re-profiles, producing byte-identical output
+ * to a cold run. A cache can never make a bench binary crash or give
+ * different numbers; at worst it is slow. See docs/file_formats.md.
+ */
+
+#ifndef CEER_PROFILE_PROFILE_CACHE_H
+#define CEER_PROFILE_PROFILE_CACHE_H
+
+#include <string>
+#include <vector>
+
+#include "profile/profiler.h"
+
+namespace ceer {
+namespace profile {
+
+/**
+ * Cache file path for one profiling configuration, content-keyed by
+ * (format version, model set, iterations, batch, seed, multi-GPU sweep
+ * shape). Thread count is deliberately excluded: collection is
+ * deterministic across thread counts.
+ */
+std::string cacheEntryPath(const std::string &cache_dir,
+                           const std::vector<std::string> &models,
+                           const CollectOptions &options);
+
+/**
+ * collectProfiles() behind the on-disk cache.
+ *
+ * Loads the matching entry when present and parseable; otherwise
+ * re-profiles (deleting any corrupt entry first) and atomically writes
+ * the result back. After a write the dataset is re-loaded from disk so
+ * cold and warm runs return byte-identical datasets (the CSV encoding
+ * of the running stats is mildly lossy).
+ *
+ * @param models    CNNs to profile.
+ * @param options   Sweep options.
+ * @param cache_dir Cache directory; empty disables caching entirely.
+ */
+ProfileDataset
+collectProfilesCached(const std::vector<std::string> &models,
+                      const CollectOptions &options,
+                      const std::string &cache_dir);
+
+} // namespace profile
+} // namespace ceer
+
+#endif // CEER_PROFILE_PROFILE_CACHE_H

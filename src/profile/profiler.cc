@@ -9,6 +9,7 @@
 #include "profile/features.h"
 #include "util/csv.h"
 #include "util/logging.h"
+#include "util/parse.h"
 #include "util/random.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -183,49 +184,137 @@ ProfileDataset
 ProfileDataset::loadCsv(std::istream &in)
 {
     ProfileDataset dataset;
+    std::string error;
+    if (!tryLoadCsv(in, &dataset, &error))
+        util::fatal("ProfileDataset::loadCsv: " + error);
+    return dataset;
+}
+
+bool
+ProfileDataset::tryLoadCsv(std::istream &in, ProfileDataset *dataset,
+                           std::string *error)
+{
+    ProfileDataset parsed;
     std::vector<OpProfile> loaded_ops;
-    const auto rows = util::readCsv(in);
+    std::vector<std::vector<std::string>> rows;
+    if (!util::tryReadCsv(in, &rows, error))
+        return false;
+    // Numeric fields are parsed through this helper so every failure
+    // reports its (row, column) coordinates plus the column name.
+    std::size_t row_no = 0;
+    const auto parse_double = [&](const std::string &field,
+                                  std::size_t column, const char *name,
+                                  double *out) {
+        const auto result = util::parseDouble(field);
+        if (!result) {
+            *error = util::format("row %zu column %zu (%s): %s: '%s'",
+                                  row_no, column, name, result.error,
+                                  field.c_str());
+            return false;
+        }
+        *out = result.value;
+        return true;
+    };
     for (std::size_t i = 1; i < rows.size(); ++i) {
         const auto &row = rows[i];
-        if (row.size() < 11)
-            util::fatal(util::format(
-                "ProfileDataset::loadCsv: row %zu has %zu fields", i,
-                row.size()));
+        row_no = i;
+        if (row.size() < 11) {
+            *error = util::format("row %zu has %zu fields", i,
+                                  row.size());
+            return false;
+        }
         if (row[0] == "iter") {
             IterationProfile run;
             run.model = row[1];
-            if (!hw::gpuModelFromName(row[2], run.gpu))
-                util::fatal("ProfileDataset::loadCsv: bad GPU " +
-                            row[2]);
-            run.numGpus = static_cast<int>(std::stol(row[3]));
-            run.paramCount = std::stoll(row[4]);
-            run.meanIterationUs = std::stod(row[7]);
-            run.meanComputeUs = std::stod(row[8]);
-            run.meanCommUs = std::stod(row[9]);
-            dataset.iterations_.push_back(std::move(run));
+            if (!hw::gpuModelFromName(row[2], run.gpu)) {
+                *error = "bad GPU " + row[2];
+                return false;
+            }
+            const auto num_gpus = util::parseInt64(row[3]);
+            if (!num_gpus || num_gpus.value < 1) {
+                *error = util::format(
+                    "row %zu column 4 (num_gpus): bad value '%s'", i,
+                    row[3].c_str());
+                return false;
+            }
+            run.numGpus = static_cast<int>(num_gpus.value);
+            const auto params = util::parseInt64(row[4]);
+            if (!params) {
+                *error = util::format(
+                    "row %zu column 5 (param_count): %s: '%s'", i,
+                    params.error, row[4].c_str());
+                return false;
+            }
+            run.paramCount = params.value;
+            if (!parse_double(row[7], 8, "mean_iteration_us",
+                              &run.meanIterationUs) ||
+                !parse_double(row[8], 9, "mean_compute_us",
+                              &run.meanComputeUs) ||
+                !parse_double(row[9], 10, "mean_comm_us",
+                              &run.meanCommUs))
+                return false;
+            parsed.iterations_.push_back(std::move(run));
             continue;
         }
-        if (row[0] != "op")
-            util::fatal("ProfileDataset::loadCsv: unknown row kind '" +
-                        row[0] + "'");
+        if (row[0] != "op") {
+            *error = "unknown row kind '" + row[0] + "'";
+            return false;
+        }
         OpProfile profile;
         profile.model = row[1];
-        if (!hw::gpuModelFromName(row[2], profile.gpu))
-            util::fatal("ProfileDataset::loadCsv: bad GPU " + row[2]);
-        if (!graph::opTypeFromName(row[3], profile.op))
-            util::fatal("ProfileDataset::loadCsv: bad op " + row[3]);
+        if (!hw::gpuModelFromName(row[2], profile.gpu)) {
+            *error = "bad GPU " + row[2];
+            return false;
+        }
+        if (!graph::opTypeFromName(row[3], profile.op)) {
+            *error = "bad op " + row[3];
+            return false;
+        }
         profile.onCpu = row[4] == "cpu";
-        profile.occurrences =
-            static_cast<std::size_t>(std::stoull(row[5]));
-        const auto count = static_cast<std::size_t>(std::stoull(row[6]));
-        const double mean = std::stod(row[7]);
-        const double stddev = std::stod(row[8]);
-        for (const auto &text : util::split(row[9], ';'))
-            if (!text.empty())
-                profile.features.push_back(std::stod(text));
-        for (const auto &text : util::split(row[10], ';'))
-            if (!text.empty())
-                profile.samples.add(std::stod(text));
+        const auto occurrences = util::parseSize(row[5]);
+        if (!occurrences) {
+            *error = util::format(
+                "row %zu column 6 (occurrences): %s: '%s'", i,
+                occurrences.error, row[5].c_str());
+            return false;
+        }
+        profile.occurrences = occurrences.value;
+        const auto count_parsed = util::parseSize(row[6]);
+        if (!count_parsed) {
+            *error = util::format("row %zu column 7 (count): %s: '%s'",
+                                  i, count_parsed.error, row[6].c_str());
+            return false;
+        }
+        const std::size_t count = count_parsed.value;
+        // The moment reconstruction below loops `count` times; a
+        // corrupt count must not turn into a near-infinite loop.
+        constexpr std::size_t kMaxPlausibleCount = 100'000'000;
+        if (count > kMaxPlausibleCount) {
+            *error = util::format(
+                "row %zu column 7 (count): implausibly large count "
+                "'%s'", i, row[6].c_str());
+            return false;
+        }
+        double mean = 0.0, stddev = 0.0;
+        if (!parse_double(row[7], 8, "mean_us", &mean) ||
+            !parse_double(row[8], 9, "stddev_us", &stddev))
+            return false;
+        for (const auto &text : util::split(row[9], ';')) {
+            if (text.empty())
+                continue;
+            double feature = 0.0;
+            if (!parse_double(text, 10, "features", &feature))
+                return false;
+            profile.features.push_back(feature);
+        }
+        for (const auto &text : util::split(row[10], ';')) {
+            if (text.empty())
+                continue;
+            double sample = 0.0;
+            if (!parse_double(text, 11, "samples", &sample))
+                return false;
+            profile.samples.add(sample);
+        }
         // Rebuild approximate RunningStats from (count, mean, stddev):
         // we reconstruct a two-point distribution with those moments.
         if (count == 1) {
@@ -241,8 +330,9 @@ ProfileDataset::loadCsv(std::istream &in)
         loaded_ops.push_back(std::move(profile));
     }
     // Route through add() so the (gpu, op) indices are built.
-    dataset.add(std::move(loaded_ops));
-    return dataset;
+    parsed.add(std::move(loaded_ops));
+    *dataset = std::move(parsed);
+    return true;
 }
 
 std::pair<std::vector<OpProfile>, IterationProfile>

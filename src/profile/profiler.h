@@ -145,8 +145,24 @@ class ProfileDataset
      */
     void saveCsv(std::ostream &out) const;
 
-    /** Parses a dataset written by saveCsv. */
+    /** Parses a dataset written by saveCsv; fatal on malformed input. */
     static ProfileDataset loadCsv(std::istream &in);
+
+    /**
+     * Exception-free variant of loadCsv().
+     *
+     * Used by the on-disk profile cache, where any malformed byte —
+     * truncated row, garbled number, broken quoting — must degrade to
+     * a cache miss (re-profile) rather than terminate the process.
+     *
+     * @param in      Input stream.
+     * @param dataset Receives the parsed dataset on success.
+     * @param error   Receives a "row N column M ..." description on
+     *                failure.
+     * @return True on success.
+     */
+    static bool tryLoadCsv(std::istream &in, ProfileDataset *dataset,
+                           std::string *error);
 
   private:
     std::vector<OpProfile> ops_;

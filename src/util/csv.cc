@@ -1,6 +1,10 @@
 #include "util/csv.h"
 
 #include <istream>
+#include <iterator>
+
+#include "util/logging.h"
+#include "util/strings.h"
 
 namespace ceer {
 namespace util {
@@ -25,6 +29,13 @@ CsvWriter::escape(const std::string &field)
 void
 CsvWriter::writeRow(const std::vector<std::string> &fields)
 {
+    if (fields.size() == 1 && fields[0].empty()) {
+        // A bare empty line would be indistinguishable from a blank
+        // (skipped) record on read; quote it so it round-trips.
+        out_ << "\"\"\n";
+        ++rows_;
+        return;
+    }
     for (std::size_t i = 0; i < fields.size(); ++i) {
         if (i)
             out_ << ',';
@@ -34,50 +45,128 @@ CsvWriter::writeRow(const std::vector<std::string> &fields)
     ++rows_;
 }
 
-std::vector<std::string>
-parseCsvLine(const std::string &line)
+namespace {
+
+/**
+ * Document-level RFC-4180 state machine shared by tryReadCsv and
+ * tryParseCsvLine. Returns false with *error set (including a 1-based
+ * line number) on an unterminated quoted field.
+ */
+bool
+parseCsvDocument(const std::string &text,
+                 std::vector<std::vector<std::string>> *rows,
+                 std::string *error)
 {
+    rows->clear();
     std::vector<std::string> fields;
     std::string current;
     bool in_quotes = false;
-    for (std::size_t i = 0; i < line.size(); ++i) {
-        const char c = line[i];
+    bool record_has_quotes = false;
+    std::size_t line = 1;
+    std::size_t quote_opened_line = 1;
+
+    const auto end_record = [&]() {
+        if (fields.empty() && current.empty() && !record_has_quotes)
+            return; // Blank line: skip, as every reader expects.
+        fields.push_back(std::move(current));
+        current.clear();
+        rows->push_back(std::move(fields));
+        fields.clear();
+        record_has_quotes = false;
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
         if (in_quotes) {
             if (c == '"') {
-                if (i + 1 < line.size() && line[i + 1] == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
                     current += '"';
                     ++i;
                 } else {
                     in_quotes = false;
                 }
             } else {
+                // CR and LF are data inside quotes (multi-line record).
                 current += c;
+                if (c == '\n')
+                    ++line;
             }
         } else if (c == '"') {
             in_quotes = true;
+            record_has_quotes = true;
+            quote_opened_line = line;
         } else if (c == ',') {
             fields.push_back(std::move(current));
             current.clear();
         } else if (c == '\r') {
-            // Tolerate CRLF input.
+            // Part of a CRLF separator (handled at the '\n'), or a
+            // stray CR we tolerate and drop.
+        } else if (c == '\n') {
+            end_record();
+            ++line;
         } else {
             current += c;
         }
     }
-    fields.push_back(std::move(current));
+    if (in_quotes) {
+        if (error)
+            *error = format("line %zu: unterminated quoted field "
+                            "(quote opened on line %zu)",
+                            line, quote_opened_line);
+        return false;
+    }
+    end_record(); // Final record without a trailing newline.
+    return true;
+}
+
+} // namespace
+
+bool
+tryParseCsvLine(const std::string &line,
+                std::vector<std::string> *fields, std::string *error)
+{
+    std::vector<std::vector<std::string>> rows;
+    if (!parseCsvDocument(line, &rows, error))
+        return false;
+    if (rows.size() > 1) {
+        if (error)
+            *error = "multiple records in a single line";
+        return false;
+    }
+    if (rows.empty())
+        *fields = {""};
+    else
+        *fields = std::move(rows[0]);
+    return true;
+}
+
+std::vector<std::string>
+parseCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string error;
+    if (!tryParseCsvLine(line, &fields, &error))
+        fatal("parseCsvLine: " + error);
     return fields;
+}
+
+bool
+tryReadCsv(std::istream &in,
+           std::vector<std::vector<std::string>> *rows,
+           std::string *error)
+{
+    const std::string text{std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>()};
+    return parseCsvDocument(text, rows, error);
 }
 
 std::vector<std::vector<std::string>>
 readCsv(std::istream &in)
 {
     std::vector<std::vector<std::string>> rows;
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty() || line == "\r")
-            continue;
-        rows.push_back(parseCsvLine(line));
-    }
+    std::string error;
+    if (!tryReadCsv(in, &rows, &error))
+        fatal("readCsv: " + error);
     return rows;
 }
 

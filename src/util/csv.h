@@ -1,10 +1,18 @@
 /**
  * @file
- * Minimal CSV writing/reading for profile datasets and bench output.
+ * RFC-4180 CSV writing/reading for profile datasets and bench output.
  *
- * The dialect is deliberately simple: comma separator, quoting with
- * double quotes only when a field contains a comma, quote or newline,
- * embedded quotes doubled. This round-trips everything we emit.
+ * Dialect: comma separator; fields containing a comma, quote, CR or LF
+ * are quoted with double quotes and embedded quotes are doubled. Quoted
+ * fields may span lines (CR and LF are preserved verbatim inside
+ * quotes). Both LF and CRLF are accepted as record separators on read;
+ * a lone CR outside quotes is tolerated and dropped. Records that are
+ * completely empty (a blank line) are skipped; a record holding one
+ * genuinely empty field is written as `""` so it survives the
+ * blank-line rule. An unterminated quote is a hard parse error.
+ *
+ * See docs/file_formats.md for the full dialect specification and the
+ * per-loader error-handling policy.
  */
 
 #ifndef CEER_UTIL_CSV_H
@@ -41,18 +49,41 @@ class CsvWriter
 /**
  * Parses one CSV line into fields (inverse of CsvWriter::escape).
  *
- * @param line A single line without the trailing newline.
- * @return The decoded fields.
+ * @param line   A single record; quoted fields may contain CR/LF.
+ * @param fields Decoded fields (cleared first).
+ * @param error  On failure, set to a human-readable description.
+ * @return True on success; false leaves @p fields unspecified.
+ */
+bool tryParseCsvLine(const std::string &line,
+                     std::vector<std::string> *fields,
+                     std::string *error);
+
+/**
+ * Parses one CSV line, terminating via util::fatal on malformed input
+ * (unterminated quote). Prefer tryParseCsvLine when the caller has a
+ * recovery path.
  */
 std::vector<std::string> parseCsvLine(const std::string &line);
 
 /**
  * Reads an entire CSV document from a stream.
  *
- * Quoted fields spanning newlines are not supported (we never emit them).
+ * Supports multi-line records (newlines inside quoted fields). Blank
+ * lines are skipped.
  *
- * @param in Input stream read to EOF.
- * @return One vector of fields per non-empty line.
+ * @param in    Input stream read to EOF.
+ * @param rows  One vector of fields per record (cleared first).
+ * @param error On failure, set to "line N: ..." context.
+ * @return True on success; false leaves @p rows unspecified.
+ */
+bool tryReadCsv(std::istream &in,
+                std::vector<std::vector<std::string>> *rows,
+                std::string *error);
+
+/**
+ * Reads an entire CSV document, terminating via util::fatal on
+ * malformed input. Prefer tryReadCsv when the caller has a recovery
+ * path (e.g. the profile cache treats parse errors as a miss).
  */
 std::vector<std::vector<std::string>> readCsv(std::istream &in);
 

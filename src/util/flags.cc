@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/logging.h"
+#include "util/parse.h"
 #include "util/strings.h"
 
 namespace ceer {
@@ -93,17 +94,14 @@ Flags::parse(int argc, char **argv)
                 fatal("flag --" + name + " expects a value");
             value = argv[++i];
         }
-        // Validate numeric values eagerly.
+        // Validate numeric values eagerly through the checked-parse
+        // layer, so lookups never re-parse unvalidated text.
         if (flag.kind == Kind::Int) {
-            char *end = nullptr;
-            std::strtoll(value.c_str(), &end, 10);
-            if (end == value.c_str() || *end != '\0')
+            if (!parseInt64(value).ok())
                 fatal("flag --" + name + " expects an integer, got '" +
                       value + "'");
         } else if (flag.kind == Kind::Double) {
-            char *end = nullptr;
-            std::strtod(value.c_str(), &end);
-            if (end == value.c_str() || *end != '\0')
+            if (!parseDouble(value).ok())
                 fatal("flag --" + name + " expects a number, got '" +
                       value + "'");
         } else if (flag.kind == Kind::Bool) {
@@ -133,13 +131,19 @@ Flags::lookup(const std::string &name, Kind kind) const
 std::int64_t
 Flags::getInt(const std::string &name) const
 {
-    return std::strtoll(lookup(name, Kind::Int).value.c_str(), nullptr, 10);
+    const auto parsed = parseInt64(lookup(name, Kind::Int).value);
+    if (!parsed.ok())
+        panic("flag --" + name + " holds a non-integer value");
+    return parsed.value;
 }
 
 double
 Flags::getDouble(const std::string &name) const
 {
-    return std::strtod(lookup(name, Kind::Double).value.c_str(), nullptr);
+    const auto parsed = parseDouble(lookup(name, Kind::Double).value);
+    if (!parsed.ok())
+        panic("flag --" + name + " holds a non-numeric value");
+    return parsed.value;
 }
 
 std::string

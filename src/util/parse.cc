@@ -1,0 +1,104 @@
+#include "util/parse.h"
+
+#include <charconv>
+#include <system_error>
+
+namespace ceer {
+namespace util {
+
+namespace {
+
+/**
+ * std::from_chars does not accept a leading '+', but historical inputs
+ * (hand-edited flag values, third-party CSVs) may carry one; skip a
+ * single leading plus when it precedes more characters.
+ */
+const char *
+skipLeadingPlus(const char *first, const char *last)
+{
+    if (first != last && *first == '+' && first + 1 != last)
+        return first + 1;
+    return first;
+}
+
+} // namespace
+
+ParseResult<double>
+parseDouble(const std::string &text)
+{
+    ParseResult<double> result;
+    if (text.empty()) {
+        result.error = "empty field";
+        return result;
+    }
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    first = skipLeadingPlus(first, last);
+    const auto [ptr, ec] =
+        std::from_chars(first, last, result.value,
+                        std::chars_format::general);
+    if (ec == std::errc::result_out_of_range) {
+        result.error = "number out of range for double";
+        return result;
+    }
+    if (ec != std::errc() || ptr != last) {
+        result.error = "not a number";
+        return result;
+    }
+    return result;
+}
+
+ParseResult<std::int64_t>
+parseInt64(const std::string &text)
+{
+    ParseResult<std::int64_t> result;
+    if (text.empty()) {
+        result.error = "empty field";
+        return result;
+    }
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    first = skipLeadingPlus(first, last);
+    const auto [ptr, ec] = std::from_chars(first, last, result.value, 10);
+    if (ec == std::errc::result_out_of_range) {
+        result.error = "integer out of range";
+        return result;
+    }
+    if (ec != std::errc() || ptr != last) {
+        result.error = "not an integer";
+        return result;
+    }
+    return result;
+}
+
+ParseResult<std::size_t>
+parseSize(const std::string &text)
+{
+    ParseResult<std::size_t> result;
+    if (text.empty()) {
+        result.error = "empty field";
+        return result;
+    }
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    first = skipLeadingPlus(first, last);
+    if (first != last && *first == '-') {
+        result.error = "negative count";
+        return result;
+    }
+    std::uint64_t wide = 0;
+    const auto [ptr, ec] = std::from_chars(first, last, wide, 10);
+    if (ec == std::errc::result_out_of_range) {
+        result.error = "count out of range";
+        return result;
+    }
+    if (ec != std::errc() || ptr != last) {
+        result.error = "not a count";
+        return result;
+    }
+    result.value = static_cast<std::size_t>(wide);
+    return result;
+}
+
+} // namespace util
+} // namespace ceer

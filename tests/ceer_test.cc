@@ -531,6 +531,38 @@ TEST(SerializationTest, SaveLoadRoundTripPredictsIdentically)
     }
 }
 
+TEST(SerializationTest, ReloadedModelPredictsBitIdenticallyAcrossZoo)
+{
+    // save() writes every coefficient at %.17g, which round-trips a
+    // double exactly, so a reloaded model is not merely close: every
+    // prediction it makes must be bit-identical to the original's, for
+    // every CNN in the zoo, every GPU, and every cluster size.
+    const CeerModel &model = trainedModel();
+    std::stringstream buffer;
+    model.save(buffer);
+    const CeerModel restored = CeerModel::load(buffer);
+
+    // A second save of the reloaded model must reproduce the file
+    // byte for byte (serialization is a fixed point).
+    std::stringstream again;
+    restored.save(again);
+    EXPECT_EQ(again.str(), buffer.str());
+
+    const CeerPredictor original(model);
+    const CeerPredictor loaded(restored);
+    for (const auto &name : models::allModelNames()) {
+        const Graph g = models::buildModel(name, 32);
+        for (GpuModel gpu : hw::allGpuModels()) {
+            for (int k = 1; k <= 4; ++k) {
+                EXPECT_EQ(loaded.predictIterationUs(g, gpu, k),
+                          original.predictIterationUs(g, gpu, k))
+                    << name << " " << hw::gpuModelName(gpu)
+                    << " k=" << k;
+            }
+        }
+    }
+}
+
 TEST(SerializationTest, DatasetCsvRoundTripTrainsTheSameModel)
 {
     // Regression for the profile cache: training from a reloaded

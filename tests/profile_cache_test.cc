@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the shared on-disk profile cache: cold-vs-warm identity,
+ * and the corrupt-entry recovery path (any malformed cache entry is a
+ * miss, and re-profiling reproduces the cold run byte for byte).
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "profile/profile_cache.h"
+#include "profile/profiler.h"
+
+namespace ceer {
+namespace profile {
+namespace {
+
+const std::vector<std::string> kModels = {"alexnet"};
+
+CollectOptions
+smallOptions()
+{
+    CollectOptions options;
+    options.iterations = 10;
+    options.maxGpus = 2;
+    options.threads = 1;
+    return options;
+}
+
+std::string
+datasetCsv(const ProfileDataset &dataset)
+{
+    std::stringstream out;
+    dataset.saveCsv(out);
+    return out.str();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+}
+
+/** Fresh per-test cache directory under the gtest temp dir. */
+std::string
+freshCacheDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "ceer-cache-" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(ProfileCacheTest, ColdRunWritesEntryAndWarmRunMatches)
+{
+    const std::string dir = freshCacheDir("warm");
+    const CollectOptions options = smallOptions();
+    const std::string entry = cacheEntryPath(dir, kModels, options);
+
+    const ProfileDataset cold =
+        collectProfilesCached(kModels, options, dir);
+    ASSERT_TRUE(std::filesystem::exists(entry));
+
+    const ProfileDataset warm =
+        collectProfilesCached(kModels, options, dir);
+    EXPECT_EQ(datasetCsv(warm), datasetCsv(cold));
+}
+
+TEST(ProfileCacheTest, GarbledNumericFieldIsAMissAndRecovers)
+{
+    const std::string dir = freshCacheDir("garbled");
+    const CollectOptions options = smallOptions();
+    const std::string entry = cacheEntryPath(dir, kModels, options);
+
+    const ProfileDataset cold =
+        collectProfilesCached(kModels, options, dir);
+    const std::string cold_csv = datasetCsv(cold);
+    const std::string good_entry = readFile(entry);
+
+    // Garble one byte of the first numeric field after the header:
+    // find the first digit of the occurrences column and break it.
+    std::string corrupt = good_entry;
+    const std::size_t data = corrupt.find('\n') + 1;
+    const std::size_t digit =
+        corrupt.find_first_of("0123456789", corrupt.find(",gpu,", data));
+    ASSERT_NE(digit, std::string::npos);
+    corrupt[digit] = '#';
+    writeFile(entry, corrupt);
+
+    // The corrupt entry must be treated as a miss: re-profile, rewrite
+    // the entry, and return byte-identical results to the cold run.
+    const ProfileDataset recovered =
+        collectProfilesCached(kModels, options, dir);
+    EXPECT_EQ(datasetCsv(recovered), cold_csv);
+    EXPECT_EQ(readFile(entry), good_entry);
+}
+
+TEST(ProfileCacheTest, TruncatedAndShortRowEntriesAreMisses)
+{
+    const std::string dir = freshCacheDir("broken");
+    const CollectOptions options = smallOptions();
+    const std::string entry = cacheEntryPath(dir, kModels, options);
+
+    const ProfileDataset cold =
+        collectProfilesCached(kModels, options, dir);
+    const std::string cold_csv = datasetCsv(cold);
+    const std::string good_entry = readFile(entry);
+
+    const std::size_t second_row =
+        good_entry.find('\n', good_entry.find('\n') + 1) + 1;
+    const std::string broken[] = {
+        // Truncated mid-row: header, one full data row, then a 4-byte
+        // stub of the next row (far too few fields to parse).
+        good_entry.substr(0, second_row + 4),
+        // A row with too few columns.
+        good_entry.substr(0, good_entry.find('\n') + 1) +
+            "op,alexnet,V100\n",
+        // Broken quoting (unterminated quoted field).
+        good_entry.substr(0, good_entry.find('\n') + 1) +
+            "op,\"alexnet,V100,Conv2D,gpu,1,1,5,0,1;1;0;1,5\n",
+    };
+    for (const std::string &text : broken) {
+        writeFile(entry, text);
+        const ProfileDataset recovered =
+            collectProfilesCached(kModels, options, dir);
+        EXPECT_EQ(datasetCsv(recovered), cold_csv);
+        EXPECT_EQ(readFile(entry), good_entry);
+    }
+}
+
+TEST(ProfileCacheTest, KeyDependsOnSweepConfiguration)
+{
+    const CollectOptions base = smallOptions();
+    CollectOptions other_seed = base;
+    other_seed.seed = base.seed + 1;
+    CollectOptions other_iters = base;
+    other_iters.iterations = base.iterations + 1;
+    CollectOptions other_threads = base;
+    other_threads.threads = 4;
+
+    const std::string dir = "cache";
+    const std::string key = cacheEntryPath(dir, kModels, base);
+    EXPECT_NE(cacheEntryPath(dir, kModels, other_seed), key);
+    EXPECT_NE(cacheEntryPath(dir, kModels, other_iters), key);
+    EXPECT_NE(cacheEntryPath(dir, {"alexnet", "vgg_11"}, base), key);
+    // Thread count does not change results, so it must not change the
+    // key (a cache filled by an 8-thread run serves a 1-thread run).
+    EXPECT_EQ(cacheEntryPath(dir, kModels, other_threads), key);
+}
+
+TEST(ProfileCacheTest, EmptyCacheDirDisablesCaching)
+{
+    const CollectOptions options = smallOptions();
+    const ProfileDataset direct = collectProfiles(kModels, options);
+    const ProfileDataset uncached =
+        collectProfilesCached(kModels, options, "");
+    // Disabled caching returns the un-round-tripped dataset.
+    EXPECT_EQ(datasetCsv(uncached), datasetCsv(direct));
+}
+
+} // namespace
+} // namespace profile
+} // namespace ceer

@@ -149,6 +149,46 @@ TEST(LinearModelTest, MismatchedArityDies)
     EXPECT_DEATH(LinearModel::fit({}, {}), "empty");
 }
 
+TEST(LinearModelTest, DeserializeRejectsNonPositiveScale)
+{
+    // predict() divides by the per-feature scales; a zero or negative
+    // scale used to load fine and then silently produce ±inf/NaN
+    // predictions. Such a model must be rejected at the boundary.
+    EXPECT_DEATH(LinearModel::deserialize("1;2,0"), "scale");
+    EXPECT_DEATH(LinearModel::deserialize("1;2,-3"), "scale");
+    EXPECT_DEATH(LinearModel::deserialize("1;2,inf"), "scale");
+    EXPECT_DEATH(LinearModel::deserialize("1;2,nan"), "scale");
+}
+
+TEST(LinearModelTest, TryDeserializeReportsMalformedText)
+{
+    LinearModel model;
+    std::string error;
+    EXPECT_FALSE(LinearModel::tryDeserialize("abc", &model, &error));
+    EXPECT_NE(error.find("intercept"), std::string::npos);
+    EXPECT_FALSE(LinearModel::tryDeserialize("1;x,2", &model, &error));
+    EXPECT_NE(error.find("weight"), std::string::npos);
+    EXPECT_FALSE(LinearModel::tryDeserialize("1;2", &model, &error));
+    EXPECT_NE(error.find("term"), std::string::npos);
+    EXPECT_FALSE(LinearModel::tryDeserialize("", &model, &error));
+    EXPECT_NE(error.find("empty"), std::string::npos);
+
+    ASSERT_TRUE(LinearModel::tryDeserialize("1.5;2,4", &model, &error));
+    // b + w * (x / s) = 1.5 + 2 * (8 / 4) = 5.5.
+    EXPECT_DOUBLE_EQ(model.predict({8.0}), 5.5);
+}
+
+TEST(LinearModelTest, DeserializeFailureLeavesModelUntouched)
+{
+    LinearModel model;
+    std::string error;
+    ASSERT_TRUE(LinearModel::tryDeserialize("1;2,4", &model, &error));
+    EXPECT_FALSE(
+        LinearModel::tryDeserialize("9;8,garbage", &model, &error));
+    // The earlier valid state survives a failed re-load.
+    EXPECT_DOUBLE_EQ(model.predict({4.0}), 3.0);
+}
+
 } // namespace
 } // namespace core
 } // namespace ceer

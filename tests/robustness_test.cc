@@ -68,6 +68,89 @@ TEST(CsvRobustnessTest, EmptyDocumentLoadsEmptyDataset)
     EXPECT_TRUE(dataset.iterations().empty());
 }
 
+TEST(CsvRobustnessTest, GarbledNumericFieldIsFatalWithContext)
+{
+    // A single garbled byte in a numeric field used to escape as an
+    // uncaught std::invalid_argument; it must now die through fatal()
+    // with row/column context.
+    std::istringstream in(
+        "kind,model,gpu,op,device,occurrences,count,mean_us,stddev_us,"
+        "features,samples\n"
+        "op,vgg_11,V100,Conv2D,gpu,1,1,5x0,0,1;1;0;1,5\n");
+    EXPECT_DEATH(profile::ProfileDataset::loadCsv(in), "mean_us");
+}
+
+TEST(CsvRobustnessTest, GarbledCountAndFeaturesAreFatal)
+{
+    std::istringstream bad_count(
+        "kind,model,gpu,op,device,occurrences,count,mean_us,stddev_us,"
+        "features,samples\n"
+        "op,vgg_11,V100,Conv2D,gpu,1,-4,5,0,1;1;0;1,5\n");
+    EXPECT_DEATH(profile::ProfileDataset::loadCsv(bad_count), "count");
+    std::istringstream bad_feature(
+        "kind,model,gpu,op,device,occurrences,count,mean_us,stddev_us,"
+        "features,samples\n"
+        "op,vgg_11,V100,Conv2D,gpu,1,1,5,0,1;zap;0;1,5\n");
+    EXPECT_DEATH(profile::ProfileDataset::loadCsv(bad_feature),
+                 "features");
+}
+
+TEST(CsvRobustnessTest, ImplausiblyLargeCountIsFatalNotAHang)
+{
+    // The moment reconstruction loops `count` times; a corrupt count
+    // must be rejected, not spun on for 10^18 iterations.
+    std::istringstream in(
+        "kind,model,gpu,op,device,occurrences,count,mean_us,stddev_us,"
+        "features,samples\n"
+        "op,vgg_11,V100,Conv2D,gpu,1,999999999999999999,5,0,1;1;0;1,"
+        "5\n");
+    EXPECT_DEATH(profile::ProfileDataset::loadCsv(in), "count");
+}
+
+TEST(CsvRobustnessTest, GarbledIterationRowIsFatal)
+{
+    std::istringstream in(
+        "kind,model,gpu,op,device,occurrences,count,mean_us,stddev_us,"
+        "features,samples\n"
+        "iter,vgg_11,V100,2,12??34,,,100,90,10,\n");
+    EXPECT_DEATH(profile::ProfileDataset::loadCsv(in), "param_count");
+}
+
+TEST(CsvRobustnessTest, UnterminatedQuoteIsFatal)
+{
+    std::istringstream in(
+        "kind,model,gpu,op,device,occurrences,count,mean_us,stddev_us,"
+        "features,samples\n"
+        "op,\"vgg_11,V100,Conv2D,gpu,1,1,5,0,1;1;0;1,5\n");
+    EXPECT_DEATH(profile::ProfileDataset::loadCsv(in), "unterminated");
+}
+
+TEST(CsvRobustnessTest, TryLoadRecoversInsteadOfDying)
+{
+    // The cache-facing entry point must degrade every corruption to a
+    // boolean failure the caller can turn into a miss.
+    const char *broken[] = {
+        // Truncated mid-row.
+        "kind,model,gpu,op,device,occurrences,count,mean_us,stddev_us,"
+        "features,samples\nop,vgg_11,V100,Conv2D,gpu,1,1,5",
+        // Garbled numeric field.
+        "kind,model,gpu,op,device,occurrences,count,mean_us,stddev_us,"
+        "features,samples\nop,vgg_11,V100,Conv2D,gpu,1,1,#,0,1,5",
+        // Broken quoting.
+        "kind,model,gpu,op,device,occurrences,count,mean_us,stddev_us,"
+        "features,samples\nop,vgg_11,V100,Conv2D,\"gpu,1,1,5,0,1,5",
+    };
+    for (const char *text : broken) {
+        SCOPED_TRACE(text);
+        std::istringstream in(text);
+        profile::ProfileDataset dataset;
+        std::string error;
+        EXPECT_FALSE(profile::ProfileDataset::tryLoadCsv(in, &dataset,
+                                                         &error));
+        EXPECT_FALSE(error.empty());
+    }
+}
+
 // --- CeerModel text files ---
 
 TEST(ModelFileTest, MissingHeaderIsFatal)

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Seeded randomized round-trip harness for every serialization format
+ * in the repo: CSV documents (CsvWriter <-> readCsv), LinearModel
+ * strings, CeerModel text files and ProfileDataset CSVs, over
+ * adversarial contents — quotes, commas, CR/LF, multi-line fields,
+ * extreme magnitudes and full-precision doubles.
+ *
+ * All generators are seeded Rngs, so every trial is reproducible.
+ */
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ceer_model.h"
+#include "core/regression.h"
+#include "graph/op_type.h"
+#include "hw/gpu_spec.h"
+#include "profile/profiler.h"
+#include "util/csv.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace {
+
+using core::CeerModel;
+using core::LinearModel;
+using core::OpTimeModel;
+using graph::OpType;
+using hw::GpuModel;
+
+/** Characters deliberately hostile to naive CSV code. */
+const std::string kCsvAlphabet = "ab0,\";\n\r \tx";
+
+std::string
+randomField(util::Rng &rng)
+{
+    std::string field;
+    const std::size_t length = rng.uniformInt(10);
+    for (std::size_t i = 0; i < length; ++i)
+        field += kCsvAlphabet[rng.uniformInt(kCsvAlphabet.size())];
+    return field;
+}
+
+/** A finite double spanning ~24 decades of magnitude, either sign. */
+double
+randomDouble(util::Rng &rng)
+{
+    const double magnitude = std::pow(10.0, rng.uniform(-12.0, 12.0));
+    return (rng.uniform() * 2.0 - 1.0) * magnitude;
+}
+
+double
+randomPositive(util::Rng &rng)
+{
+    return std::pow(10.0, rng.uniform(-6.0, 9.0));
+}
+
+std::string
+fmt17(double value)
+{
+    return util::format("%.17g", value);
+}
+
+TEST(RoundTripTest, RandomizedCsvDocumentsSurviveWriteRead)
+{
+    util::Rng rng(20260806);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::vector<std::vector<std::string>> rows;
+        const std::size_t num_rows = 1 + rng.uniformInt(6);
+        for (std::size_t r = 0; r < num_rows; ++r) {
+            std::vector<std::string> row;
+            const std::size_t num_fields = 1 + rng.uniformInt(5);
+            for (std::size_t f = 0; f < num_fields; ++f)
+                row.push_back(randomField(rng));
+            rows.push_back(std::move(row));
+        }
+        std::stringstream buffer;
+        util::CsvWriter writer(buffer);
+        for (const auto &row : rows)
+            writer.writeRow(row);
+        const auto reread = util::readCsv(buffer);
+        ASSERT_EQ(reread, rows) << "trial " << trial;
+    }
+}
+
+TEST(RoundTripTest, RandomizedLinearModelsSerializeBitIdentically)
+{
+    util::Rng rng(7);
+    for (int trial = 0; trial < 500; ++trial) {
+        const std::size_t arity = rng.uniformInt(4);
+        std::string text = fmt17(randomDouble(rng));
+        for (std::size_t j = 0; j < arity; ++j)
+            text += ";" + fmt17(randomDouble(rng)) + "," +
+                    fmt17(randomPositive(rng));
+        LinearModel first;
+        std::string error;
+        ASSERT_TRUE(LinearModel::tryDeserialize(text, &first, &error))
+            << text << ": " << error;
+        // serialize() is %.17g, which round-trips a double exactly:
+        // one trip must reach a fixed point, and the reloaded model
+        // must predict bit-identically.
+        const std::string serialized = first.serialize();
+        const LinearModel second = LinearModel::deserialize(serialized);
+        EXPECT_EQ(second.serialize(), serialized) << "trial " << trial;
+        std::vector<double> x;
+        for (std::size_t j = 0; j < arity; ++j)
+            x.push_back(randomDouble(rng));
+        EXPECT_EQ(second.predict(x), first.predict(x))
+            << "trial " << trial;
+    }
+}
+
+/** Op types used for randomized models (any valid subset works). */
+const std::vector<OpType> &
+someOps()
+{
+    static const std::vector<OpType> ops = {
+        OpType::Conv2D,  OpType::MaxPool, OpType::Relu,
+        OpType::MatMul,  OpType::BiasAdd, OpType::AddV2,
+        OpType::AvgPool, OpType::Mul,
+    };
+    return ops;
+}
+
+std::string
+randomLinearModelText(util::Rng &rng, std::size_t arity)
+{
+    std::string text = fmt17(randomDouble(rng));
+    for (std::size_t j = 0; j < arity; ++j)
+        text += ";" + fmt17(randomDouble(rng)) + "," +
+                fmt17(randomPositive(rng));
+    return text;
+}
+
+CeerModel
+randomCeerModel(util::Rng &rng)
+{
+    CeerModel model;
+    model.heavyThresholdUs = randomPositive(rng);
+    model.lightMedianUs = randomPositive(rng);
+    model.cpuMedianUs = randomPositive(rng);
+    for (GpuModel gpu : hw::allGpuModels()) {
+        for (OpType op : someOps()) {
+            if (rng.uniform() < 0.4)
+                continue;
+            OpTimeModel entry;
+            entry.gpu = gpu;
+            entry.op = op;
+            entry.quadratic = rng.uniform() < 0.5;
+            entry.usable = rng.uniform() < 0.8;
+            entry.r2 = rng.uniform();
+            entry.medianUs = randomPositive(rng);
+            entry.points = rng.uniformInt(1000);
+            entry.model = LinearModel::deserialize(
+                randomLinearModelText(rng, 1 + rng.uniformInt(2)));
+            model.opModels.emplace(std::make_pair(gpu, op),
+                                   std::move(entry));
+            if (rng.uniform() < 0.7)
+                model.heavyOps.insert(op);
+        }
+        auto &per_k = model.comm.fits[gpu];
+        per_k.resize(1 + rng.uniformInt(4));
+        for (auto &fit : per_k) {
+            if (rng.uniform() < 0.3)
+                continue;
+            fit.valid = true;
+            fit.r2 = rng.uniform();
+            fit.model =
+                LinearModel::deserialize(randomLinearModelText(rng, 1));
+        }
+    }
+    return model;
+}
+
+TEST(RoundTripTest, RandomizedCeerModelsSaveLoadSaveByteIdentically)
+{
+    // save() emits every coefficient at %.17g and iterates sorted
+    // containers, so save -> load -> save must reproduce the document
+    // byte for byte, whatever the model contents.
+    util::Rng rng(41);
+    for (int trial = 0; trial < 50; ++trial) {
+        const CeerModel original = randomCeerModel(rng);
+        std::stringstream first;
+        original.save(first);
+        const CeerModel reloaded = CeerModel::load(first);
+        std::stringstream second;
+        reloaded.save(second);
+        ASSERT_EQ(second.str(), first.str()) << "trial " << trial;
+    }
+}
+
+/** CNN names hostile to the CSV layer. */
+std::string
+randomModelName(util::Rng &rng)
+{
+    static const std::vector<std::string> names = {
+        "alexnet", "a,b", "q\"uote", "multi\nline", "cr\rname",
+        "trailing ", "", "semi;colon",
+    };
+    return names[rng.uniformInt(names.size())];
+}
+
+profile::OpProfile
+randomOpProfile(util::Rng &rng, std::size_t count)
+{
+    profile::OpProfile profile;
+    profile.model = randomModelName(rng);
+    const auto &gpus = hw::allGpuModels();
+    profile.gpu = gpus[rng.uniformInt(gpus.size())];
+    profile.op = someOps()[rng.uniformInt(someOps().size())];
+    profile.onCpu = rng.uniform() < 0.2;
+    profile.occurrences = 1 + rng.uniformInt(50);
+    const std::size_t num_features = 1 + rng.uniformInt(4);
+    for (std::size_t f = 0; f < num_features; ++f)
+        profile.features.push_back(randomPositive(rng));
+    const double mean = randomPositive(rng);
+    const double spread = mean * rng.uniform(0.0, 0.05);
+    for (std::size_t j = 0; j < count; ++j)
+        profile.timeUs.add(j % 2 == 0 ? mean + spread : mean - spread);
+    const std::size_t num_samples = rng.uniformInt(8);
+    for (std::size_t s = 0; s < num_samples; ++s)
+        profile.samples.add(randomPositive(rng));
+    return profile;
+}
+
+profile::IterationProfile
+randomIterationProfile(util::Rng &rng)
+{
+    profile::IterationProfile run;
+    run.model = randomModelName(rng);
+    const auto &gpus = hw::allGpuModels();
+    run.gpu = gpus[rng.uniformInt(gpus.size())];
+    run.numGpus = 1 + static_cast<int>(rng.uniformInt(4));
+    run.paramCount = static_cast<std::int64_t>(rng.uniformInt(1u << 30));
+    run.meanIterationUs = randomPositive(rng);
+    run.meanComputeUs = randomPositive(rng);
+    run.meanCommUs = randomPositive(rng);
+    return run;
+}
+
+std::string
+datasetCsv(const profile::ProfileDataset &dataset)
+{
+    std::stringstream out;
+    dataset.saveCsv(out);
+    return out.str();
+}
+
+TEST(RoundTripTest, SingleCountDatasetsRoundTripByteIdentically)
+{
+    // With count == 1 the moment reconstruction in loadCsv is exact
+    // (the single sample IS the mean), and every numeric column's
+    // decimal rendering survives a parse/re-print cycle, so the CSV
+    // itself must round-trip byte for byte.
+    util::Rng rng(113);
+    for (int trial = 0; trial < 40; ++trial) {
+        profile::ProfileDataset dataset;
+        std::vector<profile::OpProfile> ops;
+        const std::size_t num_ops = 1 + rng.uniformInt(12);
+        for (std::size_t i = 0; i < num_ops; ++i)
+            ops.push_back(randomOpProfile(rng, 1));
+        dataset.add(std::move(ops));
+        const std::size_t num_iters = rng.uniformInt(6);
+        for (std::size_t i = 0; i < num_iters; ++i)
+            dataset.addIteration(randomIterationProfile(rng));
+
+        const std::string first = datasetCsv(dataset);
+        std::istringstream in(first);
+        const profile::ProfileDataset reloaded =
+            profile::ProfileDataset::loadCsv(in);
+        ASSERT_EQ(datasetCsv(reloaded), first) << "trial " << trial;
+    }
+}
+
+TEST(RoundTripTest, MultiCountDatasetsReachAFixedPointAfterOneTrip)
+{
+    // Multi-sample stats are stored as (count, mean, stddev) and
+    // reconstructed as a two-point distribution: the first save ->
+    // load trip is mildly lossy by design, but the result must be
+    // stable — a second trip reproduces the CSV byte for byte (this
+    // is what makes warm cache hits identical to cold runs).
+    util::Rng rng(229);
+    for (int trial = 0; trial < 40; ++trial) {
+        profile::ProfileDataset dataset;
+        std::vector<profile::OpProfile> ops;
+        const std::size_t num_ops = 1 + rng.uniformInt(10);
+        for (std::size_t i = 0; i < num_ops; ++i)
+            ops.push_back(
+                randomOpProfile(rng, 2 * (1 + rng.uniformInt(20))));
+        dataset.add(std::move(ops));
+
+        const std::string first = datasetCsv(dataset);
+        std::istringstream in_first(first);
+        const profile::ProfileDataset once =
+            profile::ProfileDataset::loadCsv(in_first);
+        const std::string second = datasetCsv(once);
+        std::istringstream in_second(second);
+        const profile::ProfileDataset twice =
+            profile::ProfileDataset::loadCsv(in_second);
+        ASSERT_EQ(datasetCsv(twice), second) << "trial " << trial;
+
+        // The lossy step stays small: even counts make the two-point
+        // reconstruction exact up to floating-point rounding.
+        ASSERT_EQ(once.ops().size(), dataset.ops().size());
+        for (std::size_t i = 0; i < once.ops().size(); ++i) {
+            const auto &a = dataset.ops()[i];
+            const auto &b = once.ops()[i];
+            EXPECT_EQ(b.model, a.model);
+            EXPECT_EQ(b.occurrences, a.occurrences);
+            EXPECT_EQ(b.features, a.features);
+            EXPECT_EQ(b.timeUs.count(), a.timeUs.count());
+            EXPECT_NEAR(b.timeUs.mean(), a.timeUs.mean(),
+                        1e-6 * a.timeUs.mean());
+            EXPECT_NEAR(b.timeUs.stddev(), a.timeUs.stddev(),
+                        1e-6 * a.timeUs.stddev() + 1e-9);
+        }
+    }
+}
+
+} // namespace
+} // namespace ceer

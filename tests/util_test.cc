@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -12,6 +13,7 @@
 
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/parse.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -371,6 +373,147 @@ TEST(CsvTest, ReadMultipleRows)
     ASSERT_EQ(rows.size(), 3u);
     EXPECT_EQ(rows[0][0], "a");
     EXPECT_EQ(rows[2][2], "6");
+}
+
+TEST(CsvTest, QuotedCommaAndEscapedQuote)
+{
+    const auto fields =
+        parseCsvLine("a,\"b,c\",\"he said \"\"hi\"\"\"");
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "b,c");
+    EXPECT_EQ(fields[2], "he said \"hi\"");
+}
+
+TEST(CsvTest, EmptyTrailingFieldSurvives)
+{
+    const auto fields = parseCsvLine("a,b,");
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[2], "");
+}
+
+TEST(CsvTest, CrlfRecordSeparatorsTolerated)
+{
+    std::istringstream in("a,b\r\nc,d\r\n\r\n e ,f\r\n");
+    const auto rows = readCsv(in);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+    EXPECT_EQ(rows[2], (std::vector<std::string>{" e ", "f"}));
+}
+
+TEST(CsvTest, CarriageReturnInsideQuotesIsPreserved)
+{
+    // Regression: the old parser stripped \r even inside quotes, so a
+    // field containing a carriage return did not round-trip.
+    const std::vector<std::string> row{"a\rb", "x\r\ny"};
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.writeRow(row);
+    std::istringstream in(out.str());
+    const auto rows = readCsv(in);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0], row);
+}
+
+TEST(CsvTest, NewlinesInsideQuotedFieldsSpanRecords)
+{
+    // RFC 4180 multi-line records: a quoted field may contain the
+    // record separator. The old getline-based reader split these.
+    const std::vector<std::string> row{"line1\nline2", "tail"};
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.writeRow(row);
+    writer.writeRow({"next", "record"});
+    std::istringstream in(out.str());
+    const auto rows = readCsv(in);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], row);
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"next", "record"}));
+}
+
+TEST(CsvTest, LoneEmptyFieldRoundTrips)
+{
+    // A record of one empty field is written quoted so it is not
+    // mistaken for a blank (skipped) line on read.
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.writeRow({""});
+    EXPECT_EQ(out.str(), "\"\"\n");
+    std::istringstream in(out.str());
+    const auto rows = readCsv(in);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{""}));
+}
+
+TEST(CsvTest, UnterminatedQuoteIsRejected)
+{
+    std::vector<std::string> fields;
+    std::string error;
+    EXPECT_FALSE(tryParseCsvLine("\"abc", &fields, &error));
+    EXPECT_NE(error.find("unterminated"), std::string::npos);
+
+    std::istringstream in("a,b\nc,\"oops\n");
+    std::vector<std::vector<std::string>> rows;
+    EXPECT_FALSE(tryReadCsv(in, &rows, &error));
+    // The error pinpoints where the open quote started.
+    EXPECT_NE(error.find("line"), std::string::npos);
+    EXPECT_NE(error.find("2"), std::string::npos);
+
+    EXPECT_DEATH(parseCsvLine("\"abc"), "unterminated");
+}
+
+TEST(ParseTest, ParsesValidDoubles)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("3.25").value, 3.25);
+    EXPECT_DOUBLE_EQ(parseDouble("-1e-9").value, -1e-9);
+    EXPECT_DOUBLE_EQ(parseDouble("+7").value, 7.0);
+    EXPECT_TRUE(std::isinf(parseDouble("inf").value));
+    EXPECT_TRUE(std::isinf(parseDouble("-inf").value));
+    EXPECT_LT(parseDouble("-inf").value, 0.0);
+    EXPECT_TRUE(std::isnan(parseDouble("nan").value));
+    // "%.17g" output round-trips bit for bit.
+    const double value = 0.1 + 0.2;
+    const auto parsed = parseDouble(format("%.17g", value));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value, value);
+}
+
+TEST(ParseTest, RejectsMalformedDoubles)
+{
+    EXPECT_FALSE(parseDouble("").ok());
+    EXPECT_FALSE(parseDouble("12x").ok());
+    EXPECT_FALSE(parseDouble(" 1").ok());
+    EXPECT_FALSE(parseDouble("1 ").ok());
+    EXPECT_FALSE(parseDouble("--2").ok());
+    EXPECT_FALSE(parseDouble("1,5").ok());
+    EXPECT_STREQ(parseDouble("garbage").error, "not a number");
+}
+
+TEST(ParseTest, ParsesAndRejectsInt64)
+{
+    EXPECT_EQ(parseInt64("42").value, 42);
+    EXPECT_EQ(parseInt64("-7").value, -7);
+    EXPECT_EQ(parseInt64("+13").value, 13);
+    EXPECT_EQ(parseInt64("9223372036854775807").value,
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_FALSE(parseInt64("9223372036854775808").ok()); // overflow
+    EXPECT_FALSE(parseInt64("").ok());
+    EXPECT_FALSE(parseInt64("12.5").ok());
+    EXPECT_FALSE(parseInt64("ten").ok());
+    EXPECT_FALSE(parseInt64("1e3").ok());
+}
+
+TEST(ParseTest, ParsesAndRejectsSizes)
+{
+    EXPECT_EQ(parseSize("0").value, 0u);
+    EXPECT_EQ(parseSize("18446744073709551615").value,
+              std::numeric_limits<std::uint64_t>::max());
+    EXPECT_FALSE(parseSize("18446744073709551616").ok()); // overflow
+    EXPECT_FALSE(parseSize("-1").ok());
+    EXPECT_STREQ(parseSize("-1").error, "negative count");
+    EXPECT_FALSE(parseSize("3.0").ok());
+    EXPECT_FALSE(parseSize("").ok());
 }
 
 TEST(StringsTest, SplitJoinTrim)

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 #
 # CI-style check: Release build + full ctest, microbenchmark smoke
-# runs, then a ThreadSanitizer build of the concurrency-sensitive
-# pieces (thread pool, parallel profile collection, iteration-parallel
-# simulation) so data races are caught on every change.
+# runs, a ThreadSanitizer build of the concurrency-sensitive pieces
+# (thread pool, parallel profile collection, iteration-parallel
+# simulation) so data races are caught on every change, and a
+# UBSanitizer build of the serialization boundary (checked parsing,
+# CSV, round-trip and corrupt-input recovery tests).
 #
 # Usage: tools/check.sh [jobs]
 
@@ -40,5 +42,24 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # across the thread pool with deterministic merge.
 ./build-tsan/tests/sim_test \
     --gtest_filter='SimulatorTest.ParallelRunIsByteIdenticalToSerial'
+
+echo "==> UndefinedBehaviorSanitizer build (serialization/I-O boundary)"
+cmake -B build-ubsan -S . -DCEER_SANITIZE=undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-ubsan -j "$JOBS" \
+      --target util_test regression_test robustness_test \
+               roundtrip_test profile_cache_test
+
+# Checked parsing must be UB-free on adversarial input: overflowing
+# integers, huge exponents, garbled bytes. halt_on_error turns any
+# report into a hard failure.
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+./build-ubsan/tests/util_test --gtest_filter='CsvTest.*:ParseTest.*'
+./build-ubsan/tests/regression_test \
+    --gtest_filter='LinearModelTest.*'
+./build-ubsan/tests/robustness_test \
+    --gtest_filter='CsvRobustnessTest.*:ModelFileTest.*'
+./build-ubsan/tests/roundtrip_test
+./build-ubsan/tests/profile_cache_test
 
 echo "==> all checks passed"
