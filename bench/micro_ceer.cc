@@ -1,187 +1,322 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the library itself: graph
- * construction, simulated training iterations, profiling, regression
- * fitting, prediction latency and the end-to-end recommendation query.
+ * Prediction-path throughput microbenchmark.
  *
- * These quantify what a downstream user pays for each API call; they
- * reproduce no paper figure.
+ * Measures the compiled-plan predictor (CeerPredictor::compile +
+ * predictBatch) against the scalar node walk it replaces, and the
+ * parallel recommender sweep against the serial one, verifying both
+ * determinism contracts along the way: every compiled prediction must
+ * be bit-identical to the node walk, and the Recommendation — winner
+ * and full evaluation list — must be byte-identical at every thread
+ * count. Writes BENCH_ceer.json so future PRs can track the perf
+ * trajectory.
+ *
+ * Thread counts beyond the hardware are not swept: on an
+ * oversubscribed host a "parallel speedup" below 1.0 is a scheduling
+ * artifact, and any sub-1.0 measurement that still occurs is flagged
+ * in the JSON rather than reported as a silent regression.
  */
 
-#include <sstream>
-
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
 
 #include "cloud/instances.h"
-#include "hw/memory.h"
 #include "core/predictor.h"
 #include "core/recommender.h"
 #include "core/trainer.h"
 #include "models/model_zoo.h"
 #include "profile/profiler.h"
-#include "sim/simulator.h"
-#include "sim/trace.h"
-#include "util/random.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "util/table.h"
 
 namespace {
 
 using namespace ceer;
+using Clock = std::chrono::steady_clock;
 
-void
-BM_BuildInceptionV3(benchmark::State &state)
+/** Bit pattern of a double (== would conflate +0.0 and -0.0). */
+std::uint64_t
+bits(double x)
 {
-    for (auto _ : state) {
-        graph::Graph g = models::buildInceptionV3(32);
-        benchmark::DoNotOptimize(g.size());
-    }
-}
-BENCHMARK(BM_BuildInceptionV3)->Unit(benchmark::kMillisecond);
-
-void
-BM_BuildResNet200(benchmark::State &state)
-{
-    for (auto _ : state) {
-        graph::Graph g = models::buildResNetV2(200, 32);
-        benchmark::DoNotOptimize(g.size());
-    }
-}
-BENCHMARK(BM_BuildResNet200)->Unit(benchmark::kMillisecond);
-
-void
-BM_SimulateIteration(benchmark::State &state)
-{
-    const graph::Graph g = models::buildInceptionV3(32);
-    sim::SimConfig config;
-    config.numGpus = static_cast<int>(state.range(0));
-    sim::TrainingSimulator simulator(g, config);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(simulator.runIteration().totalUs());
-    }
-    state.SetItemsProcessed(state.iterations() *
-                            static_cast<std::int64_t>(g.size()) *
-                            state.range(0));
-}
-BENCHMARK(BM_SimulateIteration)->Arg(1)->Arg(4)
-    ->Unit(benchmark::kMicrosecond);
-
-void
-BM_ProfileRun(benchmark::State &state)
-{
-    const graph::Graph g = models::buildInceptionV1(32);
-    for (auto _ : state) {
-        sim::SimConfig config;
-        auto result = profile::profileRun(g, "inception_v1", config,
-                                          static_cast<int>(
-                                              state.range(0)));
-        benchmark::DoNotOptimize(result.first.size());
-    }
-}
-BENCHMARK(BM_ProfileRun)->Arg(10)->Unit(benchmark::kMillisecond);
-
-void
-BM_LinearRegressionFit(benchmark::State &state)
-{
-    util::Rng rng(7);
-    std::vector<std::vector<double>> X;
-    std::vector<double> y;
-    for (int i = 0; i < 200; ++i) {
-        const double a = rng.uniform(0, 2e8);
-        const double b = rng.uniform(0, 1e8);
-        X.push_back({a + b, a, b, a / 1e3});
-        y.push_back(5.0 + a / 65e3 + rng.normal(0, 3.0));
-    }
-    for (auto _ : state) {
-        const core::LinearModel model = core::LinearModel::fit(X, y);
-        benchmark::DoNotOptimize(model.intercept());
-    }
-}
-BENCHMARK(BM_LinearRegressionFit)->Unit(benchmark::kMicrosecond);
-
-/** One trained model shared by the prediction benchmarks. */
-const core::CeerModel &
-sharedModel()
-{
-    static const core::CeerModel model = [] {
-        profile::CollectOptions options;
-        options.iterations = 30;
-        return core::trainCeer(profile::collectProfiles(
-            models::trainingSetNames(), options));
-    }();
-    return model;
+    std::uint64_t u;
+    std::memcpy(&u, &x, sizeof u);
+    return u;
 }
 
-void
-BM_PredictIteration(benchmark::State &state)
+/** Field-by-field bit comparison of two candidate evaluations. */
+bool
+evaluationsIdentical(const core::CandidateEvaluation &a,
+                     const core::CandidateEvaluation &b)
 {
-    const core::CeerPredictor predictor(sharedModel());
-    const graph::Graph g = models::buildModel("resnet_101", 32);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            predictor.predictIterationUs(g, hw::GpuModel::V100, 4));
-    }
-    state.SetItemsProcessed(state.iterations() *
-                            static_cast<std::int64_t>(g.size()));
+    return a.instance.name == b.instance.name &&
+           a.prediction.iterations == b.prediction.iterations &&
+           bits(a.prediction.iterationUs) ==
+               bits(b.prediction.iterationUs) &&
+           bits(a.prediction.hours) == bits(b.prediction.hours) &&
+           bits(a.costUsd) == bits(b.costUsd) &&
+           a.withinHourly == b.withinHourly &&
+           a.withinTotal == b.withinTotal &&
+           a.fitsMemory == b.fitsMemory;
 }
-BENCHMARK(BM_PredictIteration)->Unit(benchmark::kMicrosecond);
-
-void
-BM_RecommendOver16Instances(benchmark::State &state)
-{
-    const core::CeerPredictor predictor(sharedModel());
-    const graph::Graph g = models::buildModel("inception_v3", 32);
-    const cloud::InstanceCatalog catalog =
-        cloud::InstanceCatalog::awsOnDemand();
-    core::WorkloadSpec workload{&g, 1'200'000, 32};
-    for (auto _ : state) {
-        const core::Recommendation recommendation = core::recommend(
-            predictor, workload, catalog.instances(),
-            core::Objective::MinCost);
-        benchmark::DoNotOptimize(recommendation.bestIndex);
-    }
-}
-BENCHMARK(BM_RecommendOver16Instances)->Unit(benchmark::kMillisecond);
-
-void
-BM_MemoryEstimate(benchmark::State &state)
-{
-    const graph::Graph g = models::buildResNetV2(101, 32);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            hw::estimateTrainingMemory(g).totalBytes());
-    }
-}
-BENCHMARK(BM_MemoryEstimate)->Unit(benchmark::kMicrosecond);
-
-void
-BM_TraceIteration(benchmark::State &state)
-{
-    const graph::Graph g = models::buildInceptionV1(32);
-    sim::SimConfig config;
-    for (auto _ : state) {
-        const sim::IterationTrace trace = sim::traceIteration(g, config);
-        benchmark::DoNotOptimize(trace.events().size());
-    }
-}
-BENCHMARK(BM_TraceIteration)->Unit(benchmark::kMicrosecond);
-
-void
-BM_ProfileCsvRoundTrip(benchmark::State &state)
-{
-    profile::CollectOptions options;
-    options.iterations = 10;
-    options.multiGpuRuns = false;
-    const profile::ProfileDataset dataset =
-        profile::collectProfiles({"inception_v1"}, options);
-    for (auto _ : state) {
-        std::stringstream buffer;
-        dataset.saveCsv(buffer);
-        const profile::ProfileDataset loaded =
-            profile::ProfileDataset::loadCsv(buffer);
-        benchmark::DoNotOptimize(loaded.ops().size());
-    }
-}
-BENCHMARK(BM_ProfileCsvRoundTrip)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineString("model", "resnet_101", "CNN to predict");
+    // Large enough that the scalar walk's timed region is hundreds of
+    // milliseconds; the compiled path then resolves well above timer
+    // noise even at >100x speedups.
+    flags.defineInt("iters", 2000,
+                    "prediction rounds per timed run (each round "
+                    "evaluates every GPU x k candidate)");
+    flags.defineInt("train-iters", 30, "profiling iterations for the "
+                                       "throwaway training fixture");
+    flags.defineInt("catalog-copies", 64,
+                    "catalog replication factor for the recommender "
+                    "sweep");
+    flags.defineInt("threads", 0,
+                    "max swept thread count (0 = hardware)");
+    flags.defineString("out", "BENCH_ceer.json",
+                       "machine-readable results ('' disables)");
+    flags.parse(argc, argv);
+
+    const std::string model_name = flags.getString("model");
+    const int iters = static_cast<int>(flags.getInt("iters"));
+    const unsigned hardware = std::thread::hardware_concurrency();
+    const int max_threads =
+        flags.getInt("threads") > 0
+            ? static_cast<int>(flags.getInt("threads"))
+            : static_cast<int>(hardware ? hardware : 1);
+
+    util::printBanner(std::cout,
+                      "micro_ceer: prediction-path throughput (" +
+                          model_name + ", " + std::to_string(iters) +
+                          " rounds)");
+    std::cout << "hardware threads: " << hardware << "\n";
+
+    profile::CollectOptions collect;
+    collect.iterations = static_cast<int>(flags.getInt("train-iters"));
+    const core::CeerPredictor predictor(core::trainCeer(
+        profile::collectProfiles(models::trainingSetNames(), collect)));
+    const graph::Graph g = models::buildModel(model_name, 32);
+
+    // Every (GPU, k) candidate of one workload — the shape of a
+    // recommender query.
+    std::vector<core::PredictRequest> requests;
+    for (hw::GpuModel gpu : hw::allGpuModels())
+        for (int k : {1, 2, 4, 8})
+            requests.push_back({gpu, k});
+
+    // --- Scalar node walk vs compiled plan. ---
+    double scalar_checksum = 0.0;
+    const auto scalar_start = Clock::now();
+    for (int i = 0; i < iters; ++i)
+        for (const core::PredictRequest &request : requests)
+            scalar_checksum += predictor.predictIterationUs(
+                g, request.gpu, request.numGpus);
+    const double scalar_wall =
+        std::chrono::duration<double>(Clock::now() - scalar_start)
+            .count();
+
+    const auto compile_start = Clock::now();
+    const core::PredictPlan plan = predictor.compile(g);
+    const double compile_wall =
+        std::chrono::duration<double>(Clock::now() - compile_start)
+            .count();
+
+    double compiled_checksum = 0.0;
+    const auto compiled_start = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+        for (double us : predictor.predictBatch(plan, requests))
+            compiled_checksum += us;
+    }
+    const double compiled_wall =
+        std::chrono::duration<double>(Clock::now() - compiled_start)
+            .count();
+
+    // Bit-identity of every candidate (the checksums above only keep
+    // the loops from being optimized away — equality of sums would
+    // not prove per-candidate equality).
+    bool predict_identical = true;
+    const std::vector<double> batch =
+        predictor.predictBatch(plan, requests);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const double scalar = predictor.predictIterationUs(
+            g, requests[i].gpu, requests[i].numGpus);
+        if (bits(scalar) != bits(batch[i])) {
+            predict_identical = false;
+            std::cerr << "FAIL: candidate " << i
+                      << " compiled prediction differs from the "
+                         "node walk\n";
+        }
+    }
+
+    const double rounds_per_sec_scalar = iters / scalar_wall;
+    const double rounds_per_sec_compiled = iters / compiled_wall;
+    const double predict_speedup = scalar_wall / compiled_wall;
+
+    util::TablePrinter predict_table(
+        {"predictor", "wall (s)", "rounds/sec", "speedup"});
+    predict_table.addRow({"scalar node walk",
+                          util::format("%.3f", scalar_wall),
+                          util::format("%.1f", rounds_per_sec_scalar),
+                          "1.00x"});
+    predict_table.addRow({"compiled plan",
+                          util::format("%.3f", compiled_wall),
+                          util::format("%.1f", rounds_per_sec_compiled),
+                          util::format("%.2fx", predict_speedup)});
+    predict_table.print(std::cout);
+    std::cout << util::format(
+        "compile() cost: %.1f us (amortized over %d rounds); "
+        "checksums: scalar %.6e, compiled %.6e\n",
+        compile_wall * 1e6, iters, scalar_checksum, compiled_checksum);
+
+    // --- Recommender sweep: serial vs parallel over a big catalog. ---
+    // The real AWS catalog has 16 candidates — too few for a thread
+    // sweep to mean anything — so replicate it (distinct names, same
+    // silicon/prices). Every copy scores identically and the serial
+    // reduction keeps the first, so replication changes no answer.
+    const cloud::InstanceCatalog base =
+        cloud::InstanceCatalog::awsOnDemand();
+    std::vector<cloud::GpuInstance> candidates;
+    const int copies =
+        static_cast<int>(flags.getInt("catalog-copies"));
+    for (int c = 0; c < copies; ++c) {
+        for (cloud::GpuInstance instance : base.instances()) {
+            if (c > 0)
+                instance.name += "#" + std::to_string(c);
+            candidates.push_back(std::move(instance));
+        }
+    }
+    core::WorkloadSpec workload{&g, 1'200'000, 32};
+
+    std::vector<int> sweep{1, 2, 4};
+    for (int t = 8; t <= max_threads; t *= 2)
+        sweep.push_back(t);
+
+    struct Result
+    {
+        int threads;
+        double wallSeconds;
+        double speedup;
+        bool identical;
+        bool belowSerial;
+    };
+    std::vector<Result> results;
+    core::Recommendation reference;
+    double serial_wall = 0.0;
+    bool sweep_identical = true;
+
+    util::TablePrinter sweep_table(
+        {"threads", "wall (s)", "candidates/sec", "speedup",
+         "identical"});
+    for (int threads : sweep) {
+        const auto start = Clock::now();
+        const core::Recommendation recommendation = core::recommend(
+            predictor, workload, candidates, core::Objective::MinCost,
+            core::Constraints{}, threads);
+        const double wall =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        if (threads == 1) {
+            reference = recommendation;
+            serial_wall = wall;
+        }
+        Result r;
+        r.threads = threads;
+        r.wallSeconds = wall;
+        r.speedup = serial_wall / wall;
+        r.identical =
+            recommendation.bestIndex == reference.bestIndex &&
+            recommendation.evaluations.size() ==
+                reference.evaluations.size();
+        if (r.identical) {
+            for (std::size_t i = 0; i < reference.evaluations.size();
+                 ++i) {
+                if (!evaluationsIdentical(reference.evaluations[i],
+                                          recommendation
+                                              .evaluations[i])) {
+                    r.identical = false;
+                    break;
+                }
+            }
+        }
+        r.belowSerial = threads > 1 && r.speedup < 1.0;
+        sweep_identical &= r.identical;
+        results.push_back(r);
+        sweep_table.addRow(
+            {std::to_string(threads), util::format("%.3f", wall),
+             util::format("%.1f", candidates.size() / wall),
+             util::format("%.2fx", r.speedup),
+             r.identical ? "yes" : "NO"});
+        if (!r.identical) {
+            std::cerr << "FAIL: recommendation at " << threads
+                      << " threads differs from the serial sweep\n";
+        }
+    }
+    sweep_table.print(std::cout);
+    if (hardware <= 1) {
+        std::cout << "note: single hardware thread; parallel speedups "
+                     "are expected to hover near 1.0x\n";
+    }
+
+    const bool all_identical = predict_identical && sweep_identical;
+    const std::string out_path = flags.getString("out");
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::cerr << "cannot open " << out_path << "\n";
+            return 1;
+        }
+        int below_serial = 0;
+        for (const Result &r : results)
+            below_serial += r.belowSerial ? 1 : 0;
+        out << "{\n"
+            << "  \"benchmark\": \"prediction_path_throughput\",\n"
+            << "  \"model\": \"" << model_name << "\",\n"
+            << "  \"rounds\": " << iters << ",\n"
+            << "  \"candidates_per_round\": " << requests.size()
+            << ",\n"
+            << "  \"hardware_threads\": " << hardware << ",\n"
+            << "  \"scalar_rounds_per_sec\": "
+            << util::format("%.1f", rounds_per_sec_scalar) << ",\n"
+            << "  \"compiled_rounds_per_sec\": "
+            << util::format("%.1f", rounds_per_sec_compiled) << ",\n"
+            << "  \"compile_us\": "
+            << util::format("%.1f", compile_wall * 1e6) << ",\n"
+            << "  \"predict_speedup\": "
+            << util::format("%.4f", predict_speedup) << ",\n"
+            << "  \"predict_identity_ok\": "
+            << (predict_identical ? "true" : "false") << ",\n"
+            << "  \"recommender_candidates\": " << candidates.size()
+            << ",\n"
+            << "  \"recommender_identity_ok\": "
+            << (sweep_identical ? "true" : "false") << ",\n"
+            << "  \"below_serial_measurements\": " << below_serial
+            << ",\n"
+            << "  \"recommender_sweep\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const Result &r = results[i];
+            out << "    {\"threads\": " << r.threads
+                << ", \"wall_s\": "
+                << util::format("%.6f", r.wallSeconds)
+                << ", \"speedup\": " << util::format("%.4f", r.speedup)
+                << ", \"identical\": "
+                << (r.identical ? "true" : "false")
+                << ", \"below_serial\": "
+                << (r.belowSerial ? "true" : "false") << "}"
+                << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+        std::cout << "wrote " << out_path << "\n";
+    }
+    return all_identical ? 0 : 1;
+}

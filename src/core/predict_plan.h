@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Compiled prediction plans: the one-time workload featurization half
+ * of the predictor's compile -> evaluate split.
+ *
+ * Eq. 2 is additive over graph operations, so nothing about a CNN's
+ * contribution to a prediction depends on the candidate (GPU, k)
+ * being scored — yet the scalar path re-walks the graph, re-classifies
+ * every node and re-extracts features per call. CeerPredictor::compile
+ * walks the graph exactly once and produces a PredictPlan:
+ *
+ *  - per heavy op type, a dense row-major feature matrix (one row per
+ *    node instance, profile::kNumOpFeatures columns) plus the
+ *    quadratically-expanded matrix, materialized only when some
+ *    (GPU, op) model actually selected the quadratic fit;
+ *  - the evaluation recipe per GPU (scaled-space weights/scales/
+ *    intercept snapshot, or the flat per-node fallback);
+ *  - light / CPU op counts and the cached parameter count.
+ *
+ * predictIterationUs(plan, gpu, k) then reduces to one dense
+ * matrix-vector product per heavy op type with the per-node
+ * max(., 1.0) clamp applied lane-wise in a vectorized kernel — and a
+ * per-(plan, GPU) memo caches that heavy sum, so scoring the same GPU
+ * at another k recomputes only the communication-overhead term.
+ *
+ * Determinism contract: evaluating a plan is bit-identical to the
+ * scalar node walk (predictIterationUs(graph, ...)) for every graph,
+ * GPU and k — the kernel replays LinearModel::predict's exact
+ * operation sequence per lane and both paths accumulate in the same
+ * grouped order (pinned by PredictorTest.CompiledPlanMatchesNodeWalk*).
+ * Plans are immutable after compile() apart from the memo, whose
+ * lazy fill is thread-safe (double-checked atomics + mutex), so one
+ * plan may be evaluated from many threads concurrently.
+ */
+
+#ifndef CEER_CORE_PREDICT_PLAN_H
+#define CEER_CORE_PREDICT_PLAN_H
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/op_type.h"
+#include "hw/gpu_spec.h"
+
+namespace ceer {
+namespace core {
+
+class CeerPredictor;
+
+/**
+ * A graph compiled against one predictor's model. Obtain via
+ * CeerPredictor::compile(); evaluate via the plan overloads of
+ * predictIterationUs / predictTraining / predictBatch on the SAME
+ * predictor (the plan snapshots the op models, but the communication
+ * model is read from the live predictor at evaluation time).
+ */
+class PredictPlan
+{
+  public:
+    PredictPlan(PredictPlan &&) = default;
+    PredictPlan &operator=(PredictPlan &&) = default;
+
+    /** Number of nodes in the compiled graph. */
+    std::size_t nodeCount() const { return nodeCount_; }
+
+    /** Heavy op-type groups (first-appearance order). */
+    std::size_t groupCount() const { return groups_.size(); }
+
+    /** Total heavy node instances across all groups. */
+    std::size_t heavyCount() const { return heavyCount_; }
+
+    /** Nodes classified light. */
+    std::size_t lightCount() const { return lightCount_; }
+
+    /** Nodes classified CPU. */
+    std::size_t cpuCount() const { return cpuCount_; }
+
+    /** Cached trainable-parameter count of the compiled graph. */
+    double paramCount() const { return paramCount_; }
+
+    /**
+     * Memoized heavy-term sum for @p gpu: the sum over all heavy nodes
+     * of their clamped regression estimates, computed by the
+     * vectorized kernel on first use and cached. Thread-safe.
+     */
+    double heavyUs(hw::GpuModel gpu) const;
+
+    /** Light-term total: lightCount() * the snapshotted light median. */
+    double lightUs() const;
+
+    /** CPU-term total: cpuCount() * the snapshotted CPU median. */
+    double cpuUs() const;
+
+  private:
+    friend class CeerPredictor;
+    PredictPlan() = default;
+
+    /** How one heavy op-type group is evaluated on one GPU. */
+    struct GpuRecipe
+    {
+        /** True: dense matvec over the group's matrix. False: every
+         *  node contributes flatUs (unusable-model clamped median, or
+         *  the light-median fallback for never-profiled ops). */
+        bool viaModel = false;
+        bool quadratic = false;       ///< Use the expanded matrix.
+        std::vector<double> weights;  ///< Scaled-space weights.
+        std::vector<double> scales;   ///< Per-feature divisors.
+        double intercept = 0.0;
+        double flatUs = 0.0;
+    };
+
+    /** All instances of one heavy op type, in graph order. */
+    struct OpGroup
+    {
+        graph::OpType op = graph::OpType::Identity;
+        std::size_t rows = 0;
+        /** Row-major rows x kNumOpFeatures raw feature matrix. */
+        std::vector<double> features;
+        /** Row-major rows x 2*kNumOpFeatures quadratic expansion;
+         *  empty unless some GPU's fitted model is quadratic. */
+        std::vector<double> quadFeatures;
+        /** Indexed by static_cast<std::size_t>(hw::GpuModel). */
+        std::vector<GpuRecipe> recipes;
+    };
+
+    /** Lazily-filled per-GPU heavy-sum cache. Lives behind a
+     *  unique_ptr so the plan stays movable. */
+    struct Memo
+    {
+        std::mutex mutex;
+        std::vector<std::atomic<bool>> ready;
+        std::vector<double> value;
+    };
+
+    std::vector<OpGroup> groups_;
+    std::size_t nodeCount_ = 0;
+    std::size_t heavyCount_ = 0;
+    std::size_t lightCount_ = 0;
+    std::size_t cpuCount_ = 0;
+    double lightMedianUs_ = 0.0;
+    double cpuMedianUs_ = 0.0;
+    double paramCount_ = 0.0;
+    std::unique_ptr<Memo> memo_;
+};
+
+namespace plan_kernel {
+
+/**
+ * The plan evaluation kernel: for each row i of the row-major
+ * @p n x @p d matrix @p x, computes the clamped linear estimate
+ *
+ *   max(intercept + sum_j w[j] * (x[i*d + j] / s[j]), 1.0)
+ *
+ * and returns the left-to-right sum over rows. The per-lane operation
+ * sequence is exactly LinearModel::predict followed by OpTimeModel's
+ * clamp, and the translation unit is compiled with -ffp-contract=off,
+ * so the result is bit-identical to the scalar per-node walk on every
+ * clone the runtime dispatches to.
+ */
+double dotClampSum(const double *x, std::size_t n, std::size_t d,
+                   const double *w, const double *s, double intercept);
+
+} // namespace plan_kernel
+
+} // namespace core
+} // namespace ceer
+
+#endif // CEER_CORE_PREDICT_PLAN_H

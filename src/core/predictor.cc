@@ -43,16 +43,95 @@ CeerPredictor::predictIterationUs(const Graph &g, GpuModel gpu,
                                   int num_gpus,
                                   const PredictOptions &options) const
 {
-    double total = 0.0;
+    // The scalar node walk. Each node is classified exactly once and
+    // dispatched; heavy contributions are grouped per op type in
+    // first-appearance order with nodes accumulated in graph order —
+    // the accumulation-order contract the compiled plan replays
+    // bit-for-bit (see predict_plan.h). Light and CPU terms are
+    // count * median, as in the plan.
+    struct Group
+    {
+        graph::OpType op;
+        const OpTimeModel *model; ///< Null: every node adds flatUs.
+        double flatUs;
+        double sumUs = 0.0;
+        std::size_t count = 0;
+    };
+    std::vector<Group> groups;
+    std::size_t light = 0, cpu = 0;
     for (const Node &node : g.nodes()) {
-        const OpClass op_class = model_.classify(node.type);
-        if (!options.includeLightAndCpu && op_class != OpClass::Heavy)
-            continue;
-        total += predictOpUs(node, gpu);
+        switch (model_.classify(node.type)) {
+          case OpClass::Cpu:
+            ++cpu;
+            break;
+          case OpClass::Light:
+            ++light;
+            break;
+          case OpClass::Heavy: {
+            Group *group = nullptr;
+            for (Group &candidate : groups) {
+                if (candidate.op == node.type) {
+                    group = &candidate;
+                    break;
+                }
+            }
+            if (!group) {
+                const OpTimeModel *op_model =
+                    model_.opModel(gpu, node.type);
+                Group fresh{node.type, nullptr, 0.0};
+                if (!op_model) {
+                    // Heavy op never profiled on this GPU: the paper's
+                    // fallback for unseen operations is the median
+                    // estimate.
+                    fresh.flatUs = model_.lightMedianUs;
+                } else if (!op_model->usable) {
+                    fresh.flatUs = std::max(op_model->medianUs, 1.0);
+                } else {
+                    fresh.model = op_model;
+                }
+                groups.push_back(std::move(fresh));
+                group = &groups.back();
+            }
+            ++group->count;
+            if (group->model) {
+                group->sumUs +=
+                    group->model->predictUs(profile::opFeatures(node));
+            }
+            break;
+          }
+        }
+    }
+
+    double total = 0.0;
+    for (const Group &group : groups) {
+        total += group.model
+                     ? group.sumUs
+                     : static_cast<double>(group.count) * group.flatUs;
+    }
+    if (options.includeLightAndCpu) {
+        total += static_cast<double>(light) * model_.lightMedianUs;
+        total += static_cast<double>(cpu) * model_.cpuMedianUs;
     }
     if (options.includeComm) {
         total += model_.comm.overheadUs(
             gpu, num_gpus, static_cast<double>(g.totalParameters()));
+    }
+    return total;
+}
+
+double
+CeerPredictor::predictIterationUs(const PredictPlan &plan, GpuModel gpu,
+                                  int num_gpus,
+                                  const PredictOptions &options) const
+{
+    double total = plan.heavyUs(gpu);
+    if (options.includeLightAndCpu) {
+        total += plan.lightUs();
+        total += plan.cpuUs();
+    }
+    if (options.includeComm) {
+        total += model_.comm.overheadUs(gpu, num_gpus,
+                                        plan.paramCount());
     }
     return total;
 }
@@ -88,12 +167,13 @@ CeerPredictor::breakdown(const Graph &g, GpuModel gpu,
     return result;
 }
 
+namespace {
+
+/** Shared D / (k * B) scaling of a per-iteration prediction. */
 TrainingPrediction
-CeerPredictor::predictTraining(const Graph &g, GpuModel gpu,
-                               int num_gpus,
-                               std::int64_t dataset_samples,
-                               std::int64_t batch_per_gpu,
-                               const PredictOptions &options) const
+makeTrainingPrediction(double iteration_us, int num_gpus,
+                       std::int64_t dataset_samples,
+                       std::int64_t batch_per_gpu)
 {
     if (dataset_samples <= 0 || batch_per_gpu <= 0)
         util::panic("predictTraining: dataset and batch must be > 0");
@@ -102,12 +182,25 @@ CeerPredictor::predictTraining(const Graph &g, GpuModel gpu,
         batch_per_gpu * static_cast<std::int64_t>(num_gpus);
     prediction.iterations =
         (dataset_samples + per_iteration - 1) / per_iteration;
-    prediction.iterationUs =
-        predictIterationUs(g, gpu, num_gpus, options);
+    prediction.iterationUs = iteration_us;
     prediction.hours = prediction.iterationUs *
                        static_cast<double>(prediction.iterations) /
                        3.6e9;
     return prediction;
+}
+
+} // namespace
+
+TrainingPrediction
+CeerPredictor::predictTraining(const Graph &g, GpuModel gpu,
+                               int num_gpus,
+                               std::int64_t dataset_samples,
+                               std::int64_t batch_per_gpu,
+                               const PredictOptions &options) const
+{
+    return makeTrainingPrediction(
+        predictIterationUs(g, gpu, num_gpus, options), num_gpus,
+        dataset_samples, batch_per_gpu);
 }
 
 TrainingPrediction
@@ -119,6 +212,43 @@ CeerPredictor::predictTraining(const Graph &g,
 {
     return predictTraining(g, instance.gpu, instance.numGpus,
                            dataset_samples, batch_per_gpu, options);
+}
+
+TrainingPrediction
+CeerPredictor::predictTraining(const PredictPlan &plan, GpuModel gpu,
+                               int num_gpus,
+                               std::int64_t dataset_samples,
+                               std::int64_t batch_per_gpu,
+                               const PredictOptions &options) const
+{
+    return makeTrainingPrediction(
+        predictIterationUs(plan, gpu, num_gpus, options), num_gpus,
+        dataset_samples, batch_per_gpu);
+}
+
+TrainingPrediction
+CeerPredictor::predictTraining(const PredictPlan &plan,
+                               const cloud::GpuInstance &instance,
+                               std::int64_t dataset_samples,
+                               std::int64_t batch_per_gpu,
+                               const PredictOptions &options) const
+{
+    return predictTraining(plan, instance.gpu, instance.numGpus,
+                           dataset_samples, batch_per_gpu, options);
+}
+
+std::vector<double>
+CeerPredictor::predictBatch(const PredictPlan &plan,
+                            const std::vector<PredictRequest> &requests,
+                            const PredictOptions &options) const
+{
+    std::vector<double> out;
+    out.reserve(requests.size());
+    for (const PredictRequest &request : requests) {
+        out.push_back(predictIterationUs(plan, request.gpu,
+                                         request.numGpus, options));
+    }
+    return out;
 }
 
 } // namespace core

@@ -14,6 +14,7 @@
 
 #include "cloud/instances.h"
 #include "core/ceer_model.h"
+#include "core/predict_plan.h"
 #include "graph/graph.h"
 
 namespace ceer {
@@ -69,6 +70,13 @@ struct PredictionBreakdown
     std::vector<std::pair<graph::OpType, double>> heavyByType;
 };
 
+/** One (GPU, k) candidate of a predictBatch call. */
+struct PredictRequest
+{
+    hw::GpuModel gpu = hw::GpuModel::V100; ///< GPU model.
+    int numGpus = 1;                       ///< Data-parallel width k.
+};
+
 /** Applies a trained CeerModel to unseen CNNs. */
 class CeerPredictor
 {
@@ -87,7 +95,11 @@ class CeerPredictor
     double predictOpUs(const graph::Node &node, hw::GpuModel gpu) const;
 
     /**
-     * Predicted per-iteration training time (Eq. 2).
+     * Predicted per-iteration training time (Eq. 2), via the scalar
+     * node walk: one classification per node, heavy terms grouped per
+     * op type. For repeated evaluations of one graph, compile() a
+     * PredictPlan instead — bit-identical and orders of magnitude
+     * faster.
      *
      * @param g        Training graph at the per-GPU batch size.
      * @param gpu      GPU model.
@@ -129,6 +141,48 @@ class CeerPredictor
                     std::int64_t dataset_samples,
                     std::int64_t batch_per_gpu,
                     const PredictOptions &options = {}) const;
+
+    /**
+     * Compiles @p g against this predictor's model: one graph walk
+     * produces a PredictPlan (dense per-op-type feature matrices,
+     * per-GPU evaluation recipes, cached counts) that the plan
+     * overloads below evaluate in a handful of dense matrix-vector
+     * products. Bit-identical to the scalar node walk; see
+     * predict_plan.h for the determinism contract. The plan is only
+     * meaningful with the predictor that compiled it.
+     */
+    PredictPlan compile(const graph::Graph &g) const;
+
+    /** Plan overload of predictIterationUs (Eq. 2, memoized). */
+    double predictIterationUs(const PredictPlan &plan, hw::GpuModel gpu,
+                              int num_gpus,
+                              const PredictOptions &options = {}) const;
+
+    /** Plan overload of predictTraining. */
+    TrainingPrediction
+    predictTraining(const PredictPlan &plan, hw::GpuModel gpu,
+                    int num_gpus, std::int64_t dataset_samples,
+                    std::int64_t batch_per_gpu,
+                    const PredictOptions &options = {}) const;
+
+    /** Plan overload of predictTraining for a catalog instance. */
+    TrainingPrediction
+    predictTraining(const PredictPlan &plan,
+                    const cloud::GpuInstance &instance,
+                    std::int64_t dataset_samples,
+                    std::int64_t batch_per_gpu,
+                    const PredictOptions &options = {}) const;
+
+    /**
+     * Evaluates every (GPU, k) candidate against one compiled plan.
+     * Element i is predictIterationUs(plan, requests[i], ...); across
+     * requests that share a GPU only the communication term is
+     * recomputed (the heavy term is memoized per GPU in the plan).
+     */
+    std::vector<double>
+    predictBatch(const PredictPlan &plan,
+                 const std::vector<PredictRequest> &requests,
+                 const PredictOptions &options = {}) const;
 
   private:
     CeerModel model_;

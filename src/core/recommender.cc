@@ -7,6 +7,7 @@
 #include "hw/memory.h"
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace ceer {
 namespace core {
@@ -31,16 +32,19 @@ objectiveFunction(Objective objective)
 Recommendation
 recommend(const CeerPredictor &predictor, const WorkloadSpec &workload,
           const std::vector<cloud::GpuInstance> &candidates,
-          Objective objective, const Constraints &constraints)
+          Objective objective, const Constraints &constraints,
+          int threads)
 {
     return recommend(predictor, workload, candidates,
-                     objectiveFunction(objective), constraints);
+                     objectiveFunction(objective), constraints,
+                     threads);
 }
 
 Recommendation
 recommend(const CeerPredictor &predictor, const WorkloadSpec &workload,
           const std::vector<cloud::GpuInstance> &candidates,
-          const ObjectiveFn &objective, const Constraints &constraints)
+          const ObjectiveFn &objective, const Constraints &constraints,
+          int threads)
 {
     if (!workload.graph)
         util::panic("recommend: workload has no graph");
@@ -65,15 +69,23 @@ recommend(const CeerPredictor &predictor, const WorkloadSpec &workload,
             fits[gpu] = hw::fitsInGpuMemory(*workload.graph, gpu);
     }
 
+    // Compile the workload once; every candidate scores against the
+    // shared plan (its per-GPU memo is thread-safe, so the sweep can
+    // fan out). Each task writes only its own evaluation slot and
+    // every value is a pure function of (plan, candidate), so the
+    // evaluation list is byte-identical at any thread count.
+    const PredictPlan plan = predictor.compile(*workload.graph);
+
     Recommendation result;
-    result.evaluations.reserve(candidates.size());
-    for (const cloud::GpuInstance &instance : candidates) {
-        CandidateEvaluation evaluation;
+    result.evaluations.resize(candidates.size());
+    const auto evaluate = [&](std::size_t i) {
+        const cloud::GpuInstance &instance = candidates[i];
+        CandidateEvaluation &evaluation = result.evaluations[i];
         evaluation.instance = instance;
         if (constraints.enforceGpuMemory)
             evaluation.fitsMemory = fits.at(instance.gpu);
         evaluation.prediction = predictor.predictTraining(
-            *workload.graph, instance, workload.datasetSamples,
+            plan, instance, workload.datasetSamples,
             workload.batchPerGpu);
         evaluation.costUsd =
             evaluation.prediction.costUsd(instance.hourlyUsd);
@@ -82,7 +94,18 @@ recommend(const CeerPredictor &predictor, const WorkloadSpec &workload,
                                       constraints.hourlyToleranceUsd;
         evaluation.withinTotal =
             evaluation.costUsd <= constraints.totalBudgetUsd;
-        result.evaluations.push_back(std::move(evaluation));
+    };
+
+    const std::size_t effective =
+        threads == 1 ? 1 : util::ThreadPool::effectiveThreads(threads);
+    if (effective <= 1 || candidates.size() <= 1) {
+        for (std::size_t i = 0; i < candidates.size(); ++i)
+            evaluate(i);
+    } else {
+        // The caller participates in parallelFor, so spawn one fewer
+        // worker than the requested parallelism.
+        util::ThreadPool pool(effective - 1);
+        pool.parallelFor(candidates.size(), evaluate);
     }
 
     for (std::size_t i = 0; i < result.evaluations.size(); ++i) {

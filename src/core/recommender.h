@@ -95,17 +95,27 @@ struct Recommendation
 /**
  * Evaluates every candidate and picks the best feasible one.
  *
+ * The workload graph is compiled once (CeerPredictor::compile) and
+ * every candidate is scored against the shared plan. With
+ * @p threads != 1 the candidate evaluations fan out across a
+ * util::ThreadPool; the winner is still selected by a serial
+ * candidate-order reduction, so the Recommendation — winner and the
+ * full Evaluation list — is byte-identical at any thread count.
+ *
  * @param predictor   Trained Ceer predictor.
  * @param workload    CNN + dataset to train.
  * @param candidates  Candidate instances (e.g. a whole catalog).
  * @param objective   Metric to minimize.
  * @param constraints Budget constraints.
+ * @param threads     Sweep parallelism: 1 = serial (default), 0 = one
+ *                    per hardware thread, n > 1 = exactly n.
  */
 Recommendation recommend(const CeerPredictor &predictor,
                          const WorkloadSpec &workload,
                          const std::vector<cloud::GpuInstance> &candidates,
                          Objective objective,
-                         const Constraints &constraints = {});
+                         const Constraints &constraints = {},
+                         int threads = 1);
 
 /**
  * Overload minimizing an arbitrary Obj(T, C).
@@ -116,7 +126,8 @@ Recommendation recommend(const CeerPredictor &predictor,
                          const WorkloadSpec &workload,
                          const std::vector<cloud::GpuInstance> &candidates,
                          const ObjectiveFn &objective,
-                         const Constraints &constraints = {});
+                         const Constraints &constraints = {},
+                         int threads = 1);
 
 } // namespace core
 } // namespace ceer

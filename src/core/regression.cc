@@ -226,5 +226,19 @@ quadraticExpandAll(const std::vector<std::vector<double>> &X)
     return out;
 }
 
+void
+quadraticExpandInto(const std::vector<std::vector<double>> &X,
+                    std::vector<std::vector<double>> *out)
+{
+    out->resize(X.size());
+    for (std::size_t i = 0; i < X.size(); ++i) {
+        auto &row = (*out)[i];
+        row.assign(X[i].begin(), X[i].end());
+        row.reserve(2 * X[i].size());
+        for (double value : X[i])
+            row.push_back(value * value);
+    }
+}
+
 } // namespace core
 } // namespace ceer

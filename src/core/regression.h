@@ -50,6 +50,18 @@ class LinearModel
     /** Weights in original (unscaled) feature units. */
     std::vector<double> weights() const;
 
+    /**
+     * Weights in the internal scaled feature space, as predict() uses
+     * them: predict(x) = intercept + sum_j scaledWeights()[j] *
+     * (x[j] / scales()[j]). Exposed so a compiled prediction plan can
+     * replay the exact same operation sequence lane-wise and stay
+     * bit-identical to predict().
+     */
+    const std::vector<double> &scaledWeights() const { return weights_; }
+
+    /** Per-feature divisors paired with scaledWeights(). */
+    const std::vector<double> &scales() const { return scales_; }
+
     /** Intercept term. */
     double intercept() const { return intercept_; }
 
@@ -92,6 +104,15 @@ std::vector<double> quadraticExpand(const std::vector<double> &x);
 /** Applies quadraticExpand to every row. */
 std::vector<std::vector<double>>
 quadraticExpandAll(const std::vector<std::vector<double>> &X);
+
+/**
+ * quadraticExpandAll into a caller-owned buffer, reusing row capacity
+ * across calls. The trainer expands one (GPU, op) cell after another;
+ * routing them through one scratch buffer avoids reallocating the
+ * whole row-of-rows structure per cell.
+ */
+void quadraticExpandInto(const std::vector<std::vector<double>> &X,
+                         std::vector<std::vector<double>> *out);
 
 /**
  * Solves the square system A x = b in place via Gaussian elimination

@@ -7,6 +7,7 @@
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace ceer {
 namespace core {
@@ -71,11 +72,27 @@ fitOpModel(GpuModel gpu, OpType op,
     const LinearModel linear = LinearModel::fit(X, y);
     const double linear_r2 = linear.rSquared(X, y);
 
-    const auto x_quadratic = quadraticExpandAll(X);
-    const LinearModel quad = LinearModel::fit(x_quadratic, y);
-    const double quad_r2 = quad.rSquared(x_quadratic, y);
+    // The quadratic expansion doubles the feature count; below
+    // expanded-dimension + 1 distinct points the fit is
+    // underdetermined and would interpolate noise rather than reveal
+    // curvature, so it cannot legitimately beat the linear fit —
+    // skip it (and the expansion work) outright. When attempted, the
+    // expansion goes into a per-thread scratch buffer reused across
+    // cells instead of allocating a fresh row-of-rows per fit.
+    const std::size_t quad_min =
+        std::max(options.minPoints, 2 * X.front().size() + 1);
+    bool prefer_quadratic = false;
+    LinearModel quad;
+    double quad_r2 = 0.0;
+    if (unique.size() >= quad_min) {
+        static thread_local std::vector<std::vector<double>> expanded;
+        quadraticExpandInto(X, &expanded);
+        quad = LinearModel::fit(expanded, y);
+        quad_r2 = quad.rSquared(expanded, y);
+        prefer_quadratic = quad_r2 > linear_r2 + options.quadraticGain;
+    }
 
-    if (quad_r2 > linear_r2 + options.quadraticGain) {
+    if (prefer_quadratic) {
         fitted.quadratic = true;
         fitted.model = quad;
         fitted.r2 = quad_r2;
@@ -180,15 +197,48 @@ trainCeer(const ProfileDataset &dataset, const TrainOptions &options)
     model.heavyThresholdUs = options.heavyThresholdUs;
     model.heavyOps = classifyHeavy(dataset, options);
 
+    // Enumerate the (GPU, heavy op) fit cells in canonical order, fit
+    // them (in parallel when asked — each fit is a pure function of
+    // its cell), and merge in cell order. Output is byte-identical at
+    // any thread count.
+    struct FitCell
+    {
+        GpuModel gpu;
+        OpType op;
+        std::vector<const OpProfile *> instances;
+    };
+    std::vector<FitCell> cells;
     for (GpuModel gpu : hw::allGpuModels()) {
         for (OpType op : model.heavyOps) {
-            const auto instances = dataset.opsFor(gpu, op);
+            auto instances = dataset.opsFor(gpu, op);
             if (instances.empty())
                 continue;
-            model.opModels.emplace(std::make_pair(gpu, op),
-                                   fitOpModel(gpu, op, instances,
-                                              options));
+            cells.push_back({gpu, op, std::move(instances)});
         }
+    }
+
+    std::vector<OpTimeModel> fitted(cells.size());
+    const auto fit_cell = [&](std::size_t i) {
+        fitted[i] = fitOpModel(cells[i].gpu, cells[i].op,
+                               cells[i].instances, options);
+    };
+    const std::size_t threads =
+        options.threads == 1
+            ? 1
+            : util::ThreadPool::effectiveThreads(options.threads);
+    if (threads <= 1 || cells.size() <= 1) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            fit_cell(i);
+    } else {
+        // The caller participates in parallelFor, so spawn one fewer
+        // worker than the requested parallelism.
+        util::ThreadPool pool(threads - 1);
+        pool.parallelFor(cells.size(), fit_cell);
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        model.opModels.emplace(std::make_pair(cells[i].gpu,
+                                              cells[i].op),
+                               std::move(fitted[i]));
     }
 
     model.lightMedianUs = pooledMedian(

@@ -33,6 +33,15 @@ struct TrainOptions
 
     /** Minimum distinct instances required to fit a regression. */
     std::size_t minPoints = 4;
+
+    /**
+     * Worker parallelism for the per-(GPU, heavy op) regression fits:
+     * 1 = serial (default), 0 = one per hardware thread, n > 1 =
+     * exactly n. Each fit is a pure function of its profile cell, and
+     * results are merged in a fixed cell order, so the trained model
+     * is byte-identical at any thread count.
+     */
+    int threads = 1;
 };
 
 /**

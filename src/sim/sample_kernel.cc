@@ -3,29 +3,18 @@
 #include <algorithm>
 #include <array>
 
-// Multiversion the two hot loops: the loader picks the widest clone
-// the CPU supports (ifunc dispatch), so a generic x86-64 build still
-// runs 4- or 8-wide on AVX machines. This TU is compiled with
-// -ffp-contract=off (see CMakeLists.txt) so no clone fuses into FMA
-// and every clone returns bit-identical doubles — sampling stays
-// deterministic across hosts, not just across thread counts.
-// Sanitizer builds skip the clones: ifunc resolvers run before the
-// sanitizer runtime is initialized and crash at load.
-#if defined(__x86_64__) && defined(__gnu_linux__) && defined(__GNUC__) && \
-    !defined(__clang__) && !defined(__SANITIZE_THREAD__) &&               \
-    !defined(__SANITIZE_ADDRESS__)
-#define CEER_KERNEL_CLONES                                             \
-    __attribute__((target_clones("default", "arch=x86-64-v3",          \
-                                 "arch=x86-64-v4")))
-#else
-#define CEER_KERNEL_CLONES
-#endif
+// The two hot loops are multiversioned via the shared macro; this TU
+// is compiled with -ffp-contract=off (see CMakeLists.txt) so no clone
+// fuses into FMA and every clone returns bit-identical doubles —
+// sampling stays deterministic across hosts, not just across thread
+// counts.
+#include "util/target_clones.h"
 
 namespace ceer {
 namespace sim {
 namespace kernel {
 
-CEER_KERNEL_CLONES void
+CEER_VECTOR_CLONES void
 normalBlock(std::uint64_t key, std::size_t slot0, std::size_t n,
             double *z)
 {
@@ -53,7 +42,7 @@ normalBlock(std::uint64_t key, std::size_t slot0, std::size_t n,
     }
 }
 
-CEER_KERNEL_CLONES double
+CEER_VECTOR_CLONES double
 lognormalAccumulate(const double *base, const double *sigma,
                     const double *z, std::size_t n, double *times)
 {

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared function-multiversioning macro for the repo's vectorized
+ * kernels (the simulation sampling kernel and the compiled-prediction
+ * evaluation kernel).
+ *
+ * CEER_VECTOR_CLONES multiversions a hot function: the loader picks
+ * the widest clone the CPU supports (ifunc dispatch), so a generic
+ * x86-64 build still runs 4- or 8-wide on AVX machines. Every
+ * translation unit using it MUST be compiled with -ffp-contract=off
+ * (see the set_source_files_properties calls in src/sim and src/core):
+ * an FMA-fusing clone would return different bits than the generic
+ * clone, breaking the bit-determinism contract across hosts.
+ *
+ * Sanitizer builds skip the clones: ifunc resolvers run before the
+ * sanitizer runtime is initialized and crash at load.
+ */
+
+#ifndef CEER_UTIL_TARGET_CLONES_H
+#define CEER_UTIL_TARGET_CLONES_H
+
+#if defined(__x86_64__) && defined(__gnu_linux__) && defined(__GNUC__) && \
+    !defined(__clang__) && !defined(__SANITIZE_THREAD__) &&               \
+    !defined(__SANITIZE_ADDRESS__)
+#define CEER_VECTOR_CLONES                                             \
+    __attribute__((target_clones("default", "arch=x86-64-v3",          \
+                                 "arch=x86-64-v4")))
+#else
+#define CEER_VECTOR_CLONES
+#endif
+
+#endif // CEER_UTIL_TARGET_CLONES_H

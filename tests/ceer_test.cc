@@ -5,6 +5,8 @@
  * held-out CNNs, ablations, recommendation and serialization.
  */
 
+#include <cstdint>
+#include <cstring>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -375,6 +377,32 @@ TEST(PredictorTest, BreakdownTopOpIsConvForResNet)
                 top == OpType::Conv2DBackpropFilter ||
                 top == OpType::Conv2DBackpropInput)
         << graph::opTypeName(top);
+}
+
+TEST(PredictorTest, CompiledPlanMatchesNodeWalkAcrossZoo)
+{
+    // The acceptance bar of the compiled-plan path: for every zoo
+    // model, GPU and data-parallel width, the plan evaluator must
+    // reproduce the scalar node walk bit for bit.
+    const auto bits = [](double x) {
+        std::uint64_t u;
+        std::memcpy(&u, &x, sizeof u);
+        return u;
+    };
+    const CeerPredictor predictor(trainedModel());
+    for (const auto &name : models::allModelNames()) {
+        const Graph g = models::buildModel(name, 32);
+        const PredictPlan plan = predictor.compile(g);
+        for (GpuModel gpu : hw::allGpuModels()) {
+            for (int k : {1, 2, 4, 8}) {
+                EXPECT_EQ(bits(predictor.predictIterationUs(g, gpu, k)),
+                          bits(predictor.predictIterationUs(plan, gpu,
+                                                            k)))
+                    << name << " " << hw::gpuModelName(gpu)
+                    << " k=" << k;
+            }
+        }
+    }
 }
 
 TEST(RecommenderTest, CustomObjectiveBlendsTimeAndCost)

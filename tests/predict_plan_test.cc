@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Compiled-prediction-plan tests: bit-identity of the plan evaluator
+ * against the scalar node walk, predictBatch equivalence, byte-identity
+ * of the parallel recommender sweep and the parallel trainer at every
+ * thread count, and recommender constraint edge cases under serial AND
+ * parallel sweeps.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cloud/instances.h"
+#include "core/predictor.h"
+#include "core/recommender.h"
+#include "core/trainer.h"
+#include "models/model_zoo.h"
+#include "profile/profiler.h"
+
+namespace ceer {
+namespace core {
+namespace {
+
+using graph::Graph;
+using hw::GpuModel;
+
+/** Bit pattern of a double (== would conflate +0.0 and -0.0). */
+std::uint64_t
+bits(double x)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &x, sizeof u);
+    return u;
+}
+
+/**
+ * Cheap fixture: trained on two CNNs at few iterations. Enough
+ * distinct instances to exercise linear, quadratic and median
+ * fallback paths; fast enough to share across every test here.
+ */
+const CeerModel &
+cheapModel()
+{
+    static const CeerModel model = [] {
+        profile::CollectOptions options;
+        options.iterations = 12;
+        const profile::ProfileDataset dataset = profile::collectProfiles(
+            {"vgg_11", "inception_v1"}, options);
+        return trainCeer(dataset);
+    }();
+    return model;
+}
+
+const CeerPredictor &
+cheapPredictor()
+{
+    static const CeerPredictor predictor(cheapModel());
+    return predictor;
+}
+
+/** Every ablation combination of PredictOptions. */
+std::vector<PredictOptions>
+allOptions()
+{
+    std::vector<PredictOptions> combos;
+    for (bool comm : {true, false}) {
+        for (bool light : {true, false}) {
+            PredictOptions options;
+            options.includeComm = comm;
+            options.includeLightAndCpu = light;
+            combos.push_back(options);
+        }
+    }
+    return combos;
+}
+
+TEST(PredictPlanTest, MatchesScalarWalkBitForBit)
+{
+    const CeerPredictor &predictor = cheapPredictor();
+    // vgg_11 is in-training-set, vgg_19 and resnet_50 are held out —
+    // the latter exercise the no-model/unusable fallbacks too.
+    for (const char *name : {"vgg_11", "inception_v1", "vgg_19",
+                             "resnet_50"}) {
+        const Graph g = models::buildModel(name, 32);
+        const PredictPlan plan = predictor.compile(g);
+        for (GpuModel gpu : hw::allGpuModels()) {
+            for (int k : {1, 2, 4, 8}) {
+                for (const PredictOptions &options : allOptions()) {
+                    const double scalar = predictor.predictIterationUs(
+                        g, gpu, k, options);
+                    const double compiled =
+                        predictor.predictIterationUs(plan, gpu, k,
+                                                     options);
+                    EXPECT_EQ(bits(scalar), bits(compiled))
+                        << name << " gpu=" << hw::gpuModelName(gpu)
+                        << " k=" << k
+                        << " comm=" << options.includeComm
+                        << " light=" << options.includeLightAndCpu;
+                }
+            }
+        }
+    }
+}
+
+TEST(PredictPlanTest, PlanCountsMatchGraph)
+{
+    const CeerPredictor &predictor = cheapPredictor();
+    const Graph g = models::buildModel("inception_v1", 32);
+    const PredictPlan plan = predictor.compile(g);
+    EXPECT_EQ(plan.nodeCount(), g.size());
+    EXPECT_EQ(plan.heavyCount() + plan.lightCount() + plan.cpuCount(),
+              g.size());
+    EXPECT_GT(plan.groupCount(), 0u);
+    EXPECT_EQ(plan.paramCount(), g.totalParameters());
+}
+
+TEST(PredictPlanTest, TrainingPredictionMatchesScalar)
+{
+    const CeerPredictor &predictor = cheapPredictor();
+    const Graph g = models::buildModel("vgg_19", 32);
+    const PredictPlan plan = predictor.compile(g);
+    const cloud::InstanceCatalog catalog =
+        cloud::InstanceCatalog::awsOnDemand();
+    for (const cloud::GpuInstance &instance : catalog.instances()) {
+        const TrainingPrediction scalar = predictor.predictTraining(
+            g, instance, 1'200'000, 32);
+        const TrainingPrediction compiled = predictor.predictTraining(
+            plan, instance, 1'200'000, 32);
+        EXPECT_EQ(scalar.iterations, compiled.iterations);
+        EXPECT_EQ(bits(scalar.iterationUs), bits(compiled.iterationUs));
+        EXPECT_EQ(bits(scalar.hours), bits(compiled.hours));
+    }
+}
+
+TEST(PredictPlanTest, PredictBatchMatchesIndividualCalls)
+{
+    const CeerPredictor &predictor = cheapPredictor();
+    const Graph g = models::buildModel("inception_v1", 32);
+    const PredictPlan plan = predictor.compile(g);
+    std::vector<PredictRequest> requests;
+    for (GpuModel gpu : hw::allGpuModels())
+        for (int k : {1, 2, 4, 8})
+            requests.push_back({gpu, k});
+    const std::vector<double> batch =
+        predictor.predictBatch(plan, requests);
+    ASSERT_EQ(batch.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_EQ(bits(batch[i]),
+                  bits(predictor.predictIterationUs(
+                      g, requests[i].gpu, requests[i].numGpus)))
+            << "request " << i;
+    }
+}
+
+TEST(PredictPlanTest, MemoizedPlanIsReusableAcrossGpus)
+{
+    // Two evaluation rounds over one plan: the second round hits the
+    // per-GPU memo and must return the same bits as the first.
+    const CeerPredictor &predictor = cheapPredictor();
+    const Graph g = models::buildModel("vgg_11", 32);
+    const PredictPlan plan = predictor.compile(g);
+    for (GpuModel gpu : hw::allGpuModels()) {
+        const double first = predictor.predictIterationUs(plan, gpu, 1);
+        const double second = predictor.predictIterationUs(plan, gpu, 1);
+        EXPECT_EQ(bits(first), bits(second));
+    }
+}
+
+/** Field-by-field bit comparison of two evaluations. */
+void
+expectEvaluationsIdentical(const CandidateEvaluation &a,
+                           const CandidateEvaluation &b)
+{
+    EXPECT_EQ(a.instance.name, b.instance.name);
+    EXPECT_EQ(a.prediction.iterations, b.prediction.iterations);
+    EXPECT_EQ(bits(a.prediction.iterationUs),
+              bits(b.prediction.iterationUs));
+    EXPECT_EQ(bits(a.prediction.hours), bits(b.prediction.hours));
+    EXPECT_EQ(bits(a.costUsd), bits(b.costUsd));
+    EXPECT_EQ(a.withinHourly, b.withinHourly);
+    EXPECT_EQ(a.withinTotal, b.withinTotal);
+    EXPECT_EQ(a.fitsMemory, b.fitsMemory);
+}
+
+TEST(ParallelRecommenderTest, ByteIdenticalAtAnyThreadCount)
+{
+    const CeerPredictor &predictor = cheapPredictor();
+    const Graph g = models::buildModel("inception_v3", 32);
+    const cloud::InstanceCatalog catalog =
+        cloud::InstanceCatalog::awsOnDemand();
+    WorkloadSpec workload{&g, 1'200'000, 32};
+
+    const Recommendation serial =
+        recommend(predictor, workload, catalog.instances(),
+                  Objective::MinCost, Constraints{}, /*threads=*/1);
+    for (int threads : {2, 4}) {
+        const Recommendation parallel =
+            recommend(predictor, workload, catalog.instances(),
+                      Objective::MinCost, Constraints{}, threads);
+        EXPECT_EQ(parallel.bestIndex, serial.bestIndex)
+            << threads << " threads";
+        ASSERT_EQ(parallel.evaluations.size(),
+                  serial.evaluations.size());
+        for (std::size_t i = 0; i < serial.evaluations.size(); ++i) {
+            SCOPED_TRACE(testing::Message()
+                         << threads << " threads, candidate " << i);
+            expectEvaluationsIdentical(serial.evaluations[i],
+                                       parallel.evaluations[i]);
+        }
+    }
+}
+
+TEST(ParallelTrainerTest, ByteIdenticalAtAnyThreadCount)
+{
+    profile::CollectOptions collect;
+    collect.iterations = 12;
+    const profile::ProfileDataset dataset = profile::collectProfiles(
+        {"vgg_11", "inception_v1"}, collect);
+
+    TrainOptions serial_options;
+    serial_options.threads = 1;
+    std::stringstream serial_doc;
+    trainCeer(dataset, serial_options).save(serial_doc);
+
+    for (int threads : {2, 4, 0}) {
+        TrainOptions options;
+        options.threads = threads;
+        std::stringstream doc;
+        trainCeer(dataset, options).save(doc);
+        EXPECT_EQ(doc.str(), serial_doc.str())
+            << "threads=" << threads;
+    }
+}
+
+/**
+ * The constraint edge cases below run under both the serial and the
+ * parallel sweep: constraint evaluation must not depend on who
+ * computed the candidate.
+ */
+class RecommenderConstraintTest : public testing::TestWithParam<int>
+{
+  protected:
+    int threads() const { return GetParam(); }
+};
+
+TEST_P(RecommenderConstraintTest, HourlyToleranceBoundary)
+{
+    const CeerPredictor &predictor = cheapPredictor();
+    const Graph g = models::buildModel("vgg_11", 32);
+    WorkloadSpec workload{&g, 100'000, 32};
+    const cloud::InstanceCatalog catalog =
+        cloud::InstanceCatalog::awsOnDemand();
+    const cloud::GpuInstance &p3 = catalog.find("p3.2xlarge");
+
+    // Budget below the price: infeasible without tolerance...
+    Constraints constraints;
+    constraints.hourlyBudgetUsd = p3.hourlyUsd - 0.42;
+    constraints.enforceGpuMemory = false;
+    Recommendation r = recommend(predictor, workload, {p3},
+                                 Objective::MinCost, constraints,
+                                 threads());
+    EXPECT_EQ(r.bestIndex, -1);
+    EXPECT_FALSE(r.evaluations[0].withinHourly);
+
+    // ...feasible when the paper's $0.42 tolerance closes the gap
+    // exactly (budget + tolerance == price is within budget; the
+    // comparison is <=, not <).
+    constraints.hourlyToleranceUsd = 0.42;
+    r = recommend(predictor, workload, {p3}, Objective::MinCost,
+                  constraints, threads());
+    EXPECT_EQ(r.bestIndex, 0);
+    EXPECT_TRUE(r.evaluations[0].withinHourly);
+}
+
+TEST_P(RecommenderConstraintTest, GpuMemoryEnforcement)
+{
+    const CeerPredictor &predictor = cheapPredictor();
+    // VGG-19 at batch 512 overflows every catalog GPU's memory.
+    const Graph g = models::buildModel("vgg_19", 512);
+    WorkloadSpec workload{&g, 100'000, 512};
+    const cloud::InstanceCatalog catalog =
+        cloud::InstanceCatalog::awsOnDemand();
+
+    Constraints enforced;
+    enforced.enforceGpuMemory = true;
+    const Recommendation strict =
+        recommend(predictor, workload, catalog.instances(),
+                  Objective::MinCost, enforced, threads());
+    EXPECT_EQ(strict.bestIndex, -1);
+    for (const CandidateEvaluation &evaluation : strict.evaluations)
+        EXPECT_FALSE(evaluation.fitsMemory);
+
+    Constraints relaxed;
+    relaxed.enforceGpuMemory = false;
+    const Recommendation loose =
+        recommend(predictor, workload, catalog.instances(),
+                  Objective::MinCost, relaxed, threads());
+    EXPECT_GE(loose.bestIndex, 0);
+    for (const CandidateEvaluation &evaluation : loose.evaluations)
+        EXPECT_TRUE(evaluation.fitsMemory);
+}
+
+TEST_P(RecommenderConstraintTest, EmptyCandidateList)
+{
+    const CeerPredictor &predictor = cheapPredictor();
+    const Graph g = models::buildModel("vgg_11", 32);
+    WorkloadSpec workload{&g, 100'000, 32};
+    const Recommendation r =
+        recommend(predictor, workload, {}, Objective::MinCost,
+                  Constraints{}, threads());
+    EXPECT_EQ(r.bestIndex, -1);
+    EXPECT_TRUE(r.evaluations.empty());
+}
+
+TEST_P(RecommenderConstraintTest, TieBreaksToFirstCandidate)
+{
+    const CeerPredictor &predictor = cheapPredictor();
+    const Graph g = models::buildModel("vgg_11", 32);
+    WorkloadSpec workload{&g, 100'000, 32};
+    const cloud::InstanceCatalog catalog =
+        cloud::InstanceCatalog::awsOnDemand();
+    // Identical twins: same GPU, k and price -> identical scores.
+    cloud::GpuInstance first = catalog.find("p2.xlarge");
+    cloud::GpuInstance second = first;
+    first.name = "twin-a";
+    second.name = "twin-b";
+    Constraints constraints;
+    constraints.enforceGpuMemory = false;
+    const Recommendation r =
+        recommend(predictor, workload, {first, second},
+                  Objective::MinCost, constraints, threads());
+    // Strict < in the reduction: the earlier candidate keeps a tie.
+    EXPECT_EQ(r.bestIndex, 0);
+    EXPECT_EQ(r.best().instance.name, "twin-a");
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialAndParallel, RecommenderConstraintTest,
+                         testing::Values(1, 4),
+                         [](const testing::TestParamInfo<int> &info) {
+                             return info.param == 1 ? "Serial"
+                                                    : "Parallel4";
+                         });
+
+} // namespace
+} // namespace core
+} // namespace ceer

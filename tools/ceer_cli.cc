@@ -147,6 +147,10 @@ cmdTrain(int argc, char **argv)
     util::Flags flags;
     flags.defineString("profiles", "profiles.csv", "input profile CSV");
     flags.defineString("out", "ceer_model.txt", "output model file");
+    flags.defineInt("threads", 1,
+                    "regression-fit worker threads (1 = serial, 0 = "
+                    "one per hardware thread); the trained model is "
+                    "byte-identical at any count");
     flags.parse(argc, argv);
 
     std::ifstream in(flags.getString("profiles"));
@@ -154,7 +158,10 @@ cmdTrain(int argc, char **argv)
         util::fatal("cannot open " + flags.getString("profiles"));
     const profile::ProfileDataset dataset =
         profile::ProfileDataset::loadCsv(in);
-    const core::CeerModel model = core::trainCeer(dataset);
+    core::TrainOptions train_options;
+    train_options.threads = static_cast<int>(flags.getInt("threads"));
+    const core::CeerModel model = core::trainCeer(dataset,
+                                                  train_options);
 
     std::ofstream out(flags.getString("out"));
     if (!out)
@@ -217,6 +224,10 @@ cmdRecommend(int argc, char **argv)
                        "(name,gpu,gpus,hourly_usd); overrides --market");
     flags.defineInt("batch", 32, "per-GPU batch size");
     flags.defineInt("samples", 1200000, "dataset size");
+    flags.defineInt("threads", 1,
+                    "candidate-sweep worker threads (1 = serial, 0 = "
+                    "one per hardware thread); the recommendation is "
+                    "byte-identical at any count");
     flags.parse(argc, argv);
 
     const core::CeerPredictor predictor(
@@ -244,7 +255,8 @@ cmdRecommend(int argc, char **argv)
             : core::Objective::MinCost;
     const core::Recommendation recommendation =
         core::recommend(predictor, workload, catalog.instances(),
-                        objective, constraints);
+                        objective, constraints,
+                        static_cast<int>(flags.getInt("threads")));
 
     util::TablePrinter table({"instance", "$/hr", "pred time",
                               "pred cost", "feasible"});

@@ -25,12 +25,16 @@ echo "==> microbenchmark smoke runs (tiny iteration counts)"
 # numbers come from full runs).
 ./build/bench/micro_sim --iters 50 --out ''
 ./build/bench/micro_profile --iters 5 --out ''
+# micro_ceer's nonzero exit asserts the serial==parallel recommender
+# identity and the compiled-plan-vs-node-walk bit identity.
+./build/bench/micro_ceer --iters 50 --train-iters 10 \
+    --catalog-copies 8 --out ''
 
-echo "==> ThreadSanitizer build (thread pool + parallel collection + parallel sim)"
+echo "==> ThreadSanitizer build (thread pool + parallel collection + parallel sim + parallel predict)"
 cmake -B build-tsan -S . -DCEER_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-      --target thread_pool_test profile_test sim_test
+      --target thread_pool_test profile_test sim_test predict_plan_test
 
 # Run the TSan binaries directly (ctest discovery would require every
 # test target to be built). TSAN_OPTIONS makes races hard failures.
@@ -42,6 +46,10 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # across the thread pool with deterministic merge.
 ./build-tsan/tests/sim_test \
     --gtest_filter='SimulatorTest.ParallelRunIsByteIdenticalToSerial'
+# The parallel recommender sweep (shared PredictPlan memo under
+# concurrent first-touch) and the parallel trainer fits under TSan.
+./build-tsan/tests/predict_plan_test \
+    --gtest_filter='ParallelRecommenderTest.*:ParallelTrainerTest.*:SerialAndParallel/*'
 
 echo "==> UndefinedBehaviorSanitizer build (serialization/I-O boundary)"
 cmake -B build-ubsan -S . -DCEER_SANITIZE=undefined \
