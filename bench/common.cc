@@ -4,6 +4,7 @@
 
 #include "core/trainer.h"
 #include "models/model_zoo.h"
+#include "obs/metrics.h"
 #include "profile/profile_cache.h"
 #include "sim/simulator.h"
 #include "util/logging.h"
@@ -13,6 +14,30 @@ namespace ceer {
 namespace bench {
 
 using graph::OpType;
+
+namespace {
+/** The run's --metrics-out destination ("" = none). */
+std::string g_metrics_out;
+} // namespace
+
+void
+setMetricsOut(const std::string &path)
+{
+    g_metrics_out = path;
+    if (!g_metrics_out.empty())
+        obs::setEnabled(true);
+}
+
+void
+flushBenchMetrics()
+{
+    if (g_metrics_out.empty())
+        return;
+    std::string error;
+    if (!obs::tryWriteMetricsFile(g_metrics_out, &error))
+        util::fatal(error);
+    std::cout << "wrote metrics snapshot to " << g_metrics_out << "\n";
+}
 
 BenchConfig
 parseBenchFlags(int argc, char **argv)
@@ -31,6 +56,9 @@ parseBenchFlags(int argc, char **argv)
     flags.defineString("profile-cache", "build/profile-cache",
                        "shared profile cache directory ('none' "
                        "disables)");
+    flags.defineString("metrics-out", "",
+                       "write a metrics JSON snapshot here (enables "
+                       "observability for the run)");
     flags.parse(argc, argv);
 
     BenchConfig config;
@@ -42,6 +70,8 @@ parseBenchFlags(int argc, char **argv)
     config.profileCache = flags.getString("profile-cache");
     if (config.profileCache == "none" || config.profileCache == "off")
         config.profileCache.clear();
+    config.metricsOut = flags.getString("metrics-out");
+    setMetricsOut(config.metricsOut);
     return config;
 }
 
@@ -111,6 +141,7 @@ observedIterationUs(const graph::Graph &g, hw::GpuModel gpu, int k,
 int
 CheckSummary::finish() const
 {
+    flushBenchMetrics();
     if (allPassed_) {
         std::cout << "ALL " << total_ << " CHECKS IN BAND\n";
         return 0;

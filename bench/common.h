@@ -48,11 +48,18 @@ struct BenchConfig
      * binary profiles and saves, the rest load in milliseconds.
      */
     std::string profileCache = "build/profile-cache";
+
+    /**
+     * Metrics JSON snapshot path ("" disables). When set, the
+     * observability layer is enabled for the run and the snapshot is
+     * written by CheckSummary::finish() (or flushBenchMetrics()).
+     */
+    std::string metricsOut;
 };
 
 /**
  * Parses the standard bench flags (--iters, --eval-iters, --batch,
- * --seed, --threads, --profile-cache) plus --help.
+ * --seed, --threads, --profile-cache, --metrics-out) plus --help.
  *
  * The paper profiles 1,000 iterations per run; the default here is 200
  * to keep single-core bench runs short. Pass --iters 1000 for full
@@ -101,6 +108,21 @@ const std::vector<graph::OpType> &paperHeavyOps();
 double observedIterationUs(const graph::Graph &g, hw::GpuModel gpu,
                            int k, const BenchConfig &config,
                            std::uint64_t salt = 0);
+
+/**
+ * Registers @p path as the run's --metrics-out destination and turns
+ * the observability layer on when it is nonempty. parseBenchFlags
+ * calls this; micro benches with their own flag sets call it directly.
+ */
+void setMetricsOut(const std::string &path);
+
+/**
+ * Writes the metrics snapshot to the registered --metrics-out path
+ * (no-op when none was set; fatal when the file cannot be written).
+ * CheckSummary::finish() calls this, so figure/table benches get the
+ * artifact for free; benches without a CheckSummary call it directly.
+ */
+void flushBenchMetrics();
 
 /** Collects [PASS]/[CHECK] outcomes and prints a final verdict line. */
 class CheckSummary

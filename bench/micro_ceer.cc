@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/common.h"
 #include "cloud/instances.h"
 #include "core/predictor.h"
 #include "core/recommender.h"
@@ -87,7 +88,11 @@ main(int argc, char **argv)
                     "max swept thread count (0 = hardware)");
     flags.defineString("out", "BENCH_ceer.json",
                        "machine-readable results ('' disables)");
+    flags.defineString("metrics-out", "",
+                       "write a metrics JSON snapshot here (enables "
+                       "observability for the run)");
     flags.parse(argc, argv);
+    bench::setMetricsOut(flags.getString("metrics-out"));
 
     const std::string model_name = flags.getString("model");
     const int iters = static_cast<int>(flags.getInt("iters"));
@@ -318,5 +323,6 @@ main(int argc, char **argv)
         out << "  ]\n}\n";
         std::cout << "wrote " << out_path << "\n";
     }
+    bench::flushBenchMetrics();
     return all_identical ? 0 : 1;
 }

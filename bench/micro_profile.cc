@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/common.h"
 #include "models/model_zoo.h"
 #include "profile/profiler.h"
 #include "util/flags.h"
@@ -37,7 +38,11 @@ main(int argc, char **argv)
                     "threads; capped at hardware threads either way)");
     flags.defineString("out", "BENCH_profile.json",
                        "machine-readable results ('' disables)");
+    flags.defineString("metrics-out", "",
+                       "write a metrics JSON snapshot here (enables "
+                       "observability for the run)");
     flags.parse(argc, argv);
+    bench::setMetricsOut(flags.getString("metrics-out"));
 
     const std::string model = flags.getString("model");
     profile::CollectOptions options;
@@ -169,5 +174,6 @@ main(int argc, char **argv)
         out << "  ]\n}\n";
         std::cout << "wrote " << out_path << "\n";
     }
+    bench::flushBenchMetrics();
     return 0;
 }

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/common.h"
 #include "hw/interconnect.h"
 #include "models/model_zoo.h"
 #include "sim/simulator.h"
@@ -152,7 +153,11 @@ main(int argc, char **argv)
     flags.defineInt("gpus", 1, "data-parallel replicas");
     flags.defineString("out", "BENCH_sim.json",
                        "machine-readable results ('' disables)");
+    flags.defineString("metrics-out", "",
+                       "write a metrics JSON snapshot here (enables "
+                       "observability for the run)");
     flags.parse(argc, argv);
+    bench::setMetricsOut(flags.getString("metrics-out"));
 
     const std::string model = flags.getString("model");
     const int iters = static_cast<int>(flags.getInt("iters"));
@@ -307,5 +312,6 @@ main(int argc, char **argv)
         out << "  ]\n}\n";
         std::cout << "wrote " << out_path << "\n";
     }
+    bench::flushBenchMetrics();
     return all_identical ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "core/predictor.h"
+#include "obs/metrics.h"
 #include "profile/features.h"
 #include "util/logging.h"
 
@@ -61,12 +62,16 @@ PredictPlan::heavyUs(hw::GpuModel gpu) const
     Memo &memo = *memo_;
     if (slot >= memo.ready.size())
         util::panic("PredictPlan::heavyUs: unknown GPU slot");
-    if (memo.ready[slot].load(std::memory_order_acquire))
+    if (memo.ready[slot].load(std::memory_order_acquire)) {
+        OBS_COUNTER_INC("predictor.memo_hits");
         return memo.value[slot];
+    }
 
     std::lock_guard<std::mutex> lock(memo.mutex);
-    if (memo.ready[slot].load(std::memory_order_relaxed))
+    if (memo.ready[slot].load(std::memory_order_relaxed)) {
+        OBS_COUNTER_INC("predictor.memo_hits");
         return memo.value[slot];
+    }
 
     double heavy = 0.0;
     for (const OpGroup &group : groups_) {
@@ -85,6 +90,7 @@ PredictPlan::heavyUs(hw::GpuModel gpu) const
     }
     memo.value[slot] = heavy;
     memo.ready[slot].store(true, std::memory_order_release);
+    OBS_COUNTER_INC("predictor.memo_fills");
     return heavy;
 }
 
@@ -103,6 +109,8 @@ PredictPlan::cpuUs() const
 PredictPlan
 CeerPredictor::compile(const graph::Graph &g) const
 {
+    OBS_TIMER("predictor.compile_us");
+    OBS_COUNTER_INC("predictor.plan_builds");
     PredictPlan plan;
     plan.nodeCount_ = g.size();
     plan.lightMedianUs_ = model_.lightMedianUs;

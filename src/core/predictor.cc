@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.h"
 #include "profile/features.h"
 #include "util/logging.h"
 
@@ -242,6 +243,14 @@ CeerPredictor::predictBatch(const PredictPlan &plan,
                             const std::vector<PredictRequest> &requests,
                             const PredictOptions &options) const
 {
+    // Batch sizes land in power-of-two buckets (1..4096, then
+    // overflow) rather than the default latency ladder.
+    if (obs::enabled()) {
+        static obs::Histogram &sizes = obs::histogram(
+            "predictor.batch_size",
+            {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096});
+        sizes.record(static_cast<double>(requests.size()));
+    }
     std::vector<double> out;
     out.reserve(requests.size());
     for (const PredictRequest &request : requests) {

@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "util/strings.h"
 
 #include "hw/memory.h"
@@ -76,6 +78,10 @@ recommend(const CeerPredictor &predictor, const WorkloadSpec &workload,
     // evaluation list is byte-identical at any thread count.
     const PredictPlan plan = predictor.compile(*workload.graph);
 
+    OBS_SPAN("recommender.sweep", "recommender");
+    OBS_TIMER("recommender.sweep_us");
+    OBS_COUNTER_ADD("recommender.candidates", candidates.size());
+
     Recommendation result;
     result.evaluations.resize(candidates.size());
     const auto evaluate = [&](std::size_t i) {
@@ -125,6 +131,34 @@ recommend(const CeerPredictor &predictor, const WorkloadSpec &workload,
             incumbent.prediction.hours, incumbent.costUsd);
         if (candidate_score < incumbent_score)
             result.bestIndex = static_cast<int>(i);
+    }
+
+    // Winner margin (runner-up score minus winner score among the
+    // feasible candidates): a read-only pass taken only while
+    // observability is on, so the sweep itself is untouched.
+    if (obs::enabled() && result.bestIndex >= 0) {
+        const CandidateEvaluation &best = result.best();
+        const double best_score =
+            objective(best.prediction.hours, best.costUsd);
+        double runner_up = 0.0;
+        bool have_runner_up = false;
+        for (std::size_t i = 0; i < result.evaluations.size(); ++i) {
+            if (static_cast<int>(i) == result.bestIndex)
+                continue;
+            const CandidateEvaluation &candidate =
+                result.evaluations[i];
+            if (!candidate.feasible())
+                continue;
+            const double score = objective(
+                candidate.prediction.hours, candidate.costUsd);
+            if (!have_runner_up || score < runner_up) {
+                runner_up = score;
+                have_runner_up = true;
+            }
+        }
+        if (have_runner_up)
+            OBS_GAUGE_SET("recommender.winner_margin",
+                          runner_up - best_score);
     }
     return result;
 }

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -90,6 +92,8 @@ fitOpModel(GpuModel gpu, OpType op,
         quad = LinearModel::fit(expanded, y);
         quad_r2 = quad.rSquared(expanded, y);
         prefer_quadratic = quad_r2 > linear_r2 + options.quadraticGain;
+    } else {
+        OBS_COUNTER_INC("trainer.quadratic_skips");
     }
 
     if (prefer_quadratic) {
@@ -193,6 +197,7 @@ fitCommModel(const ProfileDataset &dataset)
 CeerModel
 trainCeer(const ProfileDataset &dataset, const TrainOptions &options)
 {
+    OBS_SPAN("trainer.trainCeer", "trainer");
     CeerModel model;
     model.heavyThresholdUs = options.heavyThresholdUs;
     model.heavyOps = classifyHeavy(dataset, options);
@@ -219,8 +224,10 @@ trainCeer(const ProfileDataset &dataset, const TrainOptions &options)
 
     std::vector<OpTimeModel> fitted(cells.size());
     const auto fit_cell = [&](std::size_t i) {
+        OBS_TIMER("trainer.fit_cell_us");
         fitted[i] = fitOpModel(cells[i].gpu, cells[i].op,
                                cells[i].instances, options);
+        OBS_COUNTER_INC("trainer.cells");
     };
     const std::size_t threads =
         options.threads == 1

@@ -1,0 +1,628 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace ceer {
+namespace obs {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::size_t
+shardIndex()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t index =
+        next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+    return index;
+}
+
+namespace {
+
+/** Applies the CEER_OBS environment variable once, at process start. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *value = std::getenv("CEER_OBS");
+        if (!value || !*value)
+            return;
+        const bool off = std::strcmp(value, "0") == 0 ||
+                         std::strcmp(value, "false") == 0 ||
+                         std::strcmp(value, "off") == 0;
+        g_enabled.store(!off, std::memory_order_relaxed);
+    }
+};
+const EnvInit env_init;
+
+} // namespace
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+const std::vector<double> &
+defaultLatencyBoundsUs()
+{
+    // 1-2-5 ladder, 1 us .. 1e7 us (10 s).
+    static const std::vector<double> bounds = {
+        1e0, 2e0, 5e0, 1e1, 2e1, 5e1, 1e2, 2e2, 5e2, 1e3, 2e3,
+        5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6, 2e6, 5e6, 1e7,
+    };
+    return bounds;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), shards_(kMetricShards)
+{
+    if (bounds_.empty())
+        bounds_ = defaultLatencyBoundsUs();
+    for (Shard &shard : shards_)
+        shard.buckets =
+            std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+void
+Histogram::record(double v)
+{
+    if (std::isnan(v))
+        return;
+    const std::size_t bucket = static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+        bounds_.begin());
+    Shard &shard = shards_[detail::shardIndex()];
+    shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    detail::atomicAdd(shard.sum, v);
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<std::uint64_t> merged(bounds_.size() + 1, 0);
+    for (const Shard &shard : shards_)
+        for (std::size_t i = 0; i < merged.size(); ++i)
+            merged[i] +=
+                shard.buckets[i].load(std::memory_order_relaxed);
+    return merged;
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_)
+        total += shard.count.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+Histogram::sum() const
+{
+    double total = 0.0;
+    for (const Shard &shard : shards_)
+        total += shard.sum.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Histogram::reset()
+{
+    for (Shard &shard : shards_) {
+        for (auto &bucket : shard.buckets)
+            bucket.store(0, std::memory_order_relaxed);
+        shard.count.store(0, std::memory_order_relaxed);
+        shard.sum.store(0.0, std::memory_order_relaxed);
+    }
+}
+
+namespace {
+
+/**
+ * The process-wide registry. Metrics are keyed by name and never
+ * removed; the maps hold unique_ptrs so handed-out references survive
+ * rehashing. Leaked intentionally so metrics outlive every static
+ * destructor that might still record.
+ */
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry &
+registry()
+{
+    static Registry *instance = new Registry;
+    return *instance;
+}
+
+} // namespace
+
+Counter &
+counter(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto &slot = reg.counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto &slot = reg.gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+histogram(const std::string &name)
+{
+    return histogram(name, defaultLatencyBoundsUs());
+}
+
+Histogram &
+histogram(const std::string &name, std::vector<double> upper_bounds)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto &slot = reg.histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(upper_bounds));
+    return *slot;
+}
+
+MetricsSnapshot
+snapshotMetrics()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    MetricsSnapshot snapshot;
+    snapshot.counters.reserve(reg.counters.size());
+    for (const auto &[name, metric] : reg.counters)
+        snapshot.counters.emplace_back(name, metric->value());
+    snapshot.gauges.reserve(reg.gauges.size());
+    for (const auto &[name, metric] : reg.gauges)
+        snapshot.gauges.emplace_back(name, metric->value());
+    snapshot.histograms.reserve(reg.histograms.size());
+    for (const auto &[name, metric] : reg.histograms) {
+        HistogramSnapshot hist;
+        hist.name = name;
+        hist.bounds = metric->bounds();
+        hist.buckets = metric->bucketCounts();
+        hist.count = metric->count();
+        hist.sum = metric->sum();
+        snapshot.histograms.push_back(std::move(hist));
+    }
+    return snapshot;
+}
+
+void
+resetMetrics()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto &[name, metric] : reg.counters)
+        metric->reset();
+    for (auto &[name, metric] : reg.gauges)
+        metric->reset();
+    for (auto &[name, metric] : reg.histograms)
+        metric->reset();
+}
+
+std::uint64_t
+MetricsSnapshot::counterValue(const std::string &name) const
+{
+    for (const auto &[key, value] : counters)
+        if (key == name)
+            return value;
+    return 0;
+}
+
+double
+MetricsSnapshot::gaugeValue(const std::string &name) const
+{
+    for (const auto &[key, value] : gauges)
+        if (key == name)
+            return value;
+    return 0.0;
+}
+
+const HistogramSnapshot *
+MetricsSnapshot::findHistogram(const std::string &name) const
+{
+    for (const auto &hist : histograms)
+        if (hist.name == name)
+            return &hist;
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// JSON snapshot writer + checked parser. This library sits below util,
+// so formatting is plain snprintf and parsing is std::from_chars.
+
+namespace {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:   out += c; break;
+        }
+    }
+    return out;
+}
+
+/** %.17g (bit-exact round trip); non-finite values degrade to 0. */
+std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", v);
+    return buffer;
+}
+
+/**
+ * Minimal recursive-descent parser over the exact schema
+ * writeMetricsJson emits (fixed key order, string keys, finite
+ * numbers). Errors carry the byte offset of the failure.
+ */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    bool parse(MetricsSnapshot *out)
+    {
+        skipSpace();
+        if (!expect('{'))
+            return false;
+        if (!key("counters") || !parseCounters(out))
+            return false;
+        if (!expect(','))
+            return false;
+        if (!key("gauges") || !parseGauges(out))
+            return false;
+        if (!expect(','))
+            return false;
+        if (!key("histograms") || !parseHistograms(out))
+            return false;
+        if (!expect('}'))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing bytes after document");
+        return true;
+    }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    bool fail(const std::string &what)
+    {
+        if (error_.empty()) {
+            char offset[32];
+            std::snprintf(offset, sizeof offset, "%zu", pos_);
+            error_ = what + " at byte " + offset;
+        }
+        return false;
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool expect(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool peekIs(char c)
+    {
+        skipSpace();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    bool parseString(std::string *out)
+    {
+        if (!expect('"'))
+            return false;
+        std::string value;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("unterminated escape");
+                const char escaped = text_[pos_++];
+                switch (escaped) {
+                  case '"':  c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case 'n':  c = '\n'; break;
+                  case 't':  c = '\t'; break;
+                  default:
+                    return fail("unsupported escape");
+                }
+            }
+            value += c;
+        }
+        if (pos_ >= text_.size())
+            return fail("unterminated string");
+        ++pos_; // closing quote
+        *out = std::move(value);
+        return true;
+    }
+
+    /** Parses `"name":` for a fixed expected key. */
+    bool key(const char *expected)
+    {
+        std::string name;
+        if (!parseString(&name))
+            return false;
+        if (name != expected)
+            return fail(std::string("expected key \"") + expected +
+                        "\", got \"" + name + "\"");
+        return expect(':');
+    }
+
+    bool parseDouble(double *out)
+    {
+        skipSpace();
+        const char *begin = text_.data() + pos_;
+        const char *end = text_.data() + text_.size();
+        double value = 0.0;
+        const auto result = std::from_chars(begin, end, value);
+        if (result.ec != std::errc{} || !std::isfinite(value))
+            return fail("malformed number");
+        pos_ = static_cast<std::size_t>(result.ptr - text_.data());
+        *out = value;
+        return true;
+    }
+
+    bool parseUint(std::uint64_t *out)
+    {
+        skipSpace();
+        const char *begin = text_.data() + pos_;
+        const char *end = text_.data() + text_.size();
+        std::uint64_t value = 0;
+        const auto result = std::from_chars(begin, end, value);
+        if (result.ec != std::errc{})
+            return fail("malformed unsigned integer");
+        pos_ = static_cast<std::size_t>(result.ptr - text_.data());
+        *out = value;
+        return true;
+    }
+
+    template <typename Element>
+    bool parseArray(std::vector<Element> *out,
+                    bool (Parser::*element)(Element *))
+    {
+        if (!expect('['))
+            return false;
+        if (peekIs(']')) {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            Element value{};
+            if (!(this->*element)(&value))
+                return false;
+            out->push_back(value);
+            if (peekIs(']')) {
+                ++pos_;
+                return true;
+            }
+            if (!expect(','))
+                return false;
+        }
+    }
+
+    bool parseCounters(MetricsSnapshot *out)
+    {
+        if (!expect('{'))
+            return false;
+        if (peekIs('}')) {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            std::string name;
+            std::uint64_t value = 0;
+            if (!parseString(&name) || !expect(':') ||
+                !parseUint(&value))
+                return false;
+            out->counters.emplace_back(std::move(name), value);
+            if (peekIs('}')) {
+                ++pos_;
+                return true;
+            }
+            if (!expect(','))
+                return false;
+        }
+    }
+
+    bool parseGauges(MetricsSnapshot *out)
+    {
+        if (!expect('{'))
+            return false;
+        if (peekIs('}')) {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            std::string name;
+            double value = 0.0;
+            if (!parseString(&name) || !expect(':') ||
+                !parseDouble(&value))
+                return false;
+            out->gauges.emplace_back(std::move(name), value);
+            if (peekIs('}')) {
+                ++pos_;
+                return true;
+            }
+            if (!expect(','))
+                return false;
+        }
+    }
+
+    bool parseHistograms(MetricsSnapshot *out)
+    {
+        if (!expect('{'))
+            return false;
+        if (peekIs('}')) {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            HistogramSnapshot hist;
+            if (!parseString(&hist.name) || !expect(':') ||
+                !expect('{'))
+                return false;
+            if (!key("bounds") ||
+                !parseArray(&hist.bounds, &Parser::parseDouble))
+                return false;
+            if (!expect(',') || !key("buckets") ||
+                !parseArray(&hist.buckets, &Parser::parseUint))
+                return false;
+            if (!expect(',') || !key("count") ||
+                !parseUint(&hist.count))
+                return false;
+            if (!expect(',') || !key("sum") ||
+                !parseDouble(&hist.sum))
+                return false;
+            if (!expect('}'))
+                return false;
+            if (hist.buckets.size() != hist.bounds.size() + 1)
+                return fail("bucket count does not match bounds");
+            out->histograms.push_back(std::move(hist));
+            if (peekIs('}')) {
+                ++pos_;
+                return true;
+            }
+            if (!expect(','))
+                return false;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+void
+writeMetricsJson(std::ostream &out, const MetricsSnapshot &snapshot)
+{
+    out << "{\n  \"counters\": {";
+    for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+        out << (i ? ",\n    " : "\n    ") << '"'
+            << jsonEscape(snapshot.counters[i].first)
+            << "\": " << snapshot.counters[i].second;
+    }
+    out << (snapshot.counters.empty() ? "" : "\n  ") << "},\n";
+
+    out << "  \"gauges\": {";
+    for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+        out << (i ? ",\n    " : "\n    ") << '"'
+            << jsonEscape(snapshot.gauges[i].first)
+            << "\": " << formatDouble(snapshot.gauges[i].second);
+    }
+    out << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n";
+
+    out << "  \"histograms\": {";
+    for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+        const HistogramSnapshot &hist = snapshot.histograms[i];
+        out << (i ? ",\n    " : "\n    ") << '"'
+            << jsonEscape(hist.name) << "\": {\"bounds\": [";
+        for (std::size_t j = 0; j < hist.bounds.size(); ++j)
+            out << (j ? ", " : "") << formatDouble(hist.bounds[j]);
+        out << "], \"buckets\": [";
+        for (std::size_t j = 0; j < hist.buckets.size(); ++j)
+            out << (j ? ", " : "") << hist.buckets[j];
+        out << "], \"count\": " << hist.count
+            << ", \"sum\": " << formatDouble(hist.sum) << "}";
+    }
+    out << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+void
+writeMetricsJson(std::ostream &out)
+{
+    writeMetricsJson(out, snapshotMetrics());
+}
+
+bool
+tryParseMetricsJson(const std::string &text, MetricsSnapshot *out,
+                    std::string *error)
+{
+    MetricsSnapshot parsed;
+    Parser parser(text);
+    if (!parser.parse(&parsed)) {
+        if (error)
+            *error = parser.error();
+        return false;
+    }
+    *out = std::move(parsed);
+    return true;
+}
+
+bool
+tryWriteMetricsFile(const std::string &path, std::string *error)
+{
+    std::ofstream out(path);
+    if (!out) {
+        if (error)
+            *error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    writeMetricsJson(out);
+    out.close();
+    if (!out.good()) {
+        if (error)
+            *error = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace ceer

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <unistd.h>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/strings.h"
@@ -49,11 +50,13 @@ collectProfilesCached(const std::vector<std::string> &models,
         std::string parse_error;
         if (in &&
             ProfileDataset::tryLoadCsv(in, &cached, &parse_error)) {
+            OBS_COUNTER_INC("profile.cache.hits");
             CEER_LOG(Info) << "profile cache hit: " << cache_file;
             return cached;
         }
         // Any malformed byte degrades to a miss: drop the entry and
         // fall through to a fresh (re-)profiling run.
+        OBS_COUNTER_INC("profile.cache.corrupt");
         CEER_LOG(Warn) << "corrupt profile cache entry ("
                        << (parse_error.empty() ? "unreadable"
                                                : parse_error)
@@ -62,6 +65,7 @@ collectProfilesCached(const std::vector<std::string> &models,
         std::filesystem::remove(cache_file, ec);
     }
 
+    OBS_COUNTER_INC("profile.cache.misses");
     ProfileDataset dataset = collectProfiles(models, options);
 
     std::error_code ec;
@@ -89,6 +93,7 @@ collectProfilesCached(const std::vector<std::string> &models,
         std::filesystem::remove(temp, ec);
         return dataset;
     }
+    OBS_COUNTER_INC("profile.cache.writes");
     CEER_LOG(Info) << "profile cache write: " << cache_file;
     // Reload what we just wrote so results are identical whether the
     // cache was cold or warm (the CSV encoding of the running stats

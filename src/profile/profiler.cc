@@ -6,6 +6,8 @@
 #include <set>
 
 #include "models/model_zoo.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "profile/features.h"
 #include "util/csv.h"
 #include "util/logging.h"
@@ -452,9 +454,22 @@ collectProfiles(const std::vector<std::string> &model_names,
     std::vector<RunResult> results(tasks.size());
     auto execute = [&](std::size_t i) {
         const RunTask &task = tasks[i];
+        // The span name is formatted only when observability is on;
+        // recording never feeds back into the run, so the dataset is
+        // byte-identical with obs enabled or disabled.
+        std::optional<obs::ScopedSpan> span;
+        if (obs::enabled())
+            span.emplace(util::format(
+                             "profile %s %s k=%d",
+                             model_names[task.modelIndex].c_str(),
+                             hw::gpuModelName(task.gpu).c_str(),
+                             task.numGpus),
+                         "profile");
+        OBS_TIMER("profile.run_us");
         results[i] = executeRunTask(graphs[task.modelIndex],
                                     model_names[task.modelIndex], task,
                                     options);
+        OBS_COUNTER_INC("profile.runs");
     };
 
     const std::size_t threads =

@@ -1,7 +1,9 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/metrics.h"
 #include "sim/sample_kernel.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -113,6 +115,24 @@ TrainingSimulator::run(int iterations, int threads,
     const std::int64_t first = nextIteration_;
     nextIteration_ += iterations;
 
+    // Wall-clock throughput gauge: the clock is read only while
+    // observability is on, so the disabled path stays untouched (and
+    // recording never feeds back into the simulated times).
+    OBS_COUNTER_ADD("sim.iterations", iterations);
+    std::chrono::steady_clock::time_point wall_start;
+    if (obs::enabled())
+        wall_start = std::chrono::steady_clock::now();
+    const auto publish_rate = [&] {
+        if (!obs::enabled())
+            return;
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        if (seconds > 0.0)
+            OBS_GAUGE_SET("sim.iters_per_sec", iterations / seconds);
+    };
+
     RunStats stats;
     if (observer) {
         // Observers consume an ordered stream of replica-0 op times
@@ -126,6 +146,7 @@ TrainingSimulator::run(int iterations, int threads,
             stats.computeUs.add(result.computeUs);
             stats.commUs.add(result.commUs);
         }
+        publish_rate();
         return stats;
     }
 
@@ -139,6 +160,7 @@ TrainingSimulator::run(int iterations, int threads,
         (iterations + kChunk - 1) / kChunk);
     std::vector<RunStats> parts(chunks);
     auto run_chunk = [&](std::size_t c) {
+        OBS_TIMER("sim.chunk_us");
         Scratch scratch;
         const std::int64_t lo = first + static_cast<std::int64_t>(c) * kChunk;
         const std::int64_t hi =
@@ -170,6 +192,7 @@ TrainingSimulator::run(int iterations, int threads,
         stats.computeUs.merge(part.computeUs);
         stats.commUs.merge(part.commUs);
     }
+    publish_rate();
     return stats;
 }
 

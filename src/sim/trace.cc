@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "obs/trace_sink.h"
 #include "util/strings.h"
 
 namespace ceer {
@@ -29,24 +30,6 @@ IterationTrace::laneTotalUs(int lane) const
 
 namespace {
 
-/** Escapes a string for embedding in a JSON literal. */
-std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size());
-    for (char c : text) {
-        switch (c) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:   out += c; break;
-        }
-    }
-    return out;
-}
-
 const char *
 laneName(int lane)
 {
@@ -63,23 +46,19 @@ laneName(int lane)
 void
 IterationTrace::writeChromeTrace(std::ostream &out) const
 {
+    // The event lines come from the shared obs chrome-trace helpers
+    // (byte-identical to the historical inline formatting; pinned by
+    // TraceTest.ChromeTraceUsesSharedWriter).
     out << "[\n";
     // Thread-name metadata per lane.
-    for (int lane = 0; lane <= 2; ++lane) {
-        out << util::format(
-            "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
-            "\"tid\": %d, \"args\": {\"name\": \"%s\"}},\n",
-            lane, laneName(lane));
-    }
+    for (int lane = 0; lane <= 2; ++lane)
+        obs::chromeThreadNameEvent(out, lane, laneName(lane));
     for (std::size_t i = 0; i < events_.size(); ++i) {
         const TraceEvent &event = events_[i];
-        out << util::format(
-            "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
-            "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}%s\n",
-            jsonEscape(event.name).c_str(),
-            jsonEscape(event.category).c_str(), event.startUs,
-            event.durationUs, event.lane,
-            i + 1 == events_.size() ? "" : ",");
+        obs::chromeCompleteEvent(out, event.name, event.category,
+                                 event.startUs, event.durationUs,
+                                 event.lane,
+                                 i + 1 == events_.size());
     }
     out << "]\n";
 }

@@ -3,8 +3,17 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace ceer {
 namespace util {
+
+void
+ThreadPool::noteEnqueued(std::size_t depth)
+{
+    OBS_COUNTER_INC("threadpool.tasks");
+    OBS_GAUGE_SET("threadpool.queue_depth", depth);
+}
 
 ThreadPool::ThreadPool(std::size_t workers)
 {
@@ -42,6 +51,7 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        OBS_TIMER("threadpool.task_us");
         task();
     }
 }

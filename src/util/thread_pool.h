@@ -72,10 +72,13 @@ class ThreadPool
         auto packaged = std::make_shared<std::packaged_task<Result()>>(
             std::move(task));
         std::future<Result> future = packaged->get_future();
+        std::size_t depth = 0;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             queue_.emplace_back([packaged] { (*packaged)(); });
+            depth = queue_.size();
         }
+        noteEnqueued(depth);
         wake_.notify_one();
         return future;
     }
@@ -100,6 +103,10 @@ class ThreadPool
 
   private:
     void workerLoop();
+
+    /** Observability hook: counts the task and publishes the queue
+     *  depth sampled at enqueue time (no-op while obs is disabled). */
+    static void noteEnqueued(std::size_t depth);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;

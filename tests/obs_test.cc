@@ -1,0 +1,535 @@
+/**
+ * @file
+ * Tests for the observability layer: registry semantics, shard-merge
+ * correctness under contention, snapshot-while-recording safety (the
+ * TSan pass in tools/check.sh runs this binary), disabled-mode no-ops,
+ * the JSON snapshot writer/parser round trip, and the trace sink's
+ * Chrome-format export.
+ *
+ * The registry is process-global, so every test uses names under a
+ * test-unique prefix and resets values it asserts on.
+ */
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+
+namespace ceer {
+namespace obs {
+namespace {
+
+TEST(ObsRegistryTest, SameNameReturnsSameInstance)
+{
+    Counter &a = counter("obs_test.registry.counter");
+    Counter &b = counter("obs_test.registry.counter");
+    EXPECT_EQ(&a, &b);
+
+    Gauge &g1 = gauge("obs_test.registry.gauge");
+    Gauge &g2 = gauge("obs_test.registry.gauge");
+    EXPECT_EQ(&g1, &g2);
+
+    Histogram &h1 = histogram("obs_test.registry.hist");
+    Histogram &h2 = histogram("obs_test.registry.hist");
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST(ObsRegistryTest, CounterAddsAndResetsInPlace)
+{
+    Counter &c = counter("obs_test.registry.add");
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+
+    // reset() zeroes in place: the same reference keeps working.
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.add(7);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(ObsRegistryTest, GaugeKeepsLastWrite)
+{
+    Gauge &g = gauge("obs_test.registry.gauge_rw");
+    g.set(1.5);
+    g.set(-3.25);
+    EXPECT_EQ(g.value(), -3.25);
+    g.reset();
+    EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(ObsRegistryTest, ResetMetricsKeepsReferencesValid)
+{
+    Counter &c = counter("obs_test.registry.global_reset");
+    c.add(5);
+    resetMetrics();
+    EXPECT_EQ(c.value(), 0u);
+    c.add(3);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(ObsHistogramTest, ValuesLandInFirstBucketWithBoundAtLeastValue)
+{
+    Histogram &h =
+        histogram("obs_test.hist.boundaries", {1.0, 2.0, 5.0});
+    h.reset();
+    h.record(0.5); // bucket 0
+    h.record(1.0); // bucket 0 (bound >= value)
+    h.record(1.5); // bucket 1
+    h.record(2.0); // bucket 1
+    h.record(5.0); // bucket 2
+    h.record(7.0); // overflow bucket 3
+    const std::vector<std::uint64_t> expected = {2, 2, 1, 1};
+    EXPECT_EQ(h.bucketCounts(), expected);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 7.0);
+}
+
+TEST(ObsHistogramTest, NanIsIgnored)
+{
+    Histogram &h = histogram("obs_test.hist.nan", {1.0, 10.0});
+    h.reset();
+    h.record(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.count(), 0u);
+    h.record(3.0);
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ObsHistogramTest, FirstCreationWinsOnBounds)
+{
+    Histogram &first =
+        histogram("obs_test.hist.first_wins", {1.0, 2.0});
+    Histogram &second =
+        histogram("obs_test.hist.first_wins", {10.0, 20.0, 30.0});
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(second.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(ObsHistogramTest, DefaultBoundsAreStrictlyIncreasing)
+{
+    const std::vector<double> &bounds = defaultLatencyBoundsUs();
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_LT(bounds[i - 1], bounds[i]);
+    Histogram &h = histogram("obs_test.hist.default_bounds");
+    EXPECT_EQ(h.bounds(), bounds);
+}
+
+// The shard-merge contract: concurrent adds from more threads than
+// shards lose nothing. tools/check.sh runs this under TSan.
+TEST(ObsConcurrencyTest, HammeredCounterAndHistogramMergeExactly)
+{
+    constexpr int kThreads = 16;
+    constexpr int kPerThread = 20'000;
+    Counter &c = counter("obs_test.hammer.counter");
+    Histogram &h = histogram("obs_test.hammer.hist", {10.0, 100.0});
+    c.reset();
+    h.reset();
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&c, &h, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                c.add(1);
+                h.record(static_cast<double>(t % 3) * 50.0);
+            }
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(c.value(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(h.count(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t bucket : h.bucketCounts())
+        bucket_total += bucket;
+    EXPECT_EQ(bucket_total, h.count());
+}
+
+// Snapshots taken while writers are mid-record must be safe (no torn
+// reads, no crashes) and never observe more than was written.
+TEST(ObsConcurrencyTest, SnapshotWhileRecordingIsSafe)
+{
+    constexpr int kWriters = 4;
+    constexpr int kPerThread = 50'000;
+    Counter &c = counter("obs_test.snapshot.live");
+    c.reset();
+
+    std::atomic<bool> done{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; ++t)
+        writers.emplace_back([&c] {
+            for (int i = 0; i < kPerThread; ++i)
+                c.add(1);
+        });
+
+    std::thread reader([&done, &c] {
+        std::uint64_t previous = 0;
+        while (!done.load(std::memory_order_acquire)) {
+            MetricsSnapshot snapshot = snapshotMetrics();
+            const std::uint64_t seen =
+                snapshot.counterValue("obs_test.snapshot.live");
+            EXPECT_GE(seen, previous);
+            EXPECT_LE(seen, static_cast<std::uint64_t>(kWriters) *
+                                kPerThread);
+            previous = seen;
+            (void)c.value();
+        }
+    });
+
+    for (std::thread &writer : writers)
+        writer.join();
+    done.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_EQ(c.value(),
+              static_cast<std::uint64_t>(kWriters) * kPerThread);
+}
+
+TEST(ObsEnabledTest, MacrosAreNoOpsWhileDisabled)
+{
+    ScopedEnable off(false);
+    OBS_COUNTER_INC("obs_test.disabled.counter");
+    OBS_COUNTER_ADD("obs_test.disabled.counter", 10);
+    OBS_GAUGE_SET("obs_test.disabled.gauge", 4.0);
+    OBS_HISTOGRAM_RECORD("obs_test.disabled.hist", 2.0);
+    {
+        OBS_TIMER("obs_test.disabled.timer_us");
+    }
+
+    // The macros never even touched the registry: the names were not
+    // created, not just left at zero.
+    MetricsSnapshot snapshot = snapshotMetrics();
+    for (const auto &[name, value] : snapshot.counters)
+        EXPECT_NE(name, "obs_test.disabled.counter") << value;
+    for (const auto &[name, value] : snapshot.gauges)
+        EXPECT_NE(name, "obs_test.disabled.gauge") << value;
+    EXPECT_EQ(snapshot.findHistogram("obs_test.disabled.hist"),
+              nullptr);
+    EXPECT_EQ(snapshot.findHistogram("obs_test.disabled.timer_us"),
+              nullptr);
+}
+
+TEST(ObsEnabledTest, MacrosRecordWhileEnabled)
+{
+    ScopedEnable on(true);
+    counter("obs_test.enabled.counter").reset();
+    OBS_COUNTER_ADD("obs_test.enabled.counter", 3);
+    OBS_GAUGE_SET("obs_test.enabled.gauge", 2.5);
+    OBS_HISTOGRAM_RECORD("obs_test.enabled.hist", 4.0);
+    {
+        OBS_TIMER("obs_test.enabled.timer_us");
+    }
+
+    MetricsSnapshot snapshot = snapshotMetrics();
+    EXPECT_EQ(snapshot.counterValue("obs_test.enabled.counter"), 3u);
+    EXPECT_EQ(snapshot.gaugeValue("obs_test.enabled.gauge"), 2.5);
+    const HistogramSnapshot *hist =
+        snapshot.findHistogram("obs_test.enabled.hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count, 1u);
+    const HistogramSnapshot *timer =
+        snapshot.findHistogram("obs_test.enabled.timer_us");
+    ASSERT_NE(timer, nullptr);
+    EXPECT_EQ(timer->count, 1u);
+    EXPECT_GE(timer->sum, 0.0);
+}
+
+TEST(ObsEnabledTest, ScopedEnableRestoresPreviousState)
+{
+    const bool before = enabled();
+    {
+        ScopedEnable on(true);
+        EXPECT_TRUE(enabled());
+        {
+            ScopedEnable off(false);
+            EXPECT_FALSE(enabled());
+        }
+        EXPECT_TRUE(enabled());
+    }
+    EXPECT_EQ(enabled(), before);
+}
+
+TEST(ObsTimerTest, ScopedTimerRecordsElapsedMicroseconds)
+{
+    Histogram &h = histogram("obs_test.timer.direct_us");
+    h.reset();
+    {
+        ScopedTimer timer(h);
+    }
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST(ObsSnapshotTest, LookupHelpersHandleAbsentNames)
+{
+    MetricsSnapshot snapshot;
+    EXPECT_EQ(snapshot.counterValue("no.such.counter"), 0u);
+    EXPECT_EQ(snapshot.gaugeValue("no.such.gauge"), 0.0);
+    EXPECT_EQ(snapshot.findHistogram("no.such.hist"), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// JSON snapshot writer / checked parser.
+
+TEST(ObsJsonTest, RoundTripIsExact)
+{
+    MetricsSnapshot snapshot;
+    snapshot.counters = {{"a.count", 0},
+                         {"b.count", 18446744073709551615ull}};
+    snapshot.gauges = {{"a.rate", -0.1},
+                       {"b.rate", 12345.678901234567}};
+    HistogramSnapshot hist;
+    hist.name = "c.latency_us";
+    hist.bounds = {1.0, 2.5, 1e7};
+    hist.buckets = {4, 0, 1, 2};
+    hist.count = 7;
+    hist.sum = 1.0 / 3.0;
+    snapshot.histograms = {hist};
+
+    std::ostringstream out;
+    writeMetricsJson(out, snapshot);
+
+    MetricsSnapshot parsed;
+    std::string error;
+    ASSERT_TRUE(tryParseMetricsJson(out.str(), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed, snapshot);
+}
+
+TEST(ObsJsonTest, EscapedNamesRoundTrip)
+{
+    MetricsSnapshot snapshot;
+    snapshot.counters = {{"weird \"name\"\\with\nescapes\t!", 3}};
+
+    std::ostringstream out;
+    writeMetricsJson(out, snapshot);
+
+    MetricsSnapshot parsed;
+    std::string error;
+    ASSERT_TRUE(tryParseMetricsJson(out.str(), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed, snapshot);
+}
+
+TEST(ObsJsonTest, NonFiniteValuesAreWrittenAsZero)
+{
+    MetricsSnapshot snapshot;
+    snapshot.gauges = {
+        {"inf", std::numeric_limits<double>::infinity()},
+        {"nan", std::numeric_limits<double>::quiet_NaN()}};
+
+    std::ostringstream out;
+    writeMetricsJson(out, snapshot);
+
+    MetricsSnapshot parsed;
+    std::string error;
+    ASSERT_TRUE(tryParseMetricsJson(out.str(), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.gaugeValue("inf"), 0.0);
+    EXPECT_EQ(parsed.gaugeValue("nan"), 0.0);
+}
+
+TEST(ObsJsonTest, RegistrySnapshotRoundTripsThroughWriter)
+{
+    ScopedEnable on(true);
+    counter("obs_test.json.live_counter").reset();
+    counter("obs_test.json.live_counter").add(11);
+    gauge("obs_test.json.live_gauge").set(0.125);
+    Histogram &h = histogram("obs_test.json.live_hist", {1.0, 10.0});
+    h.reset();
+    h.record(0.5);
+    h.record(100.0);
+
+    MetricsSnapshot snapshot = snapshotMetrics();
+    std::ostringstream out;
+    writeMetricsJson(out); // convenience overload snapshots itself
+
+    MetricsSnapshot parsed;
+    std::string error;
+    ASSERT_TRUE(tryParseMetricsJson(out.str(), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.counterValue("obs_test.json.live_counter"), 11u);
+    EXPECT_EQ(parsed.gaugeValue("obs_test.json.live_gauge"), 0.125);
+    const HistogramSnapshot *hist =
+        parsed.findHistogram("obs_test.json.live_hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count, 2u);
+    // The live registry may have moved between the two snapshots
+    // (other tests run in the same process), but everything this test
+    // owns must round-trip exactly.
+    EXPECT_EQ(*hist, *snapshot.findHistogram("obs_test.json.live_hist"));
+}
+
+TEST(ObsJsonTest, ParserRejectsMalformedDocuments)
+{
+    const std::vector<std::string> bad = {
+        "",
+        "{",
+        "[]",
+        "{\"counters\": {}}",
+        "{\"gauges\": {}, \"counters\": {}, \"histograms\": {}}",
+        "{\"counters\": {\"a\": -1}, \"gauges\": {}, "
+        "\"histograms\": {}}",
+        "{\"counters\": {\"a\": 1}, \"gauges\": {}, "
+        "\"histograms\": {}} trailing",
+        // Bucket array must have bounds.size() + 1 entries.
+        "{\"counters\": {}, \"gauges\": {}, \"histograms\": "
+        "{\"h\": {\"bounds\": [1, 2], \"buckets\": [0, 0], "
+        "\"count\": 0, \"sum\": 0}}}",
+        // Unterminated string.
+        "{\"counters\": {\"a: 1}, \"gauges\": {}, "
+        "\"histograms\": {}}",
+    };
+    for (const std::string &text : bad) {
+        MetricsSnapshot out;
+        out.counters = {{"sentinel", 99}};
+        std::string error;
+        EXPECT_FALSE(tryParseMetricsJson(text, &out, &error))
+            << "accepted: " << text;
+        EXPECT_FALSE(error.empty()) << text;
+        // *out untouched on failure.
+        ASSERT_EQ(out.counters.size(), 1u) << text;
+        EXPECT_EQ(out.counters[0].first, "sentinel") << text;
+    }
+}
+
+TEST(ObsJsonTest, WriteMetricsFileReportsUnwritablePath)
+{
+    std::string error;
+    EXPECT_FALSE(tryWriteMetricsFile(
+        "/no/such/directory/metrics.json", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------
+// Trace sink.
+
+TEST(ObsTraceTest, RecordsAndClearsSpans)
+{
+    TraceSink sink;
+    EXPECT_EQ(sink.size(), 0u);
+
+    TraceSpan span;
+    span.name = "work";
+    span.category = "test";
+    span.startUs = 1.0;
+    span.durationUs = 2.0;
+    span.lane = 0;
+    sink.record(span);
+    ASSERT_EQ(sink.size(), 1u);
+    EXPECT_EQ(sink.spans()[0], span);
+
+    sink.clear();
+    EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(ObsTraceTest, ChromeTraceFormatIsWellFormed)
+{
+    TraceSink sink;
+    sink.record({"first \"quoted\"", "cat", 0.5, 10.0, 0});
+    sink.record({"second", "cat", 11.0, 1.5, 1});
+
+    std::ostringstream out;
+    sink.writeChromeTrace(out);
+    const std::string text = out.str();
+
+    EXPECT_EQ(text.front(), '[');
+    EXPECT_EQ(text.substr(text.size() - 2), "]\n");
+    // One thread_name metadata line per lane, in lane order.
+    EXPECT_NE(text.find("\"name\": \"thread_name\", \"ph\": \"M\", "
+                        "\"pid\": 1, \"tid\": 0"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"args\": {\"name\": \"worker 1\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"name\": \"first \\\"quoted\\\"\""),
+              std::string::npos);
+    // The final event line has no trailing comma.
+    EXPECT_NE(text.find("\"tid\": 1}\n]"), std::string::npos);
+}
+
+TEST(ObsTraceTest, ScopedSpanArmsOnlyWhileEnabled)
+{
+    TraceSink &sink = TraceSink::instance();
+    sink.clear();
+    {
+        ScopedEnable off(false);
+        ScopedSpan span("ignored", "test");
+    }
+    EXPECT_EQ(sink.size(), 0u);
+    {
+        ScopedEnable on(true);
+        ScopedSpan span("captured", "test");
+    }
+    ASSERT_EQ(sink.size(), 1u);
+    const TraceSpan recorded = sink.spans()[0];
+    EXPECT_EQ(recorded.name, "captured");
+    EXPECT_EQ(recorded.category, "test");
+    EXPECT_GE(recorded.durationUs, 0.0);
+    sink.clear();
+}
+
+TEST(ObsTraceTest, SpanMacroTracesScope)
+{
+    TraceSink &sink = TraceSink::instance();
+    sink.clear();
+    {
+        ScopedEnable on(true);
+        OBS_SPAN("macro span", "test");
+    }
+    ASSERT_EQ(sink.size(), 1u);
+    EXPECT_EQ(sink.spans()[0].name, "macro span");
+    sink.clear();
+}
+
+TEST(ObsTraceTest, LanesAreStablePerThread)
+{
+    // Lanes are cached per OS thread, so distinctness is only
+    // guaranteed against the process-wide sink every span goes to.
+    TraceSink &sink = TraceSink::instance();
+    const int lane_a = sink.laneForThisThread();
+    EXPECT_EQ(sink.laneForThisThread(), lane_a);
+    int lane_b = -1;
+    std::thread other(
+        [&sink, &lane_b] { lane_b = sink.laneForThisThread(); });
+    other.join();
+    EXPECT_NE(lane_a, lane_b);
+}
+
+TEST(ObsTraceTest, ConcurrentSpansAreAllRecorded)
+{
+    TraceSink &sink = TraceSink::instance();
+    sink.clear();
+    constexpr int kThreads = 8;
+    constexpr int kSpansPerThread = 200;
+    {
+        ScopedEnable on(true);
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t)
+            threads.emplace_back([] {
+                for (int i = 0; i < kSpansPerThread; ++i) {
+                    ScopedSpan span("burst", "test");
+                }
+            });
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+    EXPECT_EQ(sink.size(),
+              static_cast<std::size_t>(kThreads) * kSpansPerThread);
+    sink.clear();
+}
+
+} // namespace
+} // namespace obs
+} // namespace ceer

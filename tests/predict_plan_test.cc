@@ -18,6 +18,7 @@
 #include "core/recommender.h"
 #include "core/trainer.h"
 #include "models/model_zoo.h"
+#include "obs/metrics.h"
 #include "profile/profiler.h"
 
 namespace ceer {
@@ -232,6 +233,68 @@ TEST(ParallelTrainerTest, ByteIdenticalAtAnyThreadCount)
         trainCeer(dataset, options).save(doc);
         EXPECT_EQ(doc.str(), serial_doc.str())
             << "threads=" << threads;
+    }
+}
+
+TEST(ParallelTrainerTest, ByteIdenticalWithObservabilityOn)
+{
+    // Trainer timers and counters must not change the fitted model:
+    // the saved document matches the obs-off run byte for byte at
+    // every thread count.
+    profile::CollectOptions collect;
+    collect.iterations = 12;
+    const profile::ProfileDataset dataset = profile::collectProfiles(
+        {"vgg_11", "inception_v1"}, collect);
+    for (int threads : {1, 2, 4}) {
+        SCOPED_TRACE(threads);
+        TrainOptions options;
+        options.threads = threads;
+        std::stringstream off_doc, on_doc;
+        {
+            obs::ScopedEnable off(false);
+            trainCeer(dataset, options).save(off_doc);
+        }
+        {
+            obs::ScopedEnable on(true);
+            trainCeer(dataset, options).save(on_doc);
+        }
+        EXPECT_EQ(on_doc.str(), off_doc.str());
+    }
+}
+
+TEST(ParallelRecommenderTest, ByteIdenticalWithObservabilityOn)
+{
+    // The recommender's sweep span/timer and winner-margin gauge are
+    // read-only: candidate scores and the winner match the obs-off
+    // sweep bit for bit at every thread count.
+    const CeerPredictor &predictor = cheapPredictor();
+    const Graph g = models::buildModel("inception_v3", 32);
+    const cloud::InstanceCatalog catalog =
+        cloud::InstanceCatalog::awsOnDemand();
+    WorkloadSpec workload{&g, 1'200'000, 32};
+
+    for (int threads : {1, 2, 4}) {
+        SCOPED_TRACE(threads);
+        Recommendation off_r, on_r;
+        {
+            obs::ScopedEnable off(false);
+            off_r = recommend(predictor, workload, catalog.instances(),
+                              Objective::MinCost, Constraints{},
+                              threads);
+        }
+        {
+            obs::ScopedEnable on(true);
+            on_r = recommend(predictor, workload, catalog.instances(),
+                             Objective::MinCost, Constraints{},
+                             threads);
+        }
+        EXPECT_EQ(on_r.bestIndex, off_r.bestIndex);
+        ASSERT_EQ(on_r.evaluations.size(), off_r.evaluations.size());
+        for (std::size_t i = 0; i < off_r.evaluations.size(); ++i) {
+            SCOPED_TRACE(testing::Message() << "candidate " << i);
+            expectEvaluationsIdentical(off_r.evaluations[i],
+                                       on_r.evaluations[i]);
+        }
     }
 }
 

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "profile/profile_cache.h"
 #include "profile/profiler.h"
 
@@ -159,6 +160,47 @@ TEST(ProfileCacheTest, KeyDependsOnSweepConfiguration)
     // Thread count does not change results, so it must not change the
     // key (a cache filled by an 8-thread run serves a 1-thread run).
     EXPECT_EQ(cacheEntryPath(dir, kModels, other_threads), key);
+}
+
+TEST(ProfileCacheTest, CountersTrackHitsMissesAndCorruption)
+{
+    obs::ScopedEnable on(true);
+    obs::resetMetrics();
+    const std::string dir = freshCacheDir("counters");
+    const CollectOptions options = smallOptions();
+    const std::string entry = cacheEntryPath(dir, kModels, options);
+
+    // Cold run: one miss, one write, no hit.
+    collectProfilesCached(kModels, options, dir);
+    {
+        const obs::MetricsSnapshot s = obs::snapshotMetrics();
+        EXPECT_EQ(s.counterValue("profile.cache.misses"), 1u);
+        EXPECT_EQ(s.counterValue("profile.cache.writes"), 1u);
+        EXPECT_EQ(s.counterValue("profile.cache.hits"), 0u);
+        EXPECT_EQ(s.counterValue("profile.cache.corrupt"), 0u);
+    }
+
+    // Warm run: one hit, nothing else moves.
+    collectProfilesCached(kModels, options, dir);
+    EXPECT_EQ(
+        obs::snapshotMetrics().counterValue("profile.cache.hits"), 1u);
+    EXPECT_EQ(
+        obs::snapshotMetrics().counterValue("profile.cache.misses"),
+        1u);
+
+    // Garbled entry: counted corrupt AND a miss (it re-profiles), and
+    // the rewrite bumps the write counter.
+    std::string corrupt = readFile(entry);
+    const std::size_t digit = corrupt.find_first_of(
+        "0123456789", corrupt.find(",gpu,", corrupt.find('\n') + 1));
+    ASSERT_NE(digit, std::string::npos);
+    corrupt[digit] = '#';
+    writeFile(entry, corrupt);
+    collectProfilesCached(kModels, options, dir);
+    const obs::MetricsSnapshot s = obs::snapshotMetrics();
+    EXPECT_EQ(s.counterValue("profile.cache.corrupt"), 1u);
+    EXPECT_EQ(s.counterValue("profile.cache.misses"), 2u);
+    EXPECT_EQ(s.counterValue("profile.cache.writes"), 2u);
 }
 
 TEST(ProfileCacheTest, EmptyCacheDirDisablesCaching)

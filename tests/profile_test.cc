@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "models/model_zoo.h"
+#include "obs/metrics.h"
 #include "profile/features.h"
 #include "profile/profiler.h"
 
@@ -257,6 +258,31 @@ TEST(SeedingTest, ParallelCollectionMatchesSerialByteForByte)
     parallel.saveCsv(parallel_csv);
 
     EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+}
+
+TEST(SeedingTest, CollectionIsByteIdenticalWithObservabilityOn)
+{
+    // The profiler's timers/counters/spans must not perturb results:
+    // obs-on output matches obs-off output byte for byte at every
+    // thread count.
+    CollectOptions options;
+    options.iterations = 12;
+    options.maxGpus = 2;
+    const std::vector<std::string> models = {"alexnet", "vgg_11"};
+    for (int threads : {1, 2, 4}) {
+        SCOPED_TRACE(threads);
+        options.threads = threads;
+        std::stringstream off_csv, on_csv;
+        {
+            obs::ScopedEnable off(false);
+            collectProfiles(models, options).saveCsv(off_csv);
+        }
+        {
+            obs::ScopedEnable on(true);
+            collectProfiles(models, options).saveCsv(on_csv);
+        }
+        EXPECT_EQ(on_csv.str(), off_csv.str());
+    }
 }
 
 TEST(DatasetTest, LoadedDatasetServesIndexedQueries)

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "models/model_zoo.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace ceer {
@@ -203,6 +204,36 @@ TEST(SimulatorTest, ParallelRunIsByteIdenticalToSerial)
         expectStatsBitIdentical(stats.iterationUs, reference.iterationUs);
         expectStatsBitIdentical(stats.computeUs, reference.computeUs);
         expectStatsBitIdentical(stats.commUs, reference.commUs);
+    }
+}
+
+TEST(SimulatorTest, RunIsByteIdenticalWithObservabilityOn)
+{
+    // Instrumentation must never feed back into the computation: the
+    // same run with metrics recording enabled reproduces the disabled
+    // run bit for bit, at every thread count.
+    SimConfig config;
+    config.seed = 4242;
+    config.numGpus = 2;
+    const int iters = 61;
+    for (int threads : {1, 2, 4}) {
+        SCOPED_TRACE(threads);
+        RunStats off_stats, on_stats;
+        {
+            obs::ScopedEnable off(false);
+            TrainingSimulator simulator(inceptionV1(), config);
+            off_stats = simulator.run(iters, threads);
+        }
+        {
+            obs::ScopedEnable on(true);
+            TrainingSimulator simulator(inceptionV1(), config);
+            on_stats = simulator.run(iters, threads);
+        }
+        expectStatsBitIdentical(on_stats.iterationUs,
+                                off_stats.iterationUs);
+        expectStatsBitIdentical(on_stats.computeUs,
+                                off_stats.computeUs);
+        expectStatsBitIdentical(on_stats.commUs, off_stats.commUs);
     }
 }
 

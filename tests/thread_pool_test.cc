@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace ceer {
@@ -81,6 +82,55 @@ TEST(ThreadPoolTest, ParallelForPropagatesExceptions)
                                               "task 37 failed");
                                   }),
                  std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerParallelForPropagatesExceptions)
+{
+    ThreadPool pool(0);
+    EXPECT_THROW(pool.parallelFor(10,
+                                  [](std::size_t i) {
+                                      if (i == 3)
+                                          throw std::runtime_error(
+                                              "serial task failed");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterParallelForThrows)
+{
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.parallelFor(
+                     50,
+                     [](std::size_t i) {
+                         if (i % 10 == 5)
+                             throw std::runtime_error("partial");
+                     }),
+                 std::runtime_error);
+
+    // The failed run must not wedge the workers: the same pool runs a
+    // full clean pass afterwards.
+    std::vector<std::atomic<int>> hits(200);
+    for (auto &hit : hits)
+        hit.store(0);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, TaskCounterTracksSubmissions)
+{
+    obs::ScopedEnable on(true);
+    obs::counter("threadpool.tasks").reset();
+    ThreadPool pool(2);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 5; ++i)
+        futures.push_back(pool.submit([i] { return i; }));
+    for (auto &future : futures)
+        (void)future.get();
+    EXPECT_EQ(
+        obs::snapshotMetrics().counterValue("threadpool.tasks"), 5u);
 }
 
 TEST(ThreadPoolTest, ContendedSharedStateStress)

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "models/model_zoo.h"
+#include "obs/trace_sink.h"
 #include "sim/trace.h"
 
 namespace ceer {
@@ -81,6 +82,32 @@ TEST(TraceTest, ChromeJsonIsWellFormed)
     EXPECT_NE(text.find("synchronization"), std::string::npos);
     // No trailing comma before the closing bracket.
     EXPECT_EQ(text.find(",\n]"), std::string::npos);
+}
+
+TEST(TraceTest, ChromeTraceUsesSharedWriter)
+{
+    // Pins sim::IterationTrace::writeChromeTrace to the shared obs
+    // chrome-trace helpers: a document built event by event from
+    // obs::chromeThreadNameEvent / obs::chromeCompleteEvent must be
+    // byte-identical (the historical inline-formatted output).
+    const IterationTrace trace = sampleTrace();
+    std::ostringstream actual;
+    trace.writeChromeTrace(actual);
+
+    std::ostringstream expected;
+    expected << "[\n";
+    const char *lane_names[] = {"GPU stream", "host (CPU ops)",
+                                "synchronization"};
+    for (int lane = 0; lane <= 2; ++lane)
+        obs::chromeThreadNameEvent(expected, lane, lane_names[lane]);
+    const auto &events = trace.events();
+    for (std::size_t i = 0; i < events.size(); ++i)
+        obs::chromeCompleteEvent(expected, events[i].name,
+                                 events[i].category, events[i].startUs,
+                                 events[i].durationUs, events[i].lane,
+                                 i + 1 == events.size());
+    expected << "]\n";
+    EXPECT_EQ(actual.str(), expected.str());
 }
 
 TEST(TraceTest, CategoriesAreOpTypeNames)

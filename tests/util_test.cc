@@ -579,6 +579,68 @@ TEST(FlagsTest, ParsesAllKinds)
     EXPECT_EQ(flags.positional()[0], "extra");
 }
 
+TEST(FlagsTest, RepeatedFlagLastValueWins)
+{
+    Flags flags;
+    flags.defineInt("iters", 100, "iterations");
+    const char *argv[] = {"prog", "--iters", "10", "--iters=20"};
+    flags.parse(4, const_cast<char **>(argv));
+    EXPECT_EQ(flags.getInt("iters"), 20);
+}
+
+TEST(FlagsTest, UnknownFlagIsFatal)
+{
+    Flags flags;
+    flags.defineInt("iters", 100, "iterations");
+    const char *argv[] = {"prog", "--itres", "10"};
+    EXPECT_DEATH(flags.parse(3, const_cast<char **>(argv)), "itres");
+}
+
+TEST(FlagsTest, MalformedValueIsFatal)
+{
+    Flags flags;
+    flags.defineInt("iters", 100, "iterations");
+    flags.defineDouble("budget", 3.0, "budget");
+    {
+        const char *argv[] = {"prog", "--iters", "ten"};
+        EXPECT_DEATH(flags.parse(3, const_cast<char **>(argv)), "");
+    }
+    {
+        const char *argv[] = {"prog", "--budget=lots"};
+        EXPECT_DEATH(flags.parse(2, const_cast<char **>(argv)), "");
+    }
+}
+
+TEST(FlagsTest, MissingValueIsFatal)
+{
+    Flags flags;
+    flags.defineString("model", "alexnet", "model name");
+    const char *argv[] = {"prog", "--model"};
+    EXPECT_DEATH(flags.parse(2, const_cast<char **>(argv)), "");
+}
+
+TEST(FlagsTest, UndeclaredLookupIsFatal)
+{
+    Flags flags;
+    flags.defineInt("iters", 100, "iterations");
+    EXPECT_DEATH((void)flags.getInt("nope"), "");
+    // Kind mismatch is also a programming error, not a silent cast.
+    EXPECT_DEATH((void)flags.getString("iters"), "");
+}
+
+TEST(FlagsTest, UsageListsFlagsAndDefaults)
+{
+    Flags flags;
+    flags.defineInt("iters", 100, "profiling iterations");
+    flags.defineBool("verbose", false, "verbosity");
+    const std::string usage = flags.usage("prog");
+    EXPECT_NE(usage.find("prog"), std::string::npos);
+    EXPECT_NE(usage.find("--iters"), std::string::npos);
+    EXPECT_NE(usage.find("100"), std::string::npos);
+    EXPECT_NE(usage.find("profiling iterations"), std::string::npos);
+    EXPECT_NE(usage.find("--verbose"), std::string::npos);
+}
+
 } // namespace
 } // namespace util
 } // namespace ceer

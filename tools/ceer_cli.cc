@@ -11,9 +11,16 @@
  *   predict    --ceer-model m --model M --gpu P3 --gpus 4
  *   recommend  --ceer-model m --model M [--objective cost|time]
  *              [--hourly-budget B] [--total-budget B] [--market]
+ *              [--auto-train [--profile-iters N] [--train-models ...]]
  *
  * Every subcommand accepts --help. Model files come from `train` (or
  * the export_profiles example); all state lives in plain text files.
+ *
+ * The pipeline subcommands (profile, train, predict, recommend) also
+ * accept --metrics-out <file> and --trace-out <file>: either switch
+ * turns the observability layer on for the run and writes the metrics
+ * JSON snapshot / Chrome-trace span timeline on exit (see
+ * docs/observability.md).
  */
 
 #include <fstream>
@@ -27,6 +34,8 @@
 #include "graph/summary.h"
 #include "hw/op_cost.h"
 #include "models/model_zoo.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "profile/profiler.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -44,6 +53,55 @@ loadModelFile(const std::string &path)
     if (!in)
         util::fatal("cannot open Ceer model file '" + path + "'");
     return core::CeerModel::load(in);
+}
+
+/** Declares the shared observability flags on a subcommand. */
+void
+defineObsFlags(util::Flags &flags)
+{
+    flags.defineString("metrics-out", "",
+                       "write a metrics JSON snapshot here (enables "
+                       "observability for the run)");
+    flags.defineString("trace-out", "",
+                       "write a Chrome-trace JSON of recorded spans "
+                       "here (enables observability for the run)");
+}
+
+/** Turns recording on before any work when an artifact was asked for. */
+void
+applyObsFlags(const util::Flags &flags)
+{
+    if (!flags.getString("metrics-out").empty() ||
+        !flags.getString("trace-out").empty())
+        obs::setEnabled(true);
+}
+
+/** Writes the requested observability artifacts at end of command. */
+void
+flushObsArtifacts(const util::Flags &flags)
+{
+    std::string error;
+    const std::string metrics = flags.getString("metrics-out");
+    if (!metrics.empty() && !obs::tryWriteMetricsFile(metrics, &error))
+        util::fatal(error);
+    const std::string trace = flags.getString("trace-out");
+    if (!trace.empty() &&
+        !obs::TraceSink::instance().tryWriteFile(trace, &error))
+        util::fatal(error);
+}
+
+/** Comma-separated model names, or the training set when empty. */
+std::vector<std::string>
+modelListOrTrainingSet(const std::string &csv)
+{
+    std::vector<std::string> names = models::trainingSetNames();
+    if (csv.empty())
+        return names;
+    names.clear();
+    for (const auto &name : util::split(csv, ','))
+        if (!name.empty())
+            names.push_back(util::trim(name));
+    return names;
 }
 
 int
@@ -113,16 +171,12 @@ cmdProfile(int argc, char **argv)
     flags.defineString("models", "",
                        "comma-separated CNNs (default: training set)");
     flags.defineString("out", "profiles.csv", "output CSV path");
+    defineObsFlags(flags);
     flags.parse(argc, argv);
+    applyObsFlags(flags);
 
-    std::vector<std::string> names = models::trainingSetNames();
-    if (!flags.getString("models").empty()) {
-        names.clear();
-        for (const auto &name :
-             util::split(flags.getString("models"), ','))
-            if (!name.empty())
-                names.push_back(util::trim(name));
-    }
+    const std::vector<std::string> names =
+        modelListOrTrainingSet(flags.getString("models"));
     profile::CollectOptions options;
     options.iterations = static_cast<int>(flags.getInt("iters"));
     options.batch = flags.getInt("batch");
@@ -138,6 +192,7 @@ cmdProfile(int argc, char **argv)
     std::cout << "wrote " << dataset.ops().size() << " op rows and "
               << dataset.iterations().size() << " iter rows to "
               << flags.getString("out") << "\n";
+    flushObsArtifacts(flags);
     return 0;
 }
 
@@ -151,7 +206,9 @@ cmdTrain(int argc, char **argv)
                     "regression-fit worker threads (1 = serial, 0 = "
                     "one per hardware thread); the trained model is "
                     "byte-identical at any count");
+    defineObsFlags(flags);
     flags.parse(argc, argv);
+    applyObsFlags(flags);
 
     std::ifstream in(flags.getString("profiles"));
     if (!in)
@@ -173,6 +230,7 @@ cmdTrain(int argc, char **argv)
               << " heavy op types, R^2 "
               << util::format("[%.2f, %.2f]", lo, hi) << " -> "
               << flags.getString("out") << "\n";
+    flushObsArtifacts(flags);
     return 0;
 }
 
@@ -186,7 +244,9 @@ cmdPredict(int argc, char **argv)
     flags.defineInt("gpus", 1, "data-parallel width");
     flags.defineInt("batch", 32, "per-GPU batch size");
     flags.defineInt("samples", 1200000, "dataset size");
+    defineObsFlags(flags);
     flags.parse(argc, argv);
+    applyObsFlags(flags);
 
     hw::GpuModel gpu;
     if (!hw::gpuModelFromName(flags.getString("gpu"), gpu))
@@ -206,6 +266,7 @@ cmdPredict(int argc, char **argv)
               << "/iteration, " << prediction.iterations
               << " iterations, "
               << util::format("%.2fh", prediction.hours) << " total\n";
+    flushObsArtifacts(flags);
     return 0;
 }
 
@@ -228,10 +289,40 @@ cmdRecommend(int argc, char **argv)
                     "candidate-sweep worker threads (1 = serial, 0 = "
                     "one per hardware thread); the recommendation is "
                     "byte-identical at any count");
+    flags.defineBool("auto-train", false,
+                     "profile and train in-process instead of loading "
+                     "--ceer-model (exercises the whole pipeline; "
+                     "pair with --metrics-out to observe it)");
+    flags.defineInt("profile-iters", 25,
+                    "profiling iterations per run with --auto-train");
+    flags.defineString("train-models", "",
+                       "comma-separated CNNs to profile with "
+                       "--auto-train (default: training set)");
+    defineObsFlags(flags);
     flags.parse(argc, argv);
+    applyObsFlags(flags);
 
-    const core::CeerPredictor predictor(
-        loadModelFile(flags.getString("ceer-model")));
+    const int threads = static_cast<int>(flags.getInt("threads"));
+    const core::CeerPredictor predictor = [&] {
+        if (!flags.getBool("auto-train"))
+            return core::CeerPredictor(
+                loadModelFile(flags.getString("ceer-model")));
+        // End-to-end path: run the empirical study and fit Ceer right
+        // here, so one command exercises (and can observe) profiler,
+        // trainer, predictor and recommender together.
+        profile::CollectOptions collect;
+        collect.iterations =
+            static_cast<int>(flags.getInt("profile-iters"));
+        collect.batch = flags.getInt("batch");
+        collect.threads = threads;
+        const profile::ProfileDataset dataset = profile::collectProfiles(
+            modelListOrTrainingSet(flags.getString("train-models")),
+            collect);
+        core::TrainOptions train_options;
+        train_options.threads = threads;
+        return core::CeerPredictor(
+            core::trainCeer(dataset, train_options));
+    }();
     const graph::Graph g = models::buildModel(flags.getString("model"),
                                               flags.getInt("batch"));
     cloud::InstanceCatalog catalog =
@@ -255,8 +346,7 @@ cmdRecommend(int argc, char **argv)
             : core::Objective::MinCost;
     const core::Recommendation recommendation =
         core::recommend(predictor, workload, catalog.instances(),
-                        objective, constraints,
-                        static_cast<int>(flags.getInt("threads")));
+                        objective, constraints, threads);
 
     util::TablePrinter table({"instance", "$/hr", "pred time",
                               "pred cost", "feasible"});
@@ -270,6 +360,7 @@ cmdRecommend(int argc, char **argv)
                       evaluation.feasible() ? "yes" : "no"});
     }
     table.print(std::cout);
+    flushObsArtifacts(flags);
     if (recommendation.bestIndex < 0) {
         std::cout << "no instance satisfies the constraints\n";
         return 1;

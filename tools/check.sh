@@ -1,73 +1,157 @@
 #!/usr/bin/env bash
 #
-# CI-style check: Release build + full ctest, microbenchmark smoke
-# runs, a ThreadSanitizer build of the concurrency-sensitive pieces
-# (thread pool, parallel profile collection, iteration-parallel
-# simulation) so data races are caught on every change, and a
-# UBSanitizer build of the serialization boundary (checked parsing,
-# CSV, round-trip and corrupt-input recovery tests).
+# CI-style check driver. Default mode runs four passes:
 #
-# Usage: tools/check.sh [jobs]
+#   release   Release build + full ctest suite
+#   bench     microbenchmark smoke runs (tiny iteration counts)
+#   tsan      ThreadSanitizer build of the concurrency-sensitive pieces
+#             (thread pool, metrics registry, parallel profiling,
+#             iteration-parallel simulation, parallel recommend/train)
+#   ubsan     UBSanitizer build of the serialization/I-O boundary
+#
+# `tools/check.sh coverage` instead builds with -DCEER_COVERAGE=ON,
+# runs the test suite, and summarizes gcov line coverage for src/
+# against the floor in tools/coverage_baseline.txt.
+#
+# Every pass runs even if an earlier one failed; each pass's status is
+# checked explicitly, a one-line PASS/FAIL summary is printed at the
+# end, and the script exits nonzero if ANY pass failed.
+#
+# Usage: tools/check.sh [coverage] [jobs]
 
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
+MODE=all
+if [[ "${1:-}" == "coverage" ]]; then
+    MODE=coverage
+    shift
+fi
 JOBS="${1:-$(nproc)}"
 
-echo "==> Release build + tests"
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+PASS_NAMES=()
+PASS_RESULTS=()
+FAILED=0
 
-echo "==> microbenchmark smoke runs (tiny iteration counts)"
-# The perf-tracking benches must at least run clean and hold their
-# internal determinism checks ('' disables the JSON artifacts; real
-# numbers come from full runs).
-./build/bench/micro_sim --iters 50 --out ''
-./build/bench/micro_profile --iters 5 --out ''
-# micro_ceer's nonzero exit asserts the serial==parallel recommender
-# identity and the compiled-plan-vs-node-walk bit identity.
-./build/bench/micro_ceer --iters 50 --train-iters 10 \
-    --catalog-copies 8 --out ''
+# Runs one named pass (a function) in a `set -e` subshell so the first
+# failing command fails the pass, records PASS/FAIL, and keeps going.
+#
+# The subshell must be a bare statement: putting it in an `if` or `||`
+# condition context would make bash ignore `set -e` inside it and let
+# a pass "succeed" past its first failing command — exactly the
+# swallowed-exit-status bug this helper exists to prevent.
+run_pass() {
+    local name="$1"
+    shift
+    echo
+    echo "==> ${name}"
+    (set -e; "$@")
+    local status=$?
+    if [[ "${status}" -eq 0 ]]; then
+        PASS_NAMES+=("${name}")
+        PASS_RESULTS+=("PASS")
+    else
+        PASS_NAMES+=("${name}")
+        PASS_RESULTS+=("FAIL")
+        FAILED=1
+    fi
+}
 
-echo "==> ThreadSanitizer build (thread pool + parallel collection + parallel sim + parallel predict)"
-cmake -B build-tsan -S . -DCEER_SANITIZE=thread \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j "$JOBS" \
-      --target thread_pool_test profile_test sim_test predict_plan_test
+pass_release() {
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS"
+    ctest --test-dir build --output-on-failure -j "$JOBS"
+}
 
-# Run the TSan binaries directly (ctest discovery would require every
-# test target to be built). TSAN_OPTIONS makes races hard failures.
-export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
-./build-tsan/tests/thread_pool_test
-./build-tsan/tests/profile_test \
-    --gtest_filter='SeedingTest.*:DatasetTest.LoadedDatasetServesIndexedQueries'
-# Exercise the iteration-parallel run() under TSan: chunked fan-out
-# across the thread pool with deterministic merge.
-./build-tsan/tests/sim_test \
-    --gtest_filter='SimulatorTest.ParallelRunIsByteIdenticalToSerial'
-# The parallel recommender sweep (shared PredictPlan memo under
-# concurrent first-touch) and the parallel trainer fits under TSan.
-./build-tsan/tests/predict_plan_test \
-    --gtest_filter='ParallelRecommenderTest.*:ParallelTrainerTest.*:SerialAndParallel/*'
+pass_bench_smoke() {
+    # The perf-tracking benches must at least run clean and hold their
+    # internal determinism checks ('' disables the JSON artifacts;
+    # real numbers come from full runs).
+    ./build/bench/micro_sim --iters 50 --out ''
+    ./build/bench/micro_profile --iters 5 --out ''
+    # micro_ceer's nonzero exit asserts the serial==parallel
+    # recommender identity and the plan-vs-node-walk bit identity.
+    ./build/bench/micro_ceer --iters 50 --train-iters 10 \
+        --catalog-copies 8 --out ''
+    # micro_obs doubles as a smoke test of the --metrics-out plumbing.
+    ./build/bench/micro_obs --ops 100000 --threads 4 --out '' \
+        --metrics-out build/check_obs_metrics.json
+    grep -q obs_bench.counter build/check_obs_metrics.json
+}
 
-echo "==> UndefinedBehaviorSanitizer build (serialization/I-O boundary)"
-cmake -B build-ubsan -S . -DCEER_SANITIZE=undefined \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-ubsan -j "$JOBS" \
-      --target util_test regression_test robustness_test \
-               roundtrip_test profile_cache_test
+pass_tsan() {
+    cmake -B build-tsan -S . -DCEER_SANITIZE=thread \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build build-tsan -j "$JOBS" \
+          --target obs_test thread_pool_test profile_test sim_test \
+                   predict_plan_test
 
-# Checked parsing must be UB-free on adversarial input: overflowing
-# integers, huge exponents, garbled bytes. halt_on_error turns any
-# report into a hard failure.
-export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
-./build-ubsan/tests/util_test --gtest_filter='CsvTest.*:ParseTest.*'
-./build-ubsan/tests/regression_test \
-    --gtest_filter='LinearModelTest.*'
-./build-ubsan/tests/robustness_test \
-    --gtest_filter='CsvRobustnessTest.*:ModelFileTest.*'
-./build-ubsan/tests/roundtrip_test
-./build-ubsan/tests/profile_cache_test
+    # Run the TSan binaries directly (ctest discovery would require
+    # every test target to be built). TSAN_OPTIONS makes races hard
+    # failures.
+    export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+    # The sharded metrics registry: 16-thread hammer, snapshots taken
+    # mid-record, and the span sink under concurrent writers.
+    ./build-tsan/tests/obs_test
+    ./build-tsan/tests/thread_pool_test
+    ./build-tsan/tests/profile_test \
+        --gtest_filter='SeedingTest.*:DatasetTest.LoadedDatasetServesIndexedQueries'
+    # Exercise the iteration-parallel run() under TSan: chunked
+    # fan-out across the thread pool with deterministic merge.
+    ./build-tsan/tests/sim_test \
+        --gtest_filter='SimulatorTest.ParallelRunIsByteIdenticalToSerial:SimulatorTest.RunIsByteIdenticalWithObservabilityOn'
+    # The parallel recommender sweep (shared PredictPlan memo under
+    # concurrent first-touch) and the parallel trainer fits under
+    # TSan, with and without observability.
+    ./build-tsan/tests/predict_plan_test \
+        --gtest_filter='ParallelRecommenderTest.*:ParallelTrainerTest.*:SerialAndParallel/*'
+}
 
-echo "==> all checks passed"
+pass_ubsan() {
+    cmake -B build-ubsan -S . -DCEER_SANITIZE=undefined \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build build-ubsan -j "$JOBS" \
+          --target obs_test util_test regression_test robustness_test \
+                   roundtrip_test profile_cache_test
+
+    # Checked parsing must be UB-free on adversarial input:
+    # overflowing integers, huge exponents, garbled bytes.
+    # halt_on_error turns any report into a hard failure.
+    export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+    ./build-ubsan/tests/obs_test --gtest_filter='ObsJsonTest.*'
+    ./build-ubsan/tests/util_test --gtest_filter='CsvTest.*:ParseTest.*'
+    ./build-ubsan/tests/regression_test \
+        --gtest_filter='LinearModelTest.*'
+    ./build-ubsan/tests/robustness_test \
+        --gtest_filter='CsvRobustnessTest.*:ModelFileTest.*'
+    ./build-ubsan/tests/roundtrip_test
+    ./build-ubsan/tests/profile_cache_test
+}
+
+pass_coverage() {
+    cmake -B build-cov -S . -DCEER_COVERAGE=ON \
+          -DCMAKE_BUILD_TYPE=Debug >/dev/null
+    cmake --build build-cov -j "$JOBS"
+    ctest --test-dir build-cov --output-on-failure -j "$JOBS"
+    python3 tools/coverage_summary.py --build-dir build-cov
+}
+
+if [[ "$MODE" == "coverage" ]]; then
+    run_pass "coverage build + tests + line-coverage floor" pass_coverage
+else
+    run_pass "release build + tests" pass_release
+    run_pass "microbenchmark smoke runs" pass_bench_smoke
+    run_pass "ThreadSanitizer (concurrency-sensitive pieces)" pass_tsan
+    run_pass "UBSanitizer (serialization/I-O boundary)" pass_ubsan
+fi
+
+echo
+echo "==> summary"
+for i in "${!PASS_NAMES[@]}"; do
+    printf '  %-48s %s\n' "${PASS_NAMES[$i]}" "${PASS_RESULTS[$i]}"
+done
+if [[ "$FAILED" -ne 0 ]]; then
+    echo "RESULT: FAIL"
+    exit 1
+fi
+echo "RESULT: PASS"

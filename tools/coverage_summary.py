@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Summarize gcov line coverage for src/ and enforce the baseline.
+
+Drives plain `gcov --json-format` over every .gcda the instrumented
+test run produced (no lcov/gcovr dependency), merges the per-TU
+reports, and prints a per-subsystem and total line-coverage summary
+for files under src/. Exits nonzero when total coverage falls below
+the floor recorded in tools/coverage_baseline.txt, so coverage can
+only ratchet up.
+
+A line is "instrumented" if any translation unit emitted a counter for
+it, and "covered" if any TU observed a nonzero count (headers compiled
+into many TUs count once).
+
+Usage: tools/coverage_summary.py [--build-dir build-cov]
+           [--source-root .] [--baseline tools/coverage_baseline.txt]
+"""
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from collections import defaultdict
+
+
+def find_gcda(build_dir):
+    out = []
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                out.append(os.path.join(root, name))
+    return sorted(out)
+
+
+def merge_gcov_json(report, source_root, instrumented, covered):
+    for entry in report.get("files", []):
+        path = entry.get("file", "")
+        if not os.path.isabs(path):
+            path = os.path.join(source_root, path)
+        path = os.path.realpath(path)
+        src_prefix = os.path.join(source_root, "src") + os.sep
+        if not path.startswith(src_prefix):
+            continue
+        rel = os.path.relpath(path, source_root)
+        for line in entry.get("lines", []):
+            number = line.get("line_number")
+            if number is None:
+                continue
+            instrumented[rel].add(number)
+            if line.get("count", 0) > 0:
+                covered[rel].add(number)
+
+
+def collect_coverage(build_dir, source_root):
+    gcda_files = find_gcda(build_dir)
+    if not gcda_files:
+        sys.exit(
+            f"no .gcda files under {build_dir}; build with "
+            "-DCEER_COVERAGE=ON and run the tests first"
+        )
+    instrumented = defaultdict(set)
+    covered = defaultdict(set)
+    # One gcda at a time in a scratch cwd: gcov names its .gcov.json.gz
+    # after the source basename, so batching could collide.
+    with tempfile.TemporaryDirectory() as scratch:
+        for gcda in gcda_files:
+            result = subprocess.run(
+                ["gcov", "--json-format", os.path.abspath(gcda)],
+                cwd=scratch,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            if result.returncode != 0:
+                print(f"warning: gcov failed on {gcda}", file=sys.stderr)
+            for name in os.listdir(scratch):
+                if not name.endswith(".gcov.json.gz"):
+                    continue
+                full = os.path.join(scratch, name)
+                try:
+                    with gzip.open(full, "rt") as handle:
+                        report = json.load(handle)
+                    merge_gcov_json(
+                        report, source_root, instrumented, covered
+                    )
+                except (OSError, json.JSONDecodeError) as error:
+                    print(
+                        f"warning: unreadable gcov report {name}: {error}",
+                        file=sys.stderr,
+                    )
+                os.remove(full)
+    return instrumented, covered
+
+
+def read_baseline(path):
+    try:
+        with open(path) as handle:
+            for raw in handle:
+                line = raw.split("#", 1)[0].strip()
+                if line:
+                    return float(line)
+    except OSError:
+        pass
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-cov")
+    parser.add_argument("--source-root", default=".")
+    parser.add_argument(
+        "--baseline", default="tools/coverage_baseline.txt"
+    )
+    args = parser.parse_args()
+    source_root = os.path.realpath(args.source_root)
+
+    instrumented, covered = collect_coverage(args.build_dir, source_root)
+
+    per_subsystem = defaultdict(lambda: [0, 0])
+    total_lines = 0
+    total_covered = 0
+    for rel, lines in sorted(instrumented.items()):
+        parts = rel.split(os.sep)
+        subsystem = parts[1] if len(parts) > 2 else parts[-1]
+        hit = len(covered.get(rel, set()))
+        per_subsystem[subsystem][0] += len(lines)
+        per_subsystem[subsystem][1] += hit
+        total_lines += len(lines)
+        total_covered += hit
+
+    print(f"{'subsystem':<12} {'lines':>7} {'covered':>8} {'pct':>7}")
+    for subsystem, (lines, hit) in sorted(per_subsystem.items()):
+        print(
+            f"{subsystem:<12} {lines:>7} {hit:>8} "
+            f"{100.0 * hit / lines:>6.1f}%"
+        )
+    total_pct = 100.0 * total_covered / max(total_lines, 1)
+    print(
+        f"{'TOTAL':<12} {total_lines:>7} {total_covered:>8} "
+        f"{total_pct:>6.1f}%"
+    )
+
+    floor = read_baseline(args.baseline)
+    if floor is None:
+        print(f"no baseline at {args.baseline}; not enforcing a floor")
+        return 0
+    if total_pct < floor:
+        print(
+            f"FAIL: total line coverage {total_pct:.1f}% is below the "
+            f"baseline floor {floor:.1f}% ({args.baseline})"
+        )
+        return 1
+    print(f"OK: total {total_pct:.1f}% >= baseline floor {floor:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
