@@ -68,10 +68,16 @@ main(int argc, char **argv)
 
     const std::int64_t ops = flags.getInt("ops");
     const int threads = static_cast<int>(flags.getInt("threads"));
+    const unsigned hardware = std::thread::hardware_concurrency();
+    // On a single-core host every multi-thread point measures
+    // scheduling, not shard behavior: the sweep still runs, but the
+    // below-serial flag is suppressed and the JSON says so.
+    const bool scaling_meaningful = hardware >= 2;
 
     util::printBanner(std::cout,
                       "micro_obs: metrics hot-path overhead (" +
                           std::to_string(ops) + " ops/loop)");
+    std::cout << "hardware threads: " << hardware << "\n";
 
     std::vector<Row> rows;
     const auto measure = [&](const std::string &name, auto body) {
@@ -95,37 +101,71 @@ main(int argc, char **argv)
     measure("scoped timer", [] { OBS_TIMER("obs_bench.timer_us"); });
 
     // Contended counter: every thread hammers the same counter; the
-    // cache-line-aligned shards keep this close to the single-thread
-    // cost instead of serializing on one line.
-    double contended_ns = 0.0;
+    // cache-line-aligned shards keep the aggregate throughput from
+    // collapsing when threads are added. Swept per thread count so the
+    // scaling trajectory (not just one point) is in the JSON.
+    struct ContendedPoint
+    {
+        int threads;
+        double nsPerOp;        ///< Amortized per-op cost.
+        double opsPerSecond;   ///< Aggregate across all threads.
+        bool belowSerial;      ///< Aggregate fell below 1-thread.
+    };
+    std::vector<int> sweep{1};
+    for (int t = 2; t <= std::max(threads, 1); t *= 2)
+        sweep.push_back(t);
+    std::vector<ContendedPoint> contended;
     {
         obs::ScopedEnable on(true);
         obs::Counter &counter = obs::counter("obs_bench.contended");
-        const std::int64_t per_thread =
-            ops / std::max(threads, 1);
-        const auto start = Clock::now();
-        std::vector<std::thread> hammer;
-        for (int t = 0; t < threads; ++t)
-            hammer.emplace_back([&counter, per_thread] {
-                for (std::int64_t i = 0; i < per_thread; ++i)
-                    counter.add(1);
-            });
-        for (std::thread &thread : hammer)
-            thread.join();
-        const auto elapsed = Clock::now() - start;
-        contended_ns =
-            std::chrono::duration<double, std::nano>(elapsed).count() /
-            static_cast<double>(per_thread * threads);
+        for (int t : sweep) {
+            const std::int64_t per_thread = ops / t;
+            const auto start = Clock::now();
+            std::vector<std::thread> hammer;
+            for (int i = 0; i < t; ++i)
+                hammer.emplace_back([&counter, per_thread] {
+                    for (std::int64_t op = 0; op < per_thread; ++op)
+                        counter.add(1);
+                });
+            for (std::thread &thread : hammer)
+                thread.join();
+            const double seconds =
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count();
+            ContendedPoint point;
+            point.threads = t;
+            point.opsPerSecond =
+                static_cast<double>(per_thread * t) / seconds;
+            point.nsPerOp = seconds * 1e9 /
+                            static_cast<double>(per_thread * t);
+            point.belowSerial =
+                scaling_meaningful && t > 1 &&
+                point.opsPerSecond < contended.front().opsPerSecond;
+            contended.push_back(point);
+        }
     }
+    const double contended_ns = contended.back().nsPerOp;
 
     util::TablePrinter table(
         {"primitive", "enabled ns/op", "disabled ns/op"});
     for (const Row &row : rows)
         table.addRow({row.name, util::format("%.1f", row.enabledNs),
                       util::format("%.1f", row.disabledNs)});
-    table.addRow({util::format("counter add (%d threads)", threads),
-                  util::format("%.1f", contended_ns), "-"});
     table.print(std::cout);
+
+    util::TablePrinter contended_table(
+        {"threads", "ns/op", "Mops/sec"});
+    for (const ContendedPoint &point : contended)
+        contended_table.addRow(
+            {std::to_string(point.threads),
+             util::format("%.1f", point.nsPerOp),
+             util::format("%.1f", point.opsPerSecond / 1e6) +
+                 (point.belowSerial ? " (!)" : "")});
+    contended_table.print(std::cout);
+    if (!scaling_meaningful) {
+        std::cout << "note: single hardware thread; scaling assertions "
+                     "skipped\n";
+    }
 
     const std::string out_path = flags.getString("out");
     if (!out_path.empty()) {
@@ -134,7 +174,14 @@ main(int argc, char **argv)
             std::cerr << "cannot open " << out_path << "\n";
             return 1;
         }
+        int below_serial = 0;
+        for (const ContendedPoint &point : contended)
+            below_serial += point.belowSerial ? 1 : 0;
         out << "{\n  \"bench\": \"micro_obs\",\n  \"ops\": " << ops
+            << ",\n  \"hardware_threads\": " << hardware
+            << ",\n  \"skipped_scaling\": "
+            << (scaling_meaningful ? "false" : "true")
+            << ",\n  \"below_serial_measurements\": " << below_serial
             << ",\n  \"rows\": [\n";
         for (std::size_t i = 0; i < rows.size(); ++i) {
             out << "    {\"name\": \"" << rows[i].name
@@ -143,6 +190,18 @@ main(int argc, char **argv)
                 << ", \"disabled_ns\": "
                 << util::format("%.2f", rows[i].disabledNs) << "}"
                 << (i + 1 < rows.size() ? "," : "") << "\n";
+        }
+        out << "  ],\n  \"contended_scaling\": [\n";
+        for (std::size_t i = 0; i < contended.size(); ++i) {
+            const ContendedPoint &point = contended[i];
+            out << "    {\"threads\": " << point.threads
+                << ", \"ns_per_op\": "
+                << util::format("%.2f", point.nsPerOp)
+                << ", \"ops_per_sec\": "
+                << util::format("%.0f", point.opsPerSecond)
+                << ", \"below_serial\": "
+                << (point.belowSerial ? "true" : "false") << "}"
+                << (i + 1 < contended.size() ? "," : "") << "\n";
         }
         out << "  ],\n  \"contended_counter_ns\": "
             << util::format("%.2f", contended_ns)

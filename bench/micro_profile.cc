@@ -88,6 +88,10 @@ main(int argc, char **argv)
         double speedup;
         bool belowSerial;
     };
+    // On a single-core host every multi-thread point measures
+    // scheduling, not speedup: identity is still checked, but the
+    // below-serial flag is suppressed and the JSON says so.
+    const bool scaling_meaningful = hardware >= 2;
     std::vector<Result> results;
     std::string reference_csv;
     double serial_wall = 0.0;
@@ -120,7 +124,8 @@ main(int argc, char **argv)
         r.wallSeconds = wall;
         r.opsPerSecond = executions / wall;
         r.speedup = serial_wall / wall;
-        r.belowSerial = threads > 1 && r.speedup < 1.0;
+        r.belowSerial =
+            scaling_meaningful && threads > 1 && r.speedup < 1.0;
         results.push_back(r);
         table.addRow({std::to_string(threads),
                       util::format("%.3f", r.wallSeconds),
@@ -140,6 +145,10 @@ main(int argc, char **argv)
         }
     }
     table.print(std::cout);
+    if (!scaling_meaningful) {
+        std::cout << "note: single hardware thread; scaling assertions "
+                     "skipped (identity still enforced)\n";
+    }
 
     const std::string out_path = flags.getString("out");
     if (!out_path.empty()) {
@@ -156,6 +165,8 @@ main(int argc, char **argv)
             << "  \"model\": \"" << model << "\",\n"
             << "  \"iterations\": " << options.iterations << ",\n"
             << "  \"hardware_threads\": " << hardware << ",\n"
+            << "  \"skipped_scaling\": "
+            << (scaling_meaningful ? "false" : "true") << ",\n"
             << "  \"max_threads_swept\": " << max_threads << ",\n"
             << "  \"below_serial_measurements\": " << below_serial
             << ",\n"

@@ -108,10 +108,22 @@ recommend(const CeerPredictor &predictor, const WorkloadSpec &workload,
         for (std::size_t i = 0; i < candidates.size(); ++i)
             evaluate(i);
     } else {
-        // The caller participates in parallelFor, so spawn one fewer
-        // worker than the requested parallelism.
-        util::ThreadPool pool(effective - 1);
-        pool.parallelFor(candidates.size(), evaluate);
+        // One candidate scores in well under a microsecond once the
+        // plan's heavy term is memoized, so per-candidate tasks would
+        // drown in scheduling overhead. The measured-first-chunk
+        // grain controller coarsens the sweep into contiguous blocks
+        // (minGrain keeps the probe itself above timer noise), and
+        // the shared pool's parked workers keep the fan-out cost of
+        // this sub-millisecond section to one wake.
+        util::ParallelOptions parallel;
+        parallel.minGrain = 8;
+        parallel.maxThreads = effective;
+        util::ThreadPool::shared().parallelForRange(
+            candidates.size(), parallel,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i)
+                    evaluate(i);
+            });
     }
 
     for (std::size_t i = 0; i < result.evaluations.size(); ++i) {

@@ -237,10 +237,18 @@ trainCeer(const ProfileDataset &dataset, const TrainOptions &options)
         for (std::size_t i = 0; i < cells.size(); ++i)
             fit_cell(i);
     } else {
-        // The caller participates in parallelFor, so spawn one fewer
-        // worker than the requested parallelism.
-        util::ThreadPool pool(threads - 1);
-        pool.parallelFor(cells.size(), fit_cell);
+        // Regression fits are hundreds of microseconds each; the
+        // static hint keeps the grain at one cell per claim so the
+        // slowest cells still balance across workers.
+        util::ParallelOptions parallel;
+        parallel.costHintUs = 500.0;
+        parallel.maxThreads = threads;
+        util::ThreadPool::shared().parallelForRange(
+            cells.size(), parallel,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i)
+                    fit_cell(i);
+            });
     }
     for (std::size_t i = 0; i < cells.size(); ++i) {
         model.opModels.emplace(std::make_pair(cells[i].gpu,

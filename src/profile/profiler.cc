@@ -478,10 +478,19 @@ collectProfiles(const std::vector<std::string> &model_names,
         for (std::size_t i = 0; i < tasks.size(); ++i)
             execute(i);
     } else {
-        // The caller participates in parallelFor, so spawn one fewer
-        // worker than the requested parallelism.
-        util::ThreadPool pool(threads - 1);
-        pool.parallelFor(tasks.size(), execute);
+        // Profiling runs are multi-millisecond tasks: the static cost
+        // hint keeps the grain at one run per claim (no batching win
+        // to be had), and the shared pool's parked workers make the
+        // fan-out cost independent of how often this is called.
+        util::ParallelOptions parallel;
+        parallel.costHintUs = 2000.0;
+        parallel.maxThreads = threads;
+        util::ThreadPool::shared().parallelForRange(
+            tasks.size(), parallel,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i)
+                    execute(i);
+            });
     }
 
     ProfileDataset dataset;

@@ -182,9 +182,17 @@ TrainingSimulator::run(int iterations, int threads,
         for (std::size_t c = 0; c < chunks; ++c)
             run_chunk(c);
     } else {
-        util::ThreadPool pool(
-            std::min<std::size_t>(effective, chunks) - 1);
-        pool.parallelFor(chunks, run_chunk);
+        // Per-chunk cost is model-dependent (graph size times 32
+        // iterations), so let the scheduler measure the first chunk
+        // and coarsen: small graphs get several statistical chunks
+        // per claim, big graphs stay at one.
+        util::ParallelOptions parallel;
+        parallel.maxThreads = effective;
+        util::ThreadPool::shared().parallelForRange(
+            chunks, parallel, [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t c = lo; c < hi; ++c)
+                    run_chunk(c);
+            });
     }
 
     for (const RunStats &part : parts) {

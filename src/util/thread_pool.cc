@@ -1,19 +1,114 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "obs/metrics.h"
+#include "util/random.h"
 
 namespace ceer {
 namespace util {
 
-void
-ThreadPool::noteEnqueued(std::size_t depth)
+namespace {
+
+/** Identity of the pool worker running the current thread, if any. */
+struct WorkerIdentity
 {
-    OBS_COUNTER_INC("threadpool.tasks");
-    OBS_GAUGE_SET("threadpool.queue_depth", depth);
+    ThreadPool *pool = nullptr;
+    std::size_t index = 0;
+};
+
+thread_local WorkerIdentity tls_worker;
+
+/** Cheap per-thread xorshift step for victim selection. */
+inline std::uint64_t
+nextRandom(std::uint64_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
 }
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// StealDeque
+
+bool
+ThreadPool::StealDeque::push(Task *task)
+{
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    // A stale top only under-reports the free space, never over-
+    // reports it, so a full deque is detected conservatively.
+    if (b - t > kMask)
+        return false;
+    // Release so a thief's acquire load of the same slot sees the
+    // task's bytes (TSan tracks the edge through the slot atomic).
+    slots_[static_cast<std::size_t>(b & kMask)].store(
+        task, std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+}
+
+Task *
+ThreadPool::StealDeque::pop()
+{
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // The seq_cst store-then-load on (bottom_, top_) is the Dekker
+    // handshake with steal(): either this pop sees the thief's top
+    // increment, or the thief sees the reserved bottom.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+        // Empty: undo the reservation.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    Task *task =
+        slots_[static_cast<std::size_t>(b & kMask)].load(
+            std::memory_order_relaxed);
+    if (t == b) {
+        // Last element: race the thieves for it via top_.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_seq_cst))
+            task = nullptr; // a thief won.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return task;
+}
+
+Task *
+ThreadPool::StealDeque::steal()
+{
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b)
+        return nullptr;
+    // Read the candidate before the CAS; the value is only trusted if
+    // the CAS claims index t (a failed CAS discards it, so a slot
+    // being concurrently overwritten by the owner is harmless).
+    Task *task = slots_[static_cast<std::size_t>(t & kMask)].load(
+        std::memory_order_acquire);
+    if (!top_.compare_exchange_strong(t, t + 1,
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst))
+        return nullptr;
+    return task;
+}
+
+bool
+ThreadPool::StealDeque::looksEmpty() const
+{
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------------
+// Pool lifecycle
 
 ThreadPool::ThreadPool(std::size_t workers)
 {
@@ -23,87 +118,67 @@ ThreadPool::ThreadPool(std::size_t workers)
     }
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
 {
+    stop_.store(true, std::memory_order_seq_cst);
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stop_ = true;
+        std::lock_guard<std::mutex> lock(parkMutex_);
+        parkCv_.notify_all();
     }
-    wake_.notify_all();
-    for (std::thread &worker : workers_)
-        worker.join();
-}
-
-void
-ThreadPool::workerLoop()
-{
+    for (std::thread &thread : threads_)
+        thread.join();
+    // Workers drain every queue before exiting; the loop below only
+    // matters for the corner case of tasks enqueued by the last task
+    // a worker ran after its peers had already exited (they must
+    // still run: a submit() future would otherwise never resolve).
     for (;;) {
-        std::function<void()> task;
+        Task *task = nullptr;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock,
-                       [this] { return stop_ || !queue_.empty(); });
-            if (queue_.empty())
-                return; // stop_ set and no work left.
-            task = std::move(queue_.front());
-            queue_.pop_front();
+            std::lock_guard<std::mutex> lock(injectMutex_);
+            if (!inject_.empty()) {
+                task = inject_.front();
+                inject_.pop_front();
+            }
         }
-        OBS_TIMER("threadpool.task_us");
-        task();
+        if (!task) {
+            for (const auto &worker : workers_)
+                if ((task = worker->deque.steal()) != nullptr)
+                    break;
+        }
+        if (!task)
+            break;
+        (*task)();
+        delete task;
+    }
+    // Record the final per-worker task distribution while
+    // observability is on.
+    if (obs::enabled()) {
+        for (const auto &worker : workers_)
+            OBS_HISTOGRAM_RECORD("pool.worker_tasks",
+                                 static_cast<double>(worker->executed));
     }
 }
 
-void
-ThreadPool::parallelFor(std::size_t n,
-                        const std::function<void(std::size_t)> &body)
+ThreadPool &
+ThreadPool::shared()
 {
-    if (n == 0)
-        return;
-    if (workers_.empty() || n == 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            body(i);
-        return;
-    }
-
-    // Shared cursor: each executor claims the next unprocessed index.
-    auto next = std::make_shared<std::atomic<std::size_t>>(0);
-    auto failure = std::make_shared<std::atomic<bool>>(false);
-    auto runRange = [n, next, failure, &body] {
-        std::size_t i;
-        while ((i = next->fetch_add(1)) < n) {
-            if (failure->load(std::memory_order_relaxed))
-                return; // abandon remaining work after a throw.
-            body(i);
-        }
-    };
-
-    const std::size_t helpers = std::min(workers_.size(), n - 1);
-    std::vector<std::future<void>> pending;
-    pending.reserve(helpers);
-    for (std::size_t i = 0; i < helpers; ++i)
-        pending.push_back(submit(runRange));
-
-    std::exception_ptr error;
-    try {
-        runRange();
-    } catch (...) {
-        error = std::current_exception();
-        failure->store(true, std::memory_order_relaxed);
-    }
-    for (std::future<void> &future : pending) {
-        try {
-            future.get();
-        } catch (...) {
-            if (!error)
-                error = std::current_exception();
-            failure->store(true, std::memory_order_relaxed);
-        }
-    }
-    if (error)
-        std::rethrow_exception(error);
+    // Leaked so parked workers never race process teardown; sized to
+    // at least one worker so parallel schedules are exercised (and
+    // testable) even on a single-core host.
+    static ThreadPool *pool = [] {
+        const unsigned hardware = std::thread::hardware_concurrency();
+        const std::size_t workers =
+            hardware > 1 ? static_cast<std::size_t>(hardware - 1) : 1;
+        return new ThreadPool(workers);
+    }();
+    return *pool;
 }
 
 std::size_t
@@ -113,6 +188,350 @@ ThreadPool::effectiveThreads(int requested)
         return static_cast<std::size_t>(requested);
     const unsigned hardware = std::thread::hardware_concurrency();
     return hardware > 0 ? hardware : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+
+void
+ThreadPool::enqueue(Task task, std::size_t wakeCount)
+{
+    OBS_COUNTER_INC("pool.tasks");
+    Task *node = new Task(std::move(task));
+    const WorkerIdentity &self = tls_worker;
+    if (self.pool == this) {
+        // Lock-free local push; overflow spills to the injection
+        // queue rather than blocking the worker.
+        if (!workers_[self.index]->deque.push(node)) {
+            std::lock_guard<std::mutex> lock(injectMutex_);
+            inject_.push_back(node);
+            OBS_GAUGE_SET("pool.queue_depth", inject_.size());
+        }
+    } else {
+        std::lock_guard<std::mutex> lock(injectMutex_);
+        inject_.push_back(node);
+        OBS_GAUGE_SET("pool.queue_depth", inject_.size());
+    }
+    if (wakeCount > 0)
+        wake(wakeCount);
+}
+
+void
+ThreadPool::wake(std::size_t count)
+{
+    // Publish "there is new work" first; parkers announce themselves
+    // before re-validating the epoch, so this store-then-load pair
+    // can never miss a concurrent parker (Dekker pattern).
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (parked_.load(std::memory_order_seq_cst) == 0)
+        return; // everyone is busy: no lock, no notify.
+    std::lock_guard<std::mutex> lock(parkMutex_);
+    if (count == 1)
+        parkCv_.notify_one();
+    else
+        parkCv_.notify_all();
+}
+
+Task *
+ThreadPool::findTask(std::size_t self, std::uint64_t &rngState)
+{
+    // 1. Own deque (newest first: better locality for nested jobs).
+    if (Task *task = workers_[self]->deque.pop())
+        return task;
+    // 2. Injection queue.
+    {
+        std::lock_guard<std::mutex> lock(injectMutex_);
+        if (!inject_.empty()) {
+            Task *task = inject_.front();
+            inject_.pop_front();
+            return task;
+        }
+    }
+    // 3. Steal from victims in a random rotation.
+    const std::size_t n = workers_.size();
+    if (n > 1) {
+        const std::size_t start =
+            static_cast<std::size_t>(nextRandom(rngState) % n);
+        for (std::size_t hop = 0; hop < n; ++hop) {
+            const std::size_t victim = (start + hop) % n;
+            if (victim == self)
+                continue;
+            if (Task *task = workers_[victim]->deque.steal()) {
+                OBS_COUNTER_INC("pool.steals");
+                return task;
+            }
+        }
+    }
+    return nullptr;
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
+{
+    tls_worker.pool = this;
+    tls_worker.index = index;
+    Worker &me = *workers_[index];
+    std::uint64_t rngState = hashMix(0x9E3779B97F4A7C15ull, index + 1);
+
+    // Cached per-worker latency histogram (the OBS_* macros cache per
+    // call site, which would alias every worker onto one histogram).
+    obs::Histogram *myTaskUs = nullptr;
+
+    for (;;) {
+        Task *task = findTask(index, rngState);
+        if (task) {
+            OBS_TIMER("pool.task_us");
+            if (obs::enabled()) {
+                if (myTaskUs == nullptr)
+                    myTaskUs = &obs::histogram(
+                        "pool.worker" + std::to_string(index) +
+                        ".task_us");
+                obs::ScopedTimer timer(*myTaskUs);
+                (*task)();
+            } else {
+                (*task)();
+            }
+            delete task;
+            ++me.executed;
+            continue;
+        }
+
+        // Nothing anywhere: spin briefly (work often arrives in
+        // bursts), then park on the eventcount.
+        bool found = false;
+        for (int spin = 0; spin < 2 && !found; ++spin) {
+            std::this_thread::yield();
+            found = !me.deque.looksEmpty();
+            if (!found) {
+                for (std::size_t v = 0;
+                     v < workers_.size() && !found; ++v)
+                    found = !workers_[v]->deque.looksEmpty();
+            }
+            if (!found) {
+                std::lock_guard<std::mutex> lock(injectMutex_);
+                found = !inject_.empty();
+            }
+        }
+        if (found)
+            continue;
+        if (stop_.load(std::memory_order_acquire))
+            return;
+
+        std::chrono::steady_clock::time_point parkStart;
+        const bool timing = obs::enabled();
+        if (timing)
+            parkStart = std::chrono::steady_clock::now();
+        {
+            std::unique_lock<std::mutex> lock(parkMutex_);
+            // Announce first, then validate: an enqueuer that bumped
+            // the epoch after our last scan is guaranteed to observe
+            // parked_ > 0 (or we observe its epoch bump here).
+            parked_.fetch_add(1, std::memory_order_seq_cst);
+            const std::uint64_t seen =
+                epoch_.load(std::memory_order_seq_cst);
+            OBS_COUNTER_INC("pool.parks");
+            parkCv_.wait(lock, [&] {
+                return epoch_.load(std::memory_order_seq_cst) != seen ||
+                       stop_.load(std::memory_order_acquire);
+            });
+            parked_.fetch_sub(1, std::memory_order_seq_cst);
+        }
+        if (timing) {
+            const double parkedUs =
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - parkStart)
+                    .count();
+            OBS_HISTOGRAM_RECORD("pool.park_us", parkedUs);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parallelFor
+
+namespace {
+
+/** Shared state of one parallelForRange() call. */
+struct ParallelJob
+{
+    std::size_t n = 0;
+    void (*invoke)(void *, std::size_t, std::size_t) = nullptr;
+    void *ctx = nullptr;
+
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> grain{0}; ///< 0 = probing.
+    std::size_t probeItems = 1;
+    std::size_t minGrain = 1;
+    std::size_t maxGrain = 0; ///< 0 = uncapped.
+
+    std::atomic<bool> failed{false};
+    std::mutex errorMutex;
+    std::exception_ptr error;
+
+    /** Executors currently inside run() — the caller waits for 0. */
+    std::atomic<int> active{0};
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+
+    std::size_t clampGrain(double items) const
+    {
+        std::size_t grainItems =
+            items < 1.0 ? 1
+                        : static_cast<std::size_t>(items);
+        if (maxGrain > 0)
+            grainItems = std::min(grainItems, maxGrain);
+        return std::max(grainItems, minGrain);
+    }
+
+    /**
+     * Claims and runs chunks until the range is exhausted or another
+     * executor failed. Safe to call after the owning parallelForRange
+     * returned (late-started helpers see the exhausted cursor and
+     * never touch invoke/ctx).
+     */
+    void run()
+    {
+        active.fetch_add(1, std::memory_order_acq_rel);
+        for (;;) {
+            if (failed.load(std::memory_order_relaxed))
+                break; // abandon remaining chunks after a throw.
+            const std::size_t g =
+                grain.load(std::memory_order_acquire);
+            const std::size_t take = g > 0 ? g : probeItems;
+            const std::size_t lo =
+                cursor.fetch_add(take, std::memory_order_relaxed);
+            if (lo >= n)
+                break;
+            const std::size_t hi = std::min(lo + take, n);
+            try {
+                if (g > 0) {
+                    invoke(ctx, lo, hi);
+                } else {
+                    // Probe: time this chunk and derive the grain
+                    // from the measured per-item cost. First
+                    // publication wins; the measurement is functional
+                    // (not gated on observability) but never feeds
+                    // into the body's results, only into scheduling.
+                    const auto start =
+                        std::chrono::steady_clock::now();
+                    invoke(ctx, lo, hi);
+                    const double chunkUs =
+                        std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+                    const double itemUs = std::max(
+                        chunkUs / static_cast<double>(hi - lo), 1e-4);
+                    const std::size_t measured = clampGrain(
+                        ThreadPool::kTargetChunkUs / itemUs);
+                    std::size_t expected = 0;
+                    if (grain.compare_exchange_strong(
+                            expected, measured,
+                            std::memory_order_acq_rel))
+                        OBS_GAUGE_SET("pool.grain",
+                                      static_cast<double>(measured));
+                }
+            } catch (...) {
+                failed.store(true, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!error)
+                    error = std::current_exception();
+                break;
+            }
+        }
+        if (active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(doneMutex);
+            doneCv.notify_all();
+        }
+    }
+};
+
+} // namespace
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    parallelForRange(n, ParallelOptions{},
+                     [&body](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i)
+                             body(i);
+                     });
+}
+
+void
+ThreadPool::parallelForRangeImpl(std::size_t n,
+                                 const ParallelOptions &options,
+                                 void (*invoke)(void *, std::size_t,
+                                                std::size_t),
+                                 void *ctx)
+{
+    if (n == 0)
+        return;
+    const std::size_t minGrain = std::max<std::size_t>(
+        options.minGrain, 1);
+
+    std::size_t executors = workers_.size() + 1;
+    if (options.maxThreads > 0)
+        executors = std::min(executors, options.maxThreads);
+    // No point spawning helpers that could never claim a chunk.
+    executors = std::min(executors, (n + minGrain - 1) / minGrain);
+
+    if (executors <= 1) {
+        invoke(ctx, 0, n);
+        return;
+    }
+
+    auto job = std::make_shared<ParallelJob>();
+    job->n = n;
+    job->invoke = invoke;
+    job->ctx = ctx;
+    job->minGrain = minGrain;
+    job->maxGrain = options.maxGrain;
+    job->probeItems = minGrain;
+    if (options.costHintUs > 0.0) {
+        // Static grain from the caller's cost model, bounded so each
+        // executor still sees several chunks for load balance.
+        std::size_t grain =
+            job->clampGrain(kTargetChunkUs / options.costHintUs);
+        const std::size_t balance =
+            std::max<std::size_t>(1, n / (executors * 4));
+        grain = std::max(minGrain, std::min(grain, balance));
+        job->grain.store(grain, std::memory_order_relaxed);
+        OBS_GAUGE_SET("pool.grain", static_cast<double>(grain));
+    }
+
+    // Enqueue every helper first, then wake once for the whole batch
+    // (waking per enqueue would thundering-herd the parked workers).
+    const std::size_t helpers = executors - 1;
+    for (std::size_t i = 0; i < helpers; ++i)
+        enqueue(Task([job] { job->run(); }), 0);
+    wake(helpers);
+
+    job->run();
+
+    // Wait until no helper is inside run(). Helpers that were never
+    // scheduled will see the exhausted cursor later and exit without
+    // touching the (by then dead) caller frame; the job outlives them
+    // via shared_ptr.
+    if (job->active.load(std::memory_order_acquire) != 0) {
+        std::unique_lock<std::mutex> lock(job->doneMutex);
+        job->doneCv.wait(lock, [&] {
+            return job->active.load(std::memory_order_acquire) == 0;
+        });
+    }
+    if (job->failed.load(std::memory_order_acquire)) {
+        // Take ownership of the exception before rethrowing: a
+        // straggler helper may drop the job's last reference on a
+        // worker thread much later, and it must not be the one to
+        // destroy the exception object the caller is still examining.
+        std::exception_ptr error;
+        {
+            std::lock_guard<std::mutex> lock(job->errorMutex);
+            std::swap(error, job->error);
+        }
+        if (error)
+            std::rethrow_exception(error);
+    }
 }
 
 } // namespace util

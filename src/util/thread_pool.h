@@ -1,27 +1,47 @@
 /**
  * @file
- * Fixed-size worker pool used to parallelize embarrassingly parallel
- * work (profiling runs, sweeps) without spawning a thread per task.
+ * Work-stealing worker pool used to parallelize the repo's hot sweeps
+ * (profiling runs, simulated iterations, recommender candidates,
+ * trainer fit cells) without spawning a thread per task — or per call.
  *
- * Tasks are arbitrary callables submitted to a shared FIFO queue;
- * submit() returns a std::future for the callable's result. The
- * parallelFor() helper distributes an index range over the workers via
- * an atomic cursor, with the calling thread participating so that a
- * pool of W workers gives W+1-way concurrency and a 0-worker pool
- * degrades to a plain serial loop on the caller.
+ * Scheduler design (see docs/performance.md for the full story):
+ *
+ *  - Each worker owns a fixed-capacity Chase–Lev deque of task
+ *    pointers: the owner pushes and pops at the bottom lock-free,
+ *    thieves CAS the top. External submitters (and deque overflow)
+ *    go through a small mutex-guarded injection queue.
+ *  - Idle workers steal from victims chosen by a per-thread xorshift
+ *    walk; after a few failed scan rounds they park on an eventcount
+ *    (announce-then-validate), so enqueueing while every worker is
+ *    busy costs two uncontended atomics and no notify syscall.
+ *  - parallelForRange() distributes contiguous [lo, hi) chunks through
+ *    a shared claim cursor with an adaptive grain: callers pass a
+ *    static per-item cost hint, or the first chunk is measured and the
+ *    grain derived from it, targeting ~kTargetChunkUs of work per
+ *    claim (bounded so every executor still gets several chunks).
+ *  - ThreadPool::shared() is a leaked process-wide pool so sub-
+ *    millisecond parallel sections (the recommender sweep) reuse
+ *    parked workers instead of paying thread creation per call.
+ *
+ * Work distribution is nondeterministic; every call site keeps its
+ * outputs byte-identical across thread counts by writing to
+ * slot-indexed results and reducing in serial order.
  */
 
 #ifndef CEER_UTIL_THREAD_POOL_H
 #define CEER_UTIL_THREAD_POOL_H
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -31,10 +51,139 @@ namespace ceer {
 namespace util {
 
 /**
- * Fixed worker pool with a shared task queue.
+ * Move-only type-erased callable with small-buffer optimization: the
+ * common wrappers (packaged_task, a shared_ptr to a parallel-for job)
+ * fit inline, so enqueueing does not heap-allocate beyond the task
+ * node itself.
+ */
+class Task
+{
+  public:
+    Task() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, Task>>>
+    Task(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            new (storage_) Fn(std::forward<F>(fn));
+            invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            relocate_ = [](void *from, void *to) {
+                Fn *source = static_cast<Fn *>(from);
+                new (to) Fn(std::move(*source));
+                source->~Fn();
+            };
+            destroy_ = [](void *p) { static_cast<Fn *>(p)->~Fn(); };
+            inline_ = true;
+        } else {
+            heap_ = new Fn(std::forward<F>(fn));
+            invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            destroy_ = [](void *p) { delete static_cast<Fn *>(p); };
+            inline_ = false;
+        }
+    }
+
+    Task(Task &&other) noexcept { moveFrom(other); }
+
+    Task &operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { reset(); }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    void operator()() { invoke_(target()); }
+
+  private:
+    static constexpr std::size_t kInlineBytes = 48;
+
+    void *target()
+    {
+        return inline_ ? static_cast<void *>(storage_) : heap_;
+    }
+
+    void reset()
+    {
+        if (invoke_)
+            destroy_(target());
+        invoke_ = nullptr;
+    }
+
+    void moveFrom(Task &other) noexcept
+    {
+        invoke_ = other.invoke_;
+        relocate_ = other.relocate_;
+        destroy_ = other.destroy_;
+        inline_ = other.inline_;
+        if (!invoke_)
+            return;
+        if (inline_)
+            relocate_(other.storage_, storage_);
+        else
+            heap_ = other.heap_;
+        other.invoke_ = nullptr;
+    }
+
+    union
+    {
+        alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+        void *heap_;
+    };
+    void (*invoke_)(void *) = nullptr;
+    void (*relocate_)(void *, void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+    bool inline_ = false;
+};
+
+/** Tuning knobs for one parallelForRange() call. */
+struct ParallelOptions
+{
+    /**
+     * Estimated cost of one item in microseconds. Positive values set
+     * the grain statically (targeting ~kTargetChunkUs per chunk);
+     * 0 means "unknown" and the first chunk of each executor is
+     * measured until one measurement publishes the grain.
+     */
+    double costHintUs = 0.0;
+
+    /** Never claim fewer items than this per chunk (also the probe
+     *  chunk size while the grain is unmeasured). */
+    std::size_t minGrain = 1;
+
+    /** Never claim more items than this per chunk (0 = no cap beyond
+     *  the load-balance bound). */
+    std::size_t maxGrain = 0;
+
+    /**
+     * Cap on concurrent executors, counting the calling thread
+     * (0 = caller plus every pool worker). Call sites map their
+     * `threads` knobs here; the pool never uses more executors than
+     * it has workers + 1.
+     */
+    std::size_t maxThreads = 0;
+};
+
+/**
+ * Work-stealing worker pool.
  *
- * Thread-safe: submit() and parallelFor() may be called from any
- * thread. The destructor drains outstanding tasks and joins.
+ * Thread-safe: submit() and the parallelFor family may be called from
+ * any thread, including from inside a task running on this pool
+ * (nested parallel sections do not deadlock: the nested caller claims
+ * chunks itself, and abandoned helper tasks exit without touching the
+ * caller's frame). The destructor drains outstanding tasks and joins.
  */
 class ThreadPool
 {
@@ -56,8 +205,19 @@ class ThreadPool
     /** Sentinel for "size the pool from the hardware". */
     static constexpr std::size_t kAutoWorkers = ~std::size_t{0};
 
+    /**
+     * Process-wide pool shared by every parallel call site, created on
+     * first use and intentionally leaked (workers park when idle).
+     * Sized max(1, hardware_concurrency() - 1) so parallel code paths
+     * are exercised even on a single-core host.
+     */
+    static ThreadPool &shared();
+
     /** Number of worker threads (excludes the calling thread). */
     std::size_t workerCount() const { return workers_.size(); }
+
+    /** Target microseconds of work per claimed chunk. */
+    static constexpr double kTargetChunkUs = 100.0;
 
     /**
      * Enqueues @p task for execution on a worker.
@@ -69,31 +229,47 @@ class ThreadPool
     auto submit(F task) -> std::future<std::invoke_result_t<F>>
     {
         using Result = std::invoke_result_t<F>;
-        auto packaged = std::make_shared<std::packaged_task<Result()>>(
-            std::move(task));
-        std::future<Result> future = packaged->get_future();
-        std::size_t depth = 0;
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            queue_.emplace_back([packaged] { (*packaged)(); });
-            depth = queue_.size();
-        }
-        noteEnqueued(depth);
-        wake_.notify_one();
+        std::packaged_task<Result()> packaged(std::move(task));
+        std::future<Result> future = packaged.get_future();
+        enqueue(Task(std::move(packaged)));
         return future;
     }
 
     /**
      * Runs body(i) for every i in [0, n), blocking until all complete.
      *
-     * Indices are claimed from an atomic cursor, so the assignment of
-     * index to thread is nondeterministic — the body must not depend
-     * on execution order. The calling thread executes tasks too.
-     * The first exception thrown by any body is rethrown here (after
-     * all indices finish or are abandoned).
+     * Compatibility per-index form: indices are claimed in contiguous
+     * chunks (adaptive grain, measured from the first chunk), so the
+     * assignment of index to thread is nondeterministic — the body
+     * must not depend on execution order. The calling thread executes
+     * chunks too. The first exception thrown by any body is rethrown
+     * here after every other chunk finishes or is abandoned.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
+
+    /**
+     * Runs body(lo, hi) over disjoint chunks covering [0, n),
+     * blocking until all complete. The preferred form for fine-grained
+     * items: the body amortizes per-chunk scheduling over a tight
+     * local loop. Chunk boundaries are scheduling artifacts — the body
+     * must produce the same result for any partition of [0, n).
+     *
+     * Exceptions: the first exception thrown by any chunk is rethrown
+     * here; chunks not yet claimed when it was thrown are abandoned.
+     */
+    template <typename Body>
+    void parallelForRange(std::size_t n, const ParallelOptions &options,
+                          Body &&body)
+    {
+        using Fn = std::remove_reference_t<Body>;
+        parallelForRangeImpl(
+            n, options,
+            [](void *ctx, std::size_t lo, std::size_t hi) {
+                (*static_cast<Fn *>(ctx))(lo, hi);
+            },
+            std::addressof(body));
+    }
 
     /**
      * Effective parallelism for a requested thread count: @p requested
@@ -102,17 +278,83 @@ class ThreadPool
     static std::size_t effectiveThreads(int requested);
 
   private:
-    void workerLoop();
+    /**
+     * Fixed-capacity Chase–Lev deque of task pointers. push()/pop()
+     * are owner-only and lock-free; steal() may be called by any
+     * thread and races are resolved by a CAS on top_. Orderings are
+     * deliberately seq_cst on the top/bottom counters (no standalone
+     * fences: ThreadSanitizer models atomics, not fences) — task
+     * pointers move at chunk granularity, so the counter traffic is
+     * not a hot path.
+     */
+    class StealDeque
+    {
+      public:
+        static constexpr std::size_t kCapacity = 256; // power of two
 
-    /** Observability hook: counts the task and publishes the queue
-     *  depth sampled at enqueue time (no-op while obs is disabled). */
-    static void noteEnqueued(std::size_t depth);
+        /** Owner only. Returns false when full (caller overflows to
+         *  the injection queue). */
+        bool push(Task *task);
 
-    std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    bool stop_ = false;
+        /** Owner only. Null when empty or lost to a thief. */
+        Task *pop();
+
+        /** Any thread. Null when empty or the race was lost. */
+        Task *steal();
+
+        bool looksEmpty() const;
+
+      private:
+        static constexpr std::int64_t kMask =
+            static_cast<std::int64_t>(kCapacity) - 1;
+
+        alignas(64) std::atomic<std::int64_t> top_{0};
+        alignas(64) std::atomic<std::int64_t> bottom_{0};
+        std::array<std::atomic<Task *>, kCapacity> slots_{};
+    };
+
+    /** Per-worker bookkeeping (the thread plus its deque). */
+    struct Worker
+    {
+        StealDeque deque;
+        std::uint64_t executed = 0; ///< Tasks run (worker-local).
+    };
+
+    void workerLoop(std::size_t index);
+
+    /** Takes one task from anywhere: own deque (workers), the
+     *  injection queue, or a victim's deque. */
+    Task *findTask(std::size_t self, std::uint64_t &rngState);
+
+    /** Moves @p task into the scheduler (local deque when called from
+     *  a worker of this pool, else the injection queue) and wakes up
+     *  to @p wake parked workers. */
+    void enqueue(Task task, std::size_t wake = 1);
+
+    void parallelForRangeImpl(std::size_t n,
+                              const ParallelOptions &options,
+                              void (*invoke)(void *, std::size_t,
+                                             std::size_t),
+                              void *ctx);
+
+    /** Wakes up to @p count parked workers (cheap no-op when none). */
+    void wake(std::size_t count);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    // External submissions and deque overflow.
+    std::mutex injectMutex_;
+    std::deque<Task *> inject_;
+
+    // Eventcount: workers announce themselves in parked_ under
+    // parkMutex_, then validate epoch_ before sleeping; enqueuers bump
+    // epoch_ first and only lock when parked_ says someone is waiting.
+    std::mutex parkMutex_;
+    std::condition_variable parkCv_;
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<std::size_t> parked_{0};
+    std::atomic<bool> stop_{false};
 };
 
 } // namespace util

@@ -197,7 +197,7 @@ TEST(ParallelRecommenderTest, ByteIdenticalAtAnyThreadCount)
     const Recommendation serial =
         recommend(predictor, workload, catalog.instances(),
                   Objective::MinCost, Constraints{}, /*threads=*/1);
-    for (int threads : {2, 4}) {
+    for (int threads : {2, 4, 8}) {
         const Recommendation parallel =
             recommend(predictor, workload, catalog.instances(),
                       Objective::MinCost, Constraints{}, threads);
@@ -226,7 +226,7 @@ TEST(ParallelTrainerTest, ByteIdenticalAtAnyThreadCount)
     std::stringstream serial_doc;
     trainCeer(dataset, serial_options).save(serial_doc);
 
-    for (int threads : {2, 4, 0}) {
+    for (int threads : {2, 4, 8, 0}) {
         TrainOptions options;
         options.threads = threads;
         std::stringstream doc;

@@ -269,7 +269,7 @@ TEST(SeedingTest, CollectionIsByteIdenticalWithObservabilityOn)
     options.iterations = 12;
     options.maxGpus = 2;
     const std::vector<std::string> models = {"alexnet", "vgg_11"};
-    for (int threads : {1, 2, 4}) {
+    for (int threads : {1, 2, 4, 8}) {
         SCOPED_TRACE(threads);
         options.threads = threads;
         std::stringstream off_csv, on_csv;

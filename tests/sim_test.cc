@@ -197,7 +197,7 @@ TEST(SimulatorTest, ParallelRunIsByteIdenticalToSerial)
     const int iters = 97; // deliberately not a multiple of the chunk
     TrainingSimulator serial(inceptionV1(), config);
     const RunStats reference = serial.run(iters, 1);
-    for (int threads : {2, 4}) {
+    for (int threads : {2, 4, 8}) {
         TrainingSimulator parallel(inceptionV1(), config);
         const RunStats stats = parallel.run(iters, threads);
         SCOPED_TRACE(threads);

@@ -13,11 +13,18 @@
 # runs the test suite, and summarizes gcov line coverage for src/
 # against the floor in tools/coverage_baseline.txt.
 #
+# `tools/check.sh scaling` runs the full micro benches and fails on
+# any below-serial scaling row. On a multi-core host a parallel path
+# running slower than serial is a scheduler regression, full stop; on
+# a single-core host the benches mark the run "skipped_scaling" and
+# the pass only verifies they said so (identity is still enforced by
+# the benches' own exit codes).
+#
 # Every pass runs even if an earlier one failed; each pass's status is
 # checked explicitly, a one-line PASS/FAIL summary is printed at the
 # end, and the script exits nonzero if ANY pass failed.
 #
-# Usage: tools/check.sh [coverage] [jobs]
+# Usage: tools/check.sh [coverage|scaling] [jobs]
 
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -25,6 +32,9 @@ cd "$(dirname "$0")/.."
 MODE=all
 if [[ "${1:-}" == "coverage" ]]; then
     MODE=coverage
+    shift
+elif [[ "${1:-}" == "scaling" ]]; then
+    MODE=scaling
     shift
 fi
 JOBS="${1:-$(nproc)}"
@@ -128,6 +138,60 @@ pass_ubsan() {
     ./build-ubsan/tests/profile_cache_test
 }
 
+pass_scaling() {
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS" \
+          --target micro_sim micro_profile micro_ceer micro_obs
+    mkdir -p build/scaling
+    ./build/bench/micro_sim --out build/scaling/BENCH_sim.json
+    ./build/bench/micro_profile --out build/scaling/BENCH_profile.json
+    ./build/bench/micro_ceer --out build/scaling/BENCH_ceer.json
+    ./build/bench/micro_obs --out build/scaling/BENCH_obs.json
+
+    # On >= 2 hardware threads any below-serial row is a hard failure
+    # and the recommender sweep must clear 1.5x at 2 threads; on one
+    # hardware thread the benches must have declared the scaling
+    # numbers meaningless instead of reporting them as regressions.
+    python3 - <<'EOF'
+import json, os, sys
+
+multi_core = (os.cpu_count() or 1) >= 2
+failures = []
+for name in ("sim", "profile", "ceer", "obs"):
+    path = f"build/scaling/BENCH_{name}.json"
+    with open(path) as f:
+        doc = json.load(f)
+    skipped = doc.get("skipped_scaling")
+    below = doc.get("below_serial_measurements")
+    if multi_core:
+        if skipped is not False:
+            failures.append(f"{path}: skipped_scaling={skipped!r} "
+                            "on a multi-core host")
+        if below != 0:
+            failures.append(f"{path}: {below} below-serial scaling "
+                            "row(s)")
+    elif skipped is not True:
+        failures.append(f"{path}: single-core host but "
+                        f"skipped_scaling={skipped!r}")
+
+if multi_core:
+    with open("build/scaling/BENCH_ceer.json") as f:
+        ceer = json.load(f)
+    two = [r for r in ceer["recommender_sweep"] if r["threads"] == 2]
+    if not two:
+        failures.append("BENCH_ceer.json: no 2-thread sweep row")
+    elif two[0]["speedup"] < 1.5:
+        failures.append("BENCH_ceer.json: recommender speedup at 2 "
+                        f"threads is {two[0]['speedup']:.2f}x (< 1.5x)")
+
+for failure in failures:
+    print(f"FAIL: {failure}")
+if failures:
+    sys.exit(1)
+print(f"scaling gate clean (multi_core={multi_core})")
+EOF
+}
+
 pass_coverage() {
     cmake -B build-cov -S . -DCEER_COVERAGE=ON \
           -DCMAKE_BUILD_TYPE=Debug >/dev/null
@@ -138,6 +202,8 @@ pass_coverage() {
 
 if [[ "$MODE" == "coverage" ]]; then
     run_pass "coverage build + tests + line-coverage floor" pass_coverage
+elif [[ "$MODE" == "scaling" ]]; then
+    run_pass "micro-bench scaling gate (below-serial rows)" pass_scaling
 else
     run_pass "release build + tests" pass_release
     run_pass "microbenchmark smoke runs" pass_bench_smoke
