@@ -232,6 +232,16 @@ ThreadPool::wake(std::size_t count)
         parkCv_.notify_all();
 }
 
+bool
+ThreadPool::pendingWork()
+{
+    for (const auto &worker : workers_)
+        if (!worker->deque.looksEmpty())
+            return true;
+    std::lock_guard<std::mutex> lock(injectMutex_);
+    return !inject_.empty();
+}
+
 Task *
 ThreadPool::findTask(std::size_t self, std::uint64_t &rngState)
 {
@@ -301,16 +311,7 @@ ThreadPool::workerLoop(std::size_t index)
         bool found = false;
         for (int spin = 0; spin < 2 && !found; ++spin) {
             std::this_thread::yield();
-            found = !me.deque.looksEmpty();
-            if (!found) {
-                for (std::size_t v = 0;
-                     v < workers_.size() && !found; ++v)
-                    found = !workers_[v]->deque.looksEmpty();
-            }
-            if (!found) {
-                std::lock_guard<std::mutex> lock(injectMutex_);
-                found = !inject_.empty();
-            }
+            found = pendingWork();
         }
         if (found)
             continue;
@@ -319,24 +320,38 @@ ThreadPool::workerLoop(std::size_t index)
 
         std::chrono::steady_clock::time_point parkStart;
         const bool timing = obs::enabled();
+        bool parkedForReal = false;
         if (timing)
             parkStart = std::chrono::steady_clock::now();
         {
             std::unique_lock<std::mutex> lock(parkMutex_);
-            // Announce first, then validate: an enqueuer that bumped
-            // the epoch after our last scan is guaranteed to observe
-            // parked_ > 0 (or we observe its epoch bump here).
+            // Eventcount prepare-wait: announce, snapshot the epoch,
+            // THEN re-validate the queues. The snapshot-before-scan
+            // order is what closes the lost-wakeup window: for any
+            // enqueue racing with this park, either its epoch bump is
+            // ordered after `seen` (the wait predicate fires without a
+            // notify), or the bump is ordered before `seen` — in which
+            // case reading the bumped epoch synchronizes-with the
+            // enqueuer, its push happens-before the scan below, and we
+            // bail out instead of sleeping on a queued task.
             parked_.fetch_add(1, std::memory_order_seq_cst);
             const std::uint64_t seen =
                 epoch_.load(std::memory_order_seq_cst);
-            OBS_COUNTER_INC("pool.parks");
-            parkCv_.wait(lock, [&] {
-                return epoch_.load(std::memory_order_seq_cst) != seen ||
-                       stop_.load(std::memory_order_acquire);
-            });
-            parked_.fetch_sub(1, std::memory_order_seq_cst);
+            if (pendingWork() ||
+                stop_.load(std::memory_order_acquire)) {
+                parked_.fetch_sub(1, std::memory_order_seq_cst);
+            } else {
+                parkedForReal = true;
+                OBS_COUNTER_INC("pool.parks");
+                parkCv_.wait(lock, [&] {
+                    return epoch_.load(std::memory_order_seq_cst) !=
+                               seen ||
+                           stop_.load(std::memory_order_acquire);
+                });
+                parked_.fetch_sub(1, std::memory_order_seq_cst);
+            }
         }
-        if (timing) {
+        if (timing && parkedForReal) {
             const double parkedUs =
                 std::chrono::duration<double, std::micro>(
                     std::chrono::steady_clock::now() - parkStart)
@@ -432,6 +447,19 @@ struct ParallelJob
                 }
             } catch (...) {
                 failed.store(true, std::memory_order_relaxed);
+                // Exhaust the cursor so late-starting helpers are
+                // gated by their claim fetch_add — an RMW that always
+                // observes this advance — rather than by the relaxed
+                // `failed` flag, whose stale value could otherwise let
+                // a helper claim lo < n after the caller has rethrown
+                // and destroyed the frame behind invoke/ctx.
+                std::size_t cur =
+                    cursor.load(std::memory_order_relaxed);
+                while (cur < n &&
+                       !cursor.compare_exchange_weak(
+                           cur, n, std::memory_order_seq_cst,
+                           std::memory_order_relaxed)) {
+                }
                 std::lock_guard<std::mutex> lock(errorMutex);
                 if (!error)
                     error = std::current_exception();
@@ -486,16 +514,18 @@ ThreadPool::parallelForRangeImpl(std::size_t n,
     job->invoke = invoke;
     job->ctx = ctx;
     job->minGrain = minGrain;
-    job->maxGrain = options.maxGrain;
+    // Bound every grain decision — static hint and measured probe
+    // alike — so each executor still sees several chunks for load
+    // balance (minGrain stays a hard floor via clampGrain).
+    const std::size_t balance =
+        std::max<std::size_t>(1, n / (executors * 4));
+    job->maxGrain = options.maxGrain > 0
+                        ? std::min(options.maxGrain, balance)
+                        : balance;
     job->probeItems = minGrain;
     if (options.costHintUs > 0.0) {
-        // Static grain from the caller's cost model, bounded so each
-        // executor still sees several chunks for load balance.
-        std::size_t grain =
+        const std::size_t grain =
             job->clampGrain(kTargetChunkUs / options.costHintUs);
-        const std::size_t balance =
-            std::max<std::size_t>(1, n / (executors * 4));
-        grain = std::max(minGrain, std::min(grain, balance));
         job->grain.store(grain, std::memory_order_relaxed);
         OBS_GAUGE_SET("pool.grain", static_cast<double>(grain));
     }

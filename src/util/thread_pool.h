@@ -192,7 +192,8 @@ class ThreadPool
      * @param workers Worker thread count. kAutoWorkers picks
      *                hardware_concurrency() - 1 (the caller counts as
      *                one executor via parallelFor); 0 creates no
-     *                threads and makes parallelFor a serial loop.
+     *                threads, makes parallelFor a serial loop, and
+     *                runs submit() tasks inline on the caller.
      */
     explicit ThreadPool(std::size_t workers = kAutoWorkers);
 
@@ -220,7 +221,10 @@ class ThreadPool
     static constexpr double kTargetChunkUs = 100.0;
 
     /**
-     * Enqueues @p task for execution on a worker.
+     * Enqueues @p task for execution on a worker. A pool with no
+     * workers runs the task inline on the calling thread instead —
+     * otherwise the returned future could only resolve in the
+     * destructor's drain, and future::get() would deadlock.
      *
      * @return Future for the task's result; exceptions thrown by the
      *         task surface from future::get().
@@ -231,7 +235,10 @@ class ThreadPool
         using Result = std::invoke_result_t<F>;
         std::packaged_task<Result()> packaged(std::move(task));
         std::future<Result> future = packaged.get_future();
-        enqueue(Task(std::move(packaged)));
+        if (workers_.empty())
+            packaged(); // captures exceptions into the future.
+        else
+            enqueue(Task(std::move(packaged)));
         return future;
     }
 
@@ -326,6 +333,10 @@ class ThreadPool
      *  injection queue, or a victim's deque. */
     Task *findTask(std::size_t self, std::uint64_t &rngState);
 
+    /** True when any deque or the injection queue looks non-empty
+     *  (racy by nature; used by the spin and park re-validation). */
+    bool pendingWork();
+
     /** Moves @p task into the scheduler (local deque when called from
      *  a worker of this pool, else the injection queue) and wakes up
      *  to @p wake parked workers. */
@@ -347,9 +358,10 @@ class ThreadPool
     std::mutex injectMutex_;
     std::deque<Task *> inject_;
 
-    // Eventcount: workers announce themselves in parked_ under
-    // parkMutex_, then validate epoch_ before sleeping; enqueuers bump
-    // epoch_ first and only lock when parked_ says someone is waiting.
+    // Eventcount: under parkMutex_, workers announce in parked_,
+    // snapshot epoch_, re-validate the queues, and only then sleep on
+    // "epoch_ moved past the snapshot"; enqueuers bump epoch_ first
+    // and only lock/notify when parked_ says someone is waiting.
     std::mutex parkMutex_;
     std::condition_variable parkCv_;
     std::atomic<std::uint64_t> epoch_{0};

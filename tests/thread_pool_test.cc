@@ -6,6 +6,8 @@
  */
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <mutex>
 #include <numeric>
 #include <set>
@@ -307,6 +309,88 @@ TEST(ThreadPoolTest, SchedulerMetricsAreObservable)
     EXPECT_GT(snapshot.counterValue("pool.tasks"), 0u);
     EXPECT_GT(snapshot.gaugeValue("pool.grain"), 0.0);
     EXPECT_NE(snapshot.findHistogram("pool.worker_tasks"), nullptr);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerSubmitRunsInline)
+{
+    // With no workers a submitted task must still execute (inline on
+    // the caller): queueing it would deadlock future.get() until the
+    // destructor's drain.
+    ThreadPool pool(0);
+    auto future = pool.submit([] { return 42; });
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get(), 42);
+    auto failing = pool.submit(
+        []() -> int { throw std::runtime_error("inline boom"); });
+    EXPECT_THROW(failing.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitWakeupIsNeverLost)
+{
+    // Regression for a lost-wakeup race in the park protocol: a task
+    // enqueued between a worker's final queue scan and its parked_
+    // announcement was folded into the worker's epoch snapshot, so it
+    // slept on a non-empty queue and the future never resolved. A
+    // single worker maximizes park/unpark round trips; every future
+    // must resolve promptly.
+    ThreadPool pool(1);
+    for (int i = 0; i < 3000; ++i) {
+        auto future = pool.submit([i] { return i; });
+        ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready)
+            << "submission " << i << " was lost by the scheduler";
+        ASSERT_EQ(future.get(), i);
+    }
+}
+
+TEST(ThreadPoolTest, ExceptionExhaustsCursorBeforeRethrow)
+{
+    // Regression for a use-after-free window: helpers that start
+    // after the caller rethrew must be gated by the claim cursor (an
+    // RMW), not by relaxed visibility of the failure flag. Tight
+    // repeated sections keep stale helper tasks in flight while the
+    // next iteration reuses the stack frame; TSan (tools/check.sh)
+    // flags any touch of a dead frame.
+    ThreadPool pool(4);
+    for (int round = 0; round < 200; ++round) {
+        std::atomic<std::size_t> executed{0};
+        ParallelOptions options;
+        options.costHintUs = 0.01;
+        try {
+            pool.parallelForRange(
+                10'000, options,
+                [&](std::size_t lo, std::size_t hi) {
+                    if (lo == 0)
+                        throw std::runtime_error("poisoned chunk");
+                    executed.fetch_add(hi - lo);
+                });
+            FAIL() << "expected the exception to propagate";
+        } catch (const std::runtime_error &) {
+        }
+        EXPECT_LE(executed.load(), 10'000u);
+    }
+}
+
+TEST(ThreadPoolTest, MeasuredGrainHonorsBalanceCap)
+{
+    obs::ScopedEnable on(true);
+    ThreadPool pool(3); // 4 executors with the caller
+    constexpr std::size_t kN = 1600;
+    // Near-free items: an uncapped measured grain would cover the
+    // whole remaining range in one chunk, serializing the sweep after
+    // the probe. The published grain must respect the per-executor
+    // balance bound n / (executors * 4) even with maxGrain unset.
+    std::atomic<std::size_t> total{0};
+    pool.parallelForRange(kN, ParallelOptions{},
+                          [&](std::size_t lo, std::size_t hi) {
+                              total.fetch_add(hi - lo);
+                          });
+    EXPECT_EQ(total.load(), kN);
+    const double grain =
+        obs::snapshotMetrics().gaugeValue("pool.grain");
+    EXPECT_GT(grain, 0.0);
+    EXPECT_LE(grain, static_cast<double>(kN / (4 * 4)));
 }
 
 TEST(ThreadPoolTest, ContendedSharedStateStress)
