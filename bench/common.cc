@@ -1,6 +1,7 @@
 #include "bench/common.h"
 
 #include <cstdio>
+#include <fstream>
 
 #include "core/trainer.h"
 #include "models/model_zoo.h"
@@ -136,6 +137,128 @@ observedIterationUs(const graph::Graph &g, hw::GpuModel gpu, int k,
     sim_config.seed = config.seed ^ (0xABCDEF1234ull + salt * 7919);
     sim::TrainingSimulator simulator(g, sim_config);
     return simulator.run(config.evalIterations).iterationUs.mean();
+}
+
+namespace {
+/** JSON string escaping (quotes, backslashes, control bytes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string escaped;
+    escaped.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': escaped += "\\\""; break;
+        case '\\': escaped += "\\\\"; break;
+        case '\n': escaped += "\\n"; break;
+        case '\t': escaped += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                escaped += util::format("\\u%04x", c);
+            else
+                escaped += c;
+        }
+    }
+    return escaped;
+}
+} // namespace
+
+JsonObject &
+JsonObject::str(const std::string &key, const std::string &value)
+{
+    fields_.push_back({key, "\"" + jsonEscape(value) + "\"", {}, false});
+    return *this;
+}
+
+JsonObject &
+JsonObject::num(const std::string &key, std::int64_t value)
+{
+    fields_.push_back({key, std::to_string(value), {}, false});
+    return *this;
+}
+
+JsonObject &
+JsonObject::num(const std::string &key, double value, const char *fmt)
+{
+    fields_.push_back({key, util::format(fmt, value), {}, false});
+    return *this;
+}
+
+JsonObject &
+JsonObject::boolean(const std::string &key, bool value)
+{
+    fields_.push_back(
+        {key, value ? std::string("true") : std::string("false"), {},
+         false});
+    return *this;
+}
+
+JsonObject &
+JsonObject::array(const std::string &key, std::vector<JsonObject> rows)
+{
+    Field field;
+    field.key = key;
+    field.rows = std::move(rows);
+    field.isArray = true;
+    fields_.push_back(std::move(field));
+    return *this;
+}
+
+void
+JsonObject::writeCompact(std::ostream &out) const
+{
+    out << "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+        out << "\"" << fields_[i].key << "\": " << fields_[i].scalar
+            << (i + 1 < fields_.size() ? ", " : "");
+    }
+    out << "}";
+}
+
+void
+JsonObject::write(std::ostream &out) const
+{
+    out << "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+        const Field &field = fields_[i];
+        out << "  \"" << field.key << "\": ";
+        if (field.isArray) {
+            out << "[\n";
+            for (std::size_t r = 0; r < field.rows.size(); ++r) {
+                out << "    ";
+                field.rows[r].writeCompact(out);
+                out << (r + 1 < field.rows.size() ? "," : "") << "\n";
+            }
+            out << "  ]";
+        } else {
+            out << field.scalar;
+        }
+        out << (i + 1 < fields_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+}
+
+void
+addScalingFields(JsonObject &doc, unsigned hardwareThreads,
+                 bool scalingMeaningful)
+{
+    doc.num("hardware_threads", hardwareThreads);
+    doc.boolean("skipped_scaling", !scalingMeaningful);
+}
+
+bool
+writeBenchJson(const std::string &path, const JsonObject &doc)
+{
+    if (path.empty())
+        return true;
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot open " << path << "\n";
+        return false;
+    }
+    doc.write(out);
+    std::cout << "wrote " << path << "\n";
+    return true;
 }
 
 int

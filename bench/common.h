@@ -124,6 +124,64 @@ void setMetricsOut(const std::string &path);
  */
 void flushBenchMetrics();
 
+/**
+ * Insertion-ordered builder for the machine-readable BENCH_*.json
+ * files. Every micro bench used to hand-roll the same ostream
+ * boilerplate — brace management, trailing commas, the shared
+ * hardware_threads/skipped_scaling pair — four times over; this keeps
+ * the keys and per-field printf formats under each bench's control
+ * while the punctuation lives in one place. Values are rendered at
+ * insertion time. Arrays hold objects only (one compact row per line
+ * in the output), which is the only shape the bench files use.
+ */
+class JsonObject
+{
+  public:
+    /** Quoted, escaped string field. */
+    JsonObject &str(const std::string &key, const std::string &value);
+    /** Integer field. */
+    JsonObject &num(const std::string &key, std::int64_t value);
+    /** Floating-point field; @p fmt is the printf format, e.g. "%.4f". */
+    JsonObject &num(const std::string &key, double value,
+                    const char *fmt);
+    /** true/false field. */
+    JsonObject &boolean(const std::string &key, bool value);
+    /** Array-of-objects field; each row is one compact line. */
+    JsonObject &array(const std::string &key,
+                      std::vector<JsonObject> rows);
+
+    /** Writes the document: pretty top level, one line per array row. */
+    void write(std::ostream &out) const;
+
+  private:
+    struct Field
+    {
+        std::string key;
+        std::string scalar;           ///< Rendered token ("" for arrays).
+        std::vector<JsonObject> rows; ///< Array-of-objects payload.
+        bool isArray = false;
+    };
+    void writeCompact(std::ostream &out) const;
+    std::vector<Field> fields_;
+};
+
+/**
+ * Adds the scaling-context pair every micro bench reports:
+ * hardware_threads and skipped_scaling. tools/check.sh reads
+ * skipped_scaling before judging any speedup number, so single-core
+ * hosts never fail the gate on scheduler noise.
+ */
+void addScalingFields(JsonObject &doc, unsigned hardwareThreads,
+                      bool scalingMeaningful);
+
+/**
+ * Writes @p doc to @p path ("" disables; that counts as success).
+ * Returns false after a "cannot open <path>" diagnostic on stderr when
+ * the file is unwritable, and prints the benches' usual
+ * "wrote <path>" line on success.
+ */
+bool writeBenchJson(const std::string &path, const JsonObject &doc);
+
 /** Collects [PASS]/[CHECK] outcomes and prints a final verdict line. */
 class CheckSummary
 {

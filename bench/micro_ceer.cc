@@ -20,7 +20,6 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -279,57 +278,38 @@ main(int argc, char **argv)
     }
 
     const bool all_identical = predict_identical && sweep_identical;
-    const std::string out_path = flags.getString("out");
-    if (!out_path.empty()) {
-        std::ofstream out(out_path);
-        if (!out) {
-            std::cerr << "cannot open " << out_path << "\n";
-            return 1;
-        }
-        int below_serial = 0;
-        for (const Result &r : results)
-            below_serial += r.belowSerial ? 1 : 0;
-        out << "{\n"
-            << "  \"benchmark\": \"prediction_path_throughput\",\n"
-            << "  \"model\": \"" << model_name << "\",\n"
-            << "  \"rounds\": " << iters << ",\n"
-            << "  \"candidates_per_round\": " << requests.size()
-            << ",\n"
-            << "  \"hardware_threads\": " << hardware << ",\n"
-            << "  \"skipped_scaling\": "
-            << (scaling_meaningful ? "false" : "true") << ",\n"
-            << "  \"scalar_rounds_per_sec\": "
-            << util::format("%.1f", rounds_per_sec_scalar) << ",\n"
-            << "  \"compiled_rounds_per_sec\": "
-            << util::format("%.1f", rounds_per_sec_compiled) << ",\n"
-            << "  \"compile_us\": "
-            << util::format("%.1f", compile_wall * 1e6) << ",\n"
-            << "  \"predict_speedup\": "
-            << util::format("%.4f", predict_speedup) << ",\n"
-            << "  \"predict_identity_ok\": "
-            << (predict_identical ? "true" : "false") << ",\n"
-            << "  \"recommender_candidates\": " << candidates.size()
-            << ",\n"
-            << "  \"recommender_identity_ok\": "
-            << (sweep_identical ? "true" : "false") << ",\n"
-            << "  \"below_serial_measurements\": " << below_serial
-            << ",\n"
-            << "  \"recommender_sweep\": [\n";
-        for (std::size_t i = 0; i < results.size(); ++i) {
-            const Result &r = results[i];
-            out << "    {\"threads\": " << r.threads
-                << ", \"wall_s\": "
-                << util::format("%.6f", r.wallSeconds)
-                << ", \"speedup\": " << util::format("%.4f", r.speedup)
-                << ", \"identical\": "
-                << (r.identical ? "true" : "false")
-                << ", \"below_serial\": "
-                << (r.belowSerial ? "true" : "false") << "}"
-                << (i + 1 < results.size() ? "," : "") << "\n";
-        }
-        out << "  ]\n}\n";
-        std::cout << "wrote " << out_path << "\n";
+    int below_serial = 0;
+    for (const Result &r : results)
+        below_serial += r.belowSerial ? 1 : 0;
+    bench::JsonObject doc;
+    doc.str("benchmark", "prediction_path_throughput")
+        .str("model", model_name)
+        .num("rounds", iters)
+        .num("candidates_per_round",
+             static_cast<std::int64_t>(requests.size()));
+    bench::addScalingFields(doc, hardware, scaling_meaningful);
+    doc.num("scalar_rounds_per_sec", rounds_per_sec_scalar, "%.1f")
+        .num("compiled_rounds_per_sec", rounds_per_sec_compiled, "%.1f")
+        .num("compile_us", compile_wall * 1e6, "%.1f")
+        .num("predict_speedup", predict_speedup, "%.4f")
+        .boolean("predict_identity_ok", predict_identical)
+        .num("recommender_candidates",
+             static_cast<std::int64_t>(candidates.size()))
+        .boolean("recommender_identity_ok", sweep_identical)
+        .num("below_serial_measurements", below_serial);
+    std::vector<bench::JsonObject> rows;
+    for (const Result &r : results) {
+        bench::JsonObject row;
+        row.num("threads", r.threads)
+            .num("wall_s", r.wallSeconds, "%.6f")
+            .num("speedup", r.speedup, "%.4f")
+            .boolean("identical", r.identical)
+            .boolean("below_serial", r.belowSerial);
+        rows.push_back(std::move(row));
     }
+    doc.array("recommender_sweep", std::move(rows));
+    if (!bench::writeBenchJson(flags.getString("out"), doc))
+        return 1;
     bench::flushBenchMetrics();
     return all_identical ? 0 : 1;
 }

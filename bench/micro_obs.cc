@@ -13,7 +13,6 @@
 
 #include <chrono>
 #include <cstdint>
-#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -167,47 +166,36 @@ main(int argc, char **argv)
                      "skipped\n";
     }
 
-    const std::string out_path = flags.getString("out");
-    if (!out_path.empty()) {
-        std::ofstream out(out_path);
-        if (!out) {
-            std::cerr << "cannot open " << out_path << "\n";
-            return 1;
-        }
-        int below_serial = 0;
-        for (const ContendedPoint &point : contended)
-            below_serial += point.belowSerial ? 1 : 0;
-        out << "{\n  \"bench\": \"micro_obs\",\n  \"ops\": " << ops
-            << ",\n  \"hardware_threads\": " << hardware
-            << ",\n  \"skipped_scaling\": "
-            << (scaling_meaningful ? "false" : "true")
-            << ",\n  \"below_serial_measurements\": " << below_serial
-            << ",\n  \"rows\": [\n";
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-            out << "    {\"name\": \"" << rows[i].name
-                << "\", \"enabled_ns\": "
-                << util::format("%.2f", rows[i].enabledNs)
-                << ", \"disabled_ns\": "
-                << util::format("%.2f", rows[i].disabledNs) << "}"
-                << (i + 1 < rows.size() ? "," : "") << "\n";
-        }
-        out << "  ],\n  \"contended_scaling\": [\n";
-        for (std::size_t i = 0; i < contended.size(); ++i) {
-            const ContendedPoint &point = contended[i];
-            out << "    {\"threads\": " << point.threads
-                << ", \"ns_per_op\": "
-                << util::format("%.2f", point.nsPerOp)
-                << ", \"ops_per_sec\": "
-                << util::format("%.0f", point.opsPerSecond)
-                << ", \"below_serial\": "
-                << (point.belowSerial ? "true" : "false") << "}"
-                << (i + 1 < contended.size() ? "," : "") << "\n";
-        }
-        out << "  ],\n  \"contended_counter_ns\": "
-            << util::format("%.2f", contended_ns)
-            << ",\n  \"contended_threads\": " << threads << "\n}\n";
-        std::cout << "wrote " << out_path << "\n";
+    int below_serial = 0;
+    for (const ContendedPoint &point : contended)
+        below_serial += point.belowSerial ? 1 : 0;
+    bench::JsonObject doc;
+    doc.str("bench", "micro_obs").num("ops", ops);
+    bench::addScalingFields(doc, hardware, scaling_meaningful);
+    doc.num("below_serial_measurements", below_serial);
+    std::vector<bench::JsonObject> row_docs;
+    for (const Row &row : rows) {
+        bench::JsonObject r;
+        r.str("name", row.name)
+            .num("enabled_ns", row.enabledNs, "%.2f")
+            .num("disabled_ns", row.disabledNs, "%.2f");
+        row_docs.push_back(std::move(r));
     }
+    doc.array("rows", std::move(row_docs));
+    std::vector<bench::JsonObject> scaling_docs;
+    for (const ContendedPoint &point : contended) {
+        bench::JsonObject p;
+        p.num("threads", point.threads)
+            .num("ns_per_op", point.nsPerOp, "%.2f")
+            .num("ops_per_sec", point.opsPerSecond, "%.0f")
+            .boolean("below_serial", point.belowSerial);
+        scaling_docs.push_back(std::move(p));
+    }
+    doc.array("contended_scaling", std::move(scaling_docs));
+    doc.num("contended_counter_ns", contended_ns, "%.2f")
+        .num("contended_threads", threads);
+    if (!bench::writeBenchJson(flags.getString("out"), doc))
+        return 1;
     bench::flushBenchMetrics();
     return 0;
 }

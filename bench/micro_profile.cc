@@ -11,7 +11,6 @@
  */
 
 #include <chrono>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <thread>
@@ -150,41 +149,29 @@ main(int argc, char **argv)
                      "skipped (identity still enforced)\n";
     }
 
-    const std::string out_path = flags.getString("out");
-    if (!out_path.empty()) {
-        std::ofstream out(out_path);
-        if (!out) {
-            std::cerr << "cannot open " << out_path << "\n";
-            return 1;
-        }
-        int below_serial = 0;
-        for (const Result &r : results)
-            below_serial += r.belowSerial ? 1 : 0;
-        out << "{\n"
-            << "  \"benchmark\": \"profile_throughput\",\n"
-            << "  \"model\": \"" << model << "\",\n"
-            << "  \"iterations\": " << options.iterations << ",\n"
-            << "  \"hardware_threads\": " << hardware << ",\n"
-            << "  \"skipped_scaling\": "
-            << (scaling_meaningful ? "false" : "true") << ",\n"
-            << "  \"max_threads_swept\": " << max_threads << ",\n"
-            << "  \"below_serial_measurements\": " << below_serial
-            << ",\n"
-            << "  \"results\": [\n";
-        for (std::size_t i = 0; i < results.size(); ++i) {
-            const Result &r = results[i];
-            out << "    {\"threads\": " << r.threads
-                << ", \"wall_s\": " << util::format("%.6f", r.wallSeconds)
-                << ", \"ops_per_sec\": "
-                << util::format("%.1f", r.opsPerSecond)
-                << ", \"speedup\": " << util::format("%.4f", r.speedup)
-                << ", \"below_serial\": "
-                << (r.belowSerial ? "true" : "false") << "}"
-                << (i + 1 < results.size() ? "," : "") << "\n";
-        }
-        out << "  ]\n}\n";
-        std::cout << "wrote " << out_path << "\n";
+    int below_serial = 0;
+    for (const Result &r : results)
+        below_serial += r.belowSerial ? 1 : 0;
+    bench::JsonObject doc;
+    doc.str("benchmark", "profile_throughput")
+        .str("model", model)
+        .num("iterations", options.iterations);
+    bench::addScalingFields(doc, hardware, scaling_meaningful);
+    doc.num("max_threads_swept", max_threads)
+        .num("below_serial_measurements", below_serial);
+    std::vector<bench::JsonObject> rows;
+    for (const Result &r : results) {
+        bench::JsonObject row;
+        row.num("threads", r.threads)
+            .num("wall_s", r.wallSeconds, "%.6f")
+            .num("ops_per_sec", r.opsPerSecond, "%.1f")
+            .num("speedup", r.speedup, "%.4f")
+            .boolean("below_serial", r.belowSerial);
+        rows.push_back(std::move(row));
     }
+    doc.array("results", std::move(rows));
+    if (!bench::writeBenchJson(flags.getString("out"), doc))
+        return 1;
     bench::flushBenchMetrics();
     return 0;
 }

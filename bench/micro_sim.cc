@@ -18,7 +18,6 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -275,50 +274,34 @@ main(int argc, char **argv)
                      "skipped (identity still enforced)\n";
     }
 
-    const std::string out_path = flags.getString("out");
-    if (!out_path.empty()) {
-        std::ofstream out(out_path);
-        if (!out) {
-            std::cerr << "cannot open " << out_path << "\n";
-            return 1;
-        }
-        int below_serial = 0;
-        for (const Result &r : results)
-            below_serial += r.belowSerial ? 1 : 0;
-        out << "{\n"
-            << "  \"benchmark\": \"sim_kernel_throughput\",\n"
-            << "  \"model\": \"" << model << "\",\n"
-            << "  \"iterations\": " << iters << ",\n"
-            << "  \"num_gpus\": " << config.numGpus << ",\n"
-            << "  \"hardware_threads\": " << hardware << ",\n"
-            << "  \"skipped_scaling\": "
-            << (scaling_meaningful ? "false" : "true") << ",\n"
-            << "  \"scalar_iters_per_sec\": "
-            << util::format("%.1f", scalar_ips) << ",\n"
-            << "  \"batched_iters_per_sec\": "
-            << util::format("%.1f", batched_ips) << ",\n"
-            << "  \"single_thread_speedup\": "
-            << util::format("%.4f", kernel_speedup) << ",\n"
-            << "  \"parallel_identity_ok\": "
-            << (all_identical ? "true" : "false") << ",\n"
-            << "  \"below_serial_measurements\": " << below_serial
-            << ",\n"
-            << "  \"results\": [\n";
-        for (std::size_t i = 0; i < results.size(); ++i) {
-            const Result &r = results[i];
-            out << "    {\"threads\": " << r.threads
-                << ", \"wall_s\": " << util::format("%.6f", r.wallSeconds)
-                << ", \"iters_per_sec\": "
-                << util::format("%.1f", r.itersPerSecond)
-                << ", \"speedup\": " << util::format("%.4f", r.speedup)
-                << ", \"identical\": " << (r.identical ? "true" : "false")
-                << ", \"below_serial\": "
-                << (r.belowSerial ? "true" : "false") << "}"
-                << (i + 1 < results.size() ? "," : "") << "\n";
-        }
-        out << "  ]\n}\n";
-        std::cout << "wrote " << out_path << "\n";
+    int below_serial = 0;
+    for (const Result &r : results)
+        below_serial += r.belowSerial ? 1 : 0;
+    bench::JsonObject doc;
+    doc.str("benchmark", "sim_kernel_throughput")
+        .str("model", model)
+        .num("iterations", iters)
+        .num("num_gpus", config.numGpus);
+    bench::addScalingFields(doc, hardware, scaling_meaningful);
+    doc.num("scalar_iters_per_sec", scalar_ips, "%.1f")
+        .num("batched_iters_per_sec", batched_ips, "%.1f")
+        .num("single_thread_speedup", kernel_speedup, "%.4f")
+        .boolean("parallel_identity_ok", all_identical)
+        .num("below_serial_measurements", below_serial);
+    std::vector<bench::JsonObject> rows;
+    for (const Result &r : results) {
+        bench::JsonObject row;
+        row.num("threads", r.threads)
+            .num("wall_s", r.wallSeconds, "%.6f")
+            .num("iters_per_sec", r.itersPerSecond, "%.1f")
+            .num("speedup", r.speedup, "%.4f")
+            .boolean("identical", r.identical)
+            .boolean("below_serial", r.belowSerial);
+        rows.push_back(std::move(row));
     }
+    doc.array("results", std::move(rows));
+    if (!bench::writeBenchJson(flags.getString("out"), doc))
+        return 1;
     bench::flushBenchMetrics();
     return all_identical ? 0 : 1;
 }

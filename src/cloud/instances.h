@@ -12,6 +12,8 @@
 #ifndef CEER_CLOUD_INSTANCES_H
 #define CEER_CLOUD_INSTANCES_H
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -19,6 +21,11 @@
 #include "hw/gpu_spec.h"
 
 namespace ceer {
+
+namespace io {
+class CbfFile;
+}
+
 namespace cloud {
 
 /** One rentable GPU instance (real or proxy). */
@@ -95,8 +102,47 @@ class InstanceCatalog
      */
     static InstanceCatalog fromCsv(std::istream &in);
 
+    /** Exception-free variant of fromCsv(). @p catalog untouched on
+     *  failure; @p error carries row/column context. */
+    static bool tryFromCsv(std::istream &in, InstanceCatalog *catalog,
+                           std::string *error);
+
     /** Writes the catalog in the fromCsv format. */
     void saveCsv(std::ostream &out) const;
+
+    /**
+     * Serializes the catalog as CBF (docs/file_formats.md). Both
+     * dialects store `name,gpu,gpus,hourly_usd` — the proxy flag is a
+     * property of the built-in paper catalogs, not of user-supplied
+     * files — so CSV/CBF conversions are exact in both directions.
+     */
+    void saveCbf(std::ostream &out) const;
+
+    /** Parses a validated CBF file produced by saveCbf(). */
+    static bool tryLoadCbf(const io::CbfFile &file,
+                           InstanceCatalog *catalog, std::string *error);
+
+    /**
+     * Loads @p path in either format, sniffed by magic bytes: CBF
+     * files take the mmap zero-copy path (falling back to the checked
+     * streaming reader when mapping fails), anything else parses as
+     * the CSV dialect. @p catalog is untouched on failure.
+     */
+    static bool tryLoadFile(const std::string &path,
+                            InstanceCatalog *catalog, std::string *error);
+
+    /** tryLoadFile(), fatal on failure. */
+    static InstanceCatalog fromFile(const std::string &path);
+
+    /**
+     * Deterministic synthetic fleet of @p count instance types across
+     * the four modeled GPU silicons (1-8 GPUs each, market-anchored
+     * prices with ±30% jitter) for fleet-scale recommendation sweeps.
+     * Prices are canonicalized through the CSV %.6g dialect so a
+     * generated fleet serializes identically via CSV and CBF.
+     */
+    static InstanceCatalog syntheticFleet(std::size_t count,
+                                          std::uint64_t seed = 42);
 
   private:
     std::vector<GpuInstance> instances_;

@@ -1,10 +1,13 @@
 #include "core/ceer_model.h"
 
 #include <algorithm>
+#include <fstream>
 #include <istream>
 #include <ostream>
 
 #include "core/regression.h"
+#include "io/cbf.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/parse.h"
 #include "util/strings.h"
@@ -264,6 +267,264 @@ CeerModel::tryLoad(std::istream &in, CeerModel *model,
     }
     *model = std::move(parsed);
     return true;
+}
+
+void
+CeerModel::saveCbf(std::ostream &out) const
+{
+    io::CbfBuilder builder;
+    builder.addBytes("schema", "ceer.model.v1");
+    builder.addF64("scalar.heavy_threshold_us", {heavyThresholdUs});
+    builder.addF64("scalar.light_median_us", {lightMedianUs});
+    builder.addF64("scalar.cpu_median_us", {cpuMedianUs});
+
+    std::vector<std::string> heavy;
+    for (OpType op : heavyOps)
+        heavy.push_back(graph::opTypeName(op));
+    io::addStringColumn(&builder, "heavy_ops", heavy);
+
+    // Map iteration order (sorted by key) matches save()'s line order.
+    std::vector<std::string> om_gpu, om_op, om_fit;
+    std::vector<std::uint8_t> om_quadratic, om_usable;
+    std::vector<double> om_r2, om_median;
+    std::vector<std::uint64_t> om_points;
+    for (const auto &[key, entry] : opModels) {
+        om_gpu.push_back(hw::gpuModelName(key.first));
+        om_op.push_back(graph::opTypeName(key.second));
+        om_quadratic.push_back(entry.quadratic ? 1 : 0);
+        om_usable.push_back(entry.usable ? 1 : 0);
+        om_r2.push_back(entry.r2);
+        om_median.push_back(entry.medianUs);
+        om_points.push_back(entry.points);
+        om_fit.push_back(entry.model.serialize());
+    }
+    io::addStringColumn(&builder, "om.gpu", om_gpu);
+    io::addStringColumn(&builder, "om.op", om_op);
+    builder.addU8("om.quadratic", om_quadratic);
+    builder.addU8("om.usable", om_usable);
+    builder.addF64("om.r2", om_r2);
+    builder.addF64("om.median_us", om_median);
+    builder.addU64("om.points", om_points);
+    io::addStringColumn(&builder, "om.fit", om_fit);
+
+    // Only valid fits are stored, k is 1-based — same as save().
+    std::vector<std::string> cf_gpu, cf_fit;
+    std::vector<std::uint64_t> cf_k;
+    std::vector<double> cf_r2;
+    for (const auto &[gpu, per_k] : comm.fits) {
+        for (std::size_t i = 0; i < per_k.size(); ++i) {
+            if (!per_k[i].valid)
+                continue;
+            cf_gpu.push_back(hw::gpuModelName(gpu));
+            cf_k.push_back(i + 1);
+            cf_r2.push_back(per_k[i].r2);
+            cf_fit.push_back(per_k[i].model.serialize());
+        }
+    }
+    io::addStringColumn(&builder, "cf.gpu", cf_gpu);
+    builder.addU64("cf.k", cf_k);
+    builder.addF64("cf.r2", cf_r2);
+    io::addStringColumn(&builder, "cf.fit", cf_fit);
+
+    builder.write(out);
+}
+
+bool
+CeerModel::tryLoadCbf(const io::CbfFile &file, CeerModel *model,
+                      std::string *error)
+{
+    const char *schema = nullptr;
+    std::size_t schema_size = 0;
+    if (!file.bytes("schema", &schema, &schema_size, error))
+        return false;
+    const std::string schema_name(schema, schema_size);
+    if (schema_name != "ceer.model.v1") {
+        *error = "schema '" + schema_name +
+                 "' is not ceer.model.v1 (wrong container?)";
+        return false;
+    }
+
+    CeerModel parsed;
+    const auto scalar = [&](const char *name, double *out) {
+        const double *data = nullptr;
+        std::size_t count = 0;
+        if (!file.f64(name, &data, &count, error))
+            return false;
+        if (count != 1) {
+            *error = util::format(
+                "column '%s' has %zu values, expected 1", name, count);
+            return false;
+        }
+        *out = data[0];
+        return true;
+    };
+    if (!scalar("scalar.heavy_threshold_us", &parsed.heavyThresholdUs) ||
+        !scalar("scalar.light_median_us", &parsed.lightMedianUs) ||
+        !scalar("scalar.cpu_median_us", &parsed.cpuMedianUs))
+        return false;
+
+    std::vector<std::string> heavy;
+    if (!io::readStringColumn(file, "heavy_ops", &heavy, error))
+        return false;
+    for (std::size_t i = 0; i < heavy.size(); ++i) {
+        OpType op;
+        if (!graph::opTypeFromName(heavy[i], op)) {
+            *error = util::format("heavy_ops row %zu: bad op '%s'", i,
+                                  heavy[i].c_str());
+            return false;
+        }
+        parsed.heavyOps.insert(op);
+    }
+
+    const auto sized = [&](std::size_t count, std::size_t rows,
+                           const char *name) {
+        if (count == rows)
+            return true;
+        *error = util::format("column '%s' has %zu rows, expected %zu",
+                              name, count, rows);
+        return false;
+    };
+
+    std::vector<std::string> om_gpu, om_op, om_fit;
+    if (!io::readStringColumn(file, "om.gpu", &om_gpu, error) ||
+        !io::readStringColumn(file, "om.op", &om_op, error) ||
+        !io::readStringColumn(file, "om.fit", &om_fit, error))
+        return false;
+    const std::size_t om_rows = om_gpu.size();
+    const std::uint8_t *om_quadratic = nullptr, *om_usable = nullptr;
+    const double *om_r2 = nullptr, *om_median = nullptr;
+    const std::uint64_t *om_points = nullptr;
+    std::size_t n = 0;
+    if (!(file.u8("om.quadratic", &om_quadratic, &n, error) &&
+          sized(n, om_rows, "om.quadratic")) ||
+        !(file.u8("om.usable", &om_usable, &n, error) &&
+          sized(n, om_rows, "om.usable")) ||
+        !(file.f64("om.r2", &om_r2, &n, error) &&
+          sized(n, om_rows, "om.r2")) ||
+        !(file.f64("om.median_us", &om_median, &n, error) &&
+          sized(n, om_rows, "om.median_us")) ||
+        !(file.u64("om.points", &om_points, &n, error) &&
+          sized(n, om_rows, "om.points")) ||
+        !sized(om_op.size(), om_rows, "om.op") ||
+        !sized(om_fit.size(), om_rows, "om.fit"))
+        return false;
+    for (std::size_t i = 0; i < om_rows; ++i) {
+        OpTimeModel entry;
+        if (!hw::gpuModelFromName(om_gpu[i], entry.gpu)) {
+            *error = util::format("om row %zu: bad GPU '%s'", i,
+                                  om_gpu[i].c_str());
+            return false;
+        }
+        if (!graph::opTypeFromName(om_op[i], entry.op)) {
+            *error = util::format("om row %zu: bad op '%s'", i,
+                                  om_op[i].c_str());
+            return false;
+        }
+        entry.quadratic = om_quadratic[i] != 0;
+        entry.usable = om_usable[i] != 0;
+        entry.r2 = om_r2[i];
+        entry.medianUs = om_median[i];
+        entry.points = om_points[i];
+        std::string model_error;
+        if (!LinearModel::tryDeserialize(om_fit[i], &entry.model,
+                                         &model_error)) {
+            *error = util::format("om row %zu: fit: ", i) + model_error;
+            return false;
+        }
+        parsed.opModels.emplace(std::make_pair(entry.gpu, entry.op),
+                                std::move(entry));
+    }
+
+    std::vector<std::string> cf_gpu, cf_fit;
+    if (!io::readStringColumn(file, "cf.gpu", &cf_gpu, error) ||
+        !io::readStringColumn(file, "cf.fit", &cf_fit, error))
+        return false;
+    const std::size_t cf_rows = cf_gpu.size();
+    const std::uint64_t *cf_k = nullptr;
+    const double *cf_r2 = nullptr;
+    if (!(file.u64("cf.k", &cf_k, &n, error) &&
+          sized(n, cf_rows, "cf.k")) ||
+        !(file.f64("cf.r2", &cf_r2, &n, error) &&
+          sized(n, cf_rows, "cf.r2")) ||
+        !sized(cf_fit.size(), cf_rows, "cf.fit"))
+        return false;
+    for (std::size_t i = 0; i < cf_rows; ++i) {
+        GpuModel gpu;
+        if (!hw::gpuModelFromName(cf_gpu[i], gpu)) {
+            *error = util::format("cf row %zu: bad GPU '%s'", i,
+                                  cf_gpu[i].c_str());
+            return false;
+        }
+        const std::uint64_t k = cf_k[i];
+        if (k == 0 || k > 1024) {
+            *error = util::format(
+                "cf row %zu: bad k %llu", i,
+                static_cast<unsigned long long>(k));
+            return false;
+        }
+        auto &per_k = parsed.comm.fits[gpu];
+        if (per_k.size() < k)
+            per_k.resize(k);
+        per_k[k - 1].r2 = cf_r2[i];
+        std::string model_error;
+        if (!LinearModel::tryDeserialize(cf_fit[i],
+                                         &per_k[k - 1].model,
+                                         &model_error)) {
+            *error = util::format("cf row %zu: fit: ", i) + model_error;
+            return false;
+        }
+        per_k[k - 1].valid = true;
+    }
+
+    *model = std::move(parsed);
+    return true;
+}
+
+bool
+CeerModel::tryLoadFile(const std::string &path, CeerModel *model,
+                       std::string *error)
+{
+    OBS_TIMER("io.load_us");
+    io::FileFormat format;
+    if (!io::sniffFile(path, &format, error))
+        return false;
+    if (format == io::FileFormat::Cbf) {
+        io::CbfFile file;
+        std::string map_error;
+        if (!io::CbfFile::tryMap(path, &file, &map_error)) {
+            // mmap can fail on exotic filesystems; the streaming
+            // reader applies the identical validation.
+            if (!io::CbfFile::tryLoad(path, &file, error)) {
+                *error = path + ": " + *error;
+                return false;
+            }
+        }
+        if (!tryLoadCbf(file, model, error)) {
+            *error = path + ": " + *error;
+            return false;
+        }
+        return true;
+    }
+    std::ifstream in(path);
+    if (!in) {
+        *error = "cannot open '" + path + "'";
+        return false;
+    }
+    if (!tryLoad(in, model, error)) {
+        *error = path + ": " + *error;
+        return false;
+    }
+    return true;
+}
+
+CeerModel
+CeerModel::loadFile(const std::string &path)
+{
+    CeerModel model;
+    std::string error;
+    if (!tryLoadFile(path, &model, &error))
+        util::fatal("CeerModel::loadFile: " + error);
+    return model;
 }
 
 } // namespace core

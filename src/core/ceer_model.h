@@ -24,6 +24,11 @@
 #include "hw/gpu_spec.h"
 
 namespace ceer {
+
+namespace io {
+class CbfFile;
+}
+
 namespace core {
 
 /** How Ceer treats an op type (a measured property, Sec. III). */
@@ -128,6 +133,29 @@ struct CeerModel
      */
     static bool tryLoad(std::istream &in, CeerModel *model,
                         std::string *error);
+
+    /**
+     * Serializes the model as CBF (docs/file_formats.md). Regression
+     * fits are embedded as their %.17g serialize() text, so both
+     * dialects round-trip predictions bit-identically.
+     */
+    void saveCbf(std::ostream &out) const;
+
+    /** Parses a validated CBF file produced by saveCbf(). */
+    static bool tryLoadCbf(const io::CbfFile &file, CeerModel *model,
+                           std::string *error);
+
+    /**
+     * Loads @p path in either format, sniffed by magic bytes: CBF
+     * files take the mmap zero-copy path (falling back to the checked
+     * streaming reader when mapping fails), anything else parses as
+     * the text dialect. @p model is untouched on failure.
+     */
+    static bool tryLoadFile(const std::string &path, CeerModel *model,
+                            std::string *error);
+
+    /** tryLoadFile(), fatal on failure. */
+    static CeerModel loadFile(const std::string &path);
 };
 
 } // namespace core

@@ -1,6 +1,7 @@
 #include "hw/gpu_spec.h"
 
 #include <array>
+#include <map>
 
 #include "util/logging.h"
 #include "util/strings.h"
@@ -194,15 +195,21 @@ gpuFamilyName(GpuModel model)
 bool
 gpuModelFromName(const std::string &name, GpuModel &out)
 {
-    const std::string lower = util::toLower(name);
-    for (GpuModel model : allGpuModels()) {
-        if (lower == util::toLower(gpuModelName(model)) ||
-            lower == util::toLower(gpuFamilyName(model))) {
-            out = model;
-            return true;
+    // Loaders call this once per row; build the lowered-name index
+    // once instead of re-lowering all eight candidates per call.
+    static const std::map<std::string, GpuModel> index = [] {
+        std::map<std::string, GpuModel> m;
+        for (GpuModel model : allGpuModels()) {
+            m.emplace(util::toLower(gpuModelName(model)), model);
+            m.emplace(util::toLower(gpuFamilyName(model)), model);
         }
-    }
-    return false;
+        return m;
+    }();
+    const auto it = index.find(util::toLower(name));
+    if (it == index.end())
+        return false;
+    out = it->second;
+    return true;
 }
 
 } // namespace hw

@@ -17,7 +17,9 @@ cacheEntryPath(const std::string &cache_dir,
                const std::vector<std::string> &models,
                const CollectOptions &options)
 {
-    std::uint64_t key = util::hashMix(0, std::string("ceer-profiles-v1"));
+    // v2: cache entries switched from CSV to CBF. The version bump
+    // (plus the .cbf extension) invalidates stale v1 CSV entries.
+    std::uint64_t key = util::hashMix(0, std::string("ceer-profiles-v2"));
     key = util::hashMix(key, models.size());
     for (const std::string &name : models)
         key = util::hashMix(key, name);
@@ -30,7 +32,7 @@ cacheEntryPath(const std::string &cache_dir,
     key = util::hashMix(key, options.multiGpuRuns ? 1u : 0u);
     key = util::hashMix(key,
                         static_cast<std::uint64_t>(options.gpusPerHost));
-    return cache_dir + "/" + util::format("profiles-%016llx.csv",
+    return cache_dir + "/" + util::format("profiles-%016llx.cbf",
                                           (unsigned long long)key);
 }
 
@@ -45,11 +47,10 @@ collectProfilesCached(const std::vector<std::string> &models,
     const std::string cache_file =
         cacheEntryPath(cache_dir, models, options);
     if (std::filesystem::exists(cache_file)) {
-        std::ifstream in(cache_file);
         ProfileDataset cached;
         std::string parse_error;
-        if (in &&
-            ProfileDataset::tryLoadCsv(in, &cached, &parse_error)) {
+        if (ProfileDataset::tryLoadFile(cache_file, &cached,
+                                        &parse_error)) {
             OBS_COUNTER_INC("profile.cache.hits");
             CEER_LOG(Info) << "profile cache hit: " << cache_file;
             return cached;
@@ -71,18 +72,20 @@ collectProfilesCached(const std::vector<std::string> &models,
     std::error_code ec;
     std::filesystem::create_directories(cache_dir, ec);
     // Write to a process-unique temp file, then rename: concurrent
-    // bench binaries never observe a half-written cache entry.
+    // bench binaries never observe a half-written cache entry, and a
+    // failed write (e.g. disk full) leaves nothing behind. CBF stores
+    // the exact accumulator state, so the dataset we just collected IS
+    // what a warm run will load — no reload-after-write dance like the
+    // old CSV cache needed.
     const std::string temp =
         cache_file + "." + std::to_string(::getpid()) + ".tmp";
-    std::ofstream out(temp);
+    std::ofstream out(temp, std::ios::binary);
     if (!out) {
         CEER_LOG(Warn) << "profile cache not writable: " << temp;
         return dataset;
     }
-    dataset.saveCsv(out);
+    dataset.saveCbf(out);
     out.close();
-    // A failed write (e.g. disk full) must not be renamed into place
-    // as a valid-looking entry.
     if (!out.good()) {
         std::filesystem::remove(temp, ec);
         CEER_LOG(Warn) << "profile cache write failed: " << temp;
@@ -95,15 +98,6 @@ collectProfilesCached(const std::vector<std::string> &models,
     }
     OBS_COUNTER_INC("profile.cache.writes");
     CEER_LOG(Info) << "profile cache write: " << cache_file;
-    // Reload what we just wrote so results are identical whether the
-    // cache was cold or warm (the CSV encoding of the running stats
-    // is mildly lossy).
-    std::ifstream reread(cache_file);
-    ProfileDataset reloaded;
-    std::string parse_error;
-    if (reread &&
-        ProfileDataset::tryLoadCsv(reread, &reloaded, &parse_error))
-        return reloaded;
     return dataset;
 }
 

@@ -4,14 +4,16 @@
  *
  * Profiling the full training sweep dominates every bench binary's
  * runtime; the cache lets the first binary profile and save, and every
- * later one load in milliseconds. Entries are content-keyed CSV files
- * (ProfileDataset::saveCsv) written atomically (temp + rename).
+ * later one load in milliseconds. Entries are content-keyed CBF files
+ * (ProfileDataset::saveCbf) written atomically (temp + rename) and
+ * loaded through the zero-copy mmap path.
  *
- * Failure policy: any malformed cache entry — truncated row, garbled
- * numeric field, broken quoting — is treated as a miss: the entry is
- * deleted and the sweep re-profiles, producing byte-identical output
- * to a cold run. A cache can never make a bench binary crash or give
- * different numbers; at worst it is slow. See docs/file_formats.md.
+ * Failure policy: any malformed cache entry — truncated file, bad
+ * magic, flipped checksum bit, short section — is treated as a miss:
+ * the entry is deleted and the sweep re-profiles, producing
+ * byte-identical output to a cold run. A cache can never make a bench
+ * binary crash or give different numbers; at worst it is slow. See
+ * docs/file_formats.md.
  */
 
 #ifndef CEER_PROFILE_PROFILE_CACHE_H
@@ -40,9 +42,9 @@ std::string cacheEntryPath(const std::string &cache_dir,
  *
  * Loads the matching entry when present and parseable; otherwise
  * re-profiles (deleting any corrupt entry first) and atomically writes
- * the result back. After a write the dataset is re-loaded from disk so
- * cold and warm runs return byte-identical datasets (the CSV encoding
- * of the running stats is mildly lossy).
+ * the result back. The CBF encoding stores the exact accumulator
+ * state, so cold and warm runs return byte-identical datasets by
+ * construction (no reload-after-write needed).
  *
  * @param models    CNNs to profile.
  * @param options   Sweep options.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <map>
 #include <set>
 
+#include "io/cbf.h"
 #include "models/model_zoo.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
@@ -335,6 +337,278 @@ ProfileDataset::tryLoadCsv(std::istream &in, ProfileDataset *dataset,
     parsed.add(std::move(loaded_ops));
     *dataset = std::move(parsed);
     return true;
+}
+
+void
+ProfileDataset::saveCbf(std::ostream &out) const
+{
+    io::CbfBuilder builder;
+    builder.addBytes("schema", "ceer.profiles.v1");
+
+    std::vector<std::string> op_model, op_gpu, op_op;
+    std::vector<std::uint8_t> on_cpu;
+    std::vector<std::uint64_t> occurrences, time_count, sample_capacity,
+        sample_offered, sample_rng;
+    std::vector<double> time_mean, time_m2, time_min, time_max;
+    std::vector<std::vector<double>> features, samples;
+    for (const OpProfile &profile : ops_) {
+        op_model.push_back(profile.model);
+        op_gpu.push_back(hw::gpuModelName(profile.gpu));
+        op_op.push_back(graph::opTypeName(profile.op));
+        on_cpu.push_back(profile.onCpu ? 1 : 0);
+        occurrences.push_back(profile.occurrences);
+        features.push_back(profile.features);
+        const bool has_obs = profile.timeUs.count() > 0;
+        time_count.push_back(profile.timeUs.count());
+        time_mean.push_back(has_obs ? profile.timeUs.mean() : 0.0);
+        time_m2.push_back(profile.timeUs.sumSquaredDeviations());
+        time_min.push_back(has_obs ? profile.timeUs.min() : 0.0);
+        time_max.push_back(has_obs ? profile.timeUs.max() : 0.0);
+        samples.push_back(profile.samples.samples());
+        sample_capacity.push_back(profile.samples.capacity());
+        sample_offered.push_back(profile.samples.offered());
+        sample_rng.push_back(profile.samples.rngState());
+    }
+    io::addStringColumn(&builder, "op.model", op_model);
+    io::addStringColumn(&builder, "op.gpu", op_gpu);
+    io::addStringColumn(&builder, "op.op", op_op);
+    builder.addU8("op.on_cpu", on_cpu);
+    builder.addU64("op.occurrences", occurrences);
+    io::addF64ListColumn(&builder, "op.features", features);
+    builder.addU64("op.time_count", time_count);
+    builder.addF64("op.time_mean", time_mean);
+    builder.addF64("op.time_m2", time_m2);
+    builder.addF64("op.time_min", time_min);
+    builder.addF64("op.time_max", time_max);
+    io::addF64ListColumn(&builder, "op.samples", samples);
+    builder.addU64("op.sample_capacity", sample_capacity);
+    builder.addU64("op.sample_offered", sample_offered);
+    builder.addU64("op.sample_rng", sample_rng);
+
+    std::vector<std::string> iter_model, iter_gpu;
+    std::vector<std::int64_t> iter_gpus, iter_params;
+    std::vector<double> iter_us, compute_us, comm_us;
+    for (const IterationProfile &run : iterations_) {
+        iter_model.push_back(run.model);
+        iter_gpu.push_back(hw::gpuModelName(run.gpu));
+        iter_gpus.push_back(run.numGpus);
+        iter_params.push_back(run.paramCount);
+        iter_us.push_back(run.meanIterationUs);
+        compute_us.push_back(run.meanComputeUs);
+        comm_us.push_back(run.meanCommUs);
+    }
+    io::addStringColumn(&builder, "iter.model", iter_model);
+    io::addStringColumn(&builder, "iter.gpu", iter_gpu);
+    builder.addI64("iter.num_gpus", iter_gpus);
+    builder.addI64("iter.param_count", iter_params);
+    builder.addF64("iter.mean_iteration_us", iter_us);
+    builder.addF64("iter.mean_compute_us", compute_us);
+    builder.addF64("iter.mean_comm_us", comm_us);
+
+    builder.write(out);
+}
+
+bool
+ProfileDataset::tryLoadCbf(const io::CbfFile &file,
+                           ProfileDataset *dataset, std::string *error)
+{
+    const char *schema = nullptr;
+    std::size_t schema_size = 0;
+    if (!file.bytes("schema", &schema, &schema_size, error))
+        return false;
+    const std::string schema_name(schema, schema_size);
+    if (schema_name != "ceer.profiles.v1") {
+        *error = "schema '" + schema_name +
+                 "' is not ceer.profiles.v1 (wrong container?)";
+        return false;
+    }
+
+    std::vector<std::string> op_model, op_gpu, op_op;
+    if (!io::readStringColumn(file, "op.model", &op_model, error) ||
+        !io::readStringColumn(file, "op.gpu", &op_gpu, error) ||
+        !io::readStringColumn(file, "op.op", &op_op, error))
+        return false;
+    const std::size_t op_rows = op_model.size();
+    // Every other column must agree with op.model on the row count; a
+    // file with mismatched columns is structurally corrupt.
+    const auto sized = [&](std::size_t count, std::size_t rows,
+                           const char *name) {
+        if (count == rows)
+            return true;
+        *error = util::format("column '%s' has %zu rows, expected %zu",
+                              name, count, rows);
+        return false;
+    };
+    const std::uint8_t *on_cpu = nullptr;
+    const std::uint64_t *occurrences = nullptr, *time_count = nullptr,
+                        *sample_capacity = nullptr,
+                        *sample_offered = nullptr, *sample_rng = nullptr;
+    const double *time_mean = nullptr, *time_m2 = nullptr,
+                 *time_min = nullptr, *time_max = nullptr;
+    std::size_t n = 0;
+    std::vector<std::vector<double>> features, samples;
+    if (!(file.u8("op.on_cpu", &on_cpu, &n, error) &&
+          sized(n, op_rows, "op.on_cpu")) ||
+        !(file.u64("op.occurrences", &occurrences, &n, error) &&
+          sized(n, op_rows, "op.occurrences")) ||
+        !(io::readF64ListColumn(file, "op.features", &features, error) &&
+          sized(features.size(), op_rows, "op.features")) ||
+        !(file.u64("op.time_count", &time_count, &n, error) &&
+          sized(n, op_rows, "op.time_count")) ||
+        !(file.f64("op.time_mean", &time_mean, &n, error) &&
+          sized(n, op_rows, "op.time_mean")) ||
+        !(file.f64("op.time_m2", &time_m2, &n, error) &&
+          sized(n, op_rows, "op.time_m2")) ||
+        !(file.f64("op.time_min", &time_min, &n, error) &&
+          sized(n, op_rows, "op.time_min")) ||
+        !(file.f64("op.time_max", &time_max, &n, error) &&
+          sized(n, op_rows, "op.time_max")) ||
+        !(io::readF64ListColumn(file, "op.samples", &samples, error) &&
+          sized(samples.size(), op_rows, "op.samples")) ||
+        !(file.u64("op.sample_capacity", &sample_capacity, &n, error) &&
+          sized(n, op_rows, "op.sample_capacity")) ||
+        !(file.u64("op.sample_offered", &sample_offered, &n, error) &&
+          sized(n, op_rows, "op.sample_offered")) ||
+        !(file.u64("op.sample_rng", &sample_rng, &n, error) &&
+          sized(n, op_rows, "op.sample_rng")))
+        return false;
+
+    std::vector<OpProfile> loaded_ops;
+    loaded_ops.reserve(op_rows);
+    for (std::size_t i = 0; i < op_rows; ++i) {
+        OpProfile profile;
+        profile.model = std::move(op_model[i]);
+        if (!hw::gpuModelFromName(op_gpu[i], profile.gpu)) {
+            *error = util::format("op row %zu: bad GPU '%s'", i,
+                                  op_gpu[i].c_str());
+            return false;
+        }
+        if (!graph::opTypeFromName(op_op[i], profile.op)) {
+            *error = util::format("op row %zu: bad op '%s'", i,
+                                  op_op[i].c_str());
+            return false;
+        }
+        profile.onCpu = on_cpu[i] != 0;
+        profile.occurrences = occurrences[i];
+        profile.features = std::move(features[i]);
+        profile.timeUs = util::RunningStats::fromState(
+            time_count[i], time_mean[i], time_m2[i], time_min[i],
+            time_max[i]);
+        const std::uint64_t capacity = sample_capacity[i];
+        const std::uint64_t offered = sample_offered[i];
+        const std::size_t retained = samples[i].size();
+        const bool consistent =
+            capacity > 0 && (offered <= capacity ? retained == offered
+                                                 : retained == capacity);
+        if (!consistent) {
+            *error = util::format(
+                "op row %zu: inconsistent sample reservoir (capacity "
+                "%llu, offered %llu, retained %zu)",
+                i, static_cast<unsigned long long>(capacity),
+                static_cast<unsigned long long>(offered), retained);
+            return false;
+        }
+        profile.samples = util::SampleReservoir::fromState(
+            capacity, offered, sample_rng[i], std::move(samples[i]));
+        loaded_ops.push_back(std::move(profile));
+    }
+
+    std::vector<std::string> iter_model, iter_gpu;
+    if (!io::readStringColumn(file, "iter.model", &iter_model, error) ||
+        !io::readStringColumn(file, "iter.gpu", &iter_gpu, error))
+        return false;
+    const std::size_t iter_rows = iter_model.size();
+    const std::int64_t *iter_gpus = nullptr, *iter_params = nullptr;
+    const double *iter_us = nullptr, *compute_us = nullptr,
+                 *comm_us = nullptr;
+    if (!(file.i64("iter.num_gpus", &iter_gpus, &n, error) &&
+          sized(n, iter_rows, "iter.num_gpus")) ||
+        !(file.i64("iter.param_count", &iter_params, &n, error) &&
+          sized(n, iter_rows, "iter.param_count")) ||
+        !(file.f64("iter.mean_iteration_us", &iter_us, &n, error) &&
+          sized(n, iter_rows, "iter.mean_iteration_us")) ||
+        !(file.f64("iter.mean_compute_us", &compute_us, &n, error) &&
+          sized(n, iter_rows, "iter.mean_compute_us")) ||
+        !(file.f64("iter.mean_comm_us", &comm_us, &n, error) &&
+          sized(n, iter_rows, "iter.mean_comm_us")) ||
+        !sized(iter_gpu.size(), iter_rows, "iter.gpu"))
+        return false;
+
+    ProfileDataset parsed;
+    parsed.iterations_.reserve(iter_rows);
+    for (std::size_t i = 0; i < iter_rows; ++i) {
+        IterationProfile run;
+        run.model = std::move(iter_model[i]);
+        if (!hw::gpuModelFromName(iter_gpu[i], run.gpu)) {
+            *error = util::format("iter row %zu: bad GPU '%s'", i,
+                                  iter_gpu[i].c_str());
+            return false;
+        }
+        if (iter_gpus[i] < 1) {
+            *error = util::format(
+                "iter row %zu: bad num_gpus %lld", i,
+                static_cast<long long>(iter_gpus[i]));
+            return false;
+        }
+        run.numGpus = static_cast<int>(iter_gpus[i]);
+        run.paramCount = iter_params[i];
+        run.meanIterationUs = iter_us[i];
+        run.meanComputeUs = compute_us[i];
+        run.meanCommUs = comm_us[i];
+        parsed.iterations_.push_back(std::move(run));
+    }
+
+    // Route through add() so the (gpu, op) indices are built.
+    parsed.add(std::move(loaded_ops));
+    *dataset = std::move(parsed);
+    return true;
+}
+
+bool
+ProfileDataset::tryLoadFile(const std::string &path,
+                            ProfileDataset *dataset, std::string *error)
+{
+    OBS_TIMER("io.load_us");
+    io::FileFormat format;
+    if (!io::sniffFile(path, &format, error))
+        return false;
+    if (format == io::FileFormat::Cbf) {
+        io::CbfFile file;
+        std::string map_error;
+        if (!io::CbfFile::tryMap(path, &file, &map_error)) {
+            // mmap can fail on exotic filesystems; the streaming
+            // reader applies the identical validation.
+            if (!io::CbfFile::tryLoad(path, &file, error)) {
+                *error = path + ": " + *error;
+                return false;
+            }
+        }
+        if (!tryLoadCbf(file, dataset, error)) {
+            *error = path + ": " + *error;
+            return false;
+        }
+        return true;
+    }
+    std::ifstream in(path);
+    if (!in) {
+        *error = "cannot open '" + path + "'";
+        return false;
+    }
+    if (!tryLoadCsv(in, dataset, error)) {
+        *error = path + ": " + *error;
+        return false;
+    }
+    return true;
+}
+
+ProfileDataset
+ProfileDataset::loadFile(const std::string &path)
+{
+    ProfileDataset dataset;
+    std::string error;
+    if (!tryLoadFile(path, &dataset, &error))
+        util::fatal("ProfileDataset::loadFile: " + error);
+    return dataset;
 }
 
 std::pair<std::vector<OpProfile>, IterationProfile>

@@ -19,6 +19,11 @@
 #include "util/stats.h"
 
 namespace ceer {
+
+namespace io {
+class CbfFile;
+}
+
 namespace profile {
 
 /**
@@ -163,6 +168,33 @@ class ProfileDataset
      */
     static bool tryLoadCsv(std::istream &in, ProfileDataset *dataset,
                            std::string *error);
+
+    /**
+     * Serializes the dataset as CBF (docs/file_formats.md).
+     *
+     * Unlike the CSV dialect — which stores rounded (count, mean,
+     * stddev) triples and reconstructs approximate moments on load —
+     * CBF stores the exact internal state of every accumulator (raw
+     * IEEE-754 moment bits, reservoir samples plus RNG state), so a
+     * CBF round-trip is bit-exact.
+     */
+    void saveCbf(std::ostream &out) const;
+
+    /** Parses a validated CBF file produced by saveCbf(). */
+    static bool tryLoadCbf(const io::CbfFile &file,
+                           ProfileDataset *dataset, std::string *error);
+
+    /**
+     * Loads @p path in either format, sniffed by magic bytes: CBF
+     * files take the mmap zero-copy path (falling back to the checked
+     * streaming reader when mapping fails), anything else parses as
+     * the CSV dialect. @p dataset is untouched on failure.
+     */
+    static bool tryLoadFile(const std::string &path,
+                            ProfileDataset *dataset, std::string *error);
+
+    /** tryLoadFile(), fatal on failure. */
+    static ProfileDataset loadFile(const std::string &path);
 
   private:
     std::vector<OpProfile> ops_;

@@ -68,6 +68,21 @@ RunningStats::normalizedStddev() const
     return stddev() / std::abs(mean_);
 }
 
+RunningStats
+RunningStats::fromState(std::size_t count, double mean, double m2,
+                        double min, double max)
+{
+    RunningStats stats;
+    if (count == 0)
+        return stats;
+    stats.count_ = count;
+    stats.mean_ = mean;
+    stats.m2_ = m2;
+    stats.min_ = min;
+    stats.max_ = max;
+    return stats;
+}
+
 double
 RunningStats::min() const
 {
@@ -101,6 +116,23 @@ SampleReservoir::add(double x)
     const std::uint64_t pick = splitMix64(rngState_) % offered_;
     if (pick < capacity_)
         samples_[pick] = x;
+}
+
+SampleReservoir
+SampleReservoir::fromState(std::size_t capacity, std::size_t offered,
+                           std::uint64_t rng_state,
+                           std::vector<double> samples)
+{
+    SampleReservoir reservoir(capacity); // panics on capacity == 0
+    const bool consistent = offered <= capacity
+                                ? samples.size() == offered
+                                : samples.size() == capacity;
+    if (!consistent)
+        panic("SampleReservoir::fromState: inconsistent state");
+    reservoir.offered_ = offered;
+    reservoir.rngState_ = rng_state;
+    reservoir.samples_ = std::move(samples);
+    return reservoir;
 }
 
 double

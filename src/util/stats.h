@@ -55,6 +55,22 @@ class RunningStats
     /** Sum of all observations. */
     double sum() const { return mean_ * static_cast<double>(count_); }
 
+    /**
+     * Welford M2 accumulator (sum of squared deviations from the
+     * mean); exposed so the CBF codecs can serialize the exact
+     * internal state instead of a lossy (count, mean, stddev) triple.
+     */
+    double sumSquaredDeviations() const { return m2_; }
+
+    /**
+     * Reconstructs an accumulator from its exact internal state as
+     * captured by count()/mean()/sumSquaredDeviations()/min()/max().
+     * A zero count yields a default (empty) accumulator regardless of
+     * the other arguments.
+     */
+    static RunningStats fromState(std::size_t count, double mean,
+                                  double m2, double min, double max);
+
   private:
     std::size_t count_ = 0;
     double mean_ = 0.0;
@@ -81,6 +97,28 @@ class SampleReservoir
 
     /** Total observations offered (not just retained). */
     std::size_t offered() const { return offered_; }
+
+    /** Maximum number of retained samples. */
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Internal replacement-RNG state; exposed (with fromState) so the
+     * CBF codecs restore a reservoir that continues the exact sample
+     * stream the original would have produced.
+     */
+    std::uint64_t rngState() const { return rngState_; }
+
+    /**
+     * Reconstructs a reservoir from its exact internal state. Panics
+     * on inconsistent state (capacity 0, more samples than capacity,
+     * or a retained count that contradicts @p offered); binary loaders
+     * validate before calling so corrupt files degrade to load errors
+     * instead.
+     */
+    static SampleReservoir fromState(std::size_t capacity,
+                                     std::size_t offered,
+                                     std::uint64_t rng_state,
+                                     std::vector<double> samples);
 
     /** Currently retained samples (unsorted). */
     const std::vector<double> &samples() const { return samples_; }

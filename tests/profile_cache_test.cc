@@ -80,7 +80,7 @@ TEST(ProfileCacheTest, ColdRunWritesEntryAndWarmRunMatches)
     EXPECT_EQ(datasetCsv(warm), datasetCsv(cold));
 }
 
-TEST(ProfileCacheTest, GarbledNumericFieldIsAMissAndRecovers)
+TEST(ProfileCacheTest, GarbledPayloadByteIsAMissAndRecovers)
 {
     const std::string dir = freshCacheDir("garbled");
     const CollectOptions options = smallOptions();
@@ -91,14 +91,10 @@ TEST(ProfileCacheTest, GarbledNumericFieldIsAMissAndRecovers)
     const std::string cold_csv = datasetCsv(cold);
     const std::string good_entry = readFile(entry);
 
-    // Garble one byte of the first numeric field after the header:
-    // find the first digit of the occurrences column and break it.
+    // Flip one bit in the last payload byte of the CBF entry; the
+    // per-section checksum catches it.
     std::string corrupt = good_entry;
-    const std::size_t data = corrupt.find('\n') + 1;
-    const std::size_t digit =
-        corrupt.find_first_of("0123456789", corrupt.find(",gpu,", data));
-    ASSERT_NE(digit, std::string::npos);
-    corrupt[digit] = '#';
+    corrupt.back() ^= 0x01;
     writeFile(entry, corrupt);
 
     // The corrupt entry must be treated as a miss: re-profile, rewrite
@@ -109,7 +105,7 @@ TEST(ProfileCacheTest, GarbledNumericFieldIsAMissAndRecovers)
     EXPECT_EQ(readFile(entry), good_entry);
 }
 
-TEST(ProfileCacheTest, TruncatedAndShortRowEntriesAreMisses)
+TEST(ProfileCacheTest, TruncatedAndCorruptHeaderEntriesAreMisses)
 {
     const std::string dir = freshCacheDir("broken");
     const CollectOptions options = smallOptions();
@@ -120,25 +116,27 @@ TEST(ProfileCacheTest, TruncatedAndShortRowEntriesAreMisses)
     const std::string cold_csv = datasetCsv(cold);
     const std::string good_entry = readFile(entry);
 
-    const std::size_t second_row =
-        good_entry.find('\n', good_entry.find('\n') + 1) + 1;
-    const std::string broken[] = {
-        // Truncated mid-row: header, one full data row, then a 4-byte
-        // stub of the next row (far too few fields to parse).
-        good_entry.substr(0, second_row + 4),
-        // A row with too few columns.
-        good_entry.substr(0, good_entry.find('\n') + 1) +
-            "op,alexnet,V100\n",
-        // Broken quoting (unterminated quoted field).
-        good_entry.substr(0, good_entry.find('\n') + 1) +
-            "op,\"alexnet,V100,Conv2D,gpu,1,1,5,0,1;1;0;1,5\n",
-    };
-    for (const std::string &text : broken) {
-        writeFile(entry, text);
+    std::vector<std::string> broken;
+    // Truncated after the header (the declared size no longer fits).
+    broken.push_back(good_entry.substr(0, 100));
+    // Magic damaged: no longer sniffs as CBF at all.
+    broken.push_back(good_entry);
+    broken.back()[0] ^= 0x40;
+    // Format version from a future build.
+    broken.push_back(good_entry);
+    broken.back()[8] ^= 0x02;
+    // One bit inside the column table (checksummed separately).
+    broken.push_back(good_entry);
+    broken.back()[40] ^= 0x01;
+    // Truncated tail (the header's declared size no longer matches).
+    broken.push_back(good_entry.substr(0, good_entry.size() - 3));
+
+    for (std::size_t i = 0; i < broken.size(); ++i) {
+        writeFile(entry, broken[i]);
         const ProfileDataset recovered =
             collectProfilesCached(kModels, options, dir);
-        EXPECT_EQ(datasetCsv(recovered), cold_csv);
-        EXPECT_EQ(readFile(entry), good_entry);
+        EXPECT_EQ(datasetCsv(recovered), cold_csv) << "case " << i;
+        EXPECT_EQ(readFile(entry), good_entry) << "case " << i;
     }
 }
 
@@ -189,12 +187,11 @@ TEST(ProfileCacheTest, CountersTrackHitsMissesAndCorruption)
         1u);
 
     // Garbled entry: counted corrupt AND a miss (it re-profiles), and
-    // the rewrite bumps the write counter.
+    // the rewrite bumps the write counter. One flipped bit in the
+    // column table is enough — the table checksum catches it.
     std::string corrupt = readFile(entry);
-    const std::size_t digit = corrupt.find_first_of(
-        "0123456789", corrupt.find(",gpu,", corrupt.find('\n') + 1));
-    ASSERT_NE(digit, std::string::npos);
-    corrupt[digit] = '#';
+    ASSERT_GT(corrupt.size(), 41u);
+    corrupt[40] ^= 0x01;
     writeFile(entry, corrupt);
     collectProfilesCached(kModels, options, dir);
     const obs::MetricsSnapshot s = obs::snapshotMetrics();

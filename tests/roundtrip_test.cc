@@ -16,10 +16,12 @@
 
 #include <gtest/gtest.h>
 
+#include "cloud/instances.h"
 #include "core/ceer_model.h"
 #include "core/regression.h"
 #include "graph/op_type.h"
 #include "hw/gpu_spec.h"
+#include "io/cbf.h"
 #include "profile/profiler.h"
 #include "util/csv.h"
 #include "util/random.h"
@@ -320,6 +322,178 @@ TEST(RoundTripTest, MultiCountDatasetsReachAFixedPointAfterOneTrip)
             EXPECT_NEAR(b.timeUs.stddev(), a.timeUs.stddev(),
                         1e-6 * a.timeUs.stddev() + 1e-9);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CBF (binary) round-trips. Unlike CSV, the CBF codec stores the
+// exact accumulator state, so round-trips are bit-identical for ANY
+// dataset — odd counts, overflowed reservoirs, hostile names.
+
+std::string
+datasetCbf(const profile::ProfileDataset &dataset)
+{
+    std::stringstream out;
+    dataset.saveCbf(out);
+    return out.str();
+}
+
+profile::ProfileDataset
+parseCbfDataset(const std::string &bytes)
+{
+    io::CbfFile file;
+    std::string error;
+    EXPECT_TRUE(io::CbfFile::tryParse(bytes, &file, &error)) << error;
+    profile::ProfileDataset dataset;
+    EXPECT_TRUE(
+        profile::ProfileDataset::tryLoadCbf(file, &dataset, &error))
+        << error;
+    return dataset;
+}
+
+TEST(RoundTripTest, RandomizedDatasetsCbfRoundTripExactly)
+{
+    util::Rng rng(307);
+    for (int trial = 0; trial < 40; ++trial) {
+        profile::ProfileDataset dataset;
+        std::vector<profile::OpProfile> ops;
+        const std::size_t num_ops = 1 + rng.uniformInt(10);
+        for (std::size_t i = 0; i < num_ops; ++i) {
+            // Odd counts and overflowed reservoirs on purpose: the
+            // binary codec must not depend on CSV-representability.
+            profile::OpProfile op =
+                randomOpProfile(rng, 1 + rng.uniformInt(41));
+            const std::size_t extra = rng.uniformInt(150);
+            for (std::size_t s = 0; s < extra; ++s)
+                op.samples.add(randomPositive(rng));
+            ops.push_back(std::move(op));
+        }
+        dataset.add(std::move(ops));
+        const std::size_t num_iters = rng.uniformInt(6);
+        for (std::size_t i = 0; i < num_iters; ++i)
+            dataset.addIteration(randomIterationProfile(rng));
+
+        const std::string bytes = datasetCbf(dataset);
+        const profile::ProfileDataset reloaded = parseCbfDataset(bytes);
+        ASSERT_EQ(datasetCbf(reloaded), bytes) << "trial " << trial;
+        // Spot-check the exactness claim on the lossiest CSV fields.
+        ASSERT_EQ(reloaded.ops().size(), dataset.ops().size());
+        for (std::size_t i = 0; i < dataset.ops().size(); ++i) {
+            const auto &a = dataset.ops()[i];
+            const auto &b = reloaded.ops()[i];
+            EXPECT_EQ(b.timeUs.count(), a.timeUs.count());
+            EXPECT_EQ(b.timeUs.mean(), a.timeUs.mean());
+            EXPECT_EQ(b.timeUs.stddev(), a.timeUs.stddev());
+            EXPECT_EQ(b.samples.offered(), a.samples.offered());
+            EXPECT_EQ(b.samples.samples(), a.samples.samples());
+        }
+        // And the CSV rendering agrees, since the contents do.
+        EXPECT_EQ(datasetCsv(reloaded), datasetCsv(dataset))
+            << "trial " << trial;
+    }
+}
+
+TEST(RoundTripTest, CsvToCbfToCsvReproducesTheCanonicalCsv)
+{
+    // CSV -> CBF -> CSV: starting from a canonical CSV (one save/load
+    // trip puts any dataset there), converting through the binary
+    // dialect and back must reproduce the text byte for byte.
+    util::Rng rng(401);
+    for (int trial = 0; trial < 30; ++trial) {
+        profile::ProfileDataset dataset;
+        std::vector<profile::OpProfile> ops;
+        const std::size_t num_ops = 1 + rng.uniformInt(10);
+        for (std::size_t i = 0; i < num_ops; ++i)
+            ops.push_back(
+                randomOpProfile(rng, 1 + rng.uniformInt(30)));
+        dataset.add(std::move(ops));
+        const std::size_t num_iters = rng.uniformInt(4);
+        for (std::size_t i = 0; i < num_iters; ++i)
+            dataset.addIteration(randomIterationProfile(rng));
+
+        std::istringstream raw(datasetCsv(dataset));
+        const profile::ProfileDataset canonical_dataset =
+            profile::ProfileDataset::loadCsv(raw);
+        const std::string canonical = datasetCsv(canonical_dataset);
+
+        const profile::ProfileDataset from_cbf =
+            parseCbfDataset(datasetCbf(canonical_dataset));
+        ASSERT_EQ(datasetCsv(from_cbf), canonical) << "trial " << trial;
+    }
+}
+
+TEST(RoundTripTest, CbfToCsvToCbfIsExactForCsvRepresentableDatasets)
+{
+    // CBF -> CSV -> CBF: exact whenever the dataset is inside CSV's
+    // representable set — canonical values and single-sample stats
+    // (count == 1 makes the moment reconstruction lossless).
+    util::Rng rng(503);
+    for (int trial = 0; trial < 30; ++trial) {
+        profile::ProfileDataset dataset;
+        std::vector<profile::OpProfile> ops;
+        const std::size_t num_ops = 1 + rng.uniformInt(10);
+        for (std::size_t i = 0; i < num_ops; ++i)
+            ops.push_back(randomOpProfile(rng, 1));
+        dataset.add(std::move(ops));
+        std::istringstream raw(datasetCsv(dataset));
+        const profile::ProfileDataset canonical =
+            profile::ProfileDataset::loadCsv(raw);
+
+        const std::string cbf_first = datasetCbf(canonical);
+        std::istringstream csv_in(datasetCsv(canonical));
+        const profile::ProfileDataset via_csv =
+            profile::ProfileDataset::loadCsv(csv_in);
+        ASSERT_EQ(datasetCbf(via_csv), cbf_first) << "trial " << trial;
+    }
+}
+
+TEST(RoundTripTest, RandomizedCeerModelsCbfRoundTripByteIdentically)
+{
+    util::Rng rng(601);
+    for (int trial = 0; trial < 50; ++trial) {
+        const CeerModel original = randomCeerModel(rng);
+        std::stringstream first;
+        original.saveCbf(first);
+
+        io::CbfFile file;
+        std::string error;
+        ASSERT_TRUE(io::CbfFile::tryParse(first.str(), &file, &error))
+            << error;
+        CeerModel reloaded;
+        ASSERT_TRUE(CeerModel::tryLoadCbf(file, &reloaded, &error))
+            << error;
+        std::stringstream second;
+        reloaded.saveCbf(second);
+        ASSERT_EQ(second.str(), first.str()) << "trial " << trial;
+
+        // The text dialect agrees too, since the contents do.
+        std::stringstream text_a, text_b;
+        original.save(text_a);
+        reloaded.save(text_b);
+        EXPECT_EQ(text_b.str(), text_a.str()) << "trial " << trial;
+    }
+}
+
+TEST(RoundTripTest, CatalogCbfRoundTripsByteIdentically)
+{
+    for (const cloud::InstanceCatalog &catalog :
+         {cloud::InstanceCatalog::awsOnDemand(),
+          cloud::InstanceCatalog::syntheticFleet(500)}) {
+        std::stringstream first;
+        catalog.saveCbf(first);
+        io::CbfFile file;
+        std::string error;
+        ASSERT_TRUE(io::CbfFile::tryParse(first.str(), &file, &error))
+            << error;
+        cloud::InstanceCatalog reloaded;
+        ASSERT_TRUE(cloud::InstanceCatalog::tryLoadCbf(file, &reloaded,
+                                                       &error))
+            << error;
+        std::stringstream second;
+        reloaded.saveCbf(second);
+        ASSERT_EQ(second.str(), first.str());
+        ASSERT_EQ(reloaded.instances().size(),
+                  catalog.instances().size());
     }
 }
 

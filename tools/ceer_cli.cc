@@ -3,24 +3,29 @@
  * `ceer` — command-line front end for the whole pipeline.
  *
  * Subcommands:
- *   zoo                              list the 12 zoo CNNs
- *   dot        --model M             print a Graphviz DOT of M's graph
- *   summary    --model M [--depth D] per-layer op/param/GFLOP table
- *   profile    --out profiles.csv    run the empirical study -> CSV
- *   train      --profiles f --out m  fit Ceer from a profile CSV
- *   predict    --ceer-model m --model M --gpu P3 --gpus 4
- *   recommend  --ceer-model m --model M [--objective cost|time]
- *              [--hourly-budget B] [--total-budget B] [--market]
- *              [--auto-train [--profile-iters N] [--train-models ...]]
+ *   zoo                               list the 12 zoo CNNs
+ *   dot         --model M             print a Graphviz DOT of M's graph
+ *   summary     --model M [--depth D] per-layer op/param/GFLOP table
+ *   profile     --out profiles.csv    run the empirical study
+ *   train       --profiles f --out m  fit Ceer from a profile file
+ *   predict     --ceer-model m --model M --gpu P3 --gpus 4
+ *   recommend   --ceer-model m --model M [--objective cost|time]
+ *               [--hourly-budget B] [--total-budget B] [--market]
+ *               [--auto-train [--profile-iters N] [--train-models ..]]
+ *   convert     --in f --out g        convert profiles/models/catalogs
+ *                                     between CSV/text and CBF
+ *   gen-catalog --count N --out f     emit a synthetic instance fleet
  *
- * Every subcommand accepts --help. Model files come from `train` (or
- * the export_profiles example); all state lives in plain text files.
+ * Every subcommand accepts --help, --metrics-out <file> and
+ * --trace-out <file>; the latter two turn the observability layer on
+ * for the run and write the metrics JSON snapshot / Chrome-trace span
+ * timeline on exit (see docs/observability.md).
  *
- * The pipeline subcommands (profile, train, predict, recommend) also
- * accept --metrics-out <file> and --trace-out <file>: either switch
- * turns the observability layer on for the run and writes the metrics
- * JSON snapshot / Chrome-trace span timeline on exit (see
- * docs/observability.md).
+ * Profiles, models and catalogs each have two on-disk dialects: the
+ * text/CSV interchange form and the CBF binary form
+ * (docs/file_formats.md). Every loader sniffs the magic bytes, so any
+ * flag taking a file accepts either; writers pick by the output
+ * file's extension (.cbf means CBF).
  */
 
 #include <fstream>
@@ -29,6 +34,7 @@
 #include "baselines/baselines.h"
 #include "cloud/instances.h"
 #include "core/predictor.h"
+#include "io/cbf.h"
 #include "core/recommender.h"
 #include "core/trainer.h"
 #include "graph/summary.h"
@@ -46,13 +52,11 @@ namespace {
 
 using namespace ceer;
 
-core::CeerModel
-loadModelFile(const std::string &path)
+/** True when @p path should be written in the CBF binary dialect. */
+bool
+wantsCbf(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        util::fatal("cannot open Ceer model file '" + path + "'");
-    return core::CeerModel::load(in);
+    return util::endsWith(path, ".cbf");
 }
 
 /** Declares the shared observability flags on a subcommand. */
@@ -105,8 +109,12 @@ modelListOrTrainingSet(const std::string &csv)
 }
 
 int
-cmdZoo(int, char **)
+cmdZoo(int argc, char **argv)
 {
+    util::Flags flags;
+    defineObsFlags(flags);
+    flags.parse(argc, argv);
+    applyObsFlags(flags);
     util::TablePrinter table({"model", "set", "input", "params (M)",
                               "graph ops"});
     for (const std::string &name : models::allModelNames()) {
@@ -125,6 +133,7 @@ cmdZoo(int, char **)
     table.print(std::cout);
     std::cout << "extras (outside the paper's zoo): "
                  "transformer_encoder, lstm_classifier, mobilenet_v1\n";
+    flushObsArtifacts(flags);
     return 0;
 }
 
@@ -135,13 +144,16 @@ cmdSummary(int argc, char **argv)
     flags.defineString("model", "inception_v1", "zoo model");
     flags.defineInt("batch", 32, "per-GPU batch size");
     flags.defineInt("depth", 1, "layer-name depth for grouping");
+    defineObsFlags(flags);
     flags.parse(argc, argv);
+    applyObsFlags(flags);
     const graph::Graph g = models::buildModel(
         flags.getString("model"), flags.getInt("batch"));
     const graph::ModelSummary summary = graph::summarize(
         g, static_cast<int>(flags.getInt("depth")),
         [](const graph::Node &node) { return hw::opCost(node).flops; });
     summary.print(std::cout);
+    flushObsArtifacts(flags);
     return 0;
 }
 
@@ -151,10 +163,13 @@ cmdDot(int argc, char **argv)
     util::Flags flags;
     flags.defineString("model", "inception_v1", "zoo model");
     flags.defineInt("batch", 32, "per-GPU batch size");
+    defineObsFlags(flags);
     flags.parse(argc, argv);
+    applyObsFlags(flags);
     const graph::Graph g =
         models::buildModel(flags.getString("model"), flags.getInt("batch"));
     std::cout << g.toDot();
+    flushObsArtifacts(flags);
     return 0;
 }
 
@@ -170,7 +185,9 @@ cmdProfile(int argc, char **argv)
                     "thread)");
     flags.defineString("models", "",
                        "comma-separated CNNs (default: training set)");
-    flags.defineString("out", "profiles.csv", "output CSV path");
+    flags.defineString("out", "profiles.csv",
+                       "output path (.cbf writes binary CBF, anything "
+                       "else CSV)");
     defineObsFlags(flags);
     flags.parse(argc, argv);
     applyObsFlags(flags);
@@ -185,10 +202,13 @@ cmdProfile(int argc, char **argv)
     const profile::ProfileDataset dataset =
         profile::collectProfiles(names, options);
 
-    std::ofstream out(flags.getString("out"));
+    std::ofstream out(flags.getString("out"), std::ios::binary);
     if (!out)
         util::fatal("cannot open " + flags.getString("out"));
-    dataset.saveCsv(out);
+    if (wantsCbf(flags.getString("out")))
+        dataset.saveCbf(out);
+    else
+        dataset.saveCsv(out);
     std::cout << "wrote " << dataset.ops().size() << " op rows and "
               << dataset.iterations().size() << " iter rows to "
               << flags.getString("out") << "\n";
@@ -200,8 +220,11 @@ int
 cmdTrain(int argc, char **argv)
 {
     util::Flags flags;
-    flags.defineString("profiles", "profiles.csv", "input profile CSV");
-    flags.defineString("out", "ceer_model.txt", "output model file");
+    flags.defineString("profiles", "profiles.csv",
+                       "input profile file (CSV or CBF, sniffed)");
+    flags.defineString("out", "ceer_model.txt",
+                       "output model file (.cbf writes binary CBF, "
+                       "anything else text)");
     flags.defineInt("threads", 1,
                     "regression-fit worker threads (1 = serial, 0 = "
                     "one per hardware thread); the trained model is "
@@ -210,20 +233,20 @@ cmdTrain(int argc, char **argv)
     flags.parse(argc, argv);
     applyObsFlags(flags);
 
-    std::ifstream in(flags.getString("profiles"));
-    if (!in)
-        util::fatal("cannot open " + flags.getString("profiles"));
     const profile::ProfileDataset dataset =
-        profile::ProfileDataset::loadCsv(in);
+        profile::ProfileDataset::loadFile(flags.getString("profiles"));
     core::TrainOptions train_options;
     train_options.threads = static_cast<int>(flags.getInt("threads"));
     const core::CeerModel model = core::trainCeer(dataset,
                                                   train_options);
 
-    std::ofstream out(flags.getString("out"));
+    std::ofstream out(flags.getString("out"), std::ios::binary);
     if (!out)
         util::fatal("cannot open " + flags.getString("out"));
-    model.save(out);
+    if (wantsCbf(flags.getString("out")))
+        model.saveCbf(out);
+    else
+        model.save(out);
     const auto [lo, hi] = model.opModelR2Range();
     std::cout << "trained on " << dataset.ops().size()
               << " op rows: " << model.heavyOps.size()
@@ -238,7 +261,8 @@ int
 cmdPredict(int argc, char **argv)
 {
     util::Flags flags;
-    flags.defineString("ceer-model", "ceer_model.txt", "model file");
+    flags.defineString("ceer-model", "ceer_model.txt",
+                       "model file (text or CBF, sniffed)");
     flags.defineString("model", "resnet_101", "zoo CNN to predict");
     flags.defineString("gpu", "P3", "GPU model or family name");
     flags.defineInt("gpus", 1, "data-parallel width");
@@ -252,7 +276,7 @@ cmdPredict(int argc, char **argv)
     if (!hw::gpuModelFromName(flags.getString("gpu"), gpu))
         util::fatal("unknown GPU '" + flags.getString("gpu") + "'");
     const core::CeerPredictor predictor(
-        loadModelFile(flags.getString("ceer-model")));
+        core::CeerModel::loadFile(flags.getString("ceer-model")));
     const graph::Graph g = models::buildModel(flags.getString("model"),
                                               flags.getInt("batch"));
     const core::TrainingPrediction prediction =
@@ -274,15 +298,17 @@ int
 cmdRecommend(int argc, char **argv)
 {
     util::Flags flags;
-    flags.defineString("ceer-model", "ceer_model.txt", "model file");
+    flags.defineString("ceer-model", "ceer_model.txt",
+                       "model file (text or CBF, sniffed)");
     flags.defineString("model", "resnet_101", "zoo CNN to place");
     flags.defineString("objective", "cost", "minimize 'cost' or 'time'");
     flags.defineDouble("hourly-budget", 1e18, "max hourly price (USD)");
     flags.defineDouble("total-budget", 1e18, "max total spend (USD)");
     flags.defineBool("market", false, "use market GPU prices");
     flags.defineString("catalog", "",
-                       "custom instance-catalog CSV "
-                       "(name,gpu,gpus,hourly_usd); overrides --market");
+                       "custom instance catalog, CSV "
+                       "(name,gpu,gpus,hourly_usd) or CBF, sniffed; "
+                       "overrides --market");
     flags.defineInt("batch", 32, "per-GPU batch size");
     flags.defineInt("samples", 1200000, "dataset size");
     flags.defineInt("threads", 1,
@@ -306,7 +332,7 @@ cmdRecommend(int argc, char **argv)
     const core::CeerPredictor predictor = [&] {
         if (!flags.getBool("auto-train"))
             return core::CeerPredictor(
-                loadModelFile(flags.getString("ceer-model")));
+                core::CeerModel::loadFile(flags.getString("ceer-model")));
         // End-to-end path: run the empirical study and fit Ceer right
         // here, so one command exercises (and can observe) profiler,
         // trainer, predictor and recommender together.
@@ -328,12 +354,9 @@ cmdRecommend(int argc, char **argv)
     cloud::InstanceCatalog catalog =
         flags.getBool("market") ? cloud::InstanceCatalog::marketPriced()
                                 : cloud::InstanceCatalog::awsOnDemand();
-    if (!flags.getString("catalog").empty()) {
-        std::ifstream catalog_in(flags.getString("catalog"));
-        if (!catalog_in)
-            util::fatal("cannot open " + flags.getString("catalog"));
-        catalog = cloud::InstanceCatalog::fromCsv(catalog_in);
-    }
+    if (!flags.getString("catalog").empty())
+        catalog =
+            cloud::InstanceCatalog::fromFile(flags.getString("catalog"));
 
     core::WorkloadSpec workload{&g, flags.getInt("samples"),
                                 flags.getInt("batch")};
@@ -372,19 +395,209 @@ cmdRecommend(int argc, char **argv)
     return 0;
 }
 
+/** What container a profile/model/catalog file holds. */
+enum class FileKind { Profiles, Model, Catalog };
+
+const char *
+fileKindName(FileKind kind)
+{
+    switch (kind) {
+    case FileKind::Profiles:
+        return "profiles";
+    case FileKind::Model:
+        return "model";
+    case FileKind::Catalog:
+        return "catalog";
+    }
+    util::panic("unreachable");
+}
+
+/**
+ * Detects what @p path holds: CBF files carry their container in the
+ * "schema" column; text files are classified by their first line
+ * (model documents start with "ceer_model", the two CSV dialects by
+ * their headers).
+ */
+FileKind
+detectFileKind(const std::string &path)
+{
+    io::FileFormat format;
+    std::string error;
+    if (!io::sniffFile(path, &format, &error))
+        util::fatal("convert: " + error);
+    if (format == io::FileFormat::Cbf) {
+        io::CbfFile file;
+        if (!io::CbfFile::tryMap(path, &file, &error) &&
+            !io::CbfFile::tryLoad(path, &file, &error))
+            util::fatal("convert: " + path + ": " + error);
+        const char *schema = nullptr;
+        std::size_t schema_size = 0;
+        if (!file.bytes("schema", &schema, &schema_size, &error))
+            util::fatal("convert: " + path + ": " + error);
+        const std::string name(schema, schema_size);
+        if (name == "ceer.profiles.v1")
+            return FileKind::Profiles;
+        if (name == "ceer.model.v1")
+            return FileKind::Model;
+        if (name == "ceer.catalog.v1")
+            return FileKind::Catalog;
+        util::fatal("convert: " + path + ": unknown schema '" + name +
+                    "'");
+    }
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("convert: cannot open '" + path + "'");
+    std::string first_line;
+    std::getline(in, first_line);
+    if (util::startsWith(first_line, "ceer_model"))
+        return FileKind::Model;
+    if (util::startsWith(first_line, "kind,model,gpu"))
+        return FileKind::Profiles;
+    if (util::startsWith(first_line, "name,gpu,gpus"))
+        return FileKind::Catalog;
+    util::fatal("convert: cannot classify '" + path +
+                "' (first line '" + first_line +
+                "' matches no known dialect); pass --kind");
+}
+
+int
+cmdConvert(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineString("in", "", "input file (any dialect, sniffed)");
+    flags.defineString("out", "", "output file");
+    flags.defineString("kind", "auto",
+                       "container kind: auto, profiles, model or "
+                       "catalog (auto reads the CBF schema or the "
+                       "text file's first line)");
+    flags.defineString("to", "auto",
+                       "target dialect: auto, cbf or text (auto flips "
+                       "the input's dialect; text means CSV for "
+                       "profiles and catalogs)");
+    defineObsFlags(flags);
+    flags.parse(argc, argv);
+    applyObsFlags(flags);
+
+    const std::string in_path = flags.getString("in");
+    const std::string out_path = flags.getString("out");
+    if (in_path.empty() || out_path.empty())
+        util::fatal("convert: --in and --out are required");
+
+    io::FileFormat in_format;
+    std::string error;
+    if (!io::sniffFile(in_path, &in_format, &error))
+        util::fatal("convert: " + error);
+
+    FileKind kind;
+    const std::string kind_flag = flags.getString("kind");
+    if (kind_flag == "auto")
+        kind = detectFileKind(in_path);
+    else if (kind_flag == "profiles")
+        kind = FileKind::Profiles;
+    else if (kind_flag == "model")
+        kind = FileKind::Model;
+    else if (kind_flag == "catalog")
+        kind = FileKind::Catalog;
+    else
+        util::fatal("convert: unknown --kind '" + kind_flag + "'");
+
+    const std::string to = flags.getString("to");
+    bool to_cbf;
+    if (to == "auto")
+        to_cbf = in_format != io::FileFormat::Cbf;
+    else if (to == "cbf")
+        to_cbf = true;
+    else if (to == "text" || to == "csv")
+        to_cbf = false;
+    else
+        util::fatal("convert: unknown --to '" + to + "'");
+
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out)
+        util::fatal("convert: cannot open '" + out_path + "'");
+    std::size_t rows = 0;
+    switch (kind) {
+    case FileKind::Profiles: {
+        const profile::ProfileDataset dataset =
+            profile::ProfileDataset::loadFile(in_path);
+        to_cbf ? dataset.saveCbf(out) : dataset.saveCsv(out);
+        rows = dataset.ops().size() + dataset.iterations().size();
+        break;
+    }
+    case FileKind::Model: {
+        const core::CeerModel model = core::CeerModel::loadFile(in_path);
+        to_cbf ? model.saveCbf(out) : model.save(out);
+        rows = model.opModels.size();
+        break;
+    }
+    case FileKind::Catalog: {
+        const cloud::InstanceCatalog catalog =
+            cloud::InstanceCatalog::fromFile(in_path);
+        to_cbf ? catalog.saveCbf(out) : catalog.saveCsv(out);
+        rows = catalog.instances().size();
+        break;
+    }
+    }
+    out.close();
+    if (!out.good())
+        util::fatal("convert: write to '" + out_path + "' failed");
+    std::cout << "converted " << fileKindName(kind) << " (" << rows
+              << " rows) " << in_path << " -> " << out_path << " ["
+              << (to_cbf ? "cbf" : "text") << "]\n";
+    flushObsArtifacts(flags);
+    return 0;
+}
+
+int
+cmdGenCatalog(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineInt("count", 5000, "instance types to generate");
+    flags.defineInt("seed", 42, "RNG seed");
+    flags.defineString("out", "fleet_catalog.cbf",
+                       "output path (.cbf writes binary CBF, anything "
+                       "else CSV)");
+    defineObsFlags(flags);
+    flags.parse(argc, argv);
+    applyObsFlags(flags);
+
+    const cloud::InstanceCatalog catalog =
+        cloud::InstanceCatalog::syntheticFleet(
+            static_cast<std::size_t>(flags.getInt("count")),
+            static_cast<std::uint64_t>(flags.getInt("seed")));
+    std::ofstream out(flags.getString("out"), std::ios::binary);
+    if (!out)
+        util::fatal("cannot open " + flags.getString("out"));
+    if (wantsCbf(flags.getString("out")))
+        catalog.saveCbf(out);
+    else
+        catalog.saveCsv(out);
+    out.close();
+    if (!out.good())
+        util::fatal("write to " + flags.getString("out") + " failed");
+    std::cout << "wrote " << catalog.instances().size()
+              << " instance types to " << flags.getString("out") << "\n";
+    flushObsArtifacts(flags);
+    return 0;
+}
+
 void
 usage()
 {
     std::cout <<
         "usage: ceer <command> [flags]\n"
         "commands:\n"
-        "  zoo        list the 12 zoo CNNs\n"
-        "  dot        print a CNN's graph as Graphviz DOT\n"
-        "  summary    per-layer table (ops, params, GFLOPs)\n"
-        "  profile    run the empirical study, write a profile CSV\n"
-        "  train      fit a Ceer model from a profile CSV\n"
-        "  predict    predict training time for a CNN on an instance\n"
-        "  recommend  pick the optimal instance under constraints\n"
+        "  zoo          list the 12 zoo CNNs\n"
+        "  dot          print a CNN's graph as Graphviz DOT\n"
+        "  summary      per-layer table (ops, params, GFLOPs)\n"
+        "  profile      run the empirical study, write profiles\n"
+        "  train        fit a Ceer model from a profile file\n"
+        "  predict      predict training time for a CNN on an instance\n"
+        "  recommend    pick the optimal instance under constraints\n"
+        "  convert      convert profiles/models/catalogs between the\n"
+        "               text/CSV and CBF binary dialects\n"
+        "  gen-catalog  emit a synthetic instance fleet (CSV or CBF)\n"
+        "every command accepts --metrics-out and --trace-out\n"
         "run `ceer <command> --help` for the command's flags\n";
 }
 
@@ -415,6 +628,10 @@ main(int argc, char **argv)
         return cmdPredict(sub_argc, sub_argv);
     if (command == "recommend")
         return cmdRecommend(sub_argc, sub_argv);
+    if (command == "convert")
+        return cmdConvert(sub_argc, sub_argv);
+    if (command == "gen-catalog")
+        return cmdGenCatalog(sub_argc, sub_argv);
     if (command == "--help" || command == "help") {
         usage();
         return 0;

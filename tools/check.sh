@@ -87,6 +87,10 @@ pass_bench_smoke() {
     ./build/bench/micro_obs --ops 100000 --threads 4 --out '' \
         --metrics-out build/check_obs_metrics.json
     grep -q obs_bench.counter build/check_obs_metrics.json
+    # micro_io's nonzero exit asserts bit-identity across the CSV /
+    # streaming-CBF / mmap-CBF load paths and the fleet recommend sweep.
+    ./build/bench/micro_io --train-iters 10 --load-iters 3 \
+        --fleet 256 --out ''
 }
 
 pass_tsan() {
@@ -122,7 +126,7 @@ pass_ubsan() {
           -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
     cmake --build build-ubsan -j "$JOBS" \
           --target obs_test util_test regression_test robustness_test \
-                   roundtrip_test profile_cache_test
+                   roundtrip_test profile_cache_test io_test
 
     # Checked parsing must be UB-free on adversarial input:
     # overflowing integers, huge exponents, garbled bytes.
@@ -136,6 +140,9 @@ pass_ubsan() {
         --gtest_filter='CsvRobustnessTest.*:ModelFileTest.*'
     ./build-ubsan/tests/roundtrip_test
     ./build-ubsan/tests/profile_cache_test
+    # The CBF reader's corruption matrix under UBSan: misaligned and
+    # short sections must be validation failures, never UB.
+    ./build-ubsan/tests/io_test
 }
 
 pass_scaling() {
