@@ -1,0 +1,282 @@
+/**
+ * @file
+ * ceerd serving-path microbenchmark (emits BENCH_serve.json).
+ *
+ * Boots an in-process serve::Server on an ephemeral port, replays
+ * zoo-wide recommend traffic through serve::runLoadgen at a ladder of
+ * target rates (finishing with an unthrottled closed-loop point), and
+ * reports throughput plus p50/p99/p999 latency per point.
+ *
+ * Two correctness gates ride along:
+ *  - byte identity: for every model in the mix, the raw Response
+ *    payload bytes from the server must equal the locally encoded
+ *    result of an in-process recommend() on the same model, catalog
+ *    and constraints — the server's plan-cached path is the same code.
+ *  - hot reload: reloading the identical model mid-run must bump the
+ *    engine generation and keep the reply bytes unchanged.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "cloud/instances.h"
+#include "core/recommender.h"
+#include "core/trainer.h"
+#include "models/model_zoo.h"
+#include "profile/profiler.h"
+#include "serve/client.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ceer;
+
+/** One throughput/latency point of the rate ladder. */
+struct Point
+{
+    double targetQps = 0.0;
+    serve::LoadgenResult result;
+};
+
+std::vector<std::string>
+parseModelList(const std::string &csv)
+{
+    std::vector<std::string> names = models::allModelNames();
+    if (csv.empty())
+        return names;
+    names.clear();
+    for (const auto &name : util::split(csv, ','))
+        if (!name.empty())
+            names.push_back(util::trim(name));
+    return names;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineInt("train-iters", 12,
+                    "profiling iterations for the in-process model");
+    flags.defineDouble("seconds", 1.5, "seconds per rate point");
+    flags.defineInt("connections", 4, "loadgen connections");
+    flags.defineString("models", "",
+                       "comma-separated request mix (default: the "
+                       "full 12-CNN zoo)");
+    flags.defineString("qps-targets", "50,200,0",
+                       "comma-separated target QPS ladder (0 = "
+                       "unthrottled closed loop)");
+    flags.defineString("out", "BENCH_serve.json",
+                       "machine-readable results ('' disables)");
+    flags.defineString("metrics-out", "",
+                       "write a metrics JSON snapshot here (enables "
+                       "observability for the run)");
+    flags.parse(argc, argv);
+    bench::setMetricsOut(flags.getString("metrics-out"));
+
+    const unsigned hardware = std::thread::hardware_concurrency();
+    const bool scaling_meaningful = hardware >= 2;
+    util::printBanner(std::cout,
+                      "micro_serve: ceerd serving path "
+                      "(loadgen over loopback TCP)");
+    std::cout << "hardware threads: " << hardware << "\n";
+
+    // A cheap but real model: two CNNs profiled briefly, then the
+    // standard trainer. Serving latency does not depend on the fit
+    // quality, only on the plan-evaluation shape.
+    profile::CollectOptions collect;
+    collect.iterations = static_cast<int>(flags.getInt("train-iters"));
+    const profile::ProfileDataset dataset = profile::collectProfiles(
+        {"vgg_11", "inception_v1"}, collect);
+    core::CeerModel model = core::trainCeer(dataset);
+    const core::CeerPredictor predictor(model);
+    const cloud::InstanceCatalog catalog =
+        cloud::InstanceCatalog::awsOnDemand();
+
+    serve::ServerOptions server_options;
+    server_options.port = 0;
+    serve::Server server(model, catalog, server_options);
+    std::string error;
+    if (!server.tryStart(&error)) {
+        std::cerr << "micro_serve: " << error << "\n";
+        return 1;
+    }
+
+    const std::vector<std::string> names =
+        parseModelList(flags.getString("models"));
+    std::vector<serve::RecommendRequest> mix;
+    for (const std::string &name : names) {
+        serve::RecommendRequest request;
+        request.model = name;
+        mix.push_back(std::move(request));
+    }
+
+    // --- Byte-identity gate -------------------------------------------
+    // The loadgen replies must be the same bytes an in-process
+    // recommend() produces: encode the local Recommendation with the
+    // same protocol codec and compare against the server's raw
+    // Response payload.
+    bool identity_ok = true;
+    serve::ServeClient client;
+    if (!client.tryConnect("127.0.0.1", server.port(), 30000,
+                           &error)) {
+        std::cerr << "micro_serve: " << error << "\n";
+        return 1;
+    }
+    std::vector<std::string> first_payloads;
+    for (const serve::RecommendRequest &request : mix) {
+        serve::RecommendResponse response;
+        std::string raw;
+        const serve::CallOutcome outcome =
+            client.recommend(request, &response, &raw);
+        if (!outcome.ok) {
+            std::cerr << "micro_serve: recommend(" << request.model
+                      << ") failed: " << outcome.errorMessage << "\n";
+            identity_ok = false;
+            break;
+        }
+        const graph::Graph g =
+            models::buildModel(request.model, request.batch);
+        core::WorkloadSpec workload{&g, request.datasetSamples,
+                                    request.batch};
+        core::Constraints constraints;
+        constraints.hourlyBudgetUsd = request.hourlyBudgetUsd;
+        constraints.hourlyToleranceUsd = request.hourlyToleranceUsd;
+        constraints.totalBudgetUsd = request.totalBudgetUsd;
+        constraints.enforceGpuMemory = request.enforceGpuMemory;
+        const std::string local = serve::encodeRecommendResponse(
+            serve::responseFromRecommendation(core::recommend(
+                predictor, workload, catalog.instances(),
+                core::objectiveFunction(core::Objective::MinCost),
+                constraints)));
+        if (raw != local) {
+            std::cerr << "micro_serve: reply for " << request.model
+                      << " differs from in-process recommend()\n";
+            identity_ok = false;
+        }
+        first_payloads.push_back(raw);
+    }
+    std::cout << (identity_ok ? "[PASS]" : "[FAIL]")
+              << " loadgen replies byte-identical to in-process "
+                 "recommend()\n";
+
+    // --- Hot-reload gate ----------------------------------------------
+    // Reload the identical model: the generation must advance and the
+    // reply bytes must not change.
+    bool reload_ok = identity_ok;
+    const std::string reload_path =
+        "micro_serve_reload_model.tmp.txt";
+    {
+        std::ofstream out(reload_path);
+        model.save(out);
+    }
+    std::uint64_t generation = 0;
+    const serve::CallOutcome reload_outcome =
+        client.reload(reload_path, &generation);
+    if (!reload_outcome.ok || generation != 2) {
+        std::cerr << "micro_serve: reload failed: "
+                  << reload_outcome.errorMessage << "\n";
+        reload_ok = false;
+    } else {
+        for (std::size_t i = 0; i < mix.size(); ++i) {
+            serve::RecommendResponse response;
+            std::string raw;
+            if (!client.recommend(mix[i], &response, &raw).ok ||
+                raw != first_payloads[i]) {
+                std::cerr << "micro_serve: post-reload reply for "
+                          << mix[i].model << " changed\n";
+                reload_ok = false;
+                break;
+            }
+        }
+    }
+    std::remove(reload_path.c_str());
+    client.close();
+    std::cout << (reload_ok ? "[PASS]" : "[FAIL]")
+              << " hot reload bumps the generation and keeps replies "
+                 "identical\n";
+
+    // --- Rate ladder --------------------------------------------------
+    std::vector<Point> points;
+    bool load_ok = true;
+    for (const auto &token :
+         util::split(flags.getString("qps-targets"), ',')) {
+        if (token.empty())
+            continue;
+        Point point;
+        point.targetQps = std::stod(token);
+        serve::LoadgenOptions load;
+        load.port = server.port();
+        load.connections =
+            static_cast<int>(flags.getInt("connections"));
+        load.seconds = flags.getDouble("seconds");
+        load.targetQps = point.targetQps;
+        load.requests = mix;
+        if (!serve::runLoadgen(load, &point.result, &error)) {
+            std::cerr << "micro_serve: loadgen: " << error << "\n";
+            return 1;
+        }
+        load_ok = load_ok && point.result.succeeded > 0 &&
+                  point.result.transportErrors == 0;
+        points.push_back(std::move(point));
+    }
+    server.stop();
+
+    util::TablePrinter table({"target qps", "achieved", "sent", "ok",
+                              "p50 (us)", "p99 (us)", "p99.9 (us)"});
+    for (const Point &point : points) {
+        table.addRow(
+            {point.targetQps <= 0.0
+                 ? std::string("max")
+                 : util::format("%.0f", point.targetQps),
+             util::format("%.1f", point.result.achievedQps),
+             std::to_string(point.result.sent),
+             std::to_string(point.result.succeeded),
+             util::format("%.0f", point.result.p50Us),
+             util::format("%.0f", point.result.p99Us),
+             util::format("%.0f", point.result.p999Us)});
+    }
+    table.print(std::cout);
+    std::cout << (load_ok ? "[PASS]" : "[FAIL]")
+              << " every rate point completed without transport "
+                 "errors\n";
+
+    bench::JsonObject doc;
+    doc.str("bench", "micro_serve");
+    bench::addScalingFields(doc, hardware, scaling_meaningful);
+    doc.num("request_mix_models",
+            static_cast<std::int64_t>(mix.size()));
+    doc.num("connections", flags.getInt("connections"));
+    doc.boolean("identity_ok", identity_ok);
+    doc.boolean("reload_ok", reload_ok);
+    std::vector<bench::JsonObject> rows;
+    for (const Point &point : points) {
+        bench::JsonObject row;
+        row.num("target_qps", point.targetQps, "%.1f")
+            .num("achieved_qps", point.result.achievedQps, "%.1f")
+            .num("sent", point.result.sent)
+            .num("succeeded", point.result.succeeded)
+            .num("overloaded", point.result.overloaded)
+            .num("transport_errors", point.result.transportErrors)
+            .num("p50_us", point.result.p50Us, "%.1f")
+            .num("p90_us", point.result.p90Us, "%.1f")
+            .num("p99_us", point.result.p99Us, "%.1f")
+            .num("p999_us", point.result.p999Us, "%.1f")
+            .num("mean_us", point.result.meanUs, "%.1f");
+        rows.push_back(std::move(row));
+    }
+    doc.array("points", std::move(rows));
+    if (!bench::writeBenchJson(flags.getString("out"), doc))
+        return 1;
+    bench::flushBenchMetrics();
+    return identity_ok && reload_ok && load_ok ? 0 : 1;
+}

@@ -50,6 +50,23 @@ recommend(const CeerPredictor &predictor, const WorkloadSpec &workload,
 {
     if (!workload.graph)
         util::panic("recommend: workload has no graph");
+    // Compile the workload once; every candidate scores against the
+    // shared plan (its per-GPU memo is thread-safe, so the sweep can
+    // fan out).
+    const PredictPlan plan = predictor.compile(*workload.graph);
+    return recommend(predictor, plan, workload, candidates, objective,
+                     constraints, threads);
+}
+
+Recommendation
+recommend(const CeerPredictor &predictor, const PredictPlan &plan,
+          const WorkloadSpec &workload,
+          const std::vector<cloud::GpuInstance> &candidates,
+          const ObjectiveFn &objective, const Constraints &constraints,
+          int threads)
+{
+    if (!workload.graph)
+        util::panic("recommend: workload has no graph");
     if (!objective)
         util::panic("recommend: empty objective function");
     if (workload.graph->batchSize() > 0 &&
@@ -71,13 +88,9 @@ recommend(const CeerPredictor &predictor, const WorkloadSpec &workload,
             fits[gpu] = hw::fitsInGpuMemory(*workload.graph, gpu);
     }
 
-    // Compile the workload once; every candidate scores against the
-    // shared plan (its per-GPU memo is thread-safe, so the sweep can
-    // fan out). Each task writes only its own evaluation slot and
-    // every value is a pure function of (plan, candidate), so the
-    // evaluation list is byte-identical at any thread count.
-    const PredictPlan plan = predictor.compile(*workload.graph);
-
+    // Each task writes only its own evaluation slot and every value is
+    // a pure function of (plan, candidate), so the evaluation list is
+    // byte-identical at any thread count.
     OBS_SPAN("recommender.sweep", "recommender");
     OBS_TIMER("recommender.sweep_us");
     OBS_COUNTER_ADD("recommender.candidates", candidates.size());

@@ -129,6 +129,23 @@ Recommendation recommend(const CeerPredictor &predictor,
                          const Constraints &constraints = {},
                          int threads = 1);
 
+/**
+ * Overload reusing a precompiled plan for the workload graph.
+ *
+ * @p plan must have been produced by @p predictor's compile() for
+ * @p workload.graph. Long-lived callers (the ceerd server's per-session
+ * plan caches) compile once per graph and sweep many queries against
+ * the shared plan; the result is byte-identical to the compiling
+ * overloads above, which delegate here.
+ */
+Recommendation recommend(const CeerPredictor &predictor,
+                         const PredictPlan &plan,
+                         const WorkloadSpec &workload,
+                         const std::vector<cloud::GpuInstance> &candidates,
+                         const ObjectiveFn &objective,
+                         const Constraints &constraints = {},
+                         int threads = 1);
+
 } // namespace core
 } // namespace ceer
 

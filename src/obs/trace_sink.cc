@@ -18,7 +18,22 @@ chromeJsonEscape(const std::string &text)
           case '\\': out += "\\\\"; break;
           case '\n': out += "\\n"; break;
           case '\t': out += "\\t"; break;
-          default:   out += c; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default: {
+            // Any other control byte must become \u00XX, or the trace
+            // document is not valid JSON and Chrome refuses to load it.
+            const auto u = static_cast<unsigned char>(c);
+            if (u < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof buffer, "\\u%04x", u);
+                out += buffer;
+            } else {
+                out += c;
+            }
+            break;
+          }
         }
     }
     return out;

@@ -1,0 +1,190 @@
+#include "serve/client.h"
+
+#include "io/cbf.h"
+#include "serve/net.h"
+#include "util/strings.h"
+
+namespace ceer {
+namespace serve {
+
+namespace {
+
+/** Replies larger than this are implausible and refused. */
+constexpr std::size_t kMaxReplyPayloadBytes = 64u << 20;
+
+} // namespace
+
+ServeClient::~ServeClient() { close(); }
+
+bool
+ServeClient::tryConnect(const std::string &host, int port,
+                        int timeout_ms, std::string *error)
+{
+    close();
+    const int fd = connectTcp(host, port, error);
+    if (fd < 0)
+        return false;
+    std::string timeout_error;
+    if (!setRecvTimeoutMs(fd, timeout_ms, &timeout_error)) {
+        closeFd(fd);
+        if (error)
+            *error = timeout_error;
+        return false;
+    }
+    fd_ = fd;
+    return true;
+}
+
+void
+ServeClient::close()
+{
+    closeFd(fd_);
+    fd_ = -1;
+}
+
+bool
+ServeClient::rawCall(FrameType type, const std::string &payload,
+                     FrameType *reply_type, std::string *reply_payload,
+                     std::string *error)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    const std::string frame = buildFrame(type, payload);
+    if (!sendAll(fd_, frame.data(), frame.size(), error)) {
+        close();
+        return false;
+    }
+    char header_bytes[kFrameHeaderBytes];
+    if (!recvAll(fd_, header_bytes, sizeof header_bytes, error)) {
+        close();
+        return false;
+    }
+    FrameHeader header;
+    if (!decodeFrameHeader(header_bytes, &header, error)) {
+        close();
+        return false;
+    }
+    if (header.payloadBytes > kMaxReplyPayloadBytes) {
+        if (error)
+            *error = util::format("reply payload of %u bytes exceeds "
+                                  "the client limit",
+                                  header.payloadBytes);
+        close();
+        return false;
+    }
+    std::string reply(header.payloadBytes, '\0');
+    if (header.payloadBytes > 0 &&
+        !recvAll(fd_, reply.data(), reply.size(), error)) {
+        close();
+        return false;
+    }
+    if (io::xxhash64(reply.data(), reply.size()) != header.checksum) {
+        if (error)
+            *error = "reply payload checksum mismatch";
+        close();
+        return false;
+    }
+    *reply_type = header.type;
+    *reply_payload = std::move(reply);
+    return true;
+}
+
+CallOutcome
+ServeClient::exchange(FrameType type, const std::string &payload,
+                      FrameType expected, std::string *reply_payload)
+{
+    CallOutcome outcome;
+    FrameType reply_type;
+    std::string reply;
+    std::string error;
+    if (!rawCall(type, payload, &reply_type, &reply, &error)) {
+        outcome.errorMessage = error;
+        return outcome;
+    }
+    if (reply_type == FrameType::Error) {
+        ErrorInfo info;
+        if (decodeError(reply, &info, &error)) {
+            outcome.errorCode = info.code;
+            outcome.errorMessage = info.message;
+        } else {
+            outcome.errorMessage =
+                "undecodable error frame: " + error;
+        }
+        // The server fails closed: every Error frame is followed by a
+        // disconnect, so the stream is done either way.
+        close();
+        return outcome;
+    }
+    if (reply_type != expected) {
+        outcome.errorMessage = util::format(
+            "unexpected reply frame type %u (wanted %u)",
+            static_cast<unsigned>(reply_type),
+            static_cast<unsigned>(expected));
+        close();
+        return outcome;
+    }
+    if (reply_payload)
+        *reply_payload = std::move(reply);
+    outcome.ok = true;
+    return outcome;
+}
+
+CallOutcome
+ServeClient::recommend(const RecommendRequest &request,
+                       RecommendResponse *response,
+                       std::string *raw_payload)
+{
+    std::string reply;
+    CallOutcome outcome =
+        exchange(FrameType::Request, encodeRecommendRequest(request),
+                 FrameType::Response, &reply);
+    if (!outcome.ok)
+        return outcome;
+    std::string error;
+    if (!decodeRecommendResponse(reply, response, &error)) {
+        outcome.ok = false;
+        outcome.errorMessage = "bad response payload: " + error;
+        close();
+        return outcome;
+    }
+    if (raw_payload)
+        *raw_payload = std::move(reply);
+    return outcome;
+}
+
+CallOutcome
+ServeClient::ping()
+{
+    return exchange(FrameType::Ping, "", FrameType::Pong, nullptr);
+}
+
+CallOutcome
+ServeClient::reload(const std::string &model_path,
+                    std::uint64_t *generation)
+{
+    ReloadRequest request;
+    request.modelPath = model_path;
+    std::string reply;
+    CallOutcome outcome =
+        exchange(FrameType::Reload, encodeReloadRequest(request),
+                 FrameType::ReloadDone, &reply);
+    if (!outcome.ok)
+        return outcome;
+    ReloadDone done;
+    std::string error;
+    if (!decodeReloadDone(reply, &done, &error)) {
+        outcome.ok = false;
+        outcome.errorMessage = "bad reload ack: " + error;
+        close();
+        return outcome;
+    }
+    if (generation)
+        *generation = done.generation;
+    return outcome;
+}
+
+} // namespace serve
+} // namespace ceer

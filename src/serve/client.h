@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Blocking client for the ceerd protocol (one request in flight).
+ *
+ * A ServeClient owns one TCP connection and exchanges frames
+ * synchronously: send one Request/Ping/Reload, read one reply. Server
+ * Error frames surface as a typed `errorCode` (one of the
+ * protocol.h errc:: strings) so callers can distinguish backpressure
+ * (`overloaded`) from their own mistakes (`bad_request`); transport
+ * failures leave the code empty and describe themselves in
+ * `errorMessage`.
+ */
+
+#ifndef CEER_SERVE_CLIENT_H
+#define CEER_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace ceer {
+namespace serve {
+
+/** Result of one client call. */
+struct CallOutcome
+{
+    bool ok = false;          ///< Reply was the expected frame type.
+    std::string errorCode;    ///< errc:: string when the server said no.
+    std::string errorMessage; ///< Human-readable failure detail.
+};
+
+/** One blocking connection to a ceerd server. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /**
+     * Connects to @p host:@p port. @p timeout_ms bounds every
+     * subsequent reply read (<= 0 blocks forever).
+     */
+    bool tryConnect(const std::string &host, int port, int timeout_ms,
+                    std::string *error);
+
+    /** True while a connection is open. */
+    bool connected() const { return fd_ >= 0; }
+
+    /** Closes the connection (safe when already closed). */
+    void close();
+
+    /**
+     * Sends a recommendation request and decodes the reply into
+     * @p response. When @p raw_payload is non-null it receives the
+     * undecoded Response payload bytes (for byte-identity checks
+     * against an in-process recommend()).
+     */
+    CallOutcome recommend(const RecommendRequest &request,
+                          RecommendResponse *response,
+                          std::string *raw_payload = nullptr);
+
+    /** Ping/Pong liveness round-trip. */
+    CallOutcome ping();
+
+    /**
+     * Asks the server to hot-reload its model from a server-local
+     * path; @p generation receives the new engine generation.
+     */
+    CallOutcome reload(const std::string &model_path,
+                       std::uint64_t *generation);
+
+    /**
+     * Low-level exchange: send one frame, read one reply frame.
+     * False with @p error on any transport failure (the connection is
+     * closed: a failed exchange leaves undefined stream state).
+     */
+    bool rawCall(FrameType type, const std::string &payload,
+                 FrameType *reply_type, std::string *reply_payload,
+                 std::string *error);
+
+  private:
+    CallOutcome exchange(FrameType type, const std::string &payload,
+                         FrameType expected,
+                         std::string *reply_payload);
+
+    int fd_ = -1;
+};
+
+} // namespace serve
+} // namespace ceer
+
+#endif // CEER_SERVE_CLIENT_H

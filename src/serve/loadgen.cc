@@ -1,0 +1,196 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "serve/client.h"
+
+namespace ceer {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Per-connection tallies, merged after the joins. */
+struct ThreadResult
+{
+    std::int64_t sent = 0;
+    std::int64_t succeeded = 0;
+    std::int64_t overloaded = 0;
+    std::int64_t serverErrors = 0;
+    std::int64_t transportErrors = 0;
+    std::vector<double> latenciesUs;
+    bool connected = false;
+};
+
+void
+runConnection(const LoadgenOptions &options, ThreadResult *result)
+{
+    ServeClient client;
+    std::string error;
+    if (!client.tryConnect(options.host, options.port,
+                           options.timeoutMs, &error)) {
+        ++result->transportErrors;
+        return;
+    }
+    result->connected = true;
+
+    const Clock::time_point start = Clock::now();
+    const Clock::time_point deadline =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(options.seconds));
+    // Open-loop pacing: this connection's share of the target rate,
+    // with send times fixed relative to the start so server-side
+    // queueing shows up as latency rather than as reduced load.
+    const double per_connection_qps =
+        options.targetQps > 0.0
+            ? options.targetQps / options.connections
+            : 0.0;
+    std::int64_t iteration = 0;
+    while (true) {
+        if (per_connection_qps > 0.0) {
+            const Clock::time_point next_send =
+                start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                iteration / per_connection_qps));
+            if (next_send >= deadline)
+                break;
+            std::this_thread::sleep_until(next_send);
+        } else if (Clock::now() >= deadline) {
+            break;
+        }
+        const RecommendRequest &request =
+            options.requests[static_cast<std::size_t>(iteration) %
+                             options.requests.size()];
+        ++iteration;
+
+        if (!client.connected() &&
+            !client.tryConnect(options.host, options.port,
+                               options.timeoutMs, &error)) {
+            ++result->transportErrors;
+            // Connection refused while the server drains or restarts:
+            // back off briefly instead of spinning.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+            continue;
+        }
+
+        ++result->sent;
+        RecommendResponse response;
+        const Clock::time_point sent_at = Clock::now();
+        const CallOutcome outcome =
+            client.recommend(request, &response);
+        if (outcome.ok) {
+            const double us =
+                std::chrono::duration<double, std::micro>(
+                    Clock::now() - sent_at)
+                    .count();
+            result->latenciesUs.push_back(us);
+            ++result->succeeded;
+        } else if (outcome.errorCode == errc::kOverloaded) {
+            ++result->overloaded;
+        } else if (!outcome.errorCode.empty()) {
+            ++result->serverErrors;
+        } else {
+            ++result->transportErrors;
+        }
+    }
+}
+
+} // namespace
+
+double
+latencyPercentile(const std::vector<double> &sorted_us, double q)
+{
+    if (sorted_us.empty())
+        return 0.0;
+    const double clamped = std::min(std::max(q, 0.0), 1.0);
+    const double rank =
+        std::ceil(clamped * static_cast<double>(sorted_us.size()));
+    const std::size_t index =
+        rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    return sorted_us[std::min(index, sorted_us.size() - 1)];
+}
+
+bool
+runLoadgen(const LoadgenOptions &options, LoadgenResult *result,
+           std::string *error)
+{
+    if (options.requests.empty()) {
+        if (error)
+            *error = "loadgen needs at least one request in the mix";
+        return false;
+    }
+    if (options.connections < 1) {
+        if (error)
+            *error = "loadgen needs at least one connection";
+        return false;
+    }
+    if (options.seconds <= 0.0) {
+        if (error)
+            *error = "loadgen run duration must be positive";
+        return false;
+    }
+
+    std::vector<ThreadResult> per_thread(
+        static_cast<std::size_t>(options.connections));
+    // Dedicated threads, not the shared pool: a connection blocks on
+    // socket reads for its whole lifetime, which would starve the
+    // pool's compute workers.
+    std::vector<std::thread> threads;
+    threads.reserve(per_thread.size());
+    const Clock::time_point start = Clock::now();
+    for (std::size_t i = 0; i < per_thread.size(); ++i) {
+        threads.emplace_back([&options, i, &per_thread] {
+            runConnection(options, &per_thread[i]);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    LoadgenResult merged;
+    bool any_connected = false;
+    for (const ThreadResult &thread_result : per_thread) {
+        any_connected = any_connected || thread_result.connected;
+        merged.sent += thread_result.sent;
+        merged.succeeded += thread_result.succeeded;
+        merged.overloaded += thread_result.overloaded;
+        merged.serverErrors += thread_result.serverErrors;
+        merged.transportErrors += thread_result.transportErrors;
+        merged.latenciesUs.insert(merged.latenciesUs.end(),
+                                  thread_result.latenciesUs.begin(),
+                                  thread_result.latenciesUs.end());
+    }
+    if (!any_connected) {
+        if (error)
+            *error = "no connection to " + options.host + ":" +
+                     std::to_string(options.port) + " succeeded";
+        return false;
+    }
+    std::sort(merged.latenciesUs.begin(), merged.latenciesUs.end());
+    merged.elapsedSeconds = elapsed;
+    merged.achievedQps =
+        elapsed > 0.0 ? merged.succeeded / elapsed : 0.0;
+    merged.p50Us = latencyPercentile(merged.latenciesUs, 0.50);
+    merged.p90Us = latencyPercentile(merged.latenciesUs, 0.90);
+    merged.p99Us = latencyPercentile(merged.latenciesUs, 0.99);
+    merged.p999Us = latencyPercentile(merged.latenciesUs, 0.999);
+    if (!merged.latenciesUs.empty()) {
+        double sum = 0.0;
+        for (double us : merged.latenciesUs)
+            sum += us;
+        merged.meanUs =
+            sum / static_cast<double>(merged.latenciesUs.size());
+        merged.maxUs = merged.latenciesUs.back();
+    }
+    *result = std::move(merged);
+    return true;
+}
+
+} // namespace serve
+} // namespace ceer

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Closed-loop load generator for ceerd.
+ *
+ * N connection threads replay a request mix round-robin. With a
+ * target QPS each connection paces itself on an open-loop schedule
+ * (send times fixed up front, so a slow server accumulates measurable
+ * queueing delay instead of silently throttling the offered load);
+ * with targetQps <= 0 every connection runs closed-loop as fast as
+ * replies return. Latency is measured per request and reported as
+ * p50/p90/p99/p999 over the merged sample set.
+ */
+
+#ifndef CEER_SERVE_LOADGEN_H
+#define CEER_SERVE_LOADGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace ceer {
+namespace serve {
+
+/** Load-generation run configuration. */
+struct LoadgenOptions
+{
+    std::string host = "127.0.0.1"; ///< Server address.
+    int port = 0;                   ///< Server port.
+    int connections = 2;            ///< Concurrent connections.
+    double seconds = 2.0;           ///< Run duration.
+    double targetQps = 0.0;         ///< Total offered QPS; <= 0 = max.
+    int timeoutMs = 30000;          ///< Per-reply read timeout.
+
+    /** Request mix, replayed round-robin. Must not be empty. */
+    std::vector<RecommendRequest> requests;
+};
+
+/** Aggregated results of a load-generation run. */
+struct LoadgenResult
+{
+    std::int64_t sent = 0;            ///< Requests sent.
+    std::int64_t succeeded = 0;       ///< Response frames received.
+    std::int64_t overloaded = 0;      ///< Typed `overloaded` rejections.
+    std::int64_t serverErrors = 0;    ///< Other typed Error replies.
+    std::int64_t transportErrors = 0; ///< Connection-level failures.
+    double elapsedSeconds = 0.0;      ///< Wall-clock run time.
+    double achievedQps = 0.0;         ///< succeeded / elapsed.
+
+    double p50Us = 0.0;  ///< Median latency.
+    double p90Us = 0.0;  ///< 90th percentile latency.
+    double p99Us = 0.0;  ///< 99th percentile latency.
+    double p999Us = 0.0; ///< 99.9th percentile latency.
+    double meanUs = 0.0; ///< Mean latency.
+    double maxUs = 0.0;  ///< Worst latency.
+
+    /** Every successful-request latency, sorted ascending. */
+    std::vector<double> latenciesUs;
+};
+
+/**
+ * Nearest-rank percentile of an ascending-sorted sample vector;
+ * @p q in [0, 1]. Returns 0 for an empty vector.
+ */
+double latencyPercentile(const std::vector<double> &sorted_us,
+                         double q);
+
+/**
+ * Runs the load. False with @p error when the configuration is
+ * invalid or no connection could be established at all; individual
+ * mid-run failures are counted in the result instead.
+ */
+bool runLoadgen(const LoadgenOptions &options, LoadgenResult *result,
+                std::string *error);
+
+} // namespace serve
+} // namespace ceer
+
+#endif // CEER_SERVE_LOADGEN_H

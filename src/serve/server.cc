@@ -1,0 +1,626 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <set>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+#include "io/cbf.h"
+#include "models/model_zoo.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+#include "serve/net.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace ceer {
+namespace serve {
+
+namespace {
+
+/**
+ * models::buildModel fatals on unknown names, so the server validates
+ * against the full buildable set (the 12-CNN zoo plus the
+ * out-of-family extras) and answers `unknown_model` instead of dying.
+ */
+bool
+isKnownModelName(const std::string &name)
+{
+    static const std::set<std::string> known = [] {
+        std::set<std::string> names(models::allModelNames().begin(),
+                                    models::allModelNames().end());
+        names.insert("transformer_encoder");
+        names.insert("lstm_classifier");
+        names.insert("mobilenet_v1");
+        return names;
+    }();
+    return known.count(name) > 0;
+}
+
+/** Sends a typed Error frame and counts the rejection. */
+void
+sendTypedError(int fd, const std::string &code,
+               const std::string &message)
+{
+    ErrorInfo info;
+    info.code = code;
+    info.message = message;
+    const std::string frame =
+        buildFrame(FrameType::Error, encodeError(info));
+    std::string send_error;
+    // Best effort: the connection is closing either way; a peer that
+    // already vanished just skips the courtesy reply.
+    sendAll(fd, frame.data(), frame.size(), &send_error);
+    OBS_COUNTER_INC("serve.rejected");
+}
+
+} // namespace
+
+Server::Session::~Session() { closeFd(fd); }
+
+Server::Server(core::CeerModel model, cloud::InstanceCatalog catalog,
+               ServerOptions options)
+    : options_(std::move(options)),
+      candidates_(catalog.instances()),
+      engine_(std::make_shared<const Engine>(std::move(model), 1))
+{
+}
+
+Server::~Server() { stop(); }
+
+std::shared_ptr<const Server::Engine>
+Server::currentEngine() const
+{
+    std::lock_guard<std::mutex> lock(engineMutex_);
+    return engine_;
+}
+
+std::uint64_t
+Server::generation() const
+{
+    return currentEngine()->generation;
+}
+
+bool
+Server::tryStart(std::string *error)
+{
+    if (started_) {
+        if (error)
+            *error = "server already started";
+        return false;
+    }
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+        if (error)
+            *error = "pipe: " + std::string(std::strerror(errno));
+        return false;
+    }
+    wakeRead_ = pipe_fds[0];
+    wakeWrite_ = pipe_fds[1];
+    std::string nb_error;
+    if (!setNonBlocking(wakeRead_, &nb_error) ||
+        !setNonBlocking(wakeWrite_, &nb_error)) {
+        closeFd(wakeRead_);
+        closeFd(wakeWrite_);
+        wakeRead_ = wakeWrite_ = -1;
+        if (error)
+            *error = nb_error;
+        return false;
+    }
+    listenFd_ = listenTcp(options_.host, options_.port,
+                          options_.backlog, &port_, error);
+    if (listenFd_ < 0) {
+        closeFd(wakeRead_);
+        closeFd(wakeWrite_);
+        wakeRead_ = wakeWrite_ = -1;
+        return false;
+    }
+    if (!setNonBlocking(listenFd_, &nb_error)) {
+        closeFd(listenFd_);
+        closeFd(wakeRead_);
+        closeFd(wakeWrite_);
+        listenFd_ = wakeRead_ = wakeWrite_ = -1;
+        if (error)
+            *error = nb_error;
+        return false;
+    }
+    started_ = true;
+    stopping_ = false;
+    reactor_ = std::thread([this] { reactorLoop(); });
+    return true;
+}
+
+void
+Server::stop()
+{
+    if (!started_)
+        return;
+    stopping_ = true;
+    wake();
+    if (reactor_.joinable())
+        reactor_.join();
+    {
+        // Admitted requests finish on the pool; their sessions stay
+        // alive through the workers' shared_ptrs even though the
+        // reactor dropped the session map on exit.
+        std::unique_lock<std::mutex> lock(drainMutex_);
+        drainCv_.wait(lock, [this] { return activeTasks_ == 0; });
+    }
+    closeFd(listenFd_);
+    closeFd(wakeRead_);
+    closeFd(wakeWrite_);
+    listenFd_ = wakeRead_ = wakeWrite_ = -1;
+    started_ = false;
+}
+
+bool
+Server::tryReload(const std::string &model_path, std::string *error)
+{
+    core::CeerModel model;
+    if (!core::CeerModel::tryLoadFile(model_path, &model, error))
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(engineMutex_);
+        engine_ = std::make_shared<const Engine>(
+            std::move(model), engine_->generation + 1);
+    }
+    OBS_COUNTER_INC("serve.reloads");
+    return true;
+}
+
+void
+Server::wake()
+{
+    if (wakeWrite_ < 0)
+        return;
+    const char byte = 1;
+    while (::write(wakeWrite_, &byte, 1) < 0) {
+        if (errno == EINTR)
+            continue;
+        // EAGAIN: the pipe already holds unread wake bytes, which is
+        // all a wake needs.
+        break;
+    }
+}
+
+void
+Server::reactorLoop()
+{
+    std::vector<std::shared_ptr<Session>> pending;
+    while (true) {
+        // Re-arm sessions whose worker finished since the last pass.
+        pending.clear();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (const auto &[id, close] : rearm_) {
+                auto it = sessions_.find(id);
+                if (it == sessions_.end())
+                    continue;
+                if (close) {
+                    sessions_.erase(it);
+                    continue;
+                }
+                it->second->inFlight = false;
+                it->second->lastActivity =
+                    std::chrono::steady_clock::now();
+                if (!it->second->inBuf.empty())
+                    pending.push_back(it->second);
+            }
+            rearm_.clear();
+        }
+        // A client that pipelined its next request before the reply
+        // already has it buffered; parse it now rather than waiting
+        // for more socket data.
+        for (const auto &session : pending) {
+            if (!processSession(session)) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                sessions_.erase(session->id);
+            }
+        }
+        if (stopping_.load())
+            break;
+
+        std::vector<pollfd> fds;
+        std::vector<std::shared_ptr<Session>> polled;
+        fds.push_back(pollfd{wakeRead_, POLLIN, 0});
+        fds.push_back(pollfd{listenFd_, POLLIN, 0});
+        int timeout_ms = -1;
+        const auto now = std::chrono::steady_clock::now();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (const auto &[id, session] : sessions_) {
+                if (session->inFlight)
+                    continue;
+                fds.push_back(pollfd{session->fd, POLLIN, 0});
+                polled.push_back(session);
+                if (options_.readTimeoutMs > 0 &&
+                    !session->inBuf.empty()) {
+                    const auto deadline =
+                        session->lastActivity +
+                        std::chrono::milliseconds(
+                            options_.readTimeoutMs);
+                    const auto remaining =
+                        std::chrono::duration_cast<
+                            std::chrono::milliseconds>(deadline - now)
+                            .count();
+                    const int clamped =
+                        remaining < 0 ? 0
+                                      : static_cast<int>(remaining) + 1;
+                    if (timeout_ms < 0 || clamped < timeout_ms)
+                        timeout_ms = clamped;
+                }
+            }
+        }
+
+        int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            util::fatal(util::format("ceerd poll: %s",
+                                     std::strerror(errno)));
+        }
+
+        if (fds[0].revents & POLLIN) {
+            char drain[64];
+            while (::read(wakeRead_, drain, sizeof drain) > 0) {
+            }
+        }
+
+        if (fds[1].revents & POLLIN) {
+            while (true) {
+                bool again = false;
+                std::string accept_error;
+                const int fd =
+                    acceptRetry(listenFd_, &again, &accept_error);
+                if (fd < 0)
+                    break;
+                std::string nb_error;
+                if (!setNonBlocking(fd, &nb_error)) {
+                    closeFd(fd);
+                    continue;
+                }
+                auto session = std::make_shared<Session>();
+                session->fd = fd;
+                session->lastActivity =
+                    std::chrono::steady_clock::now();
+                std::lock_guard<std::mutex> lock(mutex_);
+                session->id = nextSessionId_++;
+                sessions_.emplace(session->id, session);
+                OBS_COUNTER_INC("serve.connections");
+            }
+        }
+
+        for (std::size_t i = 0; i < polled.size(); ++i) {
+            const pollfd &entry = fds[i + 2];
+            const std::shared_ptr<Session> &session = polled[i];
+            if (session->inFlight)
+                continue; // Admitted by the pipelined-parse pass.
+            bool keep = true;
+            if (entry.revents & (POLLIN | POLLHUP | POLLERR))
+                keep = readSession(session);
+            if (keep && options_.readTimeoutMs > 0 &&
+                !session->inBuf.empty() && !session->inFlight) {
+                const auto stalled =
+                    std::chrono::steady_clock::now() -
+                    session->lastActivity;
+                if (stalled > std::chrono::milliseconds(
+                                  options_.readTimeoutMs)) {
+                    sendTypedError(
+                        session->fd, errc::kReadTimeout,
+                        "frame not completed within read timeout");
+                    keep = false;
+                }
+            }
+            if (!keep) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                sessions_.erase(session->id);
+            }
+        }
+    }
+
+    // Shutdown: drop every session the reactor still owns. Idle
+    // connections close here (their destructor closes the fd);
+    // in-flight ones live on until their worker replies.
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions_.clear();
+}
+
+bool
+Server::readSession(const std::shared_ptr<Session> &session)
+{
+    char chunk[65536];
+    bool got_data = false;
+    while (true) {
+        const ssize_t n = ::recv(session->fd, chunk, sizeof chunk, 0);
+        if (n > 0) {
+            session->inBuf.append(chunk, static_cast<std::size_t>(n));
+            got_data = true;
+            continue;
+        }
+        if (n == 0)
+            return false; // Peer closed; nothing left to answer.
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        return false;
+    }
+    if (got_data)
+        session->lastActivity = std::chrono::steady_clock::now();
+    return processSession(session);
+}
+
+bool
+Server::processSession(const std::shared_ptr<Session> &session)
+{
+    while (session->inBuf.size() >= kFrameHeaderBytes) {
+        FrameHeader header;
+        std::string decode_error;
+        if (!decodeFrameHeader(session->inBuf.data(), &header,
+                               &decode_error)) {
+            sendTypedError(session->fd, errc::kBadFrame, decode_error);
+            return false;
+        }
+        // Length check straight off the header: a hostile length
+        // field is refused before a single payload byte is buffered
+        // or allocated.
+        if (header.payloadBytes > options_.maxPayloadBytes) {
+            sendTypedError(
+                session->fd, errc::kPayloadTooLarge,
+                util::format("payload of %u bytes exceeds limit %zu",
+                             header.payloadBytes,
+                             options_.maxPayloadBytes));
+            return false;
+        }
+        const std::size_t frame_bytes =
+            kFrameHeaderBytes + header.payloadBytes;
+        if (session->inBuf.size() < frame_bytes)
+            return true; // Wait for the rest of the frame.
+        std::string payload =
+            session->inBuf.substr(kFrameHeaderBytes,
+                                  header.payloadBytes);
+        session->inBuf.erase(0, frame_bytes);
+        if (io::xxhash64(payload.data(), payload.size()) !=
+            header.checksum) {
+            sendTypedError(session->fd, errc::kChecksumMismatch,
+                           "payload checksum mismatch");
+            return false;
+        }
+        switch (header.type) {
+          case FrameType::Ping: {
+            const std::string pong = buildFrame(FrameType::Pong, "");
+            std::string send_error;
+            if (!sendAll(session->fd, pong.data(), pong.size(),
+                         &send_error))
+                return false;
+            continue;
+          }
+          case FrameType::Request:
+          case FrameType::Reload: {
+            if (inFlight_.load(std::memory_order_relaxed) >=
+                options_.maxQueueDepth) {
+                // Explicit backpressure: the client sees a typed
+                // `overloaded` reply, never a silent drop.
+                sendTypedError(session->fd, errc::kOverloaded,
+                               util::format(
+                                   "admission queue full (depth %zu)",
+                                   options_.maxQueueDepth));
+                return false;
+            }
+            const std::size_t depth =
+                inFlight_.fetch_add(1, std::memory_order_relaxed) + 1;
+            OBS_GAUGE_SET("serve.queue_depth",
+                          static_cast<double>(depth));
+            session->inFlight = true;
+            {
+                std::lock_guard<std::mutex> lock(drainMutex_);
+                ++activeTasks_;
+            }
+            const FrameType type = header.type;
+            std::shared_ptr<Session> owned = session;
+            util::ThreadPool::shared().submit(
+                [this, owned = std::move(owned), type,
+                 payload = std::move(payload)]() mutable {
+                    execute(std::move(owned), type,
+                            std::move(payload));
+                });
+            return true; // Not polled again until the worker re-arms.
+          }
+          default:
+            sendTypedError(
+                session->fd, errc::kBadFrame,
+                util::format("frame type %u is not a client request",
+                             static_cast<unsigned>(header.type)));
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+Server::execute(std::shared_ptr<Session> session, FrameType type,
+                std::string payload)
+{
+    bool close = false;
+    {
+        obs::ScopedSpan span(
+            util::format("serve.session.%llu",
+                         static_cast<unsigned long long>(session->id)),
+            "serve");
+        OBS_TIMER("serve.request_us");
+        if (type == FrameType::Request)
+            close = !handleRequest(*session, payload);
+        else
+            close = !handleReload(*session, payload);
+    }
+    finishTask(session, close);
+}
+
+bool
+Server::handleRequest(Session &session, const std::string &payload)
+{
+    RecommendRequest request;
+    std::string error;
+    if (!decodeRecommendRequest(payload, &request, &error)) {
+        sendTypedError(session.fd, errc::kBadRequest, error);
+        return false;
+    }
+    if (!isKnownModelName(request.model)) {
+        sendTypedError(session.fd, errc::kUnknownModel,
+                       "unknown model '" + request.model + "'");
+        return false;
+    }
+    if (request.batch < 1 || request.batch > 65536) {
+        sendTypedError(session.fd, errc::kBadRequest,
+                       util::format("batch %lld out of range [1, 65536]",
+                                    static_cast<long long>(
+                                        request.batch)));
+        return false;
+    }
+    if (request.datasetSamples < 1) {
+        sendTypedError(session.fd, errc::kBadRequest,
+                       "samples must be >= 1");
+        return false;
+    }
+
+    const std::shared_ptr<const Engine> engine = currentEngine();
+
+    // Per-session plan cache, keyed by graph fingerprint. The
+    // model:batch memo avoids rebuilding the graph just to hash it.
+    const std::string request_key =
+        request.model + ":" + std::to_string(request.batch);
+    CachedPlan *cached = nullptr;
+    auto key_it = session.requestKeys.find(request_key);
+    if (key_it != session.requestKeys.end()) {
+        auto plan_it = session.plans.find(key_it->second);
+        if (plan_it != session.plans.end())
+            cached = &plan_it->second;
+    }
+    if (cached == nullptr) {
+        auto graph = std::make_shared<const graph::Graph>(
+            models::buildModel(request.model, request.batch));
+        const std::uint64_t fingerprint = graphFingerprint(*graph);
+        session.requestKeys[request_key] = fingerprint;
+        CachedPlan entry;
+        entry.graph = std::move(graph);
+        cached =
+            &session.plans.emplace(fingerprint, std::move(entry))
+                 .first->second;
+    }
+    if (!cached->plan || cached->generation != engine->generation) {
+        // Stale or missing: (re)compile against the serving engine.
+        // Entries from before a hot reload die here lazily.
+        OBS_TIMER("serve.compile_us");
+        OBS_COUNTER_INC("serve.plan_compiles");
+        auto plan = std::make_shared<const core::PredictPlan>(
+            engine->predictor.compile(*cached->graph));
+        // Coalesced warm-up: evaluate every distinct (GPU, k) cell of
+        // the catalog through one predictBatch call, so the sweep
+        // below (and every queued request sharing this plan) hits
+        // only the memo.
+        std::vector<core::PredictRequest> warm;
+        for (const cloud::GpuInstance &instance : candidates_) {
+            bool seen = false;
+            for (const core::PredictRequest &w : warm) {
+                if (w.gpu == instance.gpu &&
+                    w.numGpus == instance.numGpus) {
+                    seen = true;
+                    break;
+                }
+            }
+            if (!seen)
+                warm.push_back(core::PredictRequest{
+                    instance.gpu, instance.numGpus});
+        }
+        engine->predictor.predictBatch(*plan, warm);
+        cached->plan = std::move(plan);
+        cached->generation = engine->generation;
+    }
+
+    core::WorkloadSpec workload;
+    workload.graph = cached->graph.get();
+    workload.datasetSamples = request.datasetSamples;
+    workload.batchPerGpu = request.batch;
+    core::Constraints constraints;
+    constraints.hourlyBudgetUsd = request.hourlyBudgetUsd;
+    constraints.hourlyToleranceUsd = request.hourlyToleranceUsd;
+    constraints.totalBudgetUsd = request.totalBudgetUsd;
+    constraints.enforceGpuMemory = request.enforceGpuMemory;
+    const core::ObjectiveFn objective = core::objectiveFunction(
+        request.objective == "time" ? core::Objective::MinTrainingTime
+                                    : core::Objective::MinCost);
+
+    const core::Recommendation recommendation = core::recommend(
+        engine->predictor, *cached->plan, workload, candidates_,
+        objective, constraints, options_.sweepThreads);
+
+    const std::string response = encodeRecommendResponse(
+        responseFromRecommendation(recommendation));
+    const std::string frame =
+        buildFrame(FrameType::Response, response);
+    if (!sendAll(session.fd, frame.data(), frame.size(), &error))
+        return false;
+    OBS_COUNTER_INC("serve.requests");
+    return true;
+}
+
+bool
+Server::handleReload(Session &session, const std::string &payload)
+{
+    ReloadRequest reload;
+    std::string error;
+    if (!decodeReloadRequest(payload, &reload, &error)) {
+        sendTypedError(session.fd, errc::kBadRequest, error);
+        return false;
+    }
+    core::CeerModel model;
+    if (!core::CeerModel::tryLoadFile(reload.modelPath, &model,
+                                      &error)) {
+        sendTypedError(session.fd, errc::kBadRequest,
+                       "reload failed: " + error);
+        return false;
+    }
+    ReloadDone done;
+    {
+        std::lock_guard<std::mutex> lock(engineMutex_);
+        done.generation = engine_->generation + 1;
+        engine_ = std::make_shared<const Engine>(std::move(model),
+                                                 done.generation);
+    }
+    OBS_COUNTER_INC("serve.reloads");
+    const std::string frame =
+        buildFrame(FrameType::ReloadDone, encodeReloadDone(done));
+    if (!sendAll(session.fd, frame.data(), frame.size(), &error))
+        return false;
+    OBS_COUNTER_INC("serve.requests");
+    return true;
+}
+
+void
+Server::finishTask(const std::shared_ptr<Session> &session, bool close)
+{
+    const std::size_t depth =
+        inFlight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    OBS_GAUGE_SET("serve.queue_depth", static_cast<double>(depth));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        rearm_.emplace_back(session->id, close);
+    }
+    wake();
+    {
+        // Notify while still holding the mutex: stop() may destroy
+        // this Server the instant it observes activeTasks_ == 0, and
+        // the waiter cannot get past its wait() until we release the
+        // lock — which sequences the notify before any destruction.
+        std::lock_guard<std::mutex> lock(drainMutex_);
+        --activeTasks_;
+        drainCv_.notify_all();
+    }
+}
+
+} // namespace serve
+} // namespace ceer

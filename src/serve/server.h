@@ -1,0 +1,212 @@
+/**
+ * @file
+ * ceerd: a persistent recommendation server.
+ *
+ * One reactor thread owns every socket: it accepts connections,
+ * assembles frames (protocol.h) and enforces admission control; each
+ * complete request is executed on util::ThreadPool::shared(). A
+ * session has at most one request in flight — the reactor stops
+ * polling its socket until the worker has written the response — so
+ * per-session state (the plan cache) needs no locking: the
+ * mutex-guarded re-arm handoff between worker and reactor gives the
+ * happens-before edge.
+ *
+ * Admission control is a bounded queue: once `maxQueueDepth` requests
+ * are admitted and not yet answered, further requests are refused
+ * with a typed `overloaded` Error frame (backpressure the client can
+ * see, never a silent drop). Slow-loris clients that stall mid-frame
+ * past `readTimeoutMs` get `read_timeout` and are disconnected.
+ *
+ * Model hot-reload swaps an atomically published
+ * `shared_ptr<const Engine>`; in-flight requests finish on the
+ * engine they started with, so a reload never drops work. Plan-cache
+ * entries remember the engine generation that compiled them and
+ * recompile lazily after a swap.
+ */
+
+#ifndef CEER_SERVE_SERVER_H
+#define CEER_SERVE_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/instances.h"
+#include "core/ceer_model.h"
+#include "core/predictor.h"
+#include "serve/protocol.h"
+
+namespace ceer {
+namespace serve {
+
+/** ceerd configuration. */
+struct ServerOptions
+{
+    std::string host = "127.0.0.1"; ///< Bind address.
+    int port = 0;                   ///< 0 = kernel-assigned port.
+    int backlog = 64;               ///< listen(2) backlog.
+
+    /**
+     * Admission bound: maximum requests admitted (queued or
+     * executing) at once. Beyond it new requests are refused with an
+     * `overloaded` Error frame. 0 refuses everything (useful in
+     * tests).
+     */
+    std::size_t maxQueueDepth = 64;
+
+    /** Payloads larger than this are refused before buffering. */
+    std::size_t maxPayloadBytes = 1 << 20;
+
+    /**
+     * A connection stalled mid-frame longer than this is disconnected
+     * with `read_timeout`. <= 0 disables the guard.
+     */
+    int readTimeoutMs = 5000;
+
+    /** Thread hint for the per-request candidate sweep (1 = serial). */
+    int sweepThreads = 1;
+};
+
+/** A persistent recommendation server over the ceerd protocol. */
+class Server
+{
+  public:
+    /**
+     * @param model   Trained model served to clients.
+     * @param catalog Candidate instances for every recommendation.
+     * @param options Server configuration.
+     */
+    Server(core::CeerModel model, cloud::InstanceCatalog catalog,
+           ServerOptions options = {});
+
+    /** Stops the server (drains in-flight requests). */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Binds, listens and starts the reactor thread. False with
+     * @p error when the socket cannot be set up.
+     */
+    bool tryStart(std::string *error);
+
+    /** The bound port (after tryStart); useful with port 0. */
+    int port() const { return port_; }
+
+    /**
+     * Graceful shutdown: stop accepting, close idle connections,
+     * finish every admitted request, then return. Idempotent.
+     */
+    void stop();
+
+    /**
+     * Hot-swaps the served model from @p model_path (either model
+     * dialect; see CeerModel::tryLoadFile). In-flight requests keep
+     * the engine they started with. False with @p error on a load
+     * failure, in which case the old model keeps serving.
+     */
+    bool tryReload(const std::string &model_path, std::string *error);
+
+    /** Engine generation currently serving (starts at 1). */
+    std::uint64_t generation() const;
+
+  private:
+    /** An immutable predictor + its generation, swapped on reload. */
+    struct Engine
+    {
+        core::CeerPredictor predictor;
+        std::uint64_t generation = 1;
+
+        Engine(core::CeerModel model, std::uint64_t gen)
+            : predictor(std::move(model)), generation(gen)
+        {
+        }
+    };
+
+    /** A compiled plan tagged with the generation that built it. */
+    struct CachedPlan
+    {
+        std::uint64_t generation = 0;
+        std::shared_ptr<const graph::Graph> graph;
+        std::shared_ptr<const core::PredictPlan> plan;
+    };
+
+    /** Per-connection state, owned by the reactor. */
+    struct Session
+    {
+        std::uint64_t id = 0;
+        int fd = -1;
+        std::string inBuf;
+        bool inFlight = false;
+        std::chrono::steady_clock::time_point lastActivity;
+
+        /**
+         * Plan cache keyed by graph fingerprint
+         * (protocol.h graphFingerprint). Touched only by the worker
+         * while the session is in flight.
+         */
+        std::unordered_map<std::uint64_t, CachedPlan> plans;
+
+        /** Fingerprint memo keyed by "model:batch" request key. */
+        std::unordered_map<std::string, std::uint64_t> requestKeys;
+
+        ~Session();
+    };
+
+    void reactorLoop();
+    void wake();
+    bool processSession(const std::shared_ptr<Session> &session);
+    bool readSession(const std::shared_ptr<Session> &session);
+    void sendErrorAndClose(Session &session, const std::string &code,
+                           const std::string &message);
+    void execute(std::shared_ptr<Session> session, FrameType type,
+                 std::string payload);
+    bool handleRequest(Session &session, const std::string &payload);
+    bool handleReload(Session &session, const std::string &payload);
+    void finishTask(const std::shared_ptr<Session> &session,
+                    bool close);
+    std::shared_ptr<const Engine> currentEngine() const;
+
+    ServerOptions options_;
+    std::vector<cloud::GpuInstance> candidates_;
+
+    mutable std::mutex engineMutex_;
+    std::shared_ptr<const Engine> engine_;
+
+    int listenFd_ = -1;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    int port_ = 0;
+    std::thread reactor_;
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+
+    /** Guards sessions_ and rearm_. */
+    std::mutex mutex_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Session>>
+        sessions_;
+    /** (session id, close?) handoffs from workers to the reactor. */
+    std::vector<std::pair<std::uint64_t, bool>> rearm_;
+    std::uint64_t nextSessionId_ = 1;
+
+    /** Admitted (queued or executing) requests. */
+    std::atomic<std::size_t> inFlight_{0};
+
+    /** Drain bookkeeping for stop(). */
+    std::mutex drainMutex_;
+    std::condition_variable drainCv_;
+    std::size_t activeTasks_ = 0;
+};
+
+} // namespace serve
+} // namespace ceer
+
+#endif // CEER_SERVE_SERVER_H

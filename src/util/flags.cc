@@ -61,10 +61,18 @@ Flags::defineBool(const std::string &name, bool default_value,
 void
 Flags::parse(int argc, char **argv)
 {
+    bool flags_ended = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (!startsWith(arg, "--")) {
+        if (flags_ended || !startsWith(arg, "--")) {
             positional_.push_back(std::move(arg));
+            continue;
+        }
+        if (arg == "--") {
+            // End-of-flags terminator: everything after a literal "--"
+            // is positional, so positionals that start with "--" are
+            // representable.
+            flags_ended = true;
             continue;
         }
         arg = arg.substr(2);
@@ -86,6 +94,17 @@ Flags::parse(int argc, char **argv)
             fatal("unknown flag --" + name + " (see --help)");
         Flag &flag = it->second;
         if (flag.kind == Kind::Bool && !have_value) {
+            // A bool switch may still take a separate-token value:
+            // `--flag false` must parse as flag=false, not as
+            // flag=true plus a stray "false" positional.
+            if (i + 1 < argc) {
+                const std::string next = toLower(argv[i + 1]);
+                if (next == "true" || next == "false") {
+                    flag.value = next;
+                    ++i;
+                    continue;
+                }
+            }
             flag.value = "true";
             continue;
         }

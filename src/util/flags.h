@@ -3,7 +3,9 @@
  * Tiny command-line flag parser for bench and example binaries.
  *
  * Supports `--name value` and `--name=value` forms plus boolean
- * `--name` switches. Unknown flags are fatal so typos do not silently
+ * `--name` switches (which also accept a separate `true`/`false`
+ * token). A literal `--` ends flag parsing; everything after it is
+ * positional. Unknown flags are fatal so typos do not silently
  * change an experiment.
  */
 

@@ -84,6 +84,41 @@ TEST(TraceTest, ChromeJsonIsWellFormed)
     EXPECT_EQ(text.find(",\n]"), std::string::npos);
 }
 
+TEST(TraceTest, ChromeJsonEscapesControlCharacters)
+{
+    // Raw \r, \b, \f or other control bytes inside an event name once
+    // reached the output verbatim and produced invalid JSON. Every
+    // byte below 0x20 must come out as an escape sequence.
+    const std::string hostile("tab\there\r\n back\b feed\f bell\x07"
+                              " nul\x00 quote\" slash\\ unit\x1f",
+                              53);
+    const std::string escaped = obs::chromeJsonEscape(hostile);
+    for (char c : escaped)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+            << "raw control byte leaked into JSON";
+    EXPECT_NE(escaped.find("\\t"), std::string::npos);
+    EXPECT_NE(escaped.find("\\r"), std::string::npos);
+    EXPECT_NE(escaped.find("\\n"), std::string::npos);
+    EXPECT_NE(escaped.find("\\b"), std::string::npos);
+    EXPECT_NE(escaped.find("\\f"), std::string::npos);
+    EXPECT_NE(escaped.find("\\u0007"), std::string::npos);
+    EXPECT_NE(escaped.find("\\u0000"), std::string::npos);
+    EXPECT_NE(escaped.find("\\u001f"), std::string::npos);
+    EXPECT_NE(escaped.find("\\\""), std::string::npos);
+    EXPECT_NE(escaped.find("\\\\"), std::string::npos);
+
+    // Round trip through a full event line: the document stays
+    // structurally sound (quotes balance, no raw control bytes).
+    std::ostringstream out;
+    obs::chromeCompleteEvent(out, hostile, "cat", 0.0, 1.0, 0, true);
+    const std::string line = out.str();
+    for (char c : line) {
+        if (c != '\n') {
+            EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+        }
+    }
+}
+
 TEST(TraceTest, ChromeTraceUsesSharedWriter)
 {
     // Pins sim::IterationTrace::writeChromeTrace to the shared obs

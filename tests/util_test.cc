@@ -628,6 +628,51 @@ TEST(FlagsTest, UndeclaredLookupIsFatal)
     EXPECT_DEATH((void)flags.getString("iters"), "");
 }
 
+TEST(FlagsTest, BoolFlagConsumesSeparateTokenValue)
+{
+    // `--verbose false` once left `false` behind as a positional
+    // argument; the separate-token value must be consumed.
+    Flags flags;
+    flags.defineBool("verbose", false, "verbosity");
+    flags.defineBool("quiet", false, "quietness");
+    const char *argv[] = {"prog",  "--verbose", "false",
+                          "--quiet", "true",    "extra"};
+    flags.parse(6, const_cast<char **>(argv));
+    EXPECT_FALSE(flags.getBool("verbose"));
+    EXPECT_TRUE(flags.getBool("quiet"));
+    ASSERT_EQ(flags.positional().size(), 1u);
+    EXPECT_EQ(flags.positional()[0], "extra");
+}
+
+TEST(FlagsTest, BoolFlagKeepsNonBoolFollowerPositional)
+{
+    // Only the literal `true`/`false` tokens belong to the switch;
+    // anything else after a bare bool flag stays positional.
+    Flags flags;
+    flags.defineBool("verbose", false, "verbosity");
+    const char *argv[] = {"prog", "--verbose", "falsey"};
+    flags.parse(3, const_cast<char **>(argv));
+    EXPECT_TRUE(flags.getBool("verbose"));
+    ASSERT_EQ(flags.positional().size(), 1u);
+    EXPECT_EQ(flags.positional()[0], "falsey");
+}
+
+TEST(FlagsTest, DoubleDashEndsFlagParsing)
+{
+    // After `--`, flag-shaped tokens are data, not flags: they must
+    // neither update declared flags nor die as unknown ones.
+    Flags flags;
+    flags.defineInt("iters", 100, "iterations");
+    const char *argv[] = {"prog", "--iters", "250", "--",
+                          "--iters", "999", "--unknown"};
+    flags.parse(7, const_cast<char **>(argv));
+    EXPECT_EQ(flags.getInt("iters"), 250);
+    ASSERT_EQ(flags.positional().size(), 3u);
+    EXPECT_EQ(flags.positional()[0], "--iters");
+    EXPECT_EQ(flags.positional()[1], "999");
+    EXPECT_EQ(flags.positional()[2], "--unknown");
+}
+
 TEST(FlagsTest, UsageListsFlagsAndDefaults)
 {
     Flags flags;

@@ -15,6 +15,10 @@
  *   convert     --in f --out g        convert profiles/models/catalogs
  *                                     between CSV/text and CBF
  *   gen-catalog --count N --out f     emit a synthetic instance fleet
+ *   serve       --ceer-model m --port P   run ceerd, the persistent
+ *                                     recommendation server
+ *   loadgen     --port P              replay recommend traffic against
+ *                                     a running ceerd
  *
  * Every subcommand accepts --help, --metrics-out <file> and
  * --trace-out <file>; the latter two turn the observability layer on
@@ -28,8 +32,11 @@
  * file's extension (.cbf means CBF).
  */
 
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "baselines/baselines.h"
 #include "cloud/instances.h"
@@ -43,6 +50,8 @@
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 #include "profile/profiler.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -581,6 +590,222 @@ cmdGenCatalog(int argc, char **argv)
     return 0;
 }
 
+/** Set by SIGINT/SIGTERM; polled by cmdServe's wait loop. */
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void
+handleStopSignal(int)
+{
+    g_stop_requested = 1;
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineString("ceer-model", "ceer_model.txt",
+                       "model file (text or CBF, sniffed)");
+    flags.defineString("catalog", "",
+                       "custom instance catalog (CSV or CBF, "
+                       "sniffed); overrides --market");
+    flags.defineBool("market", false, "use market GPU prices");
+    flags.defineString("host", "127.0.0.1", "bind address");
+    flags.defineInt("port", 0, "TCP port (0 = kernel-assigned)");
+    flags.defineString("port-file", "",
+                       "write the bound port here once listening "
+                       "(for scripts that pass --port 0)");
+    flags.defineInt("queue-depth", 64,
+                    "admitted-request bound; beyond it clients get a "
+                    "typed 'overloaded' error");
+    flags.defineInt("max-payload", 1 << 20,
+                    "largest accepted frame payload in bytes");
+    flags.defineInt("read-timeout-ms", 5000,
+                    "disconnect clients stalled mid-frame after this "
+                    "long (<= 0 disables)");
+    flags.defineInt("threads", 1,
+                    "candidate-sweep worker threads per request");
+    defineObsFlags(flags);
+    flags.parse(argc, argv);
+    applyObsFlags(flags);
+
+    // The serve library sends with MSG_NOSIGNAL, but stdout may be a
+    // pipe too; a vanished reader must not kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    serve::ServerOptions options;
+    options.host = flags.getString("host");
+    options.port = static_cast<int>(flags.getInt("port"));
+    options.maxQueueDepth =
+        static_cast<std::size_t>(flags.getInt("queue-depth"));
+    options.maxPayloadBytes =
+        static_cast<std::size_t>(flags.getInt("max-payload"));
+    options.readTimeoutMs =
+        static_cast<int>(flags.getInt("read-timeout-ms"));
+    options.sweepThreads = static_cast<int>(flags.getInt("threads"));
+
+    cloud::InstanceCatalog catalog =
+        flags.getBool("market") ? cloud::InstanceCatalog::marketPriced()
+                                : cloud::InstanceCatalog::awsOnDemand();
+    if (!flags.getString("catalog").empty())
+        catalog =
+            cloud::InstanceCatalog::fromFile(flags.getString("catalog"));
+
+    serve::Server server(
+        core::CeerModel::loadFile(flags.getString("ceer-model")),
+        std::move(catalog), options);
+    std::string error;
+    if (!server.tryStart(&error))
+        util::fatal("serve: " + error);
+
+    const std::string port_file = flags.getString("port-file");
+    if (!port_file.empty()) {
+        std::ofstream out(port_file);
+        if (!out)
+            util::fatal("serve: cannot open '" + port_file + "'");
+        out << server.port() << "\n";
+        out.close();
+        if (!out.good())
+            util::fatal("serve: write to '" + port_file + "' failed");
+    }
+    std::cout << "ceerd listening on " << options.host << ":"
+              << server.port() << "\n"
+              << std::flush;
+
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+    while (!g_stop_requested) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::cout << "ceerd: stopping (draining in-flight requests)\n";
+    server.stop();
+    std::cout << "ceerd: stopped cleanly\n";
+    flushObsArtifacts(flags);
+    return 0;
+}
+
+int
+cmdLoadgen(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineString("host", "127.0.0.1", "server address");
+    flags.defineInt("port", 0, "server port (required)");
+    flags.defineInt("connections", 2, "concurrent connections");
+    flags.defineDouble("seconds", 2.0, "run duration");
+    flags.defineDouble("qps", 0.0,
+                       "total offered QPS across connections "
+                       "(<= 0 = closed-loop maximum)");
+    flags.defineString("models", "",
+                       "comma-separated CNNs to request "
+                       "(default: the full 12-CNN zoo)");
+    flags.defineInt("batch", 32, "per-GPU batch size");
+    flags.defineInt("samples", 1200000, "dataset size");
+    flags.defineString("objective", "cost",
+                       "minimize 'cost' or 'time'");
+    flags.defineDouble("hourly-budget", 1e18,
+                       "max hourly price (USD)");
+    flags.defineDouble("total-budget", 1e18, "max total spend (USD)");
+    flags.defineInt("timeout-ms", 30000, "per-reply read timeout");
+    flags.defineString("out", "",
+                       "write a JSON results document here");
+    defineObsFlags(flags);
+    flags.parse(argc, argv);
+    applyObsFlags(flags);
+
+    std::signal(SIGPIPE, SIG_IGN);
+    if (flags.getInt("port") <= 0)
+        util::fatal("loadgen: --port is required");
+
+    serve::LoadgenOptions options;
+    options.host = flags.getString("host");
+    options.port = static_cast<int>(flags.getInt("port"));
+    options.connections =
+        static_cast<int>(flags.getInt("connections"));
+    options.seconds = flags.getDouble("seconds");
+    options.targetQps = flags.getDouble("qps");
+    options.timeoutMs = static_cast<int>(flags.getInt("timeout-ms"));
+
+    std::vector<std::string> names = models::allModelNames();
+    if (!flags.getString("models").empty()) {
+        names.clear();
+        for (const auto &name :
+             util::split(flags.getString("models"), ','))
+            if (!name.empty())
+                names.push_back(util::trim(name));
+    }
+    for (const std::string &name : names) {
+        serve::RecommendRequest request;
+        request.model = name;
+        request.batch = flags.getInt("batch");
+        request.datasetSamples = flags.getInt("samples");
+        request.objective = flags.getString("objective");
+        request.hourlyBudgetUsd = flags.getDouble("hourly-budget");
+        request.totalBudgetUsd = flags.getDouble("total-budget");
+        options.requests.push_back(std::move(request));
+    }
+
+    serve::LoadgenResult result;
+    std::string error;
+    if (!serve::runLoadgen(options, &result, &error))
+        util::fatal("loadgen: " + error);
+
+    util::TablePrinter table({"metric", "value"});
+    table.addRow({"sent", std::to_string(result.sent)});
+    table.addRow({"succeeded", std::to_string(result.succeeded)});
+    table.addRow({"overloaded", std::to_string(result.overloaded)});
+    table.addRow({"server errors",
+                  std::to_string(result.serverErrors)});
+    table.addRow({"transport errors",
+                  std::to_string(result.transportErrors)});
+    table.addRow({"elapsed",
+                  util::format("%.2fs", result.elapsedSeconds)});
+    table.addRow({"throughput",
+                  util::format("%.1f req/s", result.achievedQps)});
+    table.addRow({"p50", util::format("%.0f us", result.p50Us)});
+    table.addRow({"p90", util::format("%.0f us", result.p90Us)});
+    table.addRow({"p99", util::format("%.0f us", result.p99Us)});
+    table.addRow({"p99.9", util::format("%.0f us", result.p999Us)});
+    table.addRow({"max", util::format("%.0f us", result.maxUs)});
+    table.print(std::cout);
+
+    const std::string out_path = flags.getString("out");
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out)
+            util::fatal("loadgen: cannot open '" + out_path + "'");
+        out << "{\n"
+            << "  \"bench\": \"loadgen\",\n"
+            << util::format("  \"sent\": %lld,\n",
+                            static_cast<long long>(result.sent))
+            << util::format("  \"succeeded\": %lld,\n",
+                            static_cast<long long>(result.succeeded))
+            << util::format("  \"overloaded\": %lld,\n",
+                            static_cast<long long>(result.overloaded))
+            << util::format(
+                   "  \"server_errors\": %lld,\n",
+                   static_cast<long long>(result.serverErrors))
+            << util::format(
+                   "  \"transport_errors\": %lld,\n",
+                   static_cast<long long>(result.transportErrors))
+            << util::format("  \"elapsed_seconds\": %.6f,\n",
+                            result.elapsedSeconds)
+            << util::format("  \"throughput_qps\": %.3f,\n",
+                            result.achievedQps)
+            << util::format("  \"p50_us\": %.3f,\n", result.p50Us)
+            << util::format("  \"p90_us\": %.3f,\n", result.p90Us)
+            << util::format("  \"p99_us\": %.3f,\n", result.p99Us)
+            << util::format("  \"p999_us\": %.3f,\n", result.p999Us)
+            << util::format("  \"mean_us\": %.3f,\n", result.meanUs)
+            << util::format("  \"max_us\": %.3f\n", result.maxUs)
+            << "}\n";
+        out.close();
+        if (!out.good())
+            util::fatal("loadgen: write to '" + out_path +
+                        "' failed");
+    }
+    flushObsArtifacts(flags);
+    return result.succeeded > 0 ? 0 : 1;
+}
+
 void
 usage()
 {
@@ -597,6 +822,10 @@ usage()
         "  convert      convert profiles/models/catalogs between the\n"
         "               text/CSV and CBF binary dialects\n"
         "  gen-catalog  emit a synthetic instance fleet (CSV or CBF)\n"
+        "  serve        run ceerd, the persistent recommendation\n"
+        "               server (framed-binary protocol over TCP)\n"
+        "  loadgen      replay recommend traffic against a running\n"
+        "               ceerd and report throughput/latency\n"
         "every command accepts --metrics-out and --trace-out\n"
         "run `ceer <command> --help` for the command's flags\n";
 }
@@ -632,6 +861,10 @@ main(int argc, char **argv)
         return cmdConvert(sub_argc, sub_argv);
     if (command == "gen-catalog")
         return cmdGenCatalog(sub_argc, sub_argv);
+    if (command == "serve")
+        return cmdServe(sub_argc, sub_argv);
+    if (command == "loadgen")
+        return cmdLoadgen(sub_argc, sub_argv);
     if (command == "--help" || command == "help") {
         usage();
         return 0;

@@ -6,7 +6,8 @@
 #   bench     microbenchmark smoke runs (tiny iteration counts)
 #   tsan      ThreadSanitizer build of the concurrency-sensitive pieces
 #             (thread pool, metrics registry, parallel profiling,
-#             iteration-parallel simulation, parallel recommend/train)
+#             iteration-parallel simulation, parallel recommend/train,
+#             the ceerd serving stack)
 #   ubsan     UBSanitizer build of the serialization/I-O boundary
 #
 # `tools/check.sh coverage` instead builds with -DCEER_COVERAGE=ON,
@@ -91,6 +92,40 @@ pass_bench_smoke() {
     # streaming-CBF / mmap-CBF load paths and the fleet recommend sweep.
     ./build/bench/micro_io --train-iters 10 --load-iters 3 \
         --fleet 256 --out ''
+    # micro_serve's nonzero exit asserts the loadgen-vs-in-process
+    # byte identity and the hot-reload generation gate; the smoke run
+    # also checks the emitted JSON carries the latency fields.
+    ./build/bench/micro_serve --train-iters 10 --seconds 0.4 \
+        --connections 2 --models vgg_19,alexnet --qps-targets 50,0 \
+        --out build/check_serve.json
+    grep -q identity_ok build/check_serve.json
+    grep -q p999_us build/check_serve.json
+    # ceerd smoke through the CLI: serve a freshly trained model,
+    # drive it briefly with the loadgen, then require a clean SIGTERM
+    # drain (exit 0) and a well-formed loadgen JSON. The server sends
+    # with MSG_NOSIGNAL and retries EINTR, so the mid-run signal must
+    # not break in-flight replies.
+    ./build/tools/ceer profile --iters 15 --models vgg_11,inception_v1 \
+        --out build/check_serve_profiles.csv
+    ./build/tools/ceer train --profiles build/check_serve_profiles.csv \
+        --out build/check_serve_model.txt
+    rm -f build/check_serve_port.txt
+    ./build/tools/ceer serve --ceer-model build/check_serve_model.txt \
+        --port 0 --port-file build/check_serve_port.txt &
+    local serve_pid=$!
+    for _ in $(seq 1 100); do
+        if [[ -s build/check_serve_port.txt ]]; then
+            break
+        fi
+        sleep 0.1
+    done
+    ./build/tools/ceer loadgen \
+        --port "$(cat build/check_serve_port.txt)" \
+        --seconds 1 --connections 2 --models vgg_19 \
+        --out build/check_serve_loadgen.json
+    kill -TERM "$serve_pid"
+    wait "$serve_pid"
+    grep -q throughput_qps build/check_serve_loadgen.json
 }
 
 pass_tsan() {
@@ -98,7 +133,7 @@ pass_tsan() {
           -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
     cmake --build build-tsan -j "$JOBS" \
           --target obs_test thread_pool_test profile_test sim_test \
-                   predict_plan_test
+                   predict_plan_test serve_test
 
     # Run the TSan binaries directly (ctest discovery would require
     # every test target to be built). TSAN_OPTIONS makes races hard
@@ -119,6 +154,10 @@ pass_tsan() {
     # TSan, with and without observability.
     ./build-tsan/tests/predict_plan_test \
         --gtest_filter='ParallelRecommenderTest.*:ParallelTrainerTest.*:SerialAndParallel/*'
+    # The full ceerd stack under TSan: reactor/worker re-arm handoff,
+    # engine hot-swap, admission counters and the loadgen's dedicated
+    # client threads all race-checked end to end.
+    ./build-tsan/tests/serve_test
 }
 
 pass_ubsan() {
