@@ -194,6 +194,13 @@ JsonObject::boolean(const std::string &key, bool value)
 }
 
 JsonObject &
+JsonObject::nul(const std::string &key)
+{
+    fields_.push_back({key, "null", {}, false});
+    return *this;
+}
+
+JsonObject &
 JsonObject::array(const std::string &key, std::vector<JsonObject> rows)
 {
     Field field;

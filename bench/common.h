@@ -146,6 +146,8 @@ class JsonObject
                     const char *fmt);
     /** true/false field. */
     JsonObject &boolean(const std::string &key, bool value);
+    /** Literal null field (e.g. an unresolvable tail quantile). */
+    JsonObject &nul(const std::string &key);
     /** Array-of-objects field; each row is one compact line. */
     JsonObject &array(const std::string &key,
                       std::vector<JsonObject> rows);

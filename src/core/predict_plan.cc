@@ -106,6 +106,29 @@ PredictPlan::cpuUs() const
     return static_cast<double>(cpuCount_) * cpuMedianUs_;
 }
 
+std::size_t
+PredictPlan::approxBytes() const
+{
+    std::size_t bytes = sizeof *this;
+    for (const OpGroup &group : groups_) {
+        bytes += sizeof group;
+        bytes += (group.features.capacity() +
+                  group.quadFeatures.capacity()) *
+                 sizeof(double);
+        for (const GpuRecipe &recipe : group.recipes) {
+            bytes += sizeof recipe;
+            bytes += (recipe.weights.capacity() +
+                      recipe.scales.capacity()) *
+                     sizeof(double);
+        }
+    }
+    if (memo_)
+        bytes += sizeof(Memo) +
+                 memo_->ready.capacity() * sizeof(std::atomic<bool>) +
+                 memo_->value.capacity() * sizeof(double);
+    return bytes;
+}
+
 PredictPlan
 CeerPredictor::compile(const graph::Graph &g) const
 {

@@ -94,6 +94,13 @@ class PredictPlan
     /** CPU-term total: cpuCount() * the snapshotted CPU median. */
     double cpuUs() const;
 
+    /**
+     * Approximate resident size in bytes (feature matrices, recipes,
+     * memo). Used for cache accounting — an estimate, not an exact
+     * heap measurement.
+     */
+    std::size_t approxBytes() const;
+
   private:
     friend class CeerPredictor;
     PredictPlan() = default;

@@ -1,6 +1,6 @@
 #include "core/recommender.h"
 
-#include <map>
+#include <array>
 
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
@@ -65,6 +65,33 @@ recommend(const CeerPredictor &predictor, const PredictPlan &plan,
           const ObjectiveFn &objective, const Constraints &constraints,
           int threads)
 {
+    Recommendation result;
+    recommendInto(predictor, plan, workload, candidates, objective,
+                  constraints, threads, &result);
+    return result;
+}
+
+MemoryFitTable
+computeMemoryFits(const graph::Graph &g)
+{
+    MemoryFitTable fits{};
+    for (hw::GpuModel gpu : hw::allGpuModels()) {
+        const std::size_t slot = static_cast<std::size_t>(gpu);
+        if (slot >= fits.size())
+            util::panic("recommend: GpuModel beyond fits table");
+        fits[slot] = hw::fitsInGpuMemory(g, gpu);
+    }
+    return fits;
+}
+
+void
+recommendInto(const CeerPredictor &predictor, const PredictPlan &plan,
+              const WorkloadSpec &workload,
+              const std::vector<cloud::GpuInstance> &candidates,
+              const ObjectiveFn &objective,
+              const Constraints &constraints, int threads,
+              Recommendation *out, const MemoryFitTable *fits)
+{
     if (!workload.graph)
         util::panic("recommend: workload has no graph");
     if (!objective)
@@ -81,28 +108,36 @@ recommend(const CeerPredictor &predictor, const PredictPlan &plan,
 
     // Memory depends only on the GPU model (the per-GPU batch and the
     // replica footprint are the same for any k); compute it once per
-    // silicon.
-    std::map<hw::GpuModel, bool> fits;
-    if (constraints.enforceGpuMemory) {
-        for (hw::GpuModel gpu : hw::allGpuModels())
-            fits[gpu] = hw::fitsInGpuMemory(*workload.graph, gpu);
+    // silicon — or take the caller's cached table, since the verdicts
+    // are a pure function of the graph and the underlying estimate
+    // walks every node. A fixed-size table indexed by the GpuModel
+    // enum keeps this off the heap (recommendInto must not allocate
+    // on a warm Recommendation).
+    MemoryFitTable local{};
+    if (constraints.enforceGpuMemory && !fits) {
+        local = computeMemoryFits(*workload.graph);
+        fits = &local;
     }
 
     // Each task writes only its own evaluation slot and every value is
     // a pure function of (plan, candidate), so the evaluation list is
-    // byte-identical at any thread count.
+    // byte-identical at any thread count. Every slot field is assigned
+    // unconditionally — reused slots must not leak a previous sweep's
+    // values.
     OBS_SPAN("recommender.sweep", "recommender");
     OBS_TIMER("recommender.sweep_us");
     OBS_COUNTER_ADD("recommender.candidates", candidates.size());
 
-    Recommendation result;
+    Recommendation &result = *out;
+    result.bestIndex = -1;
     result.evaluations.resize(candidates.size());
     const auto evaluate = [&](std::size_t i) {
         const cloud::GpuInstance &instance = candidates[i];
         CandidateEvaluation &evaluation = result.evaluations[i];
         evaluation.instance = instance;
-        if (constraints.enforceGpuMemory)
-            evaluation.fitsMemory = fits.at(instance.gpu);
+        evaluation.fitsMemory =
+            !constraints.enforceGpuMemory ||
+            (*fits)[static_cast<std::size_t>(instance.gpu)];
         evaluation.prediction = predictor.predictTraining(
             plan, instance, workload.datasetSamples,
             workload.batchPerGpu);
@@ -185,7 +220,6 @@ recommend(const CeerPredictor &predictor, const PredictPlan &plan,
             OBS_GAUGE_SET("recommender.winner_margin",
                           runner_up - best_score);
     }
-    return result;
 }
 
 } // namespace core

@@ -9,6 +9,7 @@
 #ifndef CEER_CORE_RECOMMENDER_H
 #define CEER_CORE_RECOMMENDER_H
 
+#include <array>
 #include <functional>
 #include <limits>
 #include <utility>
@@ -82,6 +83,20 @@ struct CandidateEvaluation
     }
 };
 
+/**
+ * Per-GPU-model memory-fit verdicts, indexed by the hw::GpuModel
+ * enum value. A pure function of the graph (the per-GPU batch and
+ * replica footprint are identical at any instance size), so
+ * long-lived callers compute it once per graph — the full-graph
+ * memory walk is the recommender's only O(nodes) step once a plan's
+ * heavy term is memoized, and recomputing it per query dominated
+ * ceerd's request cost on deep models.
+ */
+using MemoryFitTable = std::array<bool, 16>;
+
+/** Fills a MemoryFitTable for @p g (hw::fitsInGpuMemory per model). */
+MemoryFitTable computeMemoryFits(const graph::Graph &g);
+
 /** Result of a recommendation query. */
 struct Recommendation
 {
@@ -145,6 +160,27 @@ Recommendation recommend(const CeerPredictor &predictor,
                          const ObjectiveFn &objective,
                          const Constraints &constraints = {},
                          int threads = 1);
+
+/**
+ * Out-parameter variant of the precompiled-plan overload: writes the
+ * result into @p out, reusing its evaluations storage (slots are fully
+ * overwritten every call). Sweeping the same catalog into a warm
+ * Recommendation is allocation-free — the ceerd request path depends
+ * on this. Byte-identical to the returning overload, which delegates
+ * here.
+ *
+ * @param fits Precomputed computeMemoryFits(*workload.graph), or null
+ *             to compute it in place. Passing a cached table skips the
+ *             per-query full-graph memory walk; the result is
+ *             byte-identical either way.
+ */
+void recommendInto(const CeerPredictor &predictor,
+                   const PredictPlan &plan, const WorkloadSpec &workload,
+                   const std::vector<cloud::GpuInstance> &candidates,
+                   const ObjectiveFn &objective,
+                   const Constraints &constraints, int threads,
+                   Recommendation *out,
+                   const MemoryFitTable *fits = nullptr);
 
 } // namespace core
 } // namespace ceer

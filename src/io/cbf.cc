@@ -110,6 +110,9 @@ align8(std::uint64_t offset)
 /**
  * Validates a complete in-memory CBF image and fills @p columns.
  * Every failure message names the byte offset it was detected at.
+ * @p columns is reused in place (slot and string capacity survive
+ * across calls — the serving hot path re-parses same-schema payloads
+ * allocation-free) and cleared on failure.
  */
 bool
 validateImage(const char *base, std::size_t size,
@@ -163,29 +166,43 @@ validateImage(const char *base, std::size_t size,
         return false;
     }
 
-    std::vector<ColumnDesc> parsed;
-    parsed.reserve(column_count);
+    // Duplicate-name detection: a linear scan over the names parsed so
+    // far beats a std::map for the small tables that dominate (every
+    // wire payload), and only degrades to the map above a threshold a
+    // hostile table could exploit quadratically.
+    constexpr std::uint32_t kDupScanLimit = 64;
     std::map<std::string, std::size_t> seen;
+    columns->resize(column_count);
     for (std::uint32_t i = 0; i < column_count; ++i) {
         const std::size_t entry_off = kHeaderSize + i * kTableEntrySize;
         const char *entry = base + entry_off;
-        ColumnDesc desc;
+        ColumnDesc &desc = (*columns)[i];
         if (entry[kNameSize - 1] != '\0') {
             *error = util::format(
                 "column %u: unterminated name at offset %zu", i,
                 entry_off);
+            columns->clear();
             return false;
         }
         desc.name = entry; // NUL-terminated within the 32-byte field.
         if (desc.name.empty()) {
             *error = util::format("column %u: empty name at offset %zu",
                                   i, entry_off);
+            columns->clear();
             return false;
         }
-        if (!seen.emplace(desc.name, i).second) {
+        bool duplicate = false;
+        if (column_count <= kDupScanLimit) {
+            for (std::uint32_t j = 0; j < i && !duplicate; ++j)
+                duplicate = (*columns)[j].name == desc.name;
+        } else {
+            duplicate = !seen.emplace(desc.name, i).second;
+        }
+        if (duplicate) {
             *error = util::format(
                 "column %u: duplicate name '%s' at offset %zu", i,
                 desc.name.c_str(), entry_off);
+            columns->clear();
             return false;
         }
         const std::uint8_t dtype_byte =
@@ -194,6 +211,7 @@ validateImage(const char *base, std::size_t size,
             *error = util::format(
                 "column '%s': bad dtype %u at offset %zu",
                 desc.name.c_str(), dtype_byte, entry_off + kNameSize);
+            columns->clear();
             return false;
         }
         desc.dtype = static_cast<DType>(dtype_byte);
@@ -209,6 +227,7 @@ validateImage(const char *base, std::size_t size,
                 desc.name.c_str(), (unsigned long long)desc.length,
                 (unsigned long long)desc.count,
                 dtypeName(desc.dtype).c_str(), entry_off);
+            columns->clear();
             return false;
         }
         if (desc.offset < kHeaderSize + table_bytes ||
@@ -219,6 +238,7 @@ validateImage(const char *base, std::size_t size,
                 desc.name.c_str(), (unsigned long long)desc.offset,
                 (unsigned long long)(desc.offset + desc.length), size,
                 entry_off);
+            columns->clear();
             return false;
         }
         // 8-byte dtypes are read through typed pointers straight out
@@ -233,6 +253,7 @@ validateImage(const char *base, std::size_t size,
                 "elements need 8-byte alignment; table entry at offset "
                 "%zu)", desc.name.c_str(),
                 (unsigned long long)desc.offset, entry_off);
+            columns->clear();
             return false;
         }
         if (xxhash64(base + desc.offset, desc.length) != desc.checksum) {
@@ -242,11 +263,10 @@ validateImage(const char *base, std::size_t size,
                 "offset %llu, %llu bytes)", desc.name.c_str(),
                 (unsigned long long)desc.offset,
                 (unsigned long long)desc.length);
+            columns->clear();
             return false;
         }
-        parsed.push_back(std::move(desc));
     }
-    *columns = std::move(parsed);
     return true;
 }
 
@@ -334,108 +354,167 @@ xxhash64(const void *data, std::size_t size, std::uint64_t seed)
     return h;
 }
 
-void
-CbfBuilder::addColumn(const std::string &name, DType dtype,
-                      std::uint64_t count, std::string payload)
+std::string *
+CbfBuilder::nextColumn(const std::string &name, DType dtype,
+                       std::uint64_t count)
 {
     if (name.empty() || name.size() >= kNameSize)
         util::panic("CbfBuilder: column name '" + name +
                     "' must be 1-31 bytes");
-    for (const Column &column : columns_)
-        if (column.name == name)
+    for (std::size_t i = 0; i < used_; ++i)
+        if (columns_[i].name == name)
             util::panic("CbfBuilder: duplicate column '" + name + "'");
-    columns_.push_back(
-        Column{name, dtype, count, std::move(payload)});
+    if (used_ == columns_.size())
+        columns_.emplace_back();
+    Column &column = columns_[used_++];
+    column.name = name;
+    column.dtype = dtype;
+    column.count = count;
+    column.payload.clear();
+    return &column.payload;
+}
+
+void
+CbfBuilder::clear()
+{
+    used_ = 0;
+}
+
+void
+CbfBuilder::addF64(const std::string &name, const double *data,
+                   std::size_t n)
+{
+    std::string *payload = nextColumn(name, DType::F64, n);
+    if (n)
+        payload->assign(reinterpret_cast<const char *>(data),
+                        n * sizeof(double));
 }
 
 void
 CbfBuilder::addF64(const std::string &name, const std::vector<double> &v)
 {
-    std::string payload(v.size() * sizeof(double), '\0');
-    if (!v.empty())
-        std::memcpy(payload.data(), v.data(), payload.size());
-    addColumn(name, DType::F64, v.size(), std::move(payload));
+    addF64(name, v.data(), v.size());
+}
+
+void
+CbfBuilder::addU64(const std::string &name, const std::uint64_t *data,
+                   std::size_t n)
+{
+    std::string *payload = nextColumn(name, DType::U64, n);
+    if (n)
+        payload->assign(reinterpret_cast<const char *>(data),
+                        n * sizeof(std::uint64_t));
 }
 
 void
 CbfBuilder::addU64(const std::string &name,
                    const std::vector<std::uint64_t> &v)
 {
-    std::string payload(v.size() * sizeof(std::uint64_t), '\0');
-    if (!v.empty())
-        std::memcpy(payload.data(), v.data(), payload.size());
-    addColumn(name, DType::U64, v.size(), std::move(payload));
+    addU64(name, v.data(), v.size());
+}
+
+void
+CbfBuilder::addI64(const std::string &name, const std::int64_t *data,
+                   std::size_t n)
+{
+    std::string *payload = nextColumn(name, DType::I64, n);
+    if (n)
+        payload->assign(reinterpret_cast<const char *>(data),
+                        n * sizeof(std::int64_t));
 }
 
 void
 CbfBuilder::addI64(const std::string &name,
                    const std::vector<std::int64_t> &v)
 {
-    std::string payload(v.size() * sizeof(std::int64_t), '\0');
-    if (!v.empty())
-        std::memcpy(payload.data(), v.data(), payload.size());
-    addColumn(name, DType::I64, v.size(), std::move(payload));
+    addI64(name, v.data(), v.size());
+}
+
+void
+CbfBuilder::addU8(const std::string &name, const std::uint8_t *data,
+                  std::size_t n)
+{
+    std::string *payload = nextColumn(name, DType::U8, n);
+    if (n)
+        payload->assign(reinterpret_cast<const char *>(data), n);
 }
 
 void
 CbfBuilder::addU8(const std::string &name,
                   const std::vector<std::uint8_t> &v)
 {
-    std::string payload(v.size(), '\0');
-    if (!v.empty())
-        std::memcpy(payload.data(), v.data(), payload.size());
-    addColumn(name, DType::U8, v.size(), std::move(payload));
+    addU8(name, v.data(), v.size());
+}
+
+void
+CbfBuilder::addBytes(const std::string &name, const char *data,
+                     std::size_t n)
+{
+    std::string *payload = nextColumn(name, DType::Bytes, n);
+    if (n)
+        payload->assign(data, n);
 }
 
 void
 CbfBuilder::addBytes(const std::string &name, const std::string &bytes)
 {
-    addColumn(name, DType::Bytes, bytes.size(), bytes);
+    addBytes(name, bytes.data(), bytes.size());
+}
+
+void
+CbfBuilder::buildInto(std::string *out) const
+{
+    // Lay out payload sections after the table, each 8-byte aligned.
+    // Offsets are cheap to recompute, so the layout is walked three
+    // times (total size, table, payloads) instead of materializing an
+    // offsets vector — buildInto on a warm output string allocates
+    // nothing.
+    const std::uint64_t table_bytes = used_ * kTableEntrySize;
+    std::uint64_t cursor = kHeaderSize + table_bytes;
+    for (std::size_t i = 0; i < used_; ++i) {
+        cursor = align8(cursor);
+        cursor += columns_[i].payload.size();
+    }
+    const std::uint64_t total = cursor;
+
+    out->clear();
+    out->reserve(total);
+    out->append(kCbfMagic, sizeof kCbfMagic);
+    appendInt(out, kCbfVersion);
+    appendInt(out, static_cast<std::uint32_t>(used_));
+    appendInt(out, total);
+    appendInt(out, std::uint64_t{0}); // table checksum, patched below
+    cursor = kHeaderSize + table_bytes;
+    for (std::size_t i = 0; i < used_; ++i) {
+        const Column &column = columns_[i];
+        cursor = align8(cursor);
+        char name[kNameSize] = {};
+        std::memcpy(name, column.name.data(), column.name.size());
+        out->append(name, kNameSize);
+        out->push_back(static_cast<char>(column.dtype));
+        out->append(7, '\0');
+        appendInt(out, std::uint64_t{column.count});
+        appendInt(out, cursor);
+        appendInt(out, std::uint64_t{column.payload.size()});
+        appendInt(out, xxhash64(column.payload.data(),
+                                column.payload.size()));
+        cursor += column.payload.size();
+    }
+    const std::uint64_t table_checksum =
+        xxhash64(out->data() + kHeaderSize, table_bytes);
+    std::memcpy(out->data() + 24, &table_checksum,
+                sizeof table_checksum);
+    for (std::size_t i = 0; i < used_; ++i) {
+        out->append(align8(out->size()) - out->size(), '\0');
+        out->append(columns_[i].payload);
+    }
 }
 
 std::string
 CbfBuilder::build() const
 {
-    // Lay out payload sections after the table, each 8-byte aligned.
-    const std::uint64_t table_bytes =
-        columns_.size() * kTableEntrySize;
-    std::vector<std::uint64_t> offsets(columns_.size());
-    std::uint64_t cursor = kHeaderSize + table_bytes;
-    for (std::size_t i = 0; i < columns_.size(); ++i) {
-        cursor = align8(cursor);
-        offsets[i] = cursor;
-        cursor += columns_[i].payload.size();
-    }
-    const std::uint64_t total = cursor;
-
-    std::string table;
-    table.reserve(table_bytes);
-    for (std::size_t i = 0; i < columns_.size(); ++i) {
-        const Column &column = columns_[i];
-        char name[kNameSize] = {};
-        std::memcpy(name, column.name.data(), column.name.size());
-        table.append(name, kNameSize);
-        table.push_back(static_cast<char>(column.dtype));
-        table.append(7, '\0');
-        appendInt(&table, std::uint64_t{column.count});
-        appendInt(&table, offsets[i]);
-        appendInt(&table, std::uint64_t{column.payload.size()});
-        appendInt(&table, xxhash64(column.payload.data(),
-                                   column.payload.size()));
-    }
-
     std::string out;
-    out.reserve(total);
-    out.append(kCbfMagic, sizeof kCbfMagic);
-    appendInt(&out, kCbfVersion);
-    appendInt(&out, static_cast<std::uint32_t>(columns_.size()));
-    appendInt(&out, total);
-    appendInt(&out, xxhash64(table.data(), table.size()));
-    out += table;
-    for (std::size_t i = 0; i < columns_.size(); ++i) {
-        out.append(offsets[i] - out.size(), '\0'); // alignment padding
-        out += columns_[i].payload;
-    }
+    buildInto(&out);
     return out;
 }
 
@@ -491,16 +570,18 @@ CbfFile::reset()
         ::munmap(mapping_, size_);
     mapping_ = nullptr;
     mapped_ = false;
+    view_ = nullptr;
     size_ = 0;
     owned_.clear();
     columns_.clear();
 }
 
 CbfFile::CbfFile(CbfFile &&other) noexcept
-    : owned_(std::move(other.owned_)), mapping_(other.mapping_),
-      size_(other.size_), mapped_(other.mapped_),
-      columns_(std::move(other.columns_))
+    : owned_(std::move(other.owned_)), view_(other.view_),
+      mapping_(other.mapping_), size_(other.size_),
+      mapped_(other.mapped_), columns_(std::move(other.columns_))
 {
+    other.view_ = nullptr;
     other.mapping_ = nullptr;
     other.mapped_ = false;
     other.size_ = 0;
@@ -512,15 +593,39 @@ CbfFile::operator=(CbfFile &&other) noexcept
     if (this != &other) {
         reset();
         owned_ = std::move(other.owned_);
+        view_ = other.view_;
         mapping_ = other.mapping_;
         size_ = other.size_;
         mapped_ = other.mapped_;
         columns_ = std::move(other.columns_);
+        other.view_ = nullptr;
         other.mapping_ = nullptr;
         other.mapped_ = false;
         other.size_ = 0;
     }
     return *this;
+}
+
+bool
+CbfFile::tryParseView(const char *data, std::size_t size, CbfFile *out,
+                      std::string *error)
+{
+    // Reuse *out in place: columns_ keeps its slot and name capacity,
+    // so a warm re-parse of a same-schema payload allocates nothing.
+    if (out->mapped_ && out->mapping_)
+        ::munmap(out->mapping_, out->size_);
+    out->mapping_ = nullptr;
+    out->mapped_ = false;
+    out->owned_.clear();
+    out->view_ = data;
+    out->size_ = size;
+    if (!validateImage(data, size, &out->columns_, error)) {
+        out->view_ = nullptr;
+        out->size_ = 0;
+        out->columns_.clear();
+        return false;
+    }
+    return true;
 }
 
 bool
@@ -608,8 +713,9 @@ CbfFile::find(const std::string &name) const
 const char *
 CbfFile::columnData(const ColumnDesc &desc) const
 {
-    const char *base =
-        mapped_ ? static_cast<const char *>(mapping_) : owned_.data();
+    const char *base = mapped_ ? static_cast<const char *>(mapping_)
+                     : view_   ? view_
+                               : owned_.data();
     return base + desc.offset;
 }
 

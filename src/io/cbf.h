@@ -89,30 +89,55 @@ struct ColumnDesc
  *
  * Column order is preserved; re-serializing a parsed file with the
  * same columns in the same order reproduces it byte for byte.
+ *
+ * A builder is reusable: clear() retires the columns but keeps every
+ * slot's string storage, so a clear-add-buildInto cycle on a warm
+ * builder performs no heap allocation (the serving hot path leans on
+ * this). The pointer-based add overloads exist for the same reason —
+ * callers with data already laid out flat skip the vector temporary.
  */
 class CbfBuilder
 {
   public:
     /** Adds a double column (raw IEEE-754 bits). */
     void addF64(const std::string &name, const std::vector<double> &v);
+    void addF64(const std::string &name, const double *data,
+                std::size_t n);
 
     /** Adds an unsigned 64-bit column. */
     void addU64(const std::string &name,
                 const std::vector<std::uint64_t> &v);
+    void addU64(const std::string &name, const std::uint64_t *data,
+                std::size_t n);
 
     /** Adds a signed 64-bit column. */
     void addI64(const std::string &name,
                 const std::vector<std::int64_t> &v);
+    void addI64(const std::string &name, const std::int64_t *data,
+                std::size_t n);
 
     /** Adds a byte column (bools, flags). */
     void addU8(const std::string &name,
                const std::vector<std::uint8_t> &v);
+    void addU8(const std::string &name, const std::uint8_t *data,
+               std::size_t n);
 
     /** Adds an opaque blob column (count == byte length). */
     void addBytes(const std::string &name, const std::string &bytes);
+    void addBytes(const std::string &name, const char *data,
+                  std::size_t n);
+
+    /** Retires all columns but keeps slot storage for reuse. */
+    void clear();
 
     /** Serializes the whole file into a byte string. */
     std::string build() const;
+
+    /**
+     * Serializes the whole file into @p out (cleared first), reusing
+     * its capacity. Byte-identical to build().
+     */
+    void buildInto(std::string *out) const;
 
     /** Writes build() to a stream. */
     void write(std::ostream &out) const;
@@ -130,15 +155,18 @@ class CbfBuilder
     struct Column
     {
         std::string name;
-        DType dtype;
-        std::uint64_t count;
+        DType dtype = DType::F64;
+        std::uint64_t count = 0;
         std::string payload;
     };
 
-    void addColumn(const std::string &name, DType dtype,
-                   std::uint64_t count, std::string payload);
+    /** Claims the next column slot (reusing retired storage) and
+        returns its payload string for the caller to fill. */
+    std::string *nextColumn(const std::string &name, DType dtype,
+                            std::uint64_t count);
 
     std::vector<Column> columns_;
+    std::size_t used_ = 0; ///< Active slots; the rest are retired.
 };
 
 /**
@@ -180,6 +208,17 @@ class CbfFile
     static bool tryParse(std::string bytes, CbfFile *out,
                          std::string *error);
 
+    /**
+     * Zero-copy view parse: validates @p size bytes at @p data that
+     * the CALLER keeps alive for the lifetime of @p out; accessors
+     * point straight into the view. Unlike tryParse, @p out is reused
+     * in place — its column table keeps its capacity across calls, so
+     * re-parsing a same-schema payload on a warm CbfFile allocates
+     * nothing. On failure @p out is left empty, not untouched.
+     */
+    static bool tryParseView(const char *data, std::size_t size,
+                             CbfFile *out, std::string *error);
+
     /** True when the file is served from an mmap. */
     bool mapped() const { return mapped_; }
 
@@ -217,6 +256,7 @@ class CbfFile
     void reset();
 
     std::string owned_;          ///< Streaming-read buffer.
+    const char *view_ = nullptr; ///< Caller-owned bytes (tryParseView).
     void *mapping_ = nullptr;    ///< mmap base (mapped_ only).
     std::size_t size_ = 0;       ///< Total file size.
     bool mapped_ = false;

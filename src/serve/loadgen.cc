@@ -5,7 +5,8 @@
 #include <cmath>
 #include <thread>
 
-#include "serve/client.h"
+#include "io/cbf.h"
+#include "serve/net.h"
 
 namespace ceer {
 namespace serve {
@@ -13,6 +14,9 @@ namespace serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/** Replies larger than this are treated as protocol violations. */
+constexpr std::size_t kMaxReplyBytes = 64u << 20;
 
 /** Per-connection tallies, merged after the joins. */
 struct ThreadResult
@@ -26,17 +30,83 @@ struct ThreadResult
     bool connected = false;
 };
 
-void
-runConnection(const LoadgenOptions &options, ThreadResult *result)
+/** What one reply turned out to be. */
+enum class ReplyKind
 {
-    ServeClient client;
+    Response,    ///< Valid Response frame.
+    Overloaded,  ///< Typed `overloaded` rejection.
+    ServerError, ///< Any other typed Error frame.
+    Transport,   ///< Socket/framing failure.
+};
+
+/**
+ * Reads and validates one reply frame (header, checksum, type)
+ * without the full columnar decode — the generator only needs to
+ * classify the reply, and skipping the decode keeps measurement
+ * overhead off hosts where the generator shares cores with the
+ * server. @p payload_buf is reused across calls.
+ */
+ReplyKind
+readReply(int fd, std::string *payload_buf)
+{
+    char header_buf[kFrameHeaderBytes];
+    std::string io_error;
+    if (!recvAll(fd, header_buf, sizeof header_buf, &io_error))
+        return ReplyKind::Transport;
+    FrameHeader header;
+    if (!decodeFrameHeader(header_buf, &header, &io_error))
+        return ReplyKind::Transport;
+    if (header.payloadBytes > kMaxReplyBytes)
+        return ReplyKind::Transport;
+    payload_buf->resize(header.payloadBytes);
+    if (header.payloadBytes > 0 &&
+        !recvAll(fd, &(*payload_buf)[0], header.payloadBytes,
+                 &io_error))
+        return ReplyKind::Transport;
+    if (io::xxhash64(payload_buf->data(), payload_buf->size()) !=
+        header.checksum)
+        return ReplyKind::Transport;
+    if (header.type == FrameType::Response)
+        return ReplyKind::Response;
+    if (header.type == FrameType::Error) {
+        ErrorInfo info;
+        std::string parse_error;
+        if (decodeError(*payload_buf, &info, &parse_error) &&
+            info.code == errc::kOverloaded)
+            return ReplyKind::Overloaded;
+        return ReplyKind::ServerError;
+    }
+    return ReplyKind::Transport;
+}
+
+/** Connects and applies the reply timeout; -1 on failure. */
+int
+openConnection(const LoadgenOptions &options)
+{
     std::string error;
-    if (!client.tryConnect(options.host, options.port,
-                           options.timeoutMs, &error)) {
+    const int fd = connectTcp(options.host, options.port, &error);
+    if (fd < 0)
+        return -1;
+    if (options.timeoutMs > 0 &&
+        !setRecvTimeoutMs(fd, options.timeoutMs, &error)) {
+        closeFd(fd);
+        return -1;
+    }
+    return fd;
+}
+
+void
+runConnection(const LoadgenOptions &options,
+              const std::vector<std::string> &frames,
+              ThreadResult *result)
+{
+    int fd = openConnection(options);
+    if (fd < 0) {
         ++result->transportErrors;
         return;
     }
     result->connected = true;
+    std::string payload_buf;
 
     const Clock::time_point start = Clock::now();
     const Clock::time_point deadline =
@@ -62,42 +132,108 @@ runConnection(const LoadgenOptions &options, ThreadResult *result)
         } else if (Clock::now() >= deadline) {
             break;
         }
-        const RecommendRequest &request =
-            options.requests[static_cast<std::size_t>(iteration) %
-                             options.requests.size()];
+        const std::string &frame =
+            frames[static_cast<std::size_t>(iteration) %
+                   frames.size()];
         ++iteration;
 
-        if (!client.connected() &&
-            !client.tryConnect(options.host, options.port,
-                               options.timeoutMs, &error)) {
-            ++result->transportErrors;
-            // Connection refused while the server drains or restarts:
-            // back off briefly instead of spinning.
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(10));
-            continue;
+        if (fd < 0) {
+            fd = openConnection(options);
+            if (fd < 0) {
+                ++result->transportErrors;
+                // Connection refused while the server drains or
+                // restarts: back off briefly instead of spinning.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+                continue;
+            }
         }
 
         ++result->sent;
-        RecommendResponse response;
+        std::string send_error;
         const Clock::time_point sent_at = Clock::now();
-        const CallOutcome outcome =
-            client.recommend(request, &response);
-        if (outcome.ok) {
-            const double us =
+        if (!sendAll(fd, frame.data(), frame.size(), &send_error)) {
+            ++result->transportErrors;
+            closeFd(fd);
+            fd = -1;
+            continue;
+        }
+        switch (readReply(fd, &payload_buf)) {
+          case ReplyKind::Response:
+            result->latenciesUs.push_back(
                 std::chrono::duration<double, std::micro>(
                     Clock::now() - sent_at)
-                    .count();
-            result->latenciesUs.push_back(us);
+                    .count());
             ++result->succeeded;
-        } else if (outcome.errorCode == errc::kOverloaded) {
+            break;
+          case ReplyKind::Overloaded:
             ++result->overloaded;
-        } else if (!outcome.errorCode.empty()) {
+            // The server closes the connection after any typed error.
+            closeFd(fd);
+            fd = -1;
+            break;
+          case ReplyKind::ServerError:
             ++result->serverErrors;
-        } else {
+            closeFd(fd);
+            fd = -1;
+            break;
+          case ReplyKind::Transport:
             ++result->transportErrors;
+            closeFd(fd);
+            fd = -1;
+            break;
         }
     }
+    closeFd(fd);
+}
+
+/**
+ * Warm-up: a single sequential connection sends @p count requests
+ * round-robin through the mix so every distinct plan compiles before
+ * the clock starts. Latencies land in @p result's warmup fields only.
+ */
+void
+runWarmup(const LoadgenOptions &options,
+          const std::vector<std::string> &frames, int count,
+          LoadgenResult *result)
+{
+    if (count <= 0)
+        return;
+    int fd = openConnection(options);
+    if (fd < 0)
+        return; // The timed phase will surface connectivity errors.
+    std::string payload_buf;
+    double sum_us = 0.0;
+    for (int i = 0; i < count; ++i) {
+        if (fd < 0) {
+            fd = openConnection(options);
+            if (fd < 0)
+                break;
+        }
+        const std::string &frame =
+            frames[static_cast<std::size_t>(i) % frames.size()];
+        std::string send_error;
+        const Clock::time_point sent_at = Clock::now();
+        if (!sendAll(fd, frame.data(), frame.size(), &send_error))
+            break;
+        if (readReply(fd, &payload_buf) != ReplyKind::Response) {
+            // Errors close the connection server-side; retry the rest
+            // of the warm-up on a fresh one.
+            closeFd(fd);
+            fd = -1;
+            continue;
+        }
+        const double us = std::chrono::duration<double, std::micro>(
+                              Clock::now() - sent_at)
+                              .count();
+        sum_us += us;
+        result->warmupMaxUs = std::max(result->warmupMaxUs, us);
+        ++result->warmupRequests;
+    }
+    closeFd(fd);
+    if (result->warmupRequests > 0)
+        result->warmupMeanUs =
+            sum_us / static_cast<double>(result->warmupRequests);
 }
 
 } // namespace
@@ -113,6 +249,15 @@ latencyPercentile(const std::vector<double> &sorted_us, double q)
     const std::size_t index =
         rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
     return sorted_us[std::min(index, sorted_us.size() - 1)];
+}
+
+bool
+percentileResolvable(std::size_t n, double q)
+{
+    if (n == 0)
+        return false;
+    const double clamped = std::min(std::max(q, 0.0), 1.0);
+    return static_cast<double>(n) * (1.0 - clamped) >= 1.0;
 }
 
 bool
@@ -135,6 +280,21 @@ runLoadgen(const LoadgenOptions &options, LoadgenResult *result,
         return false;
     }
 
+    // Pre-encode every mix entry once; the timed loops just replay
+    // bytes.
+    std::vector<std::string> frames;
+    frames.reserve(options.requests.size());
+    for (const RecommendRequest &request : options.requests)
+        frames.push_back(buildFrame(FrameType::Request,
+                                    encodeRecommendRequest(request)));
+
+    LoadgenResult merged;
+    const int warmup_count =
+        options.warmupRequests < 0
+            ? static_cast<int>(options.requests.size())
+            : options.warmupRequests;
+    runWarmup(options, frames, warmup_count, &merged);
+
     std::vector<ThreadResult> per_thread(
         static_cast<std::size_t>(options.connections));
     // Dedicated threads, not the shared pool: a connection blocks on
@@ -144,8 +304,8 @@ runLoadgen(const LoadgenOptions &options, LoadgenResult *result,
     threads.reserve(per_thread.size());
     const Clock::time_point start = Clock::now();
     for (std::size_t i = 0; i < per_thread.size(); ++i) {
-        threads.emplace_back([&options, i, &per_thread] {
-            runConnection(options, &per_thread[i]);
+        threads.emplace_back([&options, &frames, i, &per_thread] {
+            runConnection(options, frames, &per_thread[i]);
         });
     }
     for (std::thread &thread : threads)
@@ -153,7 +313,6 @@ runLoadgen(const LoadgenOptions &options, LoadgenResult *result,
     const double elapsed =
         std::chrono::duration<double>(Clock::now() - start).count();
 
-    LoadgenResult merged;
     bool any_connected = false;
     for (const ThreadResult &thread_result : per_thread) {
         any_connected = any_connected || thread_result.connected;

@@ -2,13 +2,27 @@
  * @file
  * Closed-loop load generator for ceerd.
  *
- * N connection threads replay a request mix round-robin. With a
- * target QPS each connection paces itself on an open-loop schedule
- * (send times fixed up front, so a slow server accumulates measurable
- * queueing delay instead of silently throttling the offered load);
- * with targetQps <= 0 every connection runs closed-loop as fast as
- * replies return. Latency is measured per request and reported as
- * p50/p90/p99/p999 over the merged sample set.
+ * A run has two phases. The WARM-UP phase (single connection,
+ * sequential) sends enough requests to compile every plan in the mix
+ * and fault in server-side caches; its latencies are reported
+ * separately (warmupRequests/warmupMeanUs/warmupMaxUs) and NEVER
+ * enter the percentile sample, so a 2-second run no longer shows a
+ * compile-dominated p50. The TIMED phase runs N connection threads
+ * replaying the request mix round-robin. With a target QPS each
+ * connection paces itself on an open-loop schedule (send times fixed
+ * up front, so a slow server accumulates measurable queueing delay
+ * instead of silently throttling the offered load); with
+ * targetQps <= 0 every connection runs closed-loop as fast as replies
+ * return.
+ *
+ * The timed phase is deliberately lean: frames are pre-encoded once
+ * per mix entry and replies are validated (header, checksum, type)
+ * without a full columnar decode, so on a host where the generator
+ * shares cores with the server the measurement overhead stays small.
+ *
+ * Latency is reported as p50/p90/p99/p999 over the merged sample set;
+ * use percentileResolvable() to know which of those a given sample
+ * size can actually support before publishing them.
  */
 
 #ifndef CEER_SERVE_LOADGEN_H
@@ -29,9 +43,17 @@ struct LoadgenOptions
     std::string host = "127.0.0.1"; ///< Server address.
     int port = 0;                   ///< Server port.
     int connections = 2;            ///< Concurrent connections.
-    double seconds = 2.0;           ///< Run duration.
+    double seconds = 2.0;           ///< Timed-phase duration.
     double targetQps = 0.0;         ///< Total offered QPS; <= 0 = max.
     int timeoutMs = 30000;          ///< Per-reply read timeout.
+
+    /**
+     * Warm-up requests before the timed phase: -1 sends one request
+     * per mix entry (enough to compile every distinct plan), 0
+     * disables the phase, any other value sends that many requests
+     * round-robin through the mix.
+     */
+    int warmupRequests = -1;
 
     /** Request mix, replayed round-robin. Must not be empty. */
     std::vector<RecommendRequest> requests;
@@ -40,12 +62,12 @@ struct LoadgenOptions
 /** Aggregated results of a load-generation run. */
 struct LoadgenResult
 {
-    std::int64_t sent = 0;            ///< Requests sent.
+    std::int64_t sent = 0;            ///< Timed-phase requests sent.
     std::int64_t succeeded = 0;       ///< Response frames received.
     std::int64_t overloaded = 0;      ///< Typed `overloaded` rejections.
     std::int64_t serverErrors = 0;    ///< Other typed Error replies.
     std::int64_t transportErrors = 0; ///< Connection-level failures.
-    double elapsedSeconds = 0.0;      ///< Wall-clock run time.
+    double elapsedSeconds = 0.0;      ///< Timed-phase wall clock.
     double achievedQps = 0.0;         ///< succeeded / elapsed.
 
     double p50Us = 0.0;  ///< Median latency.
@@ -55,7 +77,12 @@ struct LoadgenResult
     double meanUs = 0.0; ///< Mean latency.
     double maxUs = 0.0;  ///< Worst latency.
 
-    /** Every successful-request latency, sorted ascending. */
+    /** Warm-up phase, reported separately (never in the sample). */
+    std::int64_t warmupRequests = 0; ///< Warm-up replies received.
+    double warmupMeanUs = 0.0;       ///< Mean warm-up latency.
+    double warmupMaxUs = 0.0;        ///< Worst warm-up latency.
+
+    /** Every successful timed-phase latency, sorted ascending. */
     std::vector<double> latenciesUs;
 };
 
@@ -65,6 +92,15 @@ struct LoadgenResult
  */
 double latencyPercentile(const std::vector<double> &sorted_us,
                          double q);
+
+/**
+ * True when a sample of @p n observations can resolve quantile @p q:
+ * at least one observation must lie in the (1-q) tail, i.e.
+ * n * (1 - q) >= 1. With n = 76 the nearest-rank p99 and p999 both
+ * degenerate to the sample maximum; reporters use this to publish
+ * null instead of a number that merely repeats max.
+ */
+bool percentileResolvable(std::size_t n, double q);
 
 /**
  * Runs the load. False with @p error when the configuration is

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Process-wide sharded plan cache for ceerd.
+ *
+ * PR 8 cached compiled PredictPlans per session, so ten connections
+ * asking for vgg_19 compiled vgg_19 ten times and a reconnecting
+ * client always paid a cold start. This cache is shared across every
+ * session and reactor: keyed by the structural graph fingerprint,
+ * N-way sharded (one mutex per shard, shard chosen by fingerprint
+ * bits, so concurrent sessions rarely contend), LRU-capped, and
+ * engine-generation-aware — a hot reload does not flush anything
+ * eagerly, but an entry compiled under an older generation misses and
+ * is recompiled on next use, while in-flight requests keep the pinned
+ * entry they started with (shared_ptr keeps the old plan alive until
+ * its last request finishes).
+ *
+ * Concurrent requests for the same fingerprint compile exactly once:
+ * the first claims the slot and compiles OUTSIDE the shard lock, the
+ * rest wait on the shard's condition variable and share the result.
+ *
+ * Metrics: `serve.plan_cache.{hits,misses,evictions}` counters and a
+ * `serve.plan_cache.bytes` gauge (plan approxBytes accounting).
+ */
+
+#ifndef CEER_SERVE_PLAN_CACHE_H
+#define CEER_SERVE_PLAN_CACHE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/predict_plan.h"
+#include "core/recommender.h"
+#include "graph/graph.h"
+
+namespace ceer {
+namespace serve {
+
+/**
+ * One immutable cached compilation: the graph (the request path needs
+ * it for WorkloadSpec and the memory-fit check) plus the compiled
+ * plan, stamped with the engine generation that compiled it.
+ */
+struct PlanEntry
+{
+    std::uint64_t fingerprint = 0; ///< Structural graph fingerprint.
+    std::uint64_t generation = 0;  ///< Engine generation at compile.
+    std::shared_ptr<const graph::Graph> graph;
+    std::shared_ptr<const core::PredictPlan> plan;
+    /** Per-GPU memory-fit verdicts, computed once at compile — the
+     *  recommender's only O(nodes) per-query step otherwise. */
+    core::MemoryFitTable fits{};
+    std::size_t bytes = 0;         ///< approxBytes accounting.
+};
+
+/** Shared, sharded, LRU-capped fingerprint -> PlanEntry cache. */
+class PlanCache
+{
+  public:
+    /** Point-in-time counters (monotonic except bytes/entries). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t bytes = 0;
+        std::size_t entries = 0;
+    };
+
+    /** Builds @p compile's result when the cache misses. Must return a
+     *  fully-populated entry; may throw (the claim is rolled back and
+     *  waiters retry). */
+    using CompileFn = std::function<PlanEntry()>;
+
+    /**
+     * @param capacity Total entry cap across all shards (>= 1 per
+     *                 shard after rounding).
+     * @param shards   Shard count, rounded up to a power of two.
+     */
+    explicit PlanCache(std::size_t capacity = 256,
+                       std::size_t shards = 8);
+
+    /**
+     * Allocation-free hit path: returns the cached entry for
+     * @p fingerprint under @p generation, or null on a cold, stale or
+     * still-compiling slot (no waiting, no miss accounted — callers
+     * fall through to getOrCompile, which counts the miss and
+     * coordinates the compile). Thread-safe.
+     */
+    std::shared_ptr<const PlanEntry>
+    tryGet(std::uint64_t fingerprint, std::uint64_t generation);
+
+    /**
+     * Returns the entry for @p fingerprint compiled under
+     * @p generation, invoking @p compile on a miss (stale generation
+     * or absent). Hits pin the shared entry; a concurrent miss on the
+     * same fingerprint waits for the in-progress compile instead of
+     * duplicating it. Thread-safe.
+     */
+    std::shared_ptr<const PlanEntry>
+    getOrCompile(std::uint64_t fingerprint, std::uint64_t generation,
+                 const CompileFn &compile);
+
+    Stats stats() const;
+
+  private:
+    struct Slot
+    {
+        std::shared_ptr<const PlanEntry> entry; ///< Null while compiling.
+        bool compiling = false;
+        std::uint64_t lruTick = 0;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::condition_variable cv;
+        std::unordered_map<std::uint64_t, Slot> slots;
+        std::uint64_t tick = 0;
+    };
+
+    Shard &shardFor(std::uint64_t fingerprint);
+    /** Evicts least-recently-used non-compiling slots while the shard
+     *  is over its cap. Caller holds the shard lock. */
+    void evictOver(Shard &shard);
+    void publishBytesGauge() const;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::size_t shardMask_ = 0;
+    std::size_t perShardCapacity_ = 1;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::size_t> bytes_{0};
+};
+
+} // namespace serve
+} // namespace ceer
+
+#endif // CEER_SERVE_PLAN_CACHE_H

@@ -191,16 +191,26 @@ decodeFrameHeader(const char *data, FrameHeader *out,
     return true;
 }
 
-std::string
-buildFrame(FrameType type, const std::string &payload)
+void
+buildFrameInto(FrameType type, const std::string &payload,
+               std::string *out)
 {
     FrameHeader header;
     header.type = type;
     header.payloadBytes = static_cast<std::uint32_t>(payload.size());
     header.checksum = io::xxhash64(payload.data(), payload.size());
-    std::string frame(kFrameHeaderBytes, '\0');
-    encodeFrameHeader(header, frame.data());
-    frame += payload;
+    out->clear();
+    out->reserve(kFrameHeaderBytes + payload.size());
+    out->resize(kFrameHeaderBytes);
+    encodeFrameHeader(header, out->data());
+    out->append(payload);
+}
+
+std::string
+buildFrame(FrameType type, const std::string &payload)
+{
+    std::string frame;
+    buildFrameInto(type, payload, &frame);
     return frame;
 }
 
@@ -222,13 +232,19 @@ encodeRecommendRequest(const RecommendRequest &request)
 }
 
 bool
-decodeRecommendRequest(const std::string &payload,
-                       RecommendRequest *out, std::string *error)
+decodeRecommendRequestView(const char *payload, std::size_t size,
+                           io::CbfFile *scratch, RecommendRequest *out,
+                           std::string *error)
 {
-    io::CbfFile file;
-    if (!parsePayload(payload, "recommend request", &file, error))
+    std::string parse_error;
+    if (!io::CbfFile::tryParseView(payload, size, scratch,
+                                   &parse_error)) {
+        if (error)
+            *error = "recommend request: " + parse_error;
         return false;
-    RecommendRequest request;
+    }
+    const io::CbfFile &file = *scratch;
+    RecommendRequest &request = *out;
     if (!readBytes(file, "model", &request.model, error) ||
         !readScalarI64(file, "batch", &request.batch, error) ||
         !readScalarI64(file, "samples", &request.datasetSamples,
@@ -258,46 +274,96 @@ decodeRecommendRequest(const std::string &payload,
                      request.objective + "'";
         return false;
     }
+    return true;
+}
+
+bool
+decodeRecommendRequest(const std::string &payload,
+                       RecommendRequest *out, std::string *error)
+{
+    io::CbfFile file;
+    RecommendRequest request;
+    if (!decodeRecommendRequestView(payload.data(), payload.size(),
+                                    &file, &request, error))
+        return false;
     *out = std::move(request);
     return true;
+}
+
+void
+responseFromRecommendationInto(
+    const core::Recommendation &recommendation, RecommendResponse *out)
+{
+    out->bestIndex = recommendation.bestIndex;
+    const std::size_t n = recommendation.evaluations.size();
+    out->instances.resize(n);
+    out->hourlyUsd.resize(n);
+    out->hours.resize(n);
+    out->costUsd.resize(n);
+    out->iterationUs.resize(n);
+    out->feasible.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const core::CandidateEvaluation &evaluation =
+            recommendation.evaluations[i];
+        out->instances[i] = evaluation.instance.name;
+        out->hourlyUsd[i] = evaluation.instance.hourlyUsd;
+        out->hours[i] = evaluation.prediction.hours;
+        out->costUsd[i] = evaluation.costUsd;
+        out->iterationUs[i] = evaluation.prediction.iterationUs;
+        out->feasible[i] = evaluation.feasible() ? 1 : 0;
+    }
 }
 
 RecommendResponse
 responseFromRecommendation(const core::Recommendation &recommendation)
 {
     RecommendResponse response;
-    response.bestIndex = recommendation.bestIndex;
-    const std::size_t n = recommendation.evaluations.size();
-    response.instances.reserve(n);
-    response.hourlyUsd.reserve(n);
-    response.hours.reserve(n);
-    response.costUsd.reserve(n);
-    response.iterationUs.reserve(n);
-    response.feasible.reserve(n);
-    for (const core::CandidateEvaluation &evaluation :
-         recommendation.evaluations) {
-        response.instances.push_back(evaluation.instance.name);
-        response.hourlyUsd.push_back(evaluation.instance.hourlyUsd);
-        response.hours.push_back(evaluation.prediction.hours);
-        response.costUsd.push_back(evaluation.costUsd);
-        response.iterationUs.push_back(evaluation.prediction.iterationUs);
-        response.feasible.push_back(evaluation.feasible() ? 1 : 0);
-    }
+    responseFromRecommendationInto(recommendation, &response);
     return response;
+}
+
+void
+encodeRecommendResponseInto(const RecommendResponse &response,
+                            ResponseEncodeScratch *scratch,
+                            std::string *payload)
+{
+    io::CbfBuilder &builder = scratch->builder;
+    builder.clear();
+    builder.addI64("best_index", &response.bestIndex, 1);
+    // The "instance" string column, laid out exactly as
+    // io::addStringColumn does but through reusable scratch buffers.
+    std::string &blob = scratch->blob;
+    std::vector<std::uint64_t> &offsets = scratch->offsets;
+    blob.clear();
+    offsets.clear();
+    offsets.reserve(response.instances.size() + 1);
+    offsets.push_back(0);
+    for (const std::string &name : response.instances) {
+        blob += name;
+        offsets.push_back(blob.size());
+    }
+    builder.addBytes("instance", blob);
+    builder.addU64("instance.off", offsets.data(), offsets.size());
+    builder.addF64("hourly_usd", response.hourlyUsd.data(),
+                   response.hourlyUsd.size());
+    builder.addF64("hours", response.hours.data(),
+                   response.hours.size());
+    builder.addF64("cost_usd", response.costUsd.data(),
+                   response.costUsd.size());
+    builder.addF64("iteration_us", response.iterationUs.data(),
+                   response.iterationUs.size());
+    builder.addU8("feasible", response.feasible.data(),
+                  response.feasible.size());
+    builder.buildInto(payload);
 }
 
 std::string
 encodeRecommendResponse(const RecommendResponse &response)
 {
-    io::CbfBuilder builder;
-    builder.addI64("best_index", {response.bestIndex});
-    io::addStringColumn(&builder, "instance", response.instances);
-    builder.addF64("hourly_usd", response.hourlyUsd);
-    builder.addF64("hours", response.hours);
-    builder.addF64("cost_usd", response.costUsd);
-    builder.addF64("iteration_us", response.iterationUs);
-    builder.addU8("feasible", response.feasible);
-    return builder.build();
+    ResponseEncodeScratch scratch;
+    std::string payload;
+    encodeRecommendResponseInto(response, &scratch, &payload);
+    return payload;
 }
 
 bool

@@ -38,6 +38,7 @@
 
 #include "core/recommender.h"
 #include "graph/graph.h"
+#include "io/cbf.h"
 
 namespace ceer {
 namespace serve {
@@ -104,6 +105,13 @@ bool decodeFrameHeader(const char *data, FrameHeader *out,
 /** Builds a complete frame (header + payload) ready to send. */
 std::string buildFrame(FrameType type, const std::string &payload);
 
+/**
+ * Builds a complete frame into @p out (cleared first), reusing its
+ * capacity. Byte-identical to buildFrame().
+ */
+void buildFrameInto(FrameType type, const std::string &payload,
+                    std::string *out);
+
 /** One recommendation query. */
 struct RecommendRequest
 {
@@ -130,6 +138,19 @@ bool decodeRecommendRequest(const std::string &payload,
                             RecommendRequest *out, std::string *error);
 
 /**
+ * Zero-copy variant of decodeRecommendRequest: parses @p size bytes
+ * at @p payload in place (no payload copy) through @p scratch, whose
+ * column table is reused across calls, and assigns into @p out's
+ * existing storage. On a warm (scratch, out) pair decoding allocates
+ * nothing — this is ceerd's request path. Unlike the string overload,
+ * @p out may be partially written on failure.
+ */
+bool decodeRecommendRequestView(const char *payload, std::size_t size,
+                                io::CbfFile *scratch,
+                                RecommendRequest *out,
+                                std::string *error);
+
+/**
  * One recommendation reply: the full candidate sweep in columnar
  * form plus the winner index. A pure function of (request, model,
  * catalog) — deliberately no timestamps or server identity, so a
@@ -150,8 +171,34 @@ struct RecommendResponse
 RecommendResponse
 responseFromRecommendation(const core::Recommendation &recommendation);
 
+/**
+ * Out-parameter variant of responseFromRecommendation: overwrites
+ * @p out element-wise, reusing vector and string capacity. A warm
+ * @p out makes the projection allocation-free.
+ */
+void
+responseFromRecommendationInto(const core::Recommendation &recommendation,
+                               RecommendResponse *out);
+
 /** Serializes a response as a CBF payload. */
 std::string encodeRecommendResponse(const RecommendResponse &response);
+
+/** Reusable state for encodeRecommendResponseInto. */
+struct ResponseEncodeScratch
+{
+    io::CbfBuilder builder;
+    std::string blob;                   ///< Concatenated instance names.
+    std::vector<std::uint64_t> offsets; ///< String-column offsets.
+};
+
+/**
+ * Serializes a response into @p payload through @p scratch.
+ * Byte-identical to encodeRecommendResponse(); allocation-free once
+ * both are warm.
+ */
+void encodeRecommendResponseInto(const RecommendResponse &response,
+                                 ResponseEncodeScratch *scratch,
+                                 std::string *payload);
 
 /** Parses a Response payload; @p out untouched on failure. */
 bool decodeRecommendResponse(const std::string &payload,

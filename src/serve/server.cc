@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <poll.h>
 #include <set>
@@ -58,6 +59,16 @@ sendTypedError(int fd, const std::string &code,
     OBS_COUNTER_INC("serve.rejected");
 }
 
+/** Appends the decimal rendering of @p value without allocating. */
+void
+appendDecimal(std::string *out, long long value)
+{
+    char buf[32];
+    const int len = std::snprintf(buf, sizeof buf, "%lld", value);
+    if (len > 0)
+        out->append(buf, static_cast<std::size_t>(len));
+}
+
 } // namespace
 
 Server::Session::~Session() { closeFd(fd); }
@@ -66,7 +77,9 @@ Server::Server(core::CeerModel model, cloud::InstanceCatalog catalog,
                ServerOptions options)
     : options_(std::move(options)),
       candidates_(catalog.instances()),
-      engine_(std::make_shared<const Engine>(std::move(model), 1))
+      engine_(std::make_shared<const Engine>(std::move(model), 1)),
+      planCache_(options_.planCacheCapacity, options_.planCacheShards),
+      inlineExecute_(options_.sweepThreads == 1)
 {
 }
 
@@ -93,44 +106,99 @@ Server::tryStart(std::string *error)
             *error = "server already started";
         return false;
     }
-    int pipe_fds[2];
-    if (::pipe(pipe_fds) != 0) {
-        if (error)
-            *error = "pipe: " + std::string(std::strerror(errno));
-        return false;
+    const int reactor_count =
+        options_.reactors < 1 ? 1 : options_.reactors;
+    reactors_.clear();
+    for (int i = 0; i < reactor_count; ++i) {
+        reactors_.push_back(std::make_unique<Reactor>());
+        reactors_.back()->index = static_cast<std::size_t>(i);
     }
-    wakeRead_ = pipe_fds[0];
-    wakeWrite_ = pipe_fds[1];
+    const auto cleanup = [this] {
+        for (auto &reactor : reactors_) {
+            closeFd(reactor->listenFd);
+            closeFd(reactor->wakeRead);
+            closeFd(reactor->wakeWrite);
+        }
+        reactors_.clear();
+    };
+
     std::string nb_error;
-    if (!setNonBlocking(wakeRead_, &nb_error) ||
-        !setNonBlocking(wakeWrite_, &nb_error)) {
-        closeFd(wakeRead_);
-        closeFd(wakeWrite_);
-        wakeRead_ = wakeWrite_ = -1;
-        if (error)
-            *error = nb_error;
-        return false;
+    for (auto &reactor : reactors_) {
+        int pipe_fds[2];
+        if (::pipe(pipe_fds) != 0) {
+            if (error)
+                *error = "pipe: " + std::string(std::strerror(errno));
+            cleanup();
+            return false;
+        }
+        reactor->wakeRead = pipe_fds[0];
+        reactor->wakeWrite = pipe_fds[1];
+        if (!setNonBlocking(reactor->wakeRead, &nb_error) ||
+            !setNonBlocking(reactor->wakeWrite, &nb_error)) {
+            if (error)
+                *error = nb_error;
+            cleanup();
+            return false;
+        }
     }
-    listenFd_ = listenTcp(options_.host, options_.port,
-                          options_.backlog, &port_, error);
-    if (listenFd_ < 0) {
-        closeFd(wakeRead_);
-        closeFd(wakeWrite_);
-        wakeRead_ = wakeWrite_ = -1;
-        return false;
+
+    // Accept sharding: one SO_REUSEPORT listener per reactor, the
+    // kernel spreads connections. If any bind fails (no SO_REUSEPORT,
+    // exotic kernel), fall back to a single listener on reactor 0
+    // that distributes accepted fds round-robin.
+    singleListener_ = true;
+    if (reactor_count > 1 && options_.reusePort) {
+        bool all_bound = true;
+        std::string rp_error;
+        for (int i = 0; i < reactor_count; ++i) {
+            const int bind_port = i == 0 ? options_.port : port_;
+            const int fd =
+                listenTcp(options_.host, bind_port, options_.backlog,
+                          &port_, &rp_error, /*reuse_port=*/true);
+            if (fd < 0) {
+                all_bound = false;
+                break;
+            }
+            if (!setNonBlocking(fd, &rp_error)) {
+                closeFd(fd);
+                all_bound = false;
+                break;
+            }
+            reactors_[static_cast<std::size_t>(i)]->listenFd = fd;
+        }
+        if (all_bound) {
+            singleListener_ = false;
+        } else {
+            for (auto &reactor : reactors_) {
+                closeFd(reactor->listenFd);
+                reactor->listenFd = -1;
+            }
+        }
     }
-    if (!setNonBlocking(listenFd_, &nb_error)) {
-        closeFd(listenFd_);
-        closeFd(wakeRead_);
-        closeFd(wakeWrite_);
-        listenFd_ = wakeRead_ = wakeWrite_ = -1;
-        if (error)
-            *error = nb_error;
-        return false;
+    if (singleListener_) {
+        const int fd =
+            listenTcp(options_.host, options_.port, options_.backlog,
+                      &port_, error);
+        if (fd < 0) {
+            cleanup();
+            return false;
+        }
+        if (!setNonBlocking(fd, &nb_error)) {
+            closeFd(fd);
+            if (error)
+                *error = nb_error;
+            cleanup();
+            return false;
+        }
+        reactors_[0]->listenFd = fd;
     }
+
     started_ = true;
     stopping_ = false;
-    reactor_ = std::thread([this] { reactorLoop(); });
+    for (auto &reactor : reactors_) {
+        Reactor *r = reactor.get();
+        r->thread = std::thread([this, r] { reactorLoop(*r); });
+    }
     return true;
 }
 
@@ -140,20 +208,25 @@ Server::stop()
     if (!started_)
         return;
     stopping_ = true;
-    wake();
-    if (reactor_.joinable())
-        reactor_.join();
+    for (auto &reactor : reactors_)
+        wake(*reactor);
+    for (auto &reactor : reactors_)
+        if (reactor->thread.joinable())
+            reactor->thread.join();
     {
-        // Admitted requests finish on the pool; their sessions stay
-        // alive through the workers' shared_ptrs even though the
-        // reactor dropped the session map on exit.
+        // Pool-mode requests finish on the shared pool; their
+        // sessions stay alive through the workers' shared_ptrs even
+        // though the reactors dropped their session maps on exit.
+        // (Inline requests completed before their reactor joined.)
         std::unique_lock<std::mutex> lock(drainMutex_);
         drainCv_.wait(lock, [this] { return activeTasks_ == 0; });
     }
-    closeFd(listenFd_);
-    closeFd(wakeRead_);
-    closeFd(wakeWrite_);
-    listenFd_ = wakeRead_ = wakeWrite_ = -1;
+    for (auto &reactor : reactors_) {
+        closeFd(reactor->listenFd);
+        closeFd(reactor->wakeRead);
+        closeFd(reactor->wakeWrite);
+    }
+    reactors_.clear();
     started_ = false;
 }
 
@@ -173,12 +246,12 @@ Server::tryReload(const std::string &model_path, std::string *error)
 }
 
 void
-Server::wake()
+Server::wake(Reactor &reactor)
 {
-    if (wakeWrite_ < 0)
+    if (reactor.wakeWrite < 0)
         return;
     const char byte = 1;
-    while (::write(wakeWrite_, &byte, 1) < 0) {
+    while (::write(reactor.wakeWrite, &byte, 1) < 0) {
         if (errno == EINTR)
             continue;
         // EAGAIN: the pipe already holds unread wake bytes, which is
@@ -188,75 +261,108 @@ Server::wake()
 }
 
 void
-Server::reactorLoop()
+Server::adoptSession(Reactor &reactor, int fd)
 {
+    std::string nb_error;
+    if (!setNonBlocking(fd, &nb_error)) {
+        closeFd(fd);
+        return;
+    }
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    session->reactorIndex = reactor.index;
+    session->lastActivity = std::chrono::steady_clock::now();
+    session->id =
+        nextSessionId_.fetch_add(1, std::memory_order_relaxed);
+    reactor.sessions.emplace(session->id, std::move(session));
+    OBS_COUNTER_INC("serve.connections");
+}
+
+void
+Server::reactorLoop(Reactor &reactor)
+{
+    // Everything below is hoisted so a steady-state iteration reuses
+    // capacity instead of allocating.
+    std::vector<std::pair<std::uint64_t, bool>> rearm;
+    std::vector<int> inbox;
     std::vector<std::shared_ptr<Session>> pending;
+    std::vector<pollfd> fds;
+    std::vector<std::shared_ptr<Session>> polled;
     while (true) {
-        // Re-arm sessions whose worker finished since the last pass.
+        // Re-arm sessions whose worker finished since the last pass
+        // (pool mode) and adopt fds handed over by reactor 0
+        // (single-listener mode).
+        rearm.clear();
+        inbox.clear();
         pending.clear();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
-            for (const auto &[id, close] : rearm_) {
-                auto it = sessions_.find(id);
-                if (it == sessions_.end())
-                    continue;
-                if (close) {
-                    sessions_.erase(it);
-                    continue;
-                }
-                it->second->inFlight = false;
-                it->second->lastActivity =
-                    std::chrono::steady_clock::now();
-                if (!it->second->inBuf.empty())
-                    pending.push_back(it->second);
-            }
-            rearm_.clear();
+            std::lock_guard<std::mutex> lock(reactor.mutex);
+            rearm.swap(reactor.rearm);
+            inbox.swap(reactor.inbox);
         }
+        for (const auto &[id, close] : rearm) {
+            auto it = reactor.sessions.find(id);
+            if (it == reactor.sessions.end())
+                continue;
+            Session &session = *it->second;
+            if (close) {
+                reactor.sessions.erase(it);
+                continue;
+            }
+            // The worker decoded the frame in place; drop it now that
+            // the session is back under reactor control.
+            if (session.pendingEraseBytes > 0) {
+                session.inBuf.erase(0, session.pendingEraseBytes);
+                session.pendingEraseBytes = 0;
+            }
+            session.inFlight = false;
+            session.lastActivity = std::chrono::steady_clock::now();
+            if (!session.inBuf.empty())
+                pending.push_back(it->second);
+        }
+        for (const int fd : inbox)
+            adoptSession(reactor, fd);
         // A client that pipelined its next request before the reply
         // already has it buffered; parse it now rather than waiting
         // for more socket data.
         for (const auto &session : pending) {
-            if (!processSession(session)) {
-                std::lock_guard<std::mutex> lock(mutex_);
-                sessions_.erase(session->id);
-            }
+            if (!processSession(reactor, session))
+                reactor.sessions.erase(session->id);
         }
         if (stopping_.load())
             break;
 
-        std::vector<pollfd> fds;
-        std::vector<std::shared_ptr<Session>> polled;
-        fds.push_back(pollfd{wakeRead_, POLLIN, 0});
-        fds.push_back(pollfd{listenFd_, POLLIN, 0});
+        fds.clear();
+        polled.clear();
+        fds.push_back(pollfd{reactor.wakeRead, POLLIN, 0});
+        if (reactor.listenFd >= 0)
+            fds.push_back(pollfd{reactor.listenFd, POLLIN, 0});
+        const std::size_t fixed = fds.size();
         int timeout_ms = -1;
         const auto now = std::chrono::steady_clock::now();
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            for (const auto &[id, session] : sessions_) {
-                if (session->inFlight)
-                    continue;
-                fds.push_back(pollfd{session->fd, POLLIN, 0});
-                polled.push_back(session);
-                if (options_.readTimeoutMs > 0 &&
-                    !session->inBuf.empty()) {
-                    const auto deadline =
-                        session->lastActivity +
-                        std::chrono::milliseconds(
-                            options_.readTimeoutMs);
-                    const auto remaining =
-                        std::chrono::duration_cast<
-                            std::chrono::milliseconds>(deadline - now)
-                            .count();
-                    const int clamped =
-                        remaining < 0 ? 0
-                                      : static_cast<int>(remaining) + 1;
-                    if (timeout_ms < 0 || clamped < timeout_ms)
-                        timeout_ms = clamped;
-                }
+        for (const auto &[id, session] : reactor.sessions) {
+            if (session->inFlight)
+                continue;
+            fds.push_back(pollfd{session->fd, POLLIN, 0});
+            polled.push_back(session);
+            if (options_.readTimeoutMs > 0 &&
+                !session->inBuf.empty()) {
+                const auto deadline =
+                    session->lastActivity +
+                    std::chrono::milliseconds(options_.readTimeoutMs);
+                const auto remaining =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(deadline - now)
+                        .count();
+                const int clamped =
+                    remaining < 0 ? 0
+                                  : static_cast<int>(remaining) + 1;
+                if (timeout_ms < 0 || clamped < timeout_ms)
+                    timeout_ms = clamped;
             }
         }
 
-        int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+        const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
         if (ready < 0) {
             if (errno == EINTR)
                 continue;
@@ -266,42 +372,46 @@ Server::reactorLoop()
 
         if (fds[0].revents & POLLIN) {
             char drain[64];
-            while (::read(wakeRead_, drain, sizeof drain) > 0) {
+            while (::read(reactor.wakeRead, drain, sizeof drain) > 0) {
             }
         }
 
-        if (fds[1].revents & POLLIN) {
+        if (reactor.listenFd >= 0 && (fds[1].revents & POLLIN)) {
             while (true) {
                 bool again = false;
                 std::string accept_error;
-                const int fd =
-                    acceptRetry(listenFd_, &again, &accept_error);
+                const int fd = acceptRetry(reactor.listenFd, &again,
+                                           &accept_error);
                 if (fd < 0)
                     break;
-                std::string nb_error;
-                if (!setNonBlocking(fd, &nb_error)) {
-                    closeFd(fd);
-                    continue;
+                if (singleListener_ && reactors_.size() > 1) {
+                    // Reactor 0 owns the only listener: spread
+                    // accepted connections round-robin.
+                    const std::size_t target =
+                        nextReactorRR_++ % reactors_.size();
+                    if (target != reactor.index) {
+                        Reactor &peer = *reactors_[target];
+                        {
+                            std::lock_guard<std::mutex> lock(
+                                peer.mutex);
+                            peer.inbox.push_back(fd);
+                        }
+                        wake(peer);
+                        continue;
+                    }
                 }
-                auto session = std::make_shared<Session>();
-                session->fd = fd;
-                session->lastActivity =
-                    std::chrono::steady_clock::now();
-                std::lock_guard<std::mutex> lock(mutex_);
-                session->id = nextSessionId_++;
-                sessions_.emplace(session->id, session);
-                OBS_COUNTER_INC("serve.connections");
+                adoptSession(reactor, fd);
             }
         }
 
         for (std::size_t i = 0; i < polled.size(); ++i) {
-            const pollfd &entry = fds[i + 2];
+            const pollfd &entry = fds[fixed + i];
             const std::shared_ptr<Session> &session = polled[i];
             if (session->inFlight)
                 continue; // Admitted by the pipelined-parse pass.
             bool keep = true;
             if (entry.revents & (POLLIN | POLLHUP | POLLERR))
-                keep = readSession(session);
+                keep = readSession(reactor, session);
             if (keep && options_.readTimeoutMs > 0 &&
                 !session->inBuf.empty() && !session->inFlight) {
                 const auto stalled =
@@ -315,22 +425,28 @@ Server::reactorLoop()
                     keep = false;
                 }
             }
-            if (!keep) {
-                std::lock_guard<std::mutex> lock(mutex_);
-                sessions_.erase(session->id);
-            }
+            if (!keep)
+                reactor.sessions.erase(session->id);
         }
     }
 
-    // Shutdown: drop every session the reactor still owns. Idle
+    // Shutdown: drop every session this reactor owns. Idle
     // connections close here (their destructor closes the fd);
-    // in-flight ones live on until their worker replies.
-    std::lock_guard<std::mutex> lock(mutex_);
-    sessions_.clear();
+    // pool-mode in-flight ones live on until their worker replies.
+    reactor.sessions.clear();
+    // Close any handed-over fds that never became sessions.
+    inbox.clear();
+    {
+        std::lock_guard<std::mutex> lock(reactor.mutex);
+        inbox.swap(reactor.inbox);
+    }
+    for (const int fd : inbox)
+        closeFd(fd);
 }
 
 bool
-Server::readSession(const std::shared_ptr<Session> &session)
+Server::readSession(Reactor &reactor,
+                    const std::shared_ptr<Session> &session)
 {
     char chunk[65536];
     bool got_data = false;
@@ -351,11 +467,12 @@ Server::readSession(const std::shared_ptr<Session> &session)
     }
     if (got_data)
         session->lastActivity = std::chrono::steady_clock::now();
-    return processSession(session);
+    return processSession(reactor, session);
 }
 
 bool
-Server::processSession(const std::shared_ptr<Session> &session)
+Server::processSession(Reactor &reactor,
+                       const std::shared_ptr<Session> &session)
 {
     while (session->inBuf.size() >= kFrameHeaderBytes) {
         FrameHeader header;
@@ -380,11 +497,12 @@ Server::processSession(const std::shared_ptr<Session> &session)
             kFrameHeaderBytes + header.payloadBytes;
         if (session->inBuf.size() < frame_bytes)
             return true; // Wait for the rest of the frame.
-        std::string payload =
-            session->inBuf.substr(kFrameHeaderBytes,
-                                  header.payloadBytes);
-        session->inBuf.erase(0, frame_bytes);
-        if (io::xxhash64(payload.data(), payload.size()) !=
+        // The payload is decoded IN PLACE from the input buffer (it
+        // sits at offset 24, which keeps CBF's 8-byte alignment); the
+        // frame is erased only after it has been fully handled.
+        const char *payload =
+            session->inBuf.data() + kFrameHeaderBytes;
+        if (io::xxhash64(payload, header.payloadBytes) !=
             header.checksum) {
             sendTypedError(session->fd, errc::kChecksumMismatch,
                            "payload checksum mismatch");
@@ -392,11 +510,15 @@ Server::processSession(const std::shared_ptr<Session> &session)
         }
         switch (header.type) {
           case FrameType::Ping: {
-            const std::string pong = buildFrame(FrameType::Pong, "");
+            // One process-wide allocation, ever: the pong frame is a
+            // constant.
+            static const std::string pong =
+                buildFrame(FrameType::Pong, "");
             std::string send_error;
             if (!sendAll(session->fd, pong.data(), pong.size(),
                          &send_error))
                 return false;
+            session->inBuf.erase(0, frame_bytes);
             continue;
           }
           case FrameType::Request:
@@ -415,18 +537,39 @@ Server::processSession(const std::shared_ptr<Session> &session)
                 inFlight_.fetch_add(1, std::memory_order_relaxed) + 1;
             OBS_GAUGE_SET("serve.queue_depth",
                           static_cast<double>(depth));
+            if (inlineExecute_) {
+                // Inline mode: run the request right here on the
+                // reactor thread — no handoff, no task allocation.
+                const bool ok = dispatch(*session, header.type,
+                                         payload,
+                                         header.payloadBytes);
+                const std::size_t after =
+                    inFlight_.fetch_sub(1, std::memory_order_relaxed) -
+                    1;
+                OBS_GAUGE_SET("serve.queue_depth",
+                              static_cast<double>(after));
+                if (!ok)
+                    return false;
+                session->inBuf.erase(0, frame_bytes);
+                session->lastActivity =
+                    std::chrono::steady_clock::now();
+                continue;
+            }
+            // Pool mode: park the frame at the front of inBuf (the
+            // worker decodes it in place) and hand the session to the
+            // shared pool; the reactor stops polling it until the
+            // worker re-arms it.
             session->inFlight = true;
+            session->pendingType = header.type;
+            session->pendingPayloadBytes = header.payloadBytes;
+            session->pendingEraseBytes = frame_bytes;
             {
                 std::lock_guard<std::mutex> lock(drainMutex_);
                 ++activeTasks_;
             }
-            const FrameType type = header.type;
-            std::shared_ptr<Session> owned = session;
             util::ThreadPool::shared().submit(
-                [this, owned = std::move(owned), type,
-                 payload = std::move(payload)]() mutable {
-                    execute(std::move(owned), type,
-                            std::move(payload));
+                [this, owned = session]() mutable {
+                    execute(std::move(owned));
                 });
             return true; // Not polled again until the worker re-arms.
           }
@@ -441,31 +584,46 @@ Server::processSession(const std::shared_ptr<Session> &session)
     return true;
 }
 
-void
-Server::execute(std::shared_ptr<Session> session, FrameType type,
-                std::string payload)
+bool
+Server::dispatch(Session &session, FrameType type, const char *payload,
+                 std::size_t size)
 {
-    bool close = false;
-    {
-        obs::ScopedSpan span(
-            util::format("serve.session.%llu",
-                         static_cast<unsigned long long>(session->id)),
-            "serve");
-        OBS_TIMER("serve.request_us");
-        if (type == FrameType::Request)
-            close = !handleRequest(*session, payload);
-        else
-            close = !handleReload(*session, payload);
-    }
-    finishTask(session, close);
+    // The span name is only materialized when tracing is on; the
+    // request path must not allocate otherwise.
+    obs::ScopedSpan span(
+        obs::enabled()
+            ? util::format("serve.session.%llu",
+                           static_cast<unsigned long long>(session.id))
+            : std::string(),
+        "serve");
+    OBS_TIMER("serve.request_us");
+    return type == FrameType::Request
+               ? handleRequest(session, payload, size)
+               : handleReload(session, payload, size);
+}
+
+void
+Server::execute(std::shared_ptr<Session> session)
+{
+    const char *payload =
+        session->inBuf.data() + kFrameHeaderBytes;
+    const bool ok = dispatch(*session, session->pendingType, payload,
+                             session->pendingPayloadBytes);
+    const std::size_t depth =
+        inFlight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    OBS_GAUGE_SET("serve.queue_depth", static_cast<double>(depth));
+    finishTask(session, !ok);
 }
 
 bool
-Server::handleRequest(Session &session, const std::string &payload)
+Server::handleRequest(Session &session, const char *payload,
+                      std::size_t size)
 {
-    RecommendRequest request;
+    RecommendRequest &request = session.requestScratch;
     std::string error;
-    if (!decodeRecommendRequest(payload, &request, &error)) {
+    if (!decodeRecommendRequestView(payload, size,
+                                    &session.requestFile, &request,
+                                    &error)) {
         sendTypedError(session.fd, errc::kBadRequest, error);
         return false;
     }
@@ -489,60 +647,83 @@ Server::handleRequest(Session &session, const std::string &payload)
 
     const std::shared_ptr<const Engine> engine = currentEngine();
 
-    // Per-session plan cache, keyed by graph fingerprint. The
-    // model:batch memo avoids rebuilding the graph just to hash it.
-    const std::string request_key =
-        request.model + ":" + std::to_string(request.batch);
-    CachedPlan *cached = nullptr;
-    auto key_it = session.requestKeys.find(request_key);
+    // model:batch -> fingerprint memo, so the warm path never
+    // rebuilds a graph just to hash it.
+    std::string &key = session.keyScratch;
+    key.clear();
+    key.append(request.model);
+    key.push_back(':');
+    appendDecimal(&key, static_cast<long long>(request.batch));
+    std::uint64_t fingerprint = 0;
+    bool have_fingerprint = false;
+    const auto key_it = session.requestKeys.find(key);
     if (key_it != session.requestKeys.end()) {
-        auto plan_it = session.plans.find(key_it->second);
-        if (plan_it != session.plans.end())
-            cached = &plan_it->second;
+        fingerprint = key_it->second;
+        have_fingerprint = true;
     }
-    if (cached == nullptr) {
-        auto graph = std::make_shared<const graph::Graph>(
+    std::shared_ptr<const graph::Graph> graph;
+    if (!have_fingerprint) {
+        graph = std::make_shared<const graph::Graph>(
             models::buildModel(request.model, request.batch));
-        const std::uint64_t fingerprint = graphFingerprint(*graph);
-        session.requestKeys[request_key] = fingerprint;
-        CachedPlan entry;
-        entry.graph = std::move(graph);
-        cached =
-            &session.plans.emplace(fingerprint, std::move(entry))
-                 .first->second;
+        fingerprint = graphFingerprint(*graph);
+        session.requestKeys.emplace(key, fingerprint);
     }
-    if (!cached->plan || cached->generation != engine->generation) {
-        // Stale or missing: (re)compile against the serving engine.
-        // Entries from before a hot reload die here lazily.
-        OBS_TIMER("serve.compile_us");
-        OBS_COUNTER_INC("serve.plan_compiles");
-        auto plan = std::make_shared<const core::PredictPlan>(
-            engine->predictor.compile(*cached->graph));
-        // Coalesced warm-up: evaluate every distinct (GPU, k) cell of
-        // the catalog through one predictBatch call, so the sweep
-        // below (and every queued request sharing this plan) hits
-        // only the memo.
-        std::vector<core::PredictRequest> warm;
-        for (const cloud::GpuInstance &instance : candidates_) {
-            bool seen = false;
-            for (const core::PredictRequest &w : warm) {
-                if (w.gpu == instance.gpu &&
-                    w.numGpus == instance.numGpus) {
-                    seen = true;
-                    break;
+
+    // Process-wide shared plan cache: identical graphs compile once
+    // no matter how many connections ask for them, and the entry is
+    // pinned for the duration of this request even if a hot reload
+    // lands mid-flight. tryGet is the allocation-free hit path;
+    // getOrCompile coordinates the (cold) compile across sessions.
+    std::shared_ptr<const PlanEntry> entry =
+        planCache_.tryGet(fingerprint, engine->generation);
+    if (!entry) {
+        entry = planCache_.getOrCompile(
+            fingerprint, engine->generation, [&]() {
+                PlanEntry fresh;
+                fresh.fingerprint = fingerprint;
+                fresh.generation = engine->generation;
+                fresh.graph =
+                    graph ? graph
+                          : std::make_shared<const graph::Graph>(
+                                models::buildModel(request.model,
+                                                   request.batch));
+                OBS_TIMER("serve.compile_us");
+                OBS_COUNTER_INC("serve.plan_compiles");
+                auto plan =
+                    std::make_shared<const core::PredictPlan>(
+                        engine->predictor.compile(*fresh.graph));
+                // Coalesced warm-up: evaluate every distinct (GPU, k)
+                // cell of the catalog through one predictBatch call,
+                // so the sweep below (and every request sharing this
+                // plan) hits only the memo.
+                std::vector<core::PredictRequest> warm;
+                for (const cloud::GpuInstance &instance :
+                     candidates_) {
+                    bool seen = false;
+                    for (const core::PredictRequest &w : warm) {
+                        if (w.gpu == instance.gpu &&
+                            w.numGpus == instance.numGpus) {
+                            seen = true;
+                            break;
+                        }
+                    }
+                    if (!seen)
+                        warm.push_back(core::PredictRequest{
+                            instance.gpu, instance.numGpus});
                 }
-            }
-            if (!seen)
-                warm.push_back(core::PredictRequest{
-                    instance.gpu, instance.numGpus});
-        }
-        engine->predictor.predictBatch(*plan, warm);
-        cached->plan = std::move(plan);
-        cached->generation = engine->generation;
+                engine->predictor.predictBatch(*plan, warm);
+                // The memory-fit walk is the recommender's only
+                // O(nodes) per-query step; bake the verdicts into the
+                // entry so warm sweeps skip it.
+                fresh.fits = core::computeMemoryFits(*fresh.graph);
+                fresh.bytes = plan->approxBytes();
+                fresh.plan = std::move(plan);
+                return fresh;
+            });
     }
 
     core::WorkloadSpec workload;
-    workload.graph = cached->graph.get();
+    workload.graph = entry->graph.get();
     workload.datasetSamples = request.datasetSamples;
     workload.batchPerGpu = request.batch;
     core::Constraints constraints;
@@ -554,26 +735,34 @@ Server::handleRequest(Session &session, const std::string &payload)
         request.objective == "time" ? core::Objective::MinTrainingTime
                                     : core::Objective::MinCost);
 
-    const core::Recommendation recommendation = core::recommend(
-        engine->predictor, *cached->plan, workload, candidates_,
-        objective, constraints, options_.sweepThreads);
-
-    const std::string response = encodeRecommendResponse(
-        responseFromRecommendation(recommendation));
-    const std::string frame =
-        buildFrame(FrameType::Response, response);
-    if (!sendAll(session.fd, frame.data(), frame.size(), &error))
+    // The sweep, projection and encode all write into per-session
+    // scratch: a warm request allocates nothing from here on.
+    core::recommendInto(engine->predictor, *entry->plan, workload,
+                        candidates_, objective, constraints,
+                        options_.sweepThreads, &session.sweepScratch,
+                        &entry->fits);
+    responseFromRecommendationInto(session.sweepScratch,
+                                   &session.responseScratch);
+    encodeRecommendResponseInto(session.responseScratch,
+                                &session.encodeScratch,
+                                &session.payloadScratch);
+    buildFrameInto(FrameType::Response, session.payloadScratch,
+                   &session.frameScratch);
+    if (!sendAll(session.fd, session.frameScratch.data(),
+                 session.frameScratch.size(), &error))
         return false;
     OBS_COUNTER_INC("serve.requests");
     return true;
 }
 
 bool
-Server::handleReload(Session &session, const std::string &payload)
+Server::handleReload(Session &session, const char *payload,
+                     std::size_t size)
 {
+    const std::string payload_str(payload, size);
     ReloadRequest reload;
     std::string error;
-    if (!decodeReloadRequest(payload, &reload, &error)) {
+    if (!decodeReloadRequest(payload_str, &reload, &error)) {
         sendTypedError(session.fd, errc::kBadRequest, error);
         return false;
     }
@@ -603,14 +792,12 @@ Server::handleReload(Session &session, const std::string &payload)
 void
 Server::finishTask(const std::shared_ptr<Session> &session, bool close)
 {
-    const std::size_t depth =
-        inFlight_.fetch_sub(1, std::memory_order_relaxed) - 1;
-    OBS_GAUGE_SET("serve.queue_depth", static_cast<double>(depth));
+    Reactor &reactor = *reactors_[session->reactorIndex];
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        rearm_.emplace_back(session->id, close);
+        std::lock_guard<std::mutex> lock(reactor.mutex);
+        reactor.rearm.emplace_back(session->id, close);
     }
-    wake();
+    wake(reactor);
     {
         // Notify while still holding the mutex: stop() may destroy
         // this Server the instant it observes activeTasks_ == 0, and

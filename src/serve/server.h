@@ -2,26 +2,47 @@
  * @file
  * ceerd: a persistent recommendation server.
  *
- * One reactor thread owns every socket: it accepts connections,
- * assembles frames (protocol.h) and enforces admission control; each
- * complete request is executed on util::ThreadPool::shared(). A
- * session has at most one request in flight — the reactor stops
- * polling its socket until the worker has written the response — so
- * per-session state (the plan cache) needs no locking: the
- * mutex-guarded re-arm handoff between worker and reactor gives the
- * happens-before edge.
+ * The server runs `reactors` reactor threads (default 1). Each
+ * reactor owns its accepted sessions outright — their sockets, frame
+ * assembly, poll set and wake pipe — so reactors share no per-session
+ * state. Accept sharding uses SO_REUSEPORT (every reactor binds its
+ * own listener on the same port and the kernel spreads connections);
+ * when that is unavailable or disabled, reactor 0 owns the single
+ * listener and hands accepted fds to its peers round-robin.
+ *
+ * Request execution has two modes. With `sweepThreads == 1` (the
+ * default) a complete request executes INLINE on its reactor thread:
+ * no handoff, no wake-pipe round trip, no task allocation — request
+ * parallelism comes from running one reactor per core. With
+ * `sweepThreads != 1` requests are submitted to
+ * util::ThreadPool::shared() as before, and the worker→reactor
+ * re-arm handoff (mutex-guarded, per reactor) provides the
+ * happens-before edge for the session state. Either way a session has
+ * at most one request in flight.
+ *
+ * Compiled plans live in one process-wide sharded PlanCache
+ * (plan_cache.h) keyed by structural graph fingerprint: identical
+ * graphs arriving on different connections compile exactly once, and
+ * a hot reload invalidates entries lazily by engine generation while
+ * in-flight requests keep their pinned entry.
+ *
+ * The steady-state request path performs no heap allocation: frames
+ * are decoded in place from the session's input buffer (CBF view
+ * parse), the candidate sweep, response projection and encode all
+ * write into per-session reusable scratch, and the response frame is
+ * built into a reusable output buffer. bench/micro_serve enforces
+ * this with an operator-new counting gate.
  *
  * Admission control is a bounded queue: once `maxQueueDepth` requests
- * are admitted and not yet answered, further requests are refused
- * with a typed `overloaded` Error frame (backpressure the client can
- * see, never a silent drop). Slow-loris clients that stall mid-frame
- * past `readTimeoutMs` get `read_timeout` and are disconnected.
+ * are admitted and not yet answered (across all reactors), further
+ * requests are refused with a typed `overloaded` Error frame
+ * (backpressure the client can see, never a silent drop). Slow-loris
+ * clients that stall mid-frame past `readTimeoutMs` get
+ * `read_timeout` and are disconnected.
  *
  * Model hot-reload swaps an atomically published
  * `shared_ptr<const Engine>`; in-flight requests finish on the
- * engine they started with, so a reload never drops work. Plan-cache
- * entries remember the engine generation that compiled them and
- * recompile lazily after a swap.
+ * engine they started with, so a reload never drops work.
  */
 
 #ifndef CEER_SERVE_SERVER_H
@@ -41,6 +62,7 @@
 #include "cloud/instances.h"
 #include "core/ceer_model.h"
 #include "core/predictor.h"
+#include "serve/plan_cache.h"
 #include "serve/protocol.h"
 
 namespace ceer {
@@ -54,10 +76,26 @@ struct ServerOptions
     int backlog = 64;               ///< listen(2) backlog.
 
     /**
+     * Reactor threads. Each owns its accepted sessions; with
+     * `sweepThreads == 1` requests also execute on their reactor, so
+     * this is the request-parallelism knob (one per core is the
+     * intended production shape).
+     */
+    int reactors = 1;
+
+    /**
+     * Shard accepts across reactors with SO_REUSEPORT (one listener
+     * per reactor). When false — or when the extra binds fail — the
+     * server falls back to a single listener on reactor 0 that
+     * round-robins accepted connections to its peers.
+     */
+    bool reusePort = true;
+
+    /**
      * Admission bound: maximum requests admitted (queued or
-     * executing) at once. Beyond it new requests are refused with an
-     * `overloaded` Error frame. 0 refuses everything (useful in
-     * tests).
+     * executing) at once across all reactors. Beyond it new requests
+     * are refused with an `overloaded` Error frame. 0 refuses
+     * everything (useful in tests).
      */
     std::size_t maxQueueDepth = 64;
 
@@ -70,8 +108,19 @@ struct ServerOptions
      */
     int readTimeoutMs = 5000;
 
-    /** Thread hint for the per-request candidate sweep (1 = serial). */
+    /**
+     * Thread hint for the per-request candidate sweep. 1 (default)
+     * executes the whole request inline on its reactor; any other
+     * value routes requests through the shared thread pool with this
+     * sweep parallelism.
+     */
     int sweepThreads = 1;
+
+    /** Shared plan cache: total entry cap across shards. */
+    std::size_t planCacheCapacity = 256;
+
+    /** Shared plan cache: shard count (rounded up to a power of 2). */
+    std::size_t planCacheShards = 8;
 };
 
 /** A persistent recommendation server over the ceerd protocol. */
@@ -93,13 +142,17 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Binds, listens and starts the reactor thread. False with
-     * @p error when the socket cannot be set up.
+     * Binds, listens and starts the reactor threads. False with
+     * @p error when the sockets cannot be set up.
      */
     bool tryStart(std::string *error);
 
     /** The bound port (after tryStart); useful with port 0. */
     int port() const { return port_; }
+
+    /** True when accept sharding runs via SO_REUSEPORT (after
+     *  tryStart); false in single-listener fallback mode. */
+    bool usingReusePort() const { return !singleListener_; }
 
     /**
      * Graceful shutdown: stop accepting, close idle connections,
@@ -118,6 +171,12 @@ class Server
     /** Engine generation currently serving (starts at 1). */
     std::uint64_t generation() const;
 
+    /** Shared plan cache counters (hits/misses/evictions/bytes). */
+    PlanCache::Stats planCacheStats() const
+    {
+        return planCache_.stats();
+    }
+
   private:
     /** An immutable predictor + its generation, swapped on reload. */
     struct Engine
@@ -131,46 +190,82 @@ class Server
         }
     };
 
-    /** A compiled plan tagged with the generation that built it. */
-    struct CachedPlan
-    {
-        std::uint64_t generation = 0;
-        std::shared_ptr<const graph::Graph> graph;
-        std::shared_ptr<const core::PredictPlan> plan;
-    };
-
-    /** Per-connection state, owned by the reactor. */
+    /** Per-connection state, owned by exactly one reactor. */
     struct Session
     {
         std::uint64_t id = 0;
         int fd = -1;
+        std::size_t reactorIndex = 0;
         std::string inBuf;
         bool inFlight = false;
         std::chrono::steady_clock::time_point lastActivity;
 
-        /**
-         * Plan cache keyed by graph fingerprint
-         * (protocol.h graphFingerprint). Touched only by the worker
-         * while the session is in flight.
-         */
-        std::unordered_map<std::uint64_t, CachedPlan> plans;
+        /** Pool mode: frame handed to the worker, still at the front
+         *  of inBuf (the worker decodes it in place); the reactor
+         *  erases it at re-arm time. */
+        FrameType pendingType = FrameType::Request;
+        std::uint32_t pendingPayloadBytes = 0;
+        std::size_t pendingEraseBytes = 0;
 
-        /** Fingerprint memo keyed by "model:batch" request key. */
+        /** Fingerprint memo keyed by "model:batch" request key —
+         *  avoids rebuilding the graph just to hash it. */
         std::unordered_map<std::string, std::uint64_t> requestKeys;
+
+        /**
+         * Reusable request-path scratch. Touched only by whichever
+         * thread currently executes this session's request (reactor
+         * in inline mode, worker in pool mode — never both). Once
+         * warm, a recommend request allocates nothing.
+         */
+        RecommendRequest requestScratch;     ///< Decoded request.
+        io::CbfFile requestFile;             ///< View-parse scratch.
+        core::Recommendation sweepScratch;   ///< Candidate sweep.
+        RecommendResponse responseScratch;   ///< Columnar projection.
+        ResponseEncodeScratch encodeScratch; ///< CBF encode scratch.
+        std::string payloadScratch;          ///< Encoded payload.
+        std::string frameScratch;            ///< Outgoing frame.
+        std::string keyScratch;              ///< "model:batch" key.
 
         ~Session();
     };
 
-    void reactorLoop();
-    void wake();
-    bool processSession(const std::shared_ptr<Session> &session);
-    bool readSession(const std::shared_ptr<Session> &session);
-    void sendErrorAndClose(Session &session, const std::string &code,
-                           const std::string &message);
-    void execute(std::shared_ptr<Session> session, FrameType type,
-                 std::string payload);
-    bool handleRequest(Session &session, const std::string &payload);
-    bool handleReload(Session &session, const std::string &payload);
+    /** One reactor thread and everything it owns. */
+    struct Reactor
+    {
+        std::size_t index = 0;
+        int listenFd = -1; ///< Own SO_REUSEPORT listener, or -1.
+        int wakeRead = -1;
+        int wakeWrite = -1;
+        std::thread thread;
+
+        /** Guards rearm and inbox — the only state other threads
+         *  touch. sessions is reactor-thread-private. */
+        std::mutex mutex;
+        /** (session id, close?) handoffs from workers (pool mode). */
+        std::vector<std::pair<std::uint64_t, bool>> rearm;
+        /** Accepted fds handed over in single-listener mode. */
+        std::vector<int> inbox;
+
+        std::unordered_map<std::uint64_t, std::shared_ptr<Session>>
+            sessions;
+    };
+
+    void reactorLoop(Reactor &reactor);
+    void wake(Reactor &reactor);
+    void adoptSession(Reactor &reactor, int fd);
+    bool processSession(Reactor &reactor,
+                        const std::shared_ptr<Session> &session);
+    bool readSession(Reactor &reactor,
+                     const std::shared_ptr<Session> &session);
+    /** Runs one admitted frame; returns false when the session must
+     *  close. Shared by the inline and pool paths. */
+    bool dispatch(Session &session, FrameType type, const char *payload,
+                  std::size_t size);
+    void execute(std::shared_ptr<Session> session);
+    bool handleRequest(Session &session, const char *payload,
+                       std::size_t size);
+    bool handleReload(Session &session, const char *payload,
+                      std::size_t size);
     void finishTask(const std::shared_ptr<Session> &session,
                     bool close);
     std::shared_ptr<const Engine> currentEngine() const;
@@ -181,26 +276,25 @@ class Server
     mutable std::mutex engineMutex_;
     std::shared_ptr<const Engine> engine_;
 
-    int listenFd_ = -1;
-    int wakeRead_ = -1;
-    int wakeWrite_ = -1;
+    /** Shared across all sessions and reactors. */
+    mutable PlanCache planCache_;
+
+    std::vector<std::unique_ptr<Reactor>> reactors_;
+    bool singleListener_ = false;
+    bool inlineExecute_ = true;
     int port_ = 0;
-    std::thread reactor_;
     std::atomic<bool> stopping_{false};
     bool started_ = false;
 
-    /** Guards sessions_ and rearm_. */
-    std::mutex mutex_;
-    std::unordered_map<std::uint64_t, std::shared_ptr<Session>>
-        sessions_;
-    /** (session id, close?) handoffs from workers to the reactor. */
-    std::vector<std::pair<std::uint64_t, bool>> rearm_;
-    std::uint64_t nextSessionId_ = 1;
+    std::atomic<std::uint64_t> nextSessionId_{1};
+    /** Single-listener round-robin cursor; reactor 0 only. */
+    std::uint64_t nextReactorRR_ = 0;
 
-    /** Admitted (queued or executing) requests. */
+    /** Admitted (queued or executing) requests, all reactors. */
     std::atomic<std::size_t> inFlight_{0};
 
-    /** Drain bookkeeping for stop(). */
+    /** Drain bookkeeping for stop() (pool-mode tasks only; inline
+     *  requests finish before their reactor joins). */
     std::mutex drainMutex_;
     std::condition_variable drainCv_;
     std::size_t activeTasks_ = 0;

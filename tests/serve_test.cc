@@ -33,6 +33,7 @@
 #include "serve/client.h"
 #include "serve/loadgen.h"
 #include "serve/net.h"
+#include "serve/plan_cache.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 
@@ -607,6 +608,307 @@ TEST(ServeServerTest, LoadgenDrivesTheServerCleanly)
     EXPECT_GT(result.achievedQps, 0.0);
     server->stop();
     server->stop(); // Idempotent.
+}
+
+// --- Plan cache --------------------------------------------------------
+
+/** A PlanEntry whose plan pointer carries no weight (the cache never
+ *  dereferences it); @p bytes drives the accounting. */
+PlanEntry
+fakeEntry(std::uint64_t fingerprint, std::uint64_t generation,
+          std::size_t bytes = 64)
+{
+    PlanEntry entry;
+    entry.fingerprint = fingerprint;
+    entry.generation = generation;
+    entry.bytes = bytes;
+    return entry;
+}
+
+TEST(PlanCacheTest, AccountsHitsAndMissesAcrossCallers)
+{
+    PlanCache cache(4, 1);
+    int compiles = 0;
+    const auto compile = [&] {
+        ++compiles;
+        return fakeEntry(7, 1);
+    };
+
+    // Cold: tryGet declines without charging a miss; getOrCompile
+    // compiles and charges exactly one.
+    EXPECT_EQ(cache.tryGet(7, 1), nullptr);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    const auto first = cache.getOrCompile(7, 1, compile);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(compiles, 1);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().entries, 1u);
+
+    // Warm: both paths hit and share the same pinned entry —
+    // a second "session" asking for the same graph compiles nothing.
+    const auto hit = cache.tryGet(7, 1);
+    EXPECT_EQ(hit.get(), first.get());
+    EXPECT_EQ(cache.getOrCompile(7, 1, compile).get(), first.get());
+    EXPECT_EQ(compiles, 1);
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().bytes, 64u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsedUnderTinyCap)
+{
+    PlanCache cache(2, 1);
+    const auto compileFor = [](std::uint64_t fp) {
+        return [fp] { return fakeEntry(fp, 1); };
+    };
+    cache.getOrCompile(1, 1, compileFor(1));
+    cache.getOrCompile(2, 1, compileFor(2));
+    // Touch 1 so 2 becomes the LRU victim.
+    EXPECT_NE(cache.tryGet(1, 1), nullptr);
+    cache.getOrCompile(3, 1, compileFor(3));
+
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_EQ(cache.tryGet(2, 1), nullptr);
+    EXPECT_NE(cache.tryGet(1, 1), nullptr);
+    EXPECT_NE(cache.tryGet(3, 1), nullptr);
+}
+
+TEST(PlanCacheTest, StaleGenerationMissesButKeepsPinnedEntries)
+{
+    PlanCache cache(4, 1);
+    int compiles = 0;
+    const auto old_entry = cache.getOrCompile(5, 1, [&] {
+        ++compiles;
+        return fakeEntry(5, 1);
+    });
+
+    // After a hot reload (generation 2) the old entry is invisible...
+    EXPECT_EQ(cache.tryGet(5, 2), nullptr);
+    const auto fresh = cache.getOrCompile(5, 2, [&] {
+        ++compiles;
+        return fakeEntry(5, 2);
+    });
+    EXPECT_EQ(compiles, 2);
+    EXPECT_EQ(fresh->generation, 2u);
+
+    // ...but an in-flight request that pinned it before the reload
+    // still holds a valid generation-1 entry.
+    EXPECT_EQ(old_entry->generation, 1u);
+    EXPECT_EQ(old_entry->fingerprint, 5u);
+}
+
+TEST(PlanCacheTest, ConcurrentRequestsCompileExactlyOnce)
+{
+    PlanCache cache(8, 4);
+    std::atomic<int> compiles{0};
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const PlanEntry>> results(kThreads);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&cache, &compiles, &results, i] {
+            results[static_cast<std::size_t>(i)] =
+                cache.getOrCompile(42, 1, [&compiles] {
+                    compiles.fetch_add(1);
+                    // Widen the race window: every other thread must
+                    // wait on the shard cv, not re-compile.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(20));
+                    return fakeEntry(42, 1);
+                });
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(compiles.load(), 1);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    for (const auto &result : results) {
+        ASSERT_NE(result, nullptr);
+        EXPECT_EQ(result.get(), results[0].get());
+    }
+}
+
+TEST(ServeServerTest, PlanCacheIsSharedAcrossSessions)
+{
+    auto server = startServer();
+    RecommendRequest request;
+    request.model = "alexnet";
+
+    // Two independent connections ask for the same graph: the second
+    // session must reuse the first session's compiled plan.
+    for (int i = 0; i < 2; ++i) {
+        ServeClient client;
+        std::string error;
+        ASSERT_TRUE(client.tryConnect("127.0.0.1", server->port(),
+                                      30000, &error))
+            << error;
+        RecommendResponse response;
+        ASSERT_TRUE(client.recommend(request, &response).ok);
+        client.close();
+    }
+
+    const PlanCache::Stats stats = server->planCacheStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_GE(stats.hits, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+// --- Multi-reactor -----------------------------------------------------
+
+/** Byte-identity across several concurrent connections against
+ *  @p options (the caller picks reactor count and accept mode). */
+void
+expectIdenticalRepliesAcrossConnections(ServerOptions options)
+{
+    auto server = startServer(options);
+    RecommendRequest request;
+    request.model = "alexnet";
+    const std::string expected = localReplyBytes(request);
+
+    // More connections than reactors so every reactor serves at least
+    // one session regardless of how accepts are sharded.
+    constexpr int kConnections = 5;
+    std::vector<std::unique_ptr<ServeClient>> clients;
+    for (int i = 0; i < kConnections; ++i) {
+        auto client = std::make_unique<ServeClient>();
+        std::string error;
+        ASSERT_TRUE(client->tryConnect("127.0.0.1", server->port(),
+                                       30000, &error))
+            << error;
+        clients.push_back(std::move(client));
+    }
+    for (auto &client : clients) {
+        RecommendResponse response;
+        std::string raw;
+        ASSERT_TRUE(client->recommend(request, &response, &raw).ok);
+        EXPECT_EQ(raw, expected);
+    }
+    server->stop();
+}
+
+TEST(ServeServerTest, MultiReactorRepliesMatchInProcessRecommend)
+{
+    ServerOptions options;
+    options.reactors = 2;
+    expectIdenticalRepliesAcrossConnections(options);
+}
+
+TEST(ServeServerTest, SingleListenerFallbackHandsSessionsAcross)
+{
+    // Forcing reusePort off exercises the round-robin fd handoff from
+    // the accepting reactor to its peers' inboxes.
+    ServerOptions options;
+    options.reactors = 2;
+    options.reusePort = false;
+    expectIdenticalRepliesAcrossConnections(options);
+}
+
+TEST(ServeServerTest, MultiReactorHotReloadKeepsReplies)
+{
+    ServerOptions options;
+    options.reactors = 2;
+    auto server = startServer(options);
+    RecommendRequest request;
+    request.model = "alexnet";
+
+    ServeClient a;
+    ServeClient b;
+    std::string error;
+    ASSERT_TRUE(
+        a.tryConnect("127.0.0.1", server->port(), 30000, &error))
+        << error;
+    ASSERT_TRUE(
+        b.tryConnect("127.0.0.1", server->port(), 30000, &error))
+        << error;
+    RecommendResponse response;
+    std::string before_a;
+    std::string before_b;
+    ASSERT_TRUE(a.recommend(request, &response, &before_a).ok);
+    ASSERT_TRUE(b.recommend(request, &response, &before_b).ok);
+    EXPECT_EQ(before_a, before_b);
+
+    const std::string path = "serve_test_reactor_reload.tmp.txt";
+    {
+        std::ofstream out(path);
+        cheapModel().save(out);
+    }
+    std::uint64_t generation = 0;
+    const CallOutcome outcome = a.reload(path, &generation);
+    std::remove(path.c_str());
+    ASSERT_TRUE(outcome.ok) << outcome.errorMessage;
+    EXPECT_EQ(generation, 2u);
+
+    // Both sessions — including the one on the reactor that did NOT
+    // process the reload — must serve identical bytes afterwards.
+    std::string after_a;
+    std::string after_b;
+    ASSERT_TRUE(a.recommend(request, &response, &after_a).ok);
+    ASSERT_TRUE(b.recommend(request, &response, &after_b).ok);
+    EXPECT_EQ(after_a, before_a);
+    EXPECT_EQ(after_b, before_b);
+}
+
+TEST(ServeServerTest, MultiReactorStopsCleanlyUnderLoad)
+{
+    ServerOptions options;
+    options.reactors = 2;
+    auto server = startServer(options);
+    LoadgenOptions load;
+    load.port = server->port();
+    load.connections = 3;
+    load.seconds = 0.3;
+    RecommendRequest request;
+    request.model = "alexnet";
+    load.requests = {request};
+    LoadgenResult result;
+    std::string error;
+    ASSERT_TRUE(runLoadgen(load, &result, &error)) << error;
+    EXPECT_GT(result.succeeded, 0);
+    EXPECT_EQ(result.transportErrors, 0);
+    server->stop();
+    server->stop(); // Idempotent with reactors too.
+}
+
+// --- Percentile resolvability ------------------------------------------
+
+TEST(ServeLoadgenTest, PercentileResolvableNeedsEnoughSamples)
+{
+    // n * (1 - q) >= 1: the sample must be able to place at least one
+    // observation above the quantile.
+    EXPECT_FALSE(percentileResolvable(0, 0.50));
+    EXPECT_TRUE(percentileResolvable(2, 0.50));
+    EXPECT_TRUE(percentileResolvable(76, 0.90));
+    // The BENCH_serve regression: 76 samples cannot resolve p99, so
+    // p99 == p999 == max was a reporting artifact, not a latency fact.
+    EXPECT_FALSE(percentileResolvable(76, 0.99));
+    EXPECT_FALSE(percentileResolvable(76, 0.999));
+    EXPECT_TRUE(percentileResolvable(100, 0.99));
+    EXPECT_FALSE(percentileResolvable(999, 0.999));
+    EXPECT_TRUE(percentileResolvable(1000, 0.999));
+}
+
+TEST(ServeLoadgenTest, WarmupIsExcludedFromTimedPercentiles)
+{
+    auto server = startServer();
+    LoadgenOptions options;
+    options.port = server->port();
+    options.connections = 1;
+    options.seconds = 0.2;
+    options.warmupRequests = 3;
+    RecommendRequest request;
+    request.model = "alexnet";
+    options.requests = {request};
+    LoadgenResult result;
+    std::string error;
+    ASSERT_TRUE(runLoadgen(options, &result, &error)) << error;
+
+    EXPECT_EQ(result.warmupRequests, 3);
+    EXPECT_GT(result.warmupMeanUs, 0.0);
+    EXPECT_GE(result.warmupMaxUs, result.warmupMeanUs);
+    // The timed phase reports only its own samples: the cold-start
+    // compile landed in the warmup fields, not the percentile pool.
+    EXPECT_EQ(static_cast<std::int64_t>(result.latenciesUs.size()),
+              result.succeeded);
 }
 
 } // namespace

@@ -623,7 +623,16 @@ cmdServe(int argc, char **argv)
                     "disconnect clients stalled mid-frame after this "
                     "long (<= 0 disables)");
     flags.defineInt("threads", 1,
-                    "candidate-sweep worker threads per request");
+                    "candidate-sweep worker threads per request; 1 "
+                    "executes requests inline on their reactor");
+    flags.defineInt("reactors", 1,
+                    "reactor threads (accept sharding via "
+                    "SO_REUSEPORT; one per core is typical)");
+    flags.defineBool("no-reuseport", false,
+                     "disable SO_REUSEPORT accept sharding (single "
+                     "listener distributes connections round-robin)");
+    flags.defineInt("plan-cache", 256,
+                    "shared plan-cache capacity in entries");
     defineObsFlags(flags);
     flags.parse(argc, argv);
     applyObsFlags(flags);
@@ -642,6 +651,10 @@ cmdServe(int argc, char **argv)
     options.readTimeoutMs =
         static_cast<int>(flags.getInt("read-timeout-ms"));
     options.sweepThreads = static_cast<int>(flags.getInt("threads"));
+    options.reactors = static_cast<int>(flags.getInt("reactors"));
+    options.reusePort = !flags.getBool("no-reuseport");
+    options.planCacheCapacity =
+        static_cast<std::size_t>(flags.getInt("plan-cache"));
 
     cloud::InstanceCatalog catalog =
         flags.getBool("market") ? cloud::InstanceCatalog::marketPriced()
@@ -668,7 +681,12 @@ cmdServe(int argc, char **argv)
             util::fatal("serve: write to '" + port_file + "' failed");
     }
     std::cout << "ceerd listening on " << options.host << ":"
-              << server.port() << "\n"
+              << server.port() << " ("
+              << (options.reactors < 1 ? 1 : options.reactors)
+              << (options.reactors > 1 ? " reactors, " : " reactor, ")
+              << (server.usingReusePort() ? "SO_REUSEPORT"
+                                          : "single listener")
+              << ")\n"
               << std::flush;
 
     std::signal(SIGINT, handleStopSignal);
@@ -705,6 +723,10 @@ cmdLoadgen(int argc, char **argv)
                        "max hourly price (USD)");
     flags.defineDouble("total-budget", 1e18, "max total spend (USD)");
     flags.defineInt("timeout-ms", 30000, "per-reply read timeout");
+    flags.defineInt("warmup", -1,
+                    "warm-up requests before the timed phase "
+                    "(-1 = one per mix entry, 0 = disabled); "
+                    "excluded from percentiles");
     flags.defineString("out", "",
                        "write a JSON results document here");
     defineObsFlags(flags);
@@ -723,6 +745,7 @@ cmdLoadgen(int argc, char **argv)
     options.seconds = flags.getDouble("seconds");
     options.targetQps = flags.getDouble("qps");
     options.timeoutMs = static_cast<int>(flags.getInt("timeout-ms"));
+    options.warmupRequests = static_cast<int>(flags.getInt("warmup"));
 
     std::vector<std::string> names = models::allModelNames();
     if (!flags.getString("models").empty()) {
@@ -748,7 +771,17 @@ cmdLoadgen(int argc, char **argv)
     if (!serve::runLoadgen(options, &result, &error))
         util::fatal("loadgen: " + error);
 
+    // A small sample cannot resolve the far tail: n*(1-q) < 1 means
+    // the nearest-rank quantile just repeats the maximum, so those
+    // rows print n/a (and null in the JSON) instead of a fake number.
+    const std::size_t samples = result.latenciesUs.size();
+    const auto quantile_cell = [&](double q, double value) {
+        return serve::percentileResolvable(samples, q)
+                   ? util::format("%.0f us", value)
+                   : std::string("n/a (sample too small)");
+    };
     util::TablePrinter table({"metric", "value"});
+    table.addRow({"warmup", std::to_string(result.warmupRequests)});
     table.addRow({"sent", std::to_string(result.sent)});
     table.addRow({"succeeded", std::to_string(result.succeeded)});
     table.addRow({"overloaded", std::to_string(result.overloaded)});
@@ -760,15 +793,20 @@ cmdLoadgen(int argc, char **argv)
                   util::format("%.2fs", result.elapsedSeconds)});
     table.addRow({"throughput",
                   util::format("%.1f req/s", result.achievedQps)});
-    table.addRow({"p50", util::format("%.0f us", result.p50Us)});
-    table.addRow({"p90", util::format("%.0f us", result.p90Us)});
-    table.addRow({"p99", util::format("%.0f us", result.p99Us)});
-    table.addRow({"p99.9", util::format("%.0f us", result.p999Us)});
+    table.addRow({"p50", quantile_cell(0.50, result.p50Us)});
+    table.addRow({"p90", quantile_cell(0.90, result.p90Us)});
+    table.addRow({"p99", quantile_cell(0.99, result.p99Us)});
+    table.addRow({"p99.9", quantile_cell(0.999, result.p999Us)});
     table.addRow({"max", util::format("%.0f us", result.maxUs)});
     table.print(std::cout);
 
     const std::string out_path = flags.getString("out");
     if (!out_path.empty()) {
+        const auto quantile_json = [&](double q, double value) {
+            return serve::percentileResolvable(samples, q)
+                       ? util::format("%.3f", value)
+                       : std::string("null");
+        };
         std::ofstream out(out_path);
         if (!out)
             util::fatal("loadgen: cannot open '" + out_path + "'");
@@ -790,10 +828,21 @@ cmdLoadgen(int argc, char **argv)
                             result.elapsedSeconds)
             << util::format("  \"throughput_qps\": %.3f,\n",
                             result.achievedQps)
-            << util::format("  \"p50_us\": %.3f,\n", result.p50Us)
-            << util::format("  \"p90_us\": %.3f,\n", result.p90Us)
-            << util::format("  \"p99_us\": %.3f,\n", result.p99Us)
-            << util::format("  \"p999_us\": %.3f,\n", result.p999Us)
+            << util::format(
+                   "  \"warmup_requests\": %lld,\n",
+                   static_cast<long long>(result.warmupRequests))
+            << util::format("  \"warmup_mean_us\": %.3f,\n",
+                            result.warmupMeanUs)
+            << util::format("  \"warmup_max_us\": %.3f,\n",
+                            result.warmupMaxUs)
+            << "  \"p50_us\": " << quantile_json(0.50, result.p50Us)
+            << ",\n"
+            << "  \"p90_us\": " << quantile_json(0.90, result.p90Us)
+            << ",\n"
+            << "  \"p99_us\": " << quantile_json(0.99, result.p99Us)
+            << ",\n"
+            << "  \"p999_us\": "
+            << quantile_json(0.999, result.p999Us) << ",\n"
             << util::format("  \"mean_us\": %.3f,\n", result.meanUs)
             << util::format("  \"max_us\": %.3f\n", result.maxUs)
             << "}\n";

@@ -93,13 +93,16 @@ pass_bench_smoke() {
     ./build/bench/micro_io --train-iters 10 --load-iters 3 \
         --fleet 256 --out ''
     # micro_serve's nonzero exit asserts the loadgen-vs-in-process
-    # byte identity and the hot-reload generation gate; the smoke run
-    # also checks the emitted JSON carries the latency fields.
+    # byte identity (across every reactor/thread combination, and
+    # across hot reload) plus the steady-state allocation budget; the
+    # smoke run also checks the emitted JSON carries the latency
+    # fields and that the allocation gate actually passed.
     ./build/bench/micro_serve --train-iters 10 --seconds 0.4 \
         --connections 2 --models vgg_19,alexnet --qps-targets 50,0 \
         --out build/check_serve.json
     grep -q identity_ok build/check_serve.json
     grep -q p999_us build/check_serve.json
+    grep -q '"alloc_gate_ok": true' build/check_serve.json
     # ceerd smoke through the CLI: serve a freshly trained model,
     # drive it briefly with the loadgen, then require a clean SIGTERM
     # drain (exit 0) and a well-formed loadgen JSON. The server sends
@@ -126,6 +129,28 @@ pass_bench_smoke() {
     kill -TERM "$serve_pid"
     wait "$serve_pid"
     grep -q throughput_qps build/check_serve_loadgen.json
+    # The same smoke with two reactors: accept sharding (or the
+    # single-listener fallback), cross-reactor sessions and the
+    # reactor-aware SIGTERM drain must all survive a real process
+    # lifecycle, not just the in-process tests.
+    rm -f build/check_serve_port.txt
+    ./build/tools/ceer serve --ceer-model build/check_serve_model.txt \
+        --port 0 --reactors 2 \
+        --port-file build/check_serve_port.txt &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        if [[ -s build/check_serve_port.txt ]]; then
+            break
+        fi
+        sleep 0.1
+    done
+    ./build/tools/ceer loadgen \
+        --port "$(cat build/check_serve_port.txt)" \
+        --seconds 1 --connections 3 --models vgg_19 \
+        --out build/check_serve_loadgen2.json
+    kill -TERM "$serve_pid"
+    wait "$serve_pid"
+    grep -q throughput_qps build/check_serve_loadgen2.json
 }
 
 pass_tsan() {
@@ -154,9 +179,11 @@ pass_tsan() {
     # TSan, with and without observability.
     ./build-tsan/tests/predict_plan_test \
         --gtest_filter='ParallelRecommenderTest.*:ParallelTrainerTest.*:SerialAndParallel/*'
-    # The full ceerd stack under TSan: reactor/worker re-arm handoff,
-    # engine hot-swap, admission counters and the loadgen's dedicated
-    # client threads all race-checked end to end.
+    # The full ceerd stack under TSan: multi-reactor accept sharding
+    # and fd handoff, the shared plan cache's concurrent compile-once
+    # path, reactor/worker re-arm handoff, engine hot-swap, admission
+    # counters and the loadgen's dedicated client threads all
+    # race-checked end to end.
     ./build-tsan/tests/serve_test
 }
 
