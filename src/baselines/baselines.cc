@@ -1,5 +1,6 @@
 #include "baselines/baselines.h"
 
+#include "core/predictor.h"
 #include "hw/op_cost.h"
 #include "util/logging.h"
 
@@ -82,12 +83,10 @@ FlopsPredictor::predictTrainingHours(const graph::Graph &g,
                                      std::int64_t dataset_samples,
                                      std::int64_t batch_per_gpu) const
 {
-    const std::int64_t per_iteration =
-        batch_per_gpu * static_cast<std::int64_t>(num_gpus);
-    const std::int64_t iterations =
-        (dataset_samples + per_iteration - 1) / per_iteration;
-    return predictIterationUs(g, gpu) *
-           static_cast<double>(iterations) / 3.6e9;
+    return core::makeTrainingPrediction(predictIterationUs(g, gpu),
+                                        num_gpus, dataset_samples,
+                                        batch_per_gpu)
+        .hours;
 }
 
 } // namespace baselines

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Common interface over every per-iteration time predictor the repo
+ * can compare (ROADMAP: "baseline predictor suite from the related
+ * work").
+ *
+ * Registered engines, in registry order:
+ *
+ *   ceer             the full paper model (regression + medians + comm)
+ *   ceer_heavy_only  Ceer without the light/CPU median terms (Sec. IV-B)
+ *   ceer_no_comm     Ceer without S_GPU (Sec. IV-A)
+ *   paleo_flops      PALEO-style FLOPs / (peak * utilization)
+ *   profet           PROFET-style (arXiv 2208.05130): per-op-type
+ *                    regressions fitted on ONE reference GPU's
+ *                    profiles, transferred to the other instances via
+ *                    per-(GPU, op type) scaling factors
+ *   dnnabacus        DNNAbacus-style (arXiv 2205.12095): per-GPU
+ *                    linear regression of run-level compute time on
+ *                    the dense graph::netFeatures() structure vector,
+ *                    plus a non-negative comm slope in (k-1) * params
+ *
+ * Contract every implementation honors (tests/property_test.cc):
+ *  - predictIterationUs is a pure const function after trainFrom():
+ *    deterministic, thread-safe, finite and non-negative on the whole
+ *    model zoo, and monotone non-decreasing in k;
+ *  - trainFrom() fully resets state, so retraining is safe;
+ *  - training on a dataset missing what the engine needs is a fatal
+ *    error naming the engine, never UB.
+ */
+
+#ifndef CEER_BASELINES_PREDICTOR_H
+#define CEER_BASELINES_PREDICTOR_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "hw/gpu_spec.h"
+#include "profile/profiler.h"
+
+namespace ceer {
+namespace baselines {
+
+/** One per-iteration training-time prediction engine. */
+class Predictor
+{
+  public:
+    virtual ~Predictor() = default;
+
+    /** Registry name, e.g. "ceer" or "profet". */
+    virtual const std::string &name() const = 0;
+
+    /**
+     * Fits the engine from op- and run-level profiles. Replaces any
+     * previous fit. Fatal (naming the engine) when the dataset lacks
+     * the rows this engine trains on.
+     */
+    virtual void trainFrom(const profile::ProfileDataset &dataset) = 0;
+
+    /**
+     * Predicted per-iteration training time in microseconds.
+     *
+     * Thread-safe and deterministic; requires trainFrom() first
+     * (fatal otherwise). @p g must outlive the predictor when the
+     * engine memoizes per-graph state (the Ceer variants cache a
+     * compiled plan keyed by graph address).
+     *
+     * @param g        Training graph at the per-GPU batch size.
+     * @param gpu      GPU model.
+     * @param num_gpus Data-parallel width k (>= 1).
+     */
+    virtual double predictIterationUs(const graph::Graph &g,
+                                      hw::GpuModel gpu,
+                                      int num_gpus) const = 0;
+};
+
+/** Registry names, in canonical report order. */
+const std::vector<std::string> &allPredictorNames();
+
+/** Constructs one engine by registry name; fatal on an unknown name. */
+std::unique_ptr<Predictor> makePredictor(const std::string &name);
+
+/** Constructs every registered engine, in registry order. */
+std::vector<std::unique_ptr<Predictor>> makeAllPredictors();
+
+/**
+ * Constructs the engines named in @p names (registry order is NOT
+ * imposed — the report shows predictors in the order requested).
+ * An empty list means all engines. Fatal on an unknown name.
+ */
+std::vector<std::unique_ptr<Predictor>>
+makePredictors(const std::vector<std::string> &names);
+
+} // namespace baselines
+} // namespace ceer
+
+#endif // CEER_BASELINES_PREDICTOR_H

@@ -168,9 +168,6 @@ CeerPredictor::breakdown(const Graph &g, GpuModel gpu,
     return result;
 }
 
-namespace {
-
-/** Shared D / (k * B) scaling of a per-iteration prediction. */
 TrainingPrediction
 makeTrainingPrediction(double iteration_us, int num_gpus,
                        std::int64_t dataset_samples,
@@ -189,8 +186,6 @@ makeTrainingPrediction(double iteration_us, int num_gpus,
                        3.6e9;
     return prediction;
 }
-
-} // namespace
 
 TrainingPrediction
 CeerPredictor::predictTraining(const Graph &g, GpuModel gpu,

@@ -70,6 +70,18 @@ struct PredictionBreakdown
     std::vector<std::pair<graph::OpType, double>> heavyByType;
 };
 
+/**
+ * Scales a per-iteration prediction into a full TrainingPrediction:
+ * iterations = ceil(D / (k * B)), hours = iterations * iterationUs /
+ * 3.6e9. Shared by CeerPredictor, the baseline predictors and the
+ * evaluation harness so every engine's hour/cost arithmetic is
+ * identical by construction. Panics when D or B is non-positive.
+ */
+TrainingPrediction makeTrainingPrediction(double iteration_us,
+                                          int num_gpus,
+                                          std::int64_t dataset_samples,
+                                          std::int64_t batch_per_gpu);
+
 /** One (GPU, k) candidate of a predictBatch call. */
 struct PredictRequest
 {

@@ -212,5 +212,85 @@ meanAbsolutePercentageError(const std::vector<double> &observed,
     return counted ? total / static_cast<double>(counted) : 0.0;
 }
 
+double
+rootMeanSquaredError(const std::vector<double> &observed,
+                     const std::vector<double> &predicted)
+{
+    if (observed.size() != predicted.size())
+        panic("RMSE: size mismatch between observed and predicted");
+    if (observed.empty())
+        return 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        const double err = predicted[i] - observed[i];
+        total += err * err;
+    }
+    return std::sqrt(total / static_cast<double>(observed.size()));
+}
+
+namespace {
+
+/** Fractional ranks of @p values (ties averaged), 1-based. */
+std::vector<double>
+fractionalRanks(const std::vector<double> &values)
+{
+    const std::size_t n = values.size();
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return values[a] < values[b];
+              });
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && values[order[j + 1]] == values[order[i]])
+            ++j;
+        // Positions i..j (0-based) share the averaged 1-based rank.
+        const double rank =
+            (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+            1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[order[k]] = rank;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+} // namespace
+
+double
+spearmanRankCorrelation(const std::vector<double> &a,
+                        const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        panic("spearman: size mismatch between samples");
+    const std::size_t n = a.size();
+    if (n < 2)
+        return 0.0;
+    const std::vector<double> ra = fractionalRanks(a);
+    const std::vector<double> rb = fractionalRanks(b);
+    double mean_a = 0.0, mean_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mean_a += ra[i];
+        mean_b += rb[i];
+    }
+    mean_a /= static_cast<double>(n);
+    mean_b /= static_cast<double>(n);
+    double cov = 0.0, var_a = 0.0, var_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double da = ra[i] - mean_a;
+        const double db = rb[i] - mean_b;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if (var_a == 0.0 || var_b == 0.0)
+        return 0.0;
+    return cov / std::sqrt(var_a * var_b);
+}
+
 } // namespace util
 } // namespace ceer

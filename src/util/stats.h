@@ -169,6 +169,20 @@ std::vector<CdfPoint> empiricalCdf(std::vector<double> values,
 double meanAbsolutePercentageError(const std::vector<double> &observed,
                                    const std::vector<double> &predicted);
 
+/** Root-mean-squared error of predictions vs observations. */
+double rootMeanSquaredError(const std::vector<double> &observed,
+                            const std::vector<double> &predicted);
+
+/**
+ * Spearman rank correlation of two paired samples (Pearson correlation
+ * of their fractional ranks; ties receive averaged ranks). Returns 0
+ * when either side has fewer than two points or zero rank variance —
+ * the coefficient is undefined there, and 0 ("no agreement signal") is
+ * the conservative report for a ranking-quality metric.
+ */
+double spearmanRankCorrelation(const std::vector<double> &a,
+                               const std::vector<double> &b);
+
 } // namespace util
 } // namespace ceer
 

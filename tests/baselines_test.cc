@@ -1,13 +1,20 @@
 /**
  * @file
- * Tests for the baseline strategies and comparator predictors.
+ * Tests for the baseline strategies, the comparator predictors and the
+ * cross-predictor evaluation harness.
  */
+
+#include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "baselines/baselines.h"
+#include "baselines/evaluate.h"
+#include "baselines/predictor.h"
 #include "cloud/instances.h"
+#include "hw/op_cost.h"
 #include "models/model_zoo.h"
+#include "profile/profiler.h"
 
 namespace ceer {
 namespace baselines {
@@ -86,6 +93,225 @@ TEST(FlopsPredictorTest, RejectsBadUtilization)
 {
     EXPECT_DEATH(FlopsPredictor(0.0), "utilization");
     EXPECT_DEATH(FlopsPredictor(1.5), "utilization");
+}
+
+TEST(FlopsPredictorTest, PinsUtilizationConstant)
+{
+    // The PALEO-style estimate is exactly sum(flops) over GPU nodes
+    // divided by peak * utilization, with the paper-default 50%
+    // utilization. Pinned so a silent constant change cannot slip by.
+    const graph::Graph g = models::buildInceptionV1(32);
+    double total_flops = 0.0;
+    for (const graph::Node &node : g.nodes()) {
+        if (node.device() == graph::Device::Gpu)
+            total_flops += hw::opCost(node).flops;
+    }
+    const hw::GpuSpec &spec = hw::gpuSpec(GpuModel::V100);
+    const FlopsPredictor defaulted;
+    EXPECT_DOUBLE_EQ(defaulted.predictIterationUs(g, GpuModel::V100),
+                     total_flops / (spec.peakTflops * 0.5 * 1e6));
+}
+
+TEST(FlopsPredictorTest, ZeroFlopGraphPredictsZero)
+{
+    // No GPU work means a zero estimate: the model has no launch
+    // overhead or floor term (unlike the trained engines' 1us op
+    // floor), which is itself part of its failure mode.
+    const graph::Graph empty("empty");
+    const FlopsPredictor predictor(0.5);
+    for (const GpuModel gpu : hw::allGpuModels())
+        EXPECT_EQ(predictor.predictIterationUs(empty, gpu), 0.0);
+}
+
+TEST(StrategyTest, NoLatestGenerationCandidateIsFatal)
+{
+    // A candidate list with no P3 at all (not just none in budget)
+    // must die with the contextual message, not return garbage.
+    InstanceCatalog catalog;
+    catalog.add({"g3s.xlarge", GpuModel::M60, 1, 0.75, false});
+    catalog.add({"p2.xlarge", GpuModel::K80, 1, 0.90, false});
+    EXPECT_DEATH(latestGenerationInstance(catalog.instances()),
+                 "no P3 candidate");
+}
+
+// --- The evaluation harness ---
+
+/** Shared fixture: a small profile dataset collected once. */
+const profile::ProfileDataset &
+evalDataset()
+{
+    static const profile::ProfileDataset dataset = [] {
+        profile::CollectOptions options;
+        options.iterations = 8;
+        return profile::collectProfiles({"vgg_11", "inception_v1"},
+                                        options);
+    }();
+    return dataset;
+}
+
+TEST(EvalSweepTest, ParallelSweepIsByteIdentical)
+{
+    const std::vector<std::unique_ptr<Predictor>> predictors =
+        makeAllPredictors();
+    EvalOptions options;
+    options.models = {"alexnet", "vgg_19"};
+    options.ks = {1, 2, 4};
+    options.evalIterations = 5;
+
+    std::string serial_csv, serial_cbf;
+    for (const int threads : {1, 4}) {
+        options.threads = threads;
+        const EvalReport report =
+            runEvaluation(evalDataset(), predictors, options);
+        std::ostringstream csv, cbf;
+        report.saveCsv(csv);
+        report.saveCbf(cbf);
+        if (threads == 1) {
+            serial_csv = csv.str();
+            serial_cbf = cbf.str();
+        } else {
+            EXPECT_EQ(serial_csv, csv.str());
+            EXPECT_EQ(serial_cbf, cbf.str());
+        }
+    }
+    EXPECT_FALSE(serial_csv.empty());
+}
+
+TEST(EvalSweepTest, ReportCoversTheFullGrid)
+{
+    const std::vector<std::unique_ptr<Predictor>> predictors =
+        makeAllPredictors();
+    EvalOptions options;
+    options.models = {"alexnet"};
+    options.ks = {1, 2};
+    options.evalIterations = 5;
+    const EvalReport report =
+        runEvaluation(evalDataset(), predictors, options);
+    // predictors x models x gpus x ks cells, one model row per
+    // (predictor, model), one summary row per predictor.
+    EXPECT_EQ(report.cells.size(), predictors.size() * 1 * 4 * 2);
+    EXPECT_EQ(report.modelRows.size(), predictors.size());
+    EXPECT_EQ(report.summary.size(), predictors.size());
+    for (const EvalSummaryRow &row : report.summary) {
+        EXPECT_GE(row.mapePct, 0.0);
+        EXPECT_GE(row.rmseUs, 0.0);
+        EXPECT_GE(row.agreementRate, 0.0);
+        EXPECT_LE(row.agreementRate, 1.0);
+    }
+    // Registry order is preserved in the report.
+    for (std::size_t p = 0; p < predictors.size(); ++p)
+        EXPECT_EQ(report.summary[p].predictor, predictors[p]->name());
+}
+
+TEST(EvalSweepTest, EmptyDatasetIsFatal)
+{
+    const profile::ProfileDataset empty;
+    const std::vector<std::unique_ptr<Predictor>> predictors =
+        makeAllPredictors();
+    EvalOptions options;
+    options.models = {"alexnet"};
+    EXPECT_DEATH(runEvaluation(empty, predictors, options),
+                 "empty profile dataset");
+}
+
+TEST(EvalSweepTest, EmptyGridOrPredictorListIsFatal)
+{
+    const std::vector<std::unique_ptr<Predictor>> predictors =
+        makeAllPredictors();
+    EvalOptions options;
+    EXPECT_DEATH(runEvaluation(evalDataset(), predictors, options),
+                 "no models");
+    options.models = {"alexnet"};
+    EXPECT_DEATH(
+        runEvaluation(evalDataset(), std::vector<Predictor *>{},
+                      options),
+        "no predictors");
+    options.ks = {};
+    EXPECT_DEATH(runEvaluation(evalDataset(), predictors, options),
+                 "empty GPU or k grid");
+    options.ks = {0};
+    EXPECT_DEATH(runEvaluation(evalDataset(), predictors, options),
+                 "invalid width");
+}
+
+// --- The predictor registry ---
+
+TEST(PredictorRegistryTest, HasAtLeastSixEngines)
+{
+    EXPECT_GE(allPredictorNames().size(), 6u);
+    for (const std::string &name : allPredictorNames())
+        EXPECT_EQ(makePredictor(name)->name(), name);
+}
+
+TEST(PredictorRegistryTest, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(makePredictor("linear_scaling"), "unknown predictor");
+    EXPECT_DEATH(makePredictors({"ceer", "nope"}), "unknown predictor");
+}
+
+TEST(PredictorRegistryTest, MakePredictorsPreservesRequestOrder)
+{
+    const auto predictors = makePredictors({"profet", "ceer"});
+    ASSERT_EQ(predictors.size(), 2u);
+    EXPECT_EQ(predictors[0]->name(), "profet");
+    EXPECT_EQ(predictors[1]->name(), "ceer");
+    // Empty request means every registered engine, registry order.
+    EXPECT_EQ(makePredictors({}).size(), allPredictorNames().size());
+}
+
+/** The fixture dataset re-serialized without the rows named by @p drop
+    ("op" rows for one GPU, or every "iter" row). */
+profile::ProfileDataset
+datasetWithout(const std::string &kind, const std::string &gpu)
+{
+    std::ostringstream csv;
+    evalDataset().saveCsv(csv);
+    std::istringstream lines(csv.str());
+    std::ostringstream filtered;
+    std::string line;
+    while (std::getline(lines, line)) {
+        const bool is_kind =
+            line.rfind(kind + ",", 0) == 0;
+        const bool mentions_gpu =
+            gpu.empty() || line.find("," + gpu + ",") != std::string::npos;
+        if (is_kind && mentions_gpu)
+            continue;
+        filtered << line << "\n";
+    }
+    std::istringstream in(filtered.str());
+    profile::ProfileDataset dataset;
+    std::string error;
+    EXPECT_TRUE(
+        profile::ProfileDataset::tryLoadCsv(in, &dataset, &error))
+        << error;
+    return dataset;
+}
+
+TEST(PredictorRegistryTest, MissingTrainingRowsAreContextualFatals)
+{
+    // PROFET fits on the reference GPU's op rows; DNNAbacus fits on
+    // run-level iteration rows. Each engine must name itself and what
+    // is missing, not crash or mispredict.
+    const profile::ProfileDataset no_ref =
+        datasetWithout("op", "V100");
+    EXPECT_DEATH(makePredictor("profet")->trainFrom(no_ref),
+                 "profet.*reference GPU");
+    const profile::ProfileDataset no_iters = datasetWithout("iter", "");
+    EXPECT_DEATH(makePredictor("dnnabacus")->trainFrom(no_iters),
+                 "dnnabacus.*iteration profiles");
+    const profile::ProfileDataset empty;
+    EXPECT_DEATH(makePredictor("ceer")->trainFrom(empty),
+                 "ceer.*no op rows");
+    EXPECT_DEATH(makePredictor("paleo_flops")->trainFrom(empty),
+                 "paleo_flops.*empty");
+}
+
+TEST(PredictorRegistryTest, PredictBeforeTrainIsFatal)
+{
+    const graph::Graph g = models::buildInceptionV1(32);
+    EXPECT_DEATH(makePredictor("ceer")->predictIterationUs(
+                     g, GpuModel::V100, 1),
+                 "before trainFrom");
 }
 
 } // namespace

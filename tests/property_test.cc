@@ -6,14 +6,20 @@
  */
 
 #include <cmath>
+#include <memory>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "baselines/evaluate.h"
+#include "baselines/predictor.h"
 #include "core/regression.h"
 #include "graph/shape_inference.h"
 #include "hw/device_model.h"
 #include "hw/interconnect.h"
 #include "hw/op_cost.h"
+#include "models/model_zoo.h"
+#include "profile/profiler.h"
 #include "util/random.h"
 
 namespace ceer {
@@ -259,6 +265,119 @@ INSTANTIATE_TEST_SUITE_P(Dims, RegressionDimSweep,
                          [](const auto &info) {
                              return "d" + std::to_string(info.param);
                          });
+
+// --- Predictor contract: every registered baseline engine ---
+//
+// The baselines::Predictor documentation promises that after
+// trainFrom() every engine is deterministic, finite and non-negative
+// on the whole model zoo, and monotone non-decreasing in the
+// data-parallel width. These sweeps hold each registered engine to
+// that contract, so a new engine cannot land without inheriting it.
+
+class PredictorContract : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    /** A small shared training dataset (2 CNNs, all four GPUs). */
+    static const profile::ProfileDataset &
+    dataset()
+    {
+        static const profile::ProfileDataset d = [] {
+            profile::CollectOptions options;
+            options.iterations = 10;
+            return profile::collectProfiles({"vgg_11", "inception_v1"},
+                                            options);
+        }();
+        return d;
+    }
+
+    /**
+     * The whole zoo, built once and kept alive for the suite: the
+     * plan-memoizing engines key on graph addresses, so per-test
+     * stack graphs would alias across iterations.
+     */
+    static const std::vector<graph::Graph> &
+    zoo()
+    {
+        static const std::vector<graph::Graph> z = [] {
+            std::vector<graph::Graph> graphs;
+            graphs.reserve(models::allModelNames().size());
+            for (const std::string &name : models::allModelNames())
+                graphs.push_back(models::buildModel(name, 32));
+            return graphs;
+        }();
+        return z;
+    }
+};
+
+TEST_P(PredictorContract, FiniteDeterministicAndMonotoneInK)
+{
+    const std::unique_ptr<baselines::Predictor> predictor =
+        baselines::makePredictor(GetParam());
+    EXPECT_EQ(predictor->name(), GetParam());
+    predictor->trainFrom(dataset());
+    for (std::size_t m = 0; m < zoo().size(); ++m) {
+        const graph::Graph &g = zoo()[m];
+        for (const hw::GpuModel gpu : hw::allGpuModels()) {
+            double previous = 0.0;
+            for (const int k : {1, 2, 4, 8}) {
+                const double us =
+                    predictor->predictIterationUs(g, gpu, k);
+                EXPECT_TRUE(std::isfinite(us))
+                    << models::allModelNames()[m] << " k=" << k;
+                EXPECT_GE(us, 0.0)
+                    << models::allModelNames()[m] << " k=" << k;
+                EXPECT_GE(us, previous)
+                    << models::allModelNames()[m]
+                    << ": prediction decreased from k=" << k;
+                EXPECT_EQ(us, predictor->predictIterationUs(g, gpu, k))
+                    << models::allModelNames()[m]
+                    << ": repeated call differed at k=" << k;
+                previous = us;
+            }
+        }
+    }
+}
+
+TEST_P(PredictorContract, RetrainingIsIdempotent)
+{
+    const std::unique_ptr<baselines::Predictor> predictor =
+        baselines::makePredictor(GetParam());
+    predictor->trainFrom(dataset());
+    const double first = predictor->predictIterationUs(
+        zoo()[0], hw::GpuModel::V100, 4);
+    predictor->trainFrom(dataset());
+    EXPECT_EQ(first, predictor->predictIterationUs(
+                         zoo()[0], hw::GpuModel::V100, 4));
+}
+
+TEST_P(PredictorContract, EvaluationReportIsThreadInvariant)
+{
+    const std::unique_ptr<baselines::Predictor> predictor =
+        baselines::makePredictor(GetParam());
+    baselines::EvalOptions options;
+    options.models = {"alexnet", "inception_v1"};
+    options.ks = {1, 2, 4};
+    options.evalIterations = 6;
+    std::string baseline;
+    for (const int threads : {1, 2, 4, 8}) {
+        options.threads = threads;
+        const baselines::EvalReport report = baselines::runEvaluation(
+            dataset(), {predictor.get()}, options);
+        std::ostringstream csv;
+        report.saveCsv(csv);
+        if (threads == 1)
+            baseline = csv.str();
+        else
+            EXPECT_EQ(baseline, csv.str())
+                << "report differs at " << threads << " threads";
+    }
+    EXPECT_FALSE(baseline.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, PredictorContract,
+    ::testing::ValuesIn(baselines::allPredictorNames()),
+    [](const auto &info) { return info.param; });
 
 } // namespace
 } // namespace ceer

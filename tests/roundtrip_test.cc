@@ -10,12 +10,14 @@
  */
 
 #include <cmath>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "baselines/evaluate.h"
 #include "cloud/instances.h"
 #include "core/ceer_model.h"
 #include "core/regression.h"
@@ -495,6 +497,373 @@ TEST(RoundTripTest, CatalogCbfRoundTripsByteIdentically)
         ASSERT_EQ(reloaded.instances().size(),
                   catalog.instances().size());
     }
+}
+
+/** A synthetic evaluation report with full-precision doubles. */
+baselines::EvalReport
+randomEvalReport(util::Rng &rng)
+{
+    baselines::EvalReport report;
+    const std::vector<std::string> predictors = {"ceer", "profet",
+                                                 "dnnabacus"};
+    const std::vector<std::string> models = {"alexnet", "vgg_19"};
+    for (const std::string &predictor : predictors) {
+        for (const std::string &model : models) {
+            for (const GpuModel gpu : hw::allGpuModels()) {
+                for (const int k : {1, 2, 4, 8}) {
+                    baselines::EvalCell cell;
+                    cell.predictor = predictor;
+                    cell.model = model;
+                    cell.gpu = gpu;
+                    cell.k = k;
+                    cell.observedUs = std::abs(randomDouble(rng));
+                    cell.predictedUs = std::abs(randomDouble(rng));
+                    cell.apePct = std::abs(randomDouble(rng));
+                    report.cells.push_back(std::move(cell));
+                }
+            }
+            baselines::EvalModelRow row;
+            row.predictor = predictor;
+            row.model = model;
+            row.mapePct = std::abs(randomDouble(rng));
+            row.rmseUs = std::abs(randomDouble(rng));
+            row.spearman = rng.uniform() * 2.0 - 1.0;
+            row.recommended = "p3.2xlarge";
+            row.observedBest =
+                rng.uniform() < 0.5 ? "p3.2xlarge" : "";
+            row.agree = row.recommended == row.observedBest;
+            report.modelRows.push_back(std::move(row));
+        }
+        baselines::EvalSummaryRow sum;
+        sum.predictor = predictor;
+        sum.mapePct = std::abs(randomDouble(rng));
+        sum.rmseUs = std::abs(randomDouble(rng));
+        sum.meanSpearman = rng.uniform() * 2.0 - 1.0;
+        sum.agreementRate = rng.uniform();
+        report.summary.push_back(std::move(sum));
+    }
+    return report;
+}
+
+TEST(RoundTripTest, RandomizedEvalReportsCsvRoundTripByteIdentically)
+{
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        util::Rng rng(7100 + seed);
+        const baselines::EvalReport report = randomEvalReport(rng);
+        std::stringstream first;
+        report.saveCsv(first);
+        baselines::EvalReport reloaded;
+        std::string error;
+        ASSERT_TRUE(baselines::EvalReport::tryLoadCsv(
+            first, &reloaded, &error))
+            << "seed " << seed << ": " << error;
+        std::stringstream second;
+        reloaded.saveCsv(second);
+        ASSERT_EQ(second.str(), first.str()) << "seed " << seed;
+        ASSERT_EQ(reloaded.cells.size(), report.cells.size());
+        ASSERT_EQ(reloaded.modelRows.size(), report.modelRows.size());
+        ASSERT_EQ(reloaded.summary.size(), report.summary.size());
+    }
+}
+
+TEST(RoundTripTest, RandomizedEvalReportsCbfRoundTripByteIdentically)
+{
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        util::Rng rng(7200 + seed);
+        const baselines::EvalReport report = randomEvalReport(rng);
+        std::stringstream first;
+        report.saveCbf(first);
+        io::CbfFile file;
+        std::string error;
+        ASSERT_TRUE(io::CbfFile::tryParse(first.str(), &file, &error))
+            << "seed " << seed << ": " << error;
+        baselines::EvalReport reloaded;
+        ASSERT_TRUE(baselines::EvalReport::tryLoadCbf(file, &reloaded,
+                                                      &error))
+            << "seed " << seed << ": " << error;
+        std::stringstream second;
+        reloaded.saveCbf(second);
+        ASSERT_EQ(second.str(), first.str()) << "seed " << seed;
+    }
+}
+
+TEST(RoundTripTest, EvalReportCsvAndCbfDialectsAgree)
+{
+    util::Rng rng(7300);
+    const baselines::EvalReport report = randomEvalReport(rng);
+    // CBF -> load -> CSV must equal CSV written directly: the two
+    // dialects carry exactly the same information.
+    std::stringstream direct_csv;
+    report.saveCsv(direct_csv);
+    std::stringstream cbf;
+    report.saveCbf(cbf);
+    io::CbfFile file;
+    std::string error;
+    ASSERT_TRUE(io::CbfFile::tryParse(cbf.str(), &file, &error))
+        << error;
+    baselines::EvalReport via_cbf;
+    ASSERT_TRUE(
+        baselines::EvalReport::tryLoadCbf(file, &via_cbf, &error))
+        << error;
+    std::stringstream csv_via_cbf;
+    via_cbf.saveCsv(csv_via_cbf);
+    EXPECT_EQ(csv_via_cbf.str(), direct_csv.str());
+}
+
+/** A valid one-row-per-kind report CSV to mutate from. */
+std::string
+validEvalCsv()
+{
+    util::Rng rng(7400);
+    std::stringstream out;
+    randomEvalReport(rng).saveCsv(out);
+    return out.str();
+}
+
+/** The report CSV as lines (trailing newline stripped). */
+std::vector<std::string>
+csvLines(const std::string &csv)
+{
+    std::vector<std::string> lines = util::split(csv, '\n');
+    while (!lines.empty() && lines.back().empty())
+        lines.pop_back();
+    return lines;
+}
+
+/** Replaces field @p column (0-based) of 1-based data row @p row. */
+std::string
+withField(const std::string &csv, std::size_t row, std::size_t column,
+          const std::string &value)
+{
+    std::vector<std::string> lines = csvLines(csv);
+    std::vector<std::string> fields = util::split(lines[row], ',');
+    fields[column] = value;
+    lines[row] = util::join(fields, ",");
+    return util::join(lines, "\n") + "\n";
+}
+
+TEST(RoundTripTest, EvalReportCsvLoaderRejectsMalformedInputs)
+{
+    const std::string valid = validEvalCsv();
+    const struct {
+        std::string csv;
+        const char *expect;
+    } cases[] = {
+        {"", "empty evaluation report"},
+        {"kind,predictor\ncell,x\n", "bad header"},
+        {withField(valid, 1, 0, "banana"), "unknown kind 'banana'"},
+        {withField(valid, 1, 3, "H200"), "unknown GPU 'H200'"},
+        {withField(valid, 1, 4, "two"), "column k"},
+        {withField(valid, 1, 5, "fast"), "column observed_us"},
+        {withField(valid, 1, 6, "?"), "column predicted_us"},
+        {withField(valid, 1, 7, "?"), "column ape_pct"},
+    };
+    for (const auto &c : cases) {
+        std::istringstream in(c.csv);
+        baselines::EvalReport report;
+        std::string error;
+        EXPECT_FALSE(
+            baselines::EvalReport::tryLoadCsv(in, &report, &error));
+        EXPECT_NE(error.find(c.expect), std::string::npos)
+            << "wanted '" << c.expect << "' in: " << error;
+    }
+    // Short row: drop the last field of the first data row.
+    std::vector<std::string> lines = csvLines(valid);
+    lines[1] = lines[1].substr(0, lines[1].rfind(','));
+    std::istringstream in(util::join(lines, "\n") + "\n");
+    baselines::EvalReport report;
+    std::string error;
+    EXPECT_FALSE(
+        baselines::EvalReport::tryLoadCsv(in, &report, &error));
+    EXPECT_NE(error.find("expected 14 fields, got 13"),
+              std::string::npos)
+        << error;
+}
+
+TEST(RoundTripTest, EvalReportCsvLoaderRejectsBadModelAndSummaryRows)
+{
+    const std::string valid = validEvalCsv();
+    // Locate the first model and summary rows (cells come first).
+    const std::vector<std::string> lines = csvLines(valid);
+    std::size_t model_row = 0, summary_row = 0;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        if (!model_row && lines[i].rfind("model,", 0) == 0)
+            model_row = i;
+        if (!summary_row && lines[i].rfind("summary,", 0) == 0)
+            summary_row = i;
+    }
+    ASSERT_NE(model_row, 0u);
+    ASSERT_NE(summary_row, 0u);
+    const struct {
+        std::size_t row;
+        std::size_t column;
+        const char *expect;
+    } cases[] = {
+        {model_row, 8, "column mape_pct"},
+        {model_row, 9, "column rmse_us"},
+        {model_row, 10, "column spearman"},
+        {model_row, 13, "column agree"},
+        {summary_row, 8, "column mape_pct"},
+        {summary_row, 13, "column agree"},
+    };
+    for (const auto &c : cases) {
+        std::istringstream in(withField(valid, c.row, c.column, "x"));
+        baselines::EvalReport report;
+        std::string error;
+        EXPECT_FALSE(
+            baselines::EvalReport::tryLoadCsv(in, &report, &error));
+        EXPECT_NE(error.find(c.expect), std::string::npos)
+            << "wanted '" << c.expect << "' in: " << error;
+    }
+}
+
+TEST(RoundTripTest, EvalReportCbfLoaderRejectsMalformedFiles)
+{
+    std::string error;
+
+    // Wrong schema string.
+    {
+        io::CbfBuilder builder;
+        builder.addBytes("schema", "ceer.profiles.v1");
+        std::stringstream out;
+        builder.write(out);
+        io::CbfFile file;
+        ASSERT_TRUE(io::CbfFile::tryParse(out.str(), &file, &error))
+            << error;
+        baselines::EvalReport report;
+        EXPECT_FALSE(
+            baselines::EvalReport::tryLoadCbf(file, &report, &error));
+        EXPECT_NE(error.find("not an evaluation report CBF"),
+                  std::string::npos)
+            << error;
+    }
+
+    // Right schema, cell strings present but numeric columns missing.
+    {
+        io::CbfBuilder builder;
+        builder.addBytes("schema", "ceer.evalreport.v1");
+        io::addStringColumn(&builder, "cell.predictor", {"ceer"});
+        io::addStringColumn(&builder, "cell.model", {"alexnet"});
+        io::addStringColumn(&builder, "cell.gpu", {"V100"});
+        std::stringstream out;
+        builder.write(out);
+        io::CbfFile file;
+        ASSERT_TRUE(io::CbfFile::tryParse(out.str(), &file, &error))
+            << error;
+        baselines::EvalReport report;
+        EXPECT_FALSE(
+            baselines::EvalReport::tryLoadCbf(file, &report, &error));
+        EXPECT_NE(error.find("missing column cell.k"),
+                  std::string::npos)
+            << error;
+    }
+
+    // Column groups disagreeing on row count.
+    {
+        io::CbfBuilder builder;
+        builder.addBytes("schema", "ceer.evalreport.v1");
+        io::addStringColumn(&builder, "cell.predictor", {"ceer"});
+        io::addStringColumn(&builder, "cell.model",
+                            {"alexnet", "vgg_19"});
+        io::addStringColumn(&builder, "cell.gpu", {"V100"});
+        std::stringstream out;
+        builder.write(out);
+        io::CbfFile file;
+        ASSERT_TRUE(io::CbfFile::tryParse(out.str(), &file, &error))
+            << error;
+        baselines::EvalReport report;
+        EXPECT_FALSE(
+            baselines::EvalReport::tryLoadCbf(file, &report, &error));
+        EXPECT_NE(error.find("disagree on row count"),
+                  std::string::npos)
+            << error;
+    }
+
+    // Sized column with the wrong row count.
+    {
+        io::CbfBuilder builder;
+        builder.addBytes("schema", "ceer.evalreport.v1");
+        io::addStringColumn(&builder, "cell.predictor", {"ceer"});
+        io::addStringColumn(&builder, "cell.model", {"alexnet"});
+        io::addStringColumn(&builder, "cell.gpu", {"V100"});
+        builder.addI64("cell.k", std::vector<std::int64_t>{1, 2});
+        std::stringstream out;
+        builder.write(out);
+        io::CbfFile file;
+        ASSERT_TRUE(io::CbfFile::tryParse(out.str(), &file, &error))
+            << error;
+        baselines::EvalReport report;
+        EXPECT_FALSE(
+            baselines::EvalReport::tryLoadCbf(file, &report, &error));
+        EXPECT_NE(error.find("cell.k"), std::string::npos) << error;
+        EXPECT_NE(error.find("expected 1 rows, got 2"),
+                  std::string::npos)
+            << error;
+    }
+
+    // Unknown GPU name inside an otherwise well-formed cell group.
+    {
+        io::CbfBuilder builder;
+        builder.addBytes("schema", "ceer.evalreport.v1");
+        io::addStringColumn(&builder, "cell.predictor", {"ceer"});
+        io::addStringColumn(&builder, "cell.model", {"alexnet"});
+        io::addStringColumn(&builder, "cell.gpu", {"H200"});
+        builder.addI64("cell.k", std::vector<std::int64_t>{1});
+        builder.addF64("cell.observed_us", std::vector<double>{1.0});
+        builder.addF64("cell.predicted_us", std::vector<double>{1.0});
+        builder.addF64("cell.ape_pct", std::vector<double>{0.0});
+        std::stringstream out;
+        builder.write(out);
+        io::CbfFile file;
+        ASSERT_TRUE(io::CbfFile::tryParse(out.str(), &file, &error))
+            << error;
+        baselines::EvalReport report;
+        EXPECT_FALSE(
+            baselines::EvalReport::tryLoadCbf(file, &report, &error));
+        EXPECT_NE(error.find("unknown GPU 'H200'"), std::string::npos)
+            << error;
+    }
+}
+
+TEST(RoundTripTest, EvalReportLoadsFromDiskInEitherDialect)
+{
+    util::Rng rng(7500);
+    const baselines::EvalReport report = randomEvalReport(rng);
+    const std::string dir = ::testing::TempDir();
+    std::string error;
+
+    const std::string csv_path = dir + "ceer-eval-report.csv";
+    {
+        std::ofstream out(csv_path);
+        report.saveCsv(out);
+    }
+    baselines::EvalReport from_csv;
+    ASSERT_TRUE(baselines::EvalReport::tryLoadFile(csv_path, &from_csv,
+                                                   &error))
+        << error;
+
+    const std::string cbf_path = dir + "ceer-eval-report.cbf";
+    {
+        std::ofstream out(cbf_path, std::ios::binary);
+        report.saveCbf(out);
+    }
+    baselines::EvalReport from_cbf;
+    ASSERT_TRUE(baselines::EvalReport::tryLoadFile(cbf_path, &from_cbf,
+                                                   &error))
+        << error;
+
+    // Same canonical CSV from both on-disk dialects.
+    std::stringstream direct, via_csv, via_cbf;
+    report.saveCsv(direct);
+    from_csv.saveCsv(via_csv);
+    from_cbf.saveCsv(via_cbf);
+    EXPECT_EQ(via_csv.str(), direct.str());
+    EXPECT_EQ(via_cbf.str(), direct.str());
+
+    baselines::EvalReport missing;
+    EXPECT_FALSE(baselines::EvalReport::tryLoadFile(
+        dir + "ceer-eval-nonexistent.csv", &missing, &error));
+    EXPECT_FALSE(error.empty());
 }
 
 } // namespace

@@ -8,6 +8,9 @@
  *   summary     --model M [--depth D] per-layer op/param/GFLOP table
  *   profile     --out profiles.csv    run the empirical study
  *   train       --profiles f --out m  fit Ceer from a profile file
+ *   evaluate    --profiles f --out r  sweep every registered predictor
+ *                                     over the zoo, write an accuracy
+ *                                     report (docs/evaluation.md)
  *   predict     --ceer-model m --model M --gpu P3 --gpus 4
  *   recommend   --ceer-model m --model M [--objective cost|time]
  *               [--hourly-budget B] [--total-budget B] [--market]
@@ -39,6 +42,8 @@
 #include <thread>
 
 #include "baselines/baselines.h"
+#include "baselines/evaluate.h"
+#include "baselines/predictor.h"
 #include "cloud/instances.h"
 #include "core/predictor.h"
 #include "io/cbf.h"
@@ -54,6 +59,7 @@
 #include "serve/server.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/parse.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -261,6 +267,100 @@ cmdTrain(int argc, char **argv)
               << " op rows: " << model.heavyOps.size()
               << " heavy op types, R^2 "
               << util::format("[%.2f, %.2f]", lo, hi) << " -> "
+              << flags.getString("out") << "\n";
+    flushObsArtifacts(flags);
+    return 0;
+}
+
+int
+cmdEvaluate(int argc, char **argv)
+{
+    util::Flags flags;
+    flags.defineString("profiles", "profiles.csv",
+                       "training profile file (CSV or CBF, sniffed)");
+    flags.defineString("predictors", "",
+                       "comma-separated predictor names (default: all "
+                       "registered engines)");
+    flags.defineString("models", "",
+                       "comma-separated CNNs to evaluate (default: the "
+                       "whole zoo)");
+    flags.defineString("ks", "1,2,4,8",
+                       "comma-separated data-parallel widths");
+    flags.defineInt("batch", 32, "per-GPU batch size");
+    flags.defineInt("samples", 1'200'000,
+                    "dataset size D for the recommendation-agreement "
+                    "metric");
+    flags.defineInt("eval-iters", 60,
+                    "simulated iterations behind each observed cell");
+    flags.defineInt("seed", 42, "base RNG seed of the observed runs");
+    flags.defineInt("threads", 1,
+                    "sweep worker threads (1 = serial, 0 = one per "
+                    "hardware thread); the report is byte-identical "
+                    "at any count");
+    flags.defineString("out", "eval_report.csv",
+                       "report path (.cbf writes binary CBF, anything "
+                       "else CSV)");
+    defineObsFlags(flags);
+    flags.parse(argc, argv);
+    applyObsFlags(flags);
+
+    const profile::ProfileDataset dataset =
+        profile::ProfileDataset::loadFile(flags.getString("profiles"));
+
+    std::vector<std::string> predictor_names;
+    for (const auto &name :
+         util::split(flags.getString("predictors"), ','))
+        if (!name.empty())
+            predictor_names.push_back(util::trim(name));
+    const std::vector<std::unique_ptr<baselines::Predictor>>
+        predictors = baselines::makePredictors(predictor_names);
+
+    baselines::EvalOptions options;
+    options.models = flags.getString("models").empty()
+                         ? models::allModelNames()
+                         : modelListOrTrainingSet(
+                               flags.getString("models"));
+    options.ks.clear();
+    for (const auto &field : util::split(flags.getString("ks"), ',')) {
+        if (field.empty())
+            continue;
+        const util::ParseResult<std::int64_t> k =
+            util::parseInt64(util::trim(field));
+        if (!k)
+            util::fatal("evaluate: bad --ks value '" + field + "'");
+        options.ks.push_back(static_cast<int>(k.value));
+    }
+    options.batch = flags.getInt("batch");
+    options.datasetSamples = flags.getInt("samples");
+    options.evalIterations =
+        static_cast<int>(flags.getInt("eval-iters"));
+    options.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    options.threads = static_cast<int>(flags.getInt("threads"));
+
+    const baselines::EvalReport report =
+        baselines::runEvaluation(dataset, predictors, options);
+
+    std::ofstream out(flags.getString("out"), std::ios::binary);
+    if (!out)
+        util::fatal("cannot open " + flags.getString("out"));
+    if (wantsCbf(flags.getString("out")))
+        report.saveCbf(out);
+    else
+        report.saveCsv(out);
+
+    util::TablePrinter table({"predictor", "MAPE (%)", "RMSE (ms)",
+                              "rank corr", "agreement"});
+    for (const baselines::EvalSummaryRow &row : report.summary) {
+        table.addRow({row.predictor,
+                      util::format("%.2f", row.mapePct),
+                      util::format("%.3f", row.rmseUs / 1000.0),
+                      util::format("%.3f", row.meanSpearman),
+                      util::format("%.0f%%",
+                                   row.agreementRate * 100.0)});
+    }
+    table.print(std::cout);
+    std::cout << "wrote " << report.cells.size() << " cells over "
+              << report.summary.size() << " predictors to "
               << flags.getString("out") << "\n";
     flushObsArtifacts(flags);
     return 0;
@@ -866,6 +966,8 @@ usage()
         "  summary      per-layer table (ops, params, GFLOPs)\n"
         "  profile      run the empirical study, write profiles\n"
         "  train        fit a Ceer model from a profile file\n"
+        "  evaluate     sweep every registered predictor over the\n"
+        "               model zoo and write an accuracy report\n"
         "  predict      predict training time for a CNN on an instance\n"
         "  recommend    pick the optimal instance under constraints\n"
         "  convert      convert profiles/models/catalogs between the\n"
@@ -902,6 +1004,8 @@ main(int argc, char **argv)
         return cmdProfile(sub_argc, sub_argv);
     if (command == "train")
         return cmdTrain(sub_argc, sub_argv);
+    if (command == "evaluate")
+        return cmdEvaluate(sub_argc, sub_argv);
     if (command == "predict")
         return cmdPredict(sub_argc, sub_argv);
     if (command == "recommend")

@@ -7,7 +7,8 @@
 #   tsan      ThreadSanitizer build of the concurrency-sensitive pieces
 #             (thread pool, metrics registry, parallel profiling,
 #             iteration-parallel simulation, parallel recommend/train,
-#             the ceerd serving stack)
+#             the parallel cross-predictor evaluation sweep, the ceerd
+#             serving stack)
 #   ubsan     UBSanitizer build of the serialization/I-O boundary
 #
 # `tools/check.sh coverage` instead builds with -DCEER_COVERAGE=ON,
@@ -151,6 +152,24 @@ pass_bench_smoke() {
     kill -TERM "$serve_pid"
     wait "$serve_pid"
     grep -q throughput_qps build/check_serve_loadgen2.json
+    # Cross-predictor evaluation smoke: train -> evaluate over the
+    # checked-in fixture must reproduce the golden report byte for
+    # byte, serially and under a parallel sweep (the same gate ctest
+    # runs as cli_evaluate_golden, here exercised through check.sh's
+    # release binaries).
+    ./build/tools/ceer evaluate \
+        --profiles tests/data/eval_fixture_profiles.csv \
+        --models alexnet,inception_v1 --ks 1,2,4 --eval-iters 10 \
+        --threads 1 --out build/check_eval_report.csv
+    cmp tests/data/eval_report_golden.csv build/check_eval_report.csv
+    ./build/tools/ceer evaluate \
+        --profiles tests/data/eval_fixture_profiles.csv \
+        --models alexnet,inception_v1 --ks 1,2,4 --eval-iters 10 \
+        --threads 4 --out build/check_eval_report_par.csv
+    cmp tests/data/eval_report_golden.csv build/check_eval_report_par.csv
+    # The extended Table-5 bench: every registered predictor swept
+    # over the held-out test CNNs, with Ceer required to win.
+    ./build/bench/tab_predictor_errors --iters 25 --eval-iters 25
 }
 
 pass_tsan() {
@@ -158,7 +177,7 @@ pass_tsan() {
           -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
     cmake --build build-tsan -j "$JOBS" \
           --target obs_test thread_pool_test profile_test sim_test \
-                   predict_plan_test serve_test
+                   predict_plan_test serve_test baselines_test
 
     # Run the TSan binaries directly (ctest discovery would require
     # every test target to be built). TSAN_OPTIONS makes races hard
@@ -179,6 +198,11 @@ pass_tsan() {
     # TSan, with and without observability.
     ./build-tsan/tests/predict_plan_test \
         --gtest_filter='ParallelRecommenderTest.*:ParallelTrainerTest.*:SerialAndParallel/*'
+    # The cross-predictor evaluation sweep under TSan: every engine
+    # predicting concurrently (the Ceer variants' first-touch plan
+    # memo included) while per-cell simulators run on the pool.
+    ./build-tsan/tests/baselines_test \
+        --gtest_filter='EvalSweepTest.ParallelSweepIsByteIdentical'
     # The full ceerd stack under TSan: multi-reactor accept sharding
     # and fd handoff, the shared plan cache's concurrent compile-once
     # path, reactor/worker re-arm handoff, engine hot-swap, admission
